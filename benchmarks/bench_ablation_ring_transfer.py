@@ -1,0 +1,67 @@
+"""Ablation: software ring transfers vs. programmable-NIC steering (§7).
+
+The paper: "We could program NICs to direct connection packets to
+designated cores, reducing some of Sprayer's overhead." This bench
+quantifies that overhead with a connection-heavy workload (many short
+connections — the worst case for redirection): Sprayer pays ring
+transfers for ~7/8 of connection packets; the prognic model pays none.
+"""
+
+import random
+
+from conftest import record_rows
+
+from repro.core import MiddleboxConfig, MiddleboxEngine
+from repro.net import ACK, FIN, SYN, make_tcp_packet
+from repro.nfs import SyntheticNf
+from repro.sim import MILLISECOND, Simulator
+from repro.trafficgen.flows import random_tcp_flows
+
+CONNECTIONS = 300
+DATA_PER_CONNECTION = 2  # short flows: connection packets dominate
+
+
+def run_mode(mode: str):
+    sim = Simulator()
+    nf = SyntheticNf(busy_cycles=0)
+    engine = MiddleboxEngine(sim, nf, MiddleboxConfig(mode=mode, num_cores=8))
+    engine.set_egress(lambda p: None)
+    rng = random.Random(42)
+    flows = random_tcp_flows(CONNECTIONS, rng)
+    for flow in flows:
+        engine.receive(make_tcp_packet(flow, flags=SYN, tcp_checksum=rng.getrandbits(16)), sim.now)
+        sim.run(until=sim.now + MILLISECOND // 4)
+        for seq in range(DATA_PER_CONNECTION):
+            engine.receive(
+                make_tcp_packet(flow, flags=ACK, seq=seq, tcp_checksum=rng.getrandbits(16)),
+                sim.now,
+            )
+        engine.receive(
+            make_tcp_packet(flow, flags=FIN | ACK, tcp_checksum=rng.getrandbits(16)), sim.now
+        )
+        sim.run(until=sim.now + MILLISECOND // 4)
+    sim.run(until=sim.now + 10 * MILLISECOND)
+    total_packets = engine.stats.packets_forwarded
+    total_cycles = sum(core.stats.busy_cycles for core in engine.host.cores)
+    return {
+        "mode": mode,
+        "forwarded": total_packets,
+        "transfers": engine.stats.transfers,
+        "cycles_per_packet": total_cycles / max(1, total_packets),
+    }
+
+
+def test_ring_transfer_overhead(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_mode("sprayer"), run_mode("prognic")], rounds=1, iterations=1
+    )
+    record_rows(
+        benchmark, rows,
+        "Ablation: connection-packet steering (software rings vs programmable NIC)",
+    )
+    sprayer, prognic = rows
+    # Sprayer redirects ~7/8 of the connection packets (2 per connection).
+    assert sprayer["transfers"] > CONNECTIONS
+    assert prognic["transfers"] == 0
+    # Hardware steering shaves per-packet cycles on this workload.
+    assert prognic["cycles_per_packet"] < sprayer["cycles_per_packet"]

@@ -1,0 +1,87 @@
+"""Ablation: why the designated-core hash must be symmetric (§3.2).
+
+"By default, we use a hash function that maps upstream and downstream
+flows from the same TCP connection to the same designated core." This
+bench shows what breaks otherwise: an NF that installs state for both
+directions from one SYN (the paper's NAT pattern, Figure 5 lines
+24-25) violates the writing partition as soon as the reverse direction
+hashes elsewhere — which, with an asymmetric hash on C cores, happens
+for ~(C-1)/C of connections.
+"""
+
+import random
+
+import pytest
+from conftest import record_rows
+
+from repro.core import MiddleboxConfig, MiddleboxEngine, WritingPartitionError
+from repro.core.nf import NetworkFunction
+from repro.net import SYN, make_tcp_packet
+from repro.sim import MILLISECOND, Simulator
+from repro.steering import make_policy
+from repro.trafficgen.flows import random_tcp_flows
+
+CONNECTIONS = 256
+
+
+class BothSidesNf(NetworkFunction):
+    """Installs state for both directions on the first SYN (Fig. 5)."""
+
+    name = "both-sides"
+
+    def connection_packets(self, packets, ctx):
+        for packet in packets:
+            if packet.flags & SYN:
+                ctx.insert_local_flow(packet.five_tuple, {})
+                ctx.insert_local_flow(packet.five_tuple.reversed(), {})
+
+
+def count_direction_mismatches(symmetric: bool) -> dict:
+    """How many connections' two directions get different designated cores."""
+    config = MiddleboxConfig(
+        mode="sprayer", num_cores=8, symmetric_designation=symmetric
+    )
+    policy = make_policy("sprayer", config)
+    policy.build_nic()
+    rng = random.Random(13)
+    mismatches = sum(
+        1
+        for flow in random_tcp_flows(CONNECTIONS, rng)
+        if policy.designated_core(flow) != policy.designated_core(flow.reversed())
+    )
+    return {
+        "designation_hash": "symmetric" if symmetric else "asymmetric",
+        "connections": CONNECTIONS,
+        "direction_mismatches": mismatches,
+    }
+
+
+def test_symmetric_designation_required(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [count_direction_mismatches(True), count_direction_mismatches(False)],
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, rows, "Ablation: symmetric vs asymmetric designated-core hash")
+    symmetric, asymmetric = rows
+    assert symmetric["direction_mismatches"] == 0
+    # Asymmetric: ~7/8 of reverse directions land on another core.
+    assert asymmetric["direction_mismatches"] > CONNECTIONS // 2
+
+    # And the consequence at runtime: the Figure 5 pattern raises a
+    # writing-partition violation under the asymmetric hash.
+    sim = Simulator()
+    engine = MiddleboxEngine(
+        sim,
+        BothSidesNf(),
+        MiddleboxConfig(mode="sprayer", num_cores=8, symmetric_designation=False),
+    )
+    engine.set_egress(lambda p: None)
+    rng = random.Random(13)
+    with pytest.raises(WritingPartitionError):
+        for flow in random_tcp_flows(64, rng):
+            engine.receive(
+                make_tcp_packet(flow, flags=SYN, tcp_checksum=rng.getrandbits(16)),
+                sim.now,
+            )
+            sim.run(until=sim.now + MILLISECOND)

@@ -1,0 +1,83 @@
+"""Extension bench: multi-host scaling (§7).
+
+Aggregate processing capacity should grow ~linearly with hosts when
+the workload has enough flows to spread: each host is a full 8-core
+Sprayer middlebox, and the consistent-hash front end keeps every flow
+(and its state) on one host.
+"""
+
+import random
+
+from conftest import record_rows
+
+from repro.cluster import ClusterMiddlebox
+from repro.net import ACK, SYN, make_tcp_packet
+from repro.nfs import SyntheticNf
+from repro.sim import MILLISECOND, SECOND, Simulator
+from repro.trafficgen.flows import random_tcp_flows
+
+NF_CYCLES = 10000
+FLOWS = 64
+#: Offered aggregate load, well above a single host's ~1.57 Mpps.
+OFFERED_PPS = 5.0e6
+DURATION = 6 * MILLISECOND
+WARMUP = 2 * MILLISECOND
+
+
+def run_hosts(num_hosts: int) -> dict:
+    sim = Simulator()
+    cluster = ClusterMiddlebox(
+        sim, lambda host: SyntheticNf(busy_cycles=NF_CYCLES), num_hosts=num_hosts
+    )
+    forwarded = {"count": 0, "measuring": False}
+
+    def egress(packet):
+        if forwarded["measuring"]:
+            forwarded["count"] += 1
+
+    cluster.set_egress(egress)
+    rng = random.Random(17)
+    flows = random_tcp_flows(FLOWS, rng)
+    for flow in flows:
+        cluster.receive(
+            make_tcp_packet(flow, flags=SYN, tcp_checksum=rng.getrandbits(16)), sim.now
+        )
+    sim.run(until=MILLISECOND)
+
+    # Open-loop data at OFFERED_PPS, round-robin over flows.
+    interval = round(SECOND / OFFERED_PPS) * len(flows)
+    seq = {flow: 0 for flow in flows}
+
+    def burst():
+        now = sim.now
+        for flow in flows:
+            packet = make_tcp_packet(
+                flow, flags=ACK, seq=seq[flow], tcp_checksum=rng.getrandbits(16)
+            )
+            seq[flow] += 1
+            cluster.receive(packet, now)
+        if now < DURATION:
+            sim.after(interval, burst)
+
+    sim.after(0, burst)
+    sim.run(until=WARMUP)
+    forwarded["measuring"] = True
+    sim.run(until=DURATION)
+    window_s = (DURATION - WARMUP) / SECOND
+    return {
+        "hosts": num_hosts,
+        "rate_mpps": forwarded["count"] / window_s / 1e6,
+    }
+
+
+def test_cluster_scales_capacity(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run_hosts(n) for n in (1, 2, 4)], rounds=1, iterations=1
+    )
+    record_rows(benchmark, rows, "Extension: aggregate rate vs cluster size (10k cycles)")
+    by_hosts = {row["hosts"]: row["rate_mpps"] for row in rows}
+    # One host saturates at ~1.57 Mpps; two hosts nearly double it; four
+    # hosts carry the whole 5 Mpps offered load.
+    assert by_hosts[1] < 1.7
+    assert by_hosts[2] > 1.7 * by_hosts[1] * 0.85
+    assert by_hosts[4] > by_hosts[2]

@@ -1,0 +1,57 @@
+"""Extension bench: other TCP implementations under Sprayer.
+
+The paper's §5 summary leaves open "how well Sprayer interacts with
+other TCP implementations". This bench answers it for the two CC
+families the model implements: CUBIC (the paper's testbed) and NewReno
+(more loss-sensitive — every spurious fast retransmit halves, not
+x0.7). Both run a single flow at 10k cycles under RSS and Sprayer.
+"""
+
+from conftest import record_rows
+
+from repro.experiments.harness import run_tcp
+from repro.sim.timeunits import MILLISECOND
+from repro.tcpstack.cubic import CubicCongestionControl
+from repro.tcpstack.reno import RenoCongestionControl
+
+CC_FACTORIES = {
+    "cubic": lambda: CubicCongestionControl(),
+    "reno": lambda: RenoCongestionControl(),
+}
+
+
+def run(cc_name: str, mode: str) -> dict:
+    result = run_tcp(
+        mode,
+        10000,
+        num_flows=1,
+        duration=100 * MILLISECOND,
+        cc_factory=CC_FACTORIES[cc_name],
+        seed=11,
+    )
+    return {
+        "cc": cc_name,
+        "mode": mode,
+        "goodput_gbps": result.total_goodput_gbps,
+        "spurious": result.spurious_recoveries,
+        "timeouts": result.timeouts,
+    }
+
+
+def test_sprayer_with_other_tcp_implementations(benchmark):
+    rows = benchmark.pedantic(
+        lambda: [run(cc, mode) for cc in ("cubic", "reno") for mode in ("rss", "sprayer")],
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, rows, "Extension: CC flavours under RSS vs Sprayer (1 flow, 10k cycles)")
+    by_key = {(row["cc"], row["mode"]): row for row in rows}
+    # Sprayer's single-flow win holds for both CC flavours.
+    for cc in ("cubic", "reno"):
+        assert (
+            by_key[(cc, "sprayer")]["goodput_gbps"]
+            > 3 * by_key[(cc, "rss")]["goodput_gbps"]
+        )
+    # And neither collapses into timeout loops under spraying.
+    assert by_key[("cubic", "sprayer")]["timeouts"] == 0
+    assert by_key[("reno", "sprayer")]["timeouts"] == 0

@@ -1,0 +1,23 @@
+"""Figure 2 bench: concurrent flows per 150 µs window.
+
+Paper numbers: all flows — median 4, p99 14; flows >10 MB — median 1,
+p99 6. The synthetic trace is calibrated to land in those bands.
+"""
+
+from conftest import record_rows
+
+from repro.experiments.fig2 import run_fig2
+
+
+def test_fig2_concurrent_flows(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig2(seed=1, duration_s=4.0, samples=1200), rounds=1, iterations=1
+    )
+    record_rows(benchmark, rows, "Figure 2: concurrent flows per 150 us window")
+    all_flows = next(r for r in rows if r["population"] == "all flows")
+    big = next(r for r in rows if r["population"] == "> 10 MB")
+    assert 2 <= all_flows["median"] <= 9  # paper: 4
+    assert 6 <= all_flows["p99"] <= 25  # paper: 14
+    assert big["median"] <= 4  # paper: 1
+    assert big["p99"] <= 9  # paper: 6
+    assert big["median"] <= all_flows["median"]

@@ -1,0 +1,33 @@
+"""Figure 6(a) bench: processing rate vs. cycles/packet, single flow.
+
+Paper shapes asserted: Sprayer pinned near the 82599's ~10 Mpps Flow
+Director cap at low per-packet cost; RSS limited to one core
+throughout; at 10,000 cycles Sprayer ~8x RSS (~1.6 vs ~0.2 Mpps).
+"""
+
+import pytest
+from conftest import record_rows
+
+from repro.experiments.fig6 import run_fig6a
+from repro.sim.timeunits import MILLISECOND
+
+SWEEP = (0, 2500, 5000, 10000)
+
+
+def test_fig6a_processing_rate(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig6a(cycles_sweep=SWEEP, duration=6 * MILLISECOND,
+                          warmup=2 * MILLISECOND),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, rows, "Figure 6(a): processing rate (Mpps) vs cycles/packet")
+    by_cycles = {row["cycles"]: row for row in rows}
+    assert by_cycles[0]["sprayer_mpps"] == pytest.approx(10.5, rel=0.1)
+    assert by_cycles[10000]["rss_mpps"] == pytest.approx(0.197, rel=0.1)
+    assert by_cycles[10000]["sprayer_mpps"] == pytest.approx(
+        8 * by_cycles[10000]["rss_mpps"], rel=0.1
+    )
+    # RSS decreasing monotonically with NF cost.
+    rss = [row["rss_mpps"] for row in rows]
+    assert rss == sorted(rss, reverse=True)

@@ -1,0 +1,30 @@
+"""Figure 6(b) bench: single-connection TCP throughput vs. cycles/packet.
+
+Paper shapes asserted: both systems at line-rate goodput for a trivial
+NF; RSS collapses once one core cannot carry the connection; Sprayer
+holds near line rate across the whole sweep (small reordering tax at
+the right edge).
+"""
+
+import pytest
+from conftest import record_rows
+
+from repro.experiments.fig6 import run_fig6b
+from repro.sim.timeunits import MILLISECOND
+
+SWEEP = (0, 5000, 10000)
+
+
+def test_fig6b_tcp_throughput(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig6b(cycles_sweep=SWEEP, duration=80 * MILLISECOND),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, rows, "Figure 6(b): TCP throughput (Gbps) vs cycles/packet")
+    by_cycles = {row["cycles"]: row for row in rows}
+    assert by_cycles[0]["rss_gbps"] == pytest.approx(9.4, abs=0.4)
+    assert by_cycles[0]["sprayer_gbps"] == pytest.approx(9.4, abs=0.4)
+    assert by_cycles[10000]["sprayer_gbps"] > 7.5
+    assert by_cycles[10000]["rss_gbps"] < 2.5
+    assert by_cycles[5000]["sprayer_gbps"] > 3 * by_cycles[5000]["rss_gbps"]

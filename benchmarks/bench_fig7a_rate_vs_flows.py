@@ -1,0 +1,28 @@
+"""Figure 7(a) bench: processing rate vs. number of flows at 10k cycles.
+
+Paper shapes asserted: Sprayer flat regardless of flow count; RSS
+scales roughly linearly with flows until all cores are covered.
+"""
+
+import pytest
+from conftest import record_rows
+
+from repro.experiments.fig7 import run_fig7a
+from repro.sim.timeunits import MILLISECOND
+
+FLOWS = (1, 4, 16, 64)
+
+
+def test_fig7a_rate_vs_flows(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig7a(flow_sweep=FLOWS, duration=6 * MILLISECOND,
+                          warmup=2 * MILLISECOND),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, rows, "Figure 7(a): processing rate (Mpps) vs #flows")
+    sprayer = [row["sprayer_mpps"] for row in rows]
+    assert max(sprayer) == pytest.approx(min(sprayer), rel=0.05)  # flat
+    by_flows = {row["flows"]: row for row in rows}
+    assert by_flows[1]["rss_mpps"] == pytest.approx(0.197, rel=0.15)
+    assert by_flows[64]["rss_mpps"] == pytest.approx(by_flows[64]["sprayer_mpps"], rel=0.15)

@@ -1,0 +1,30 @@
+"""Figure 7(b) bench: TCP throughput vs. number of flows at 10k cycles.
+
+Paper shapes asserted: Sprayer roughly flat; RSS "considerably worse
+throughput for a small number of flows and a slightly better throughput
+for a sufficiently large number of flows" — i.e. the curves cross.
+"""
+
+from conftest import record_rows
+
+from repro.experiments.fig7 import run_fig7b
+from repro.sim.timeunits import MILLISECOND
+
+FLOWS = (1, 4, 16)
+
+
+def test_fig7b_tput_vs_flows(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig7b(flow_sweep=FLOWS, duration=100 * MILLISECOND),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, rows, "Figure 7(b): TCP throughput (Gbps) vs #flows")
+    by_flows = {row["flows"]: row for row in rows}
+    # Few flows: Sprayer wins big.
+    assert by_flows[1]["sprayer_gbps"] > 4 * by_flows[1]["rss_gbps"]
+    # Many flows: RSS catches up (within 15% / crossing over).
+    assert by_flows[16]["rss_gbps"] > 0.85 * by_flows[16]["sprayer_gbps"]
+    # Sprayer consistent across flow counts.
+    sprayer = [row["sprayer_gbps"] for row in rows]
+    assert min(sprayer) > 0.85 * max(sprayer)

@@ -1,0 +1,27 @@
+"""Figure 8 bench: p99 RTT at 70% load, single flow.
+
+Paper shape asserted: Sprayer's tail latency sits below RSS's, with
+the gap widening as the per-packet cost grows — a sprayed flow's
+packets are processed in parallel instead of queueing on one core.
+"""
+
+from conftest import record_rows
+
+from repro.experiments.fig8 import run_fig8
+from repro.sim.timeunits import MILLISECOND
+
+SWEEP = (0, 5000, 10000)
+
+
+def test_fig8_p99_latency(benchmark):
+    rows = benchmark.pedantic(
+        lambda: run_fig8(cycles_sweep=SWEEP, duration=8 * MILLISECOND,
+                         warmup=2 * MILLISECOND),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, rows, "Figure 8: p99 RTT (us) at 70% load")
+    for row in rows[1:]:  # beyond the trivial-NF point
+        assert row["sprayer_p99_us"] < row["rss_p99_us"]
+    gaps = [row["rss_p99_us"] - row["sprayer_p99_us"] for row in rows]
+    assert gaps[-1] > gaps[0]  # the gap grows with NF cost

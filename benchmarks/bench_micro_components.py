@@ -1,0 +1,76 @@
+"""Microbenchmarks of the hot-path components (real wall-clock timings).
+
+Unlike the figure benches (which regenerate the paper's data in
+simulated time), these measure the Python implementation itself:
+Toeplitz hashing, flow-table operations, Aho-Corasick scanning, the
+checksum, and raw simulator event throughput.
+"""
+
+import random
+
+from repro.core.flow_state import FlowTable
+from repro.net import FiveTuple
+from repro.net.checksum import internet_checksum
+from repro.nfs.dpi import AhoCorasick
+from repro.nic.rss import DEFAULT_RSS_KEY, rss_input_bytes, toeplitz_hash
+from repro.sim import Simulator
+
+FLOW = FiveTuple(0x0A000001, 0x0A010001, 40000, 80, 6)
+
+
+def test_toeplitz_hash_speed(benchmark):
+    data = rss_input_bytes(FLOW)
+    result = benchmark(toeplitz_hash, DEFAULT_RSS_KEY, data)
+    assert result == toeplitz_hash(DEFAULT_RSS_KEY, data)
+
+
+def test_flow_table_insert_get(benchmark):
+    rng = random.Random(1)
+    flows = [
+        FiveTuple(rng.getrandbits(32), rng.getrandbits(32), rng.getrandbits(16),
+                  rng.getrandbits(16), 6)
+        for _ in range(1024)
+    ]
+
+    def workload():
+        table = FlowTable(0)
+        for flow in flows:
+            table.insert(flow, flow.src_port)
+        hits = sum(1 for flow in flows if table.get(flow) is not None)
+        return hits
+
+    assert benchmark(workload) == 1024
+
+
+def test_aho_corasick_scan_throughput(benchmark):
+    rng = random.Random(2)
+    automaton = AhoCorasick([b"attack", b"virus", b"malware", b"exploit"])
+    payload = bytes(rng.randrange(97, 123) for _ in range(4096))
+
+    def scan():
+        state, matches = automaton.scan(0, payload)
+        return state
+
+    benchmark(scan)
+
+
+def test_internet_checksum_speed(benchmark):
+    data = bytes(range(256)) * 6  # a 1536-byte frame
+    benchmark(internet_checksum, data)
+
+
+def test_simulator_event_throughput(benchmark):
+    def run_10k_events():
+        sim = Simulator()
+        count = [0]
+
+        def tick():
+            count[0] += 1
+            if count[0] < 10_000:
+                sim.after(1000, tick)
+
+        sim.after(0, tick)
+        sim.run()
+        return count[0]
+
+    assert benchmark(run_10k_events) == 10_000

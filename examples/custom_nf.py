@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Writing your own NF on Sprayer's programming model (paper §3.4).
+
+This walks through the full API surface with a small but real NF: a
+per-connection byte quota enforcer. It keeps a quota entry per
+connection (created at SYN on the designated core — Table 2's
+``insert_local_flow``), decrements a *sharded* per-core usage counter
+for every data packet (the relaxed-consistency statistics pattern), and
+drops packets of connections whose aggregated usage exceeds the quota.
+
+The same NF runs unmodified under every steering policy; the script
+runs it under RSS, Sprayer, and the programmable-NIC extension.
+
+Run:  python examples/custom_nf.py
+"""
+
+import random
+
+from repro.core import MiddleboxConfig, MiddleboxEngine, NetworkFunction
+from repro.experiments.format import format_table
+from repro.net import ACK, SYN, FiveTuple, make_tcp_packet
+from repro.sim import MILLISECOND, Simulator
+
+
+class QuotaNf(NetworkFunction):
+    """Drop connections that exceed a per-connection byte quota."""
+
+    name = "quota"
+
+    def __init__(self, quota_bytes: int):
+        self.quota_bytes = quota_bytes
+        self.admitted = 0
+        self.quota_drops = 0
+
+    def init(self, ctx):
+        # Per-core shard of usage counters (aggregated lazily).
+        ctx.local["usage"] = {}
+
+    def connection_packets(self, packets, ctx):
+        for packet in packets:
+            if packet.flags & SYN and not packet.flags & ACK:
+                flow = packet.five_tuple
+                if ctx.get_local_flow(flow) is None:
+                    quota = {"limit": self.quota_bytes}
+                    ctx.insert_local_flow(flow, quota)
+                    ctx.insert_local_flow(flow.reversed(), quota)
+                    self.admitted += 1
+
+    def regular_packets(self, packets, ctx):
+        entries = ctx.get_flows([p.five_tuple for p in packets])
+        usage = ctx.local["usage"]
+        for packet, entry in zip(packets, entries):
+            if entry is None:
+                ctx.drop(packet)
+                continue
+            key = packet.five_tuple.canonical()
+            usage[key] = usage.get(key, 0) + packet.frame_len
+            ctx.write_global("quota_usage", relaxed=True)  # sharded stats
+            # NOTE: each core sees only its shard; the enforcement point
+            # compares the *local* shard against a per-core slice of the
+            # quota — the looser-consistency trade-off from §3.4.
+            per_core_budget = entry["limit"] / len(ctx.engine.contexts)
+            if usage[key] > per_core_budget:
+                self.quota_drops += 1
+                ctx.drop(packet)
+
+    def total_usage(self, contexts):
+        merged = {}
+        for ctx in contexts:
+            for key, value in ctx.local["usage"].items():
+                merged[key] = merged.get(key, 0) + value
+        return merged
+
+
+def run(mode: str) -> dict:
+    sim = Simulator()
+    nf = QuotaNf(quota_bytes=120_000)
+    engine = MiddleboxEngine(sim, nf, MiddleboxConfig(mode=mode, num_cores=8))
+    delivered = []
+    engine.set_egress(delivered.append)
+    rng = random.Random(3)
+    flow = FiveTuple(0x0A000005, 0x0A010005, 40000, 443, 6)
+    engine.receive(make_tcp_packet(flow, flags=SYN, tcp_checksum=rng.getrandbits(16)), sim.now)
+    sim.run(until=sim.now + MILLISECOND)
+    for seq in range(200):  # 200 * 1518 B ≈ 2.5x the quota
+        packet = make_tcp_packet(
+            flow, flags=ACK, seq=seq, payload_len=1448,
+            tcp_checksum=rng.getrandbits(16),
+        )
+        engine.receive(packet, sim.now)
+        if seq % 32 == 31:
+            sim.run(until=sim.now + MILLISECOND)
+    sim.run(until=sim.now + 10 * MILLISECOND)
+    usage = nf.total_usage(engine.contexts)
+    return {
+        "mode": mode,
+        "delivered": len(delivered),
+        "quota_drops": nf.quota_drops,
+        "bytes_counted": sum(usage.values()),
+        "cores_with_shards": sum(1 for c in engine.contexts if c.local["usage"]),
+    }
+
+
+def main() -> None:
+    rows = [run(mode) for mode in ("rss", "sprayer", "prognic")]
+    print(format_table(rows, title="QuotaNf under three steering policies"))
+    print(
+        "\nSame NF code, three policies: under RSS the shard lives on one\n"
+        "core; under spraying the counters shard across all cores and the\n"
+        "quota is enforced against per-core slices (relaxed consistency)."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python3
+"""Quickstart: a NAT middlebox on Sprayer in ~40 lines.
+
+Builds the simulated 8-core middlebox, runs the paper's Figure 5 NAT
+under Sprayer steering, pushes a handful of TCP connections through it,
+and prints what happened — including the property that makes Sprayer
+interesting: a single flow's packets were processed on *all* cores.
+
+Run:  python examples/quickstart.py
+"""
+
+import random
+
+from repro.core import MiddleboxConfig, MiddleboxEngine
+from repro.net import ACK, SYN, FiveTuple, ip_to_str, make_tcp_packet
+from repro.nfs import NatNf
+from repro.sim import MILLISECOND, Simulator
+
+
+def main() -> None:
+    sim = Simulator()
+    nat = NatNf(external_ip=0x0B000001)  # 11.0.0.1
+    engine = MiddleboxEngine(
+        sim, nat, MiddleboxConfig(mode="sprayer", num_cores=8)
+    )
+    forwarded = []
+    engine.set_egress(forwarded.append)
+
+    rng = random.Random(1)
+    flows = [
+        FiveTuple(0x0A000001 + i, 0x0A010001, 40000 + i, 80, 6) for i in range(4)
+    ]
+    for flow in flows:
+        # Open the connection (SYN is a *connection packet*: Sprayer
+        # steers it to the flow's designated core, where the NAT
+        # allocates a port and installs both translation directions).
+        engine.receive(
+            make_tcp_packet(flow, flags=SYN, tcp_checksum=rng.getrandbits(16)), sim.now
+        )
+        sim.run(until=sim.now + MILLISECOND)
+        # Data packets (*regular packets*) are sprayed across all cores;
+        # each core reads the translation from the designated core.
+        for seq in range(64):
+            engine.receive(
+                make_tcp_packet(flow, flags=ACK, seq=seq,
+                                tcp_checksum=rng.getrandbits(16)),
+                sim.now,
+            )
+        sim.run(until=sim.now + 5 * MILLISECOND)
+
+    print("NAT translations installed:", nat.translations_active)
+    for packet in forwarded[:1]:
+        print(
+            f"first packet rewritten to "
+            f"{ip_to_str(packet.five_tuple.src_ip)}:{packet.five_tuple.src_port}"
+        )
+    per_core = engine.host.per_core_forwarded()
+    print("packets forwarded per core:", per_core)
+    print("cores used:", sum(1 for count in per_core if count), "of", len(per_core))
+    print("connection packets redirected through rings:", engine.stats.transfers)
+    summary = engine.summary()
+    print(f"total forwarded: {summary['forwarded']}, NF drops: {summary['nf_drops']}")
+
+
+if __name__ == "__main__":
+    main()

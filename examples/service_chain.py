@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""An NF service chain on Sprayer: firewall -> NAT -> monitor.
+
+Middleboxes usually run chains, not single NFs (the NFP/ParaBox setting
+from the paper's related work). This example composes three of the
+library's NFs into a direction-aware run-to-completion chain — return
+traffic traverses the chain in reverse, so the NAT un-translates before
+the inside firewall matches — and runs real TCP connections through it
+under Sprayer.
+
+Run:  python examples/service_chain.py
+"""
+
+import random
+
+from repro.core import MiddleboxConfig, MiddleboxEngine, NfChain
+from repro.experiments.format import format_table
+from repro.nfs import FirewallNf, NatNf, TrafficMonitorNf
+from repro.nfs.firewall import AclRule
+from repro.sim import MILLISECOND, Simulator
+from repro.trafficgen.flows import is_toward_server
+from repro.trafficgen.iperf import TcpTestbed
+
+
+def main() -> None:
+    sim = Simulator()
+    firewall = FirewallNf(acl=[AclRule(action="permit", dst_port=5201)])
+    nat = NatNf(external_ip=0x0B000001)
+    monitor = TrafficMonitorNf()
+    chain = NfChain(
+        [firewall, nat, monitor],
+        direction_fn=lambda p: is_toward_server(p.five_tuple.dst_ip),
+    )
+    engine = MiddleboxEngine(sim, chain, MiddleboxConfig(mode="sprayer", num_cores=8))
+    testbed = TcpTestbed(sim, engine, num_flows=4, rng=random.Random(5))
+    result = testbed.run(duration=60 * MILLISECOND, warmup=30 * MILLISECOND)
+
+    print(f"chain: {chain.name}")
+    rows = [
+        {
+            "metric": "goodput (Gbps)",
+            "value": f"{result.total_goodput_gbps:.2f}",
+        },
+        {"metric": "connections admitted (firewall)", "value": firewall.connections_admitted},
+        {"metric": "translations active (nat)", "value": nat.translations_active},
+        {"metric": "connections tracked (monitor)", "value": monitor.connections_opened},
+        {"metric": "flow-table entries (all stages)",
+         "value": engine.flow_state.total_entries()},
+        {"metric": "cores used",
+         "value": sum(1 for c in engine.host.per_core_forwarded() if c > 0)},
+    ]
+    print(format_table(rows))
+    totals = monitor.aggregate(chain.stage_contexts(engine.contexts, monitor))
+    print(f"\nmonitor shards aggregated: {totals['packets']} packets, "
+          f"{totals['bytes'] / 1e6:.1f} MB across both directions")
+    print("every stage kept its own per-flow state; all writes stayed on "
+          "designated cores (enforcement was on).")
+
+
+if __name__ == "__main__":
+    main()

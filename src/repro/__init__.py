@@ -1,0 +1,34 @@
+"""Sprayer: packet spraying for software middleboxes — a reproduction.
+
+A simulation-based reproduction of "A Case for Spraying Packets in
+Software Middleboxes" (Sadok, Campista, Costa — HotNets-XVII, 2018).
+
+Public API tour:
+
+- :mod:`repro.core` — the Sprayer framework: engine, programming model,
+  flow-state API, designated cores.
+- :mod:`repro.steering` — steering policies (RSS baseline, Sprayer, and
+  the §7 extensions).
+- :mod:`repro.nfs` — network functions (NAT, firewall, load balancer,
+  monitor, redundancy elimination, DPI, the synthetic evaluation NF).
+- :mod:`repro.sim`, :mod:`repro.net`, :mod:`repro.nic`, :mod:`repro.cpu`
+  — the simulated substrate (event engine, packets, NIC, cores).
+- :mod:`repro.tcpstack`, :mod:`repro.trafficgen` — TCP endpoints and
+  workload generators.
+- :mod:`repro.experiments` — runners that regenerate every figure and
+  table of the paper.
+"""
+
+from repro.core import MiddleboxConfig, MiddleboxEngine, NetworkFunction, NfContext
+from repro.sim import Simulator
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "MiddleboxEngine",
+    "MiddleboxConfig",
+    "NetworkFunction",
+    "NfContext",
+    "__version__",
+]

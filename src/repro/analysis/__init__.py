@@ -1,0 +1,24 @@
+"""Analytic models used to validate the simulator.
+
+The cost model and event engine are only trustworthy if they reproduce
+what queueing theory predicts in the regimes where theory is exact.
+:mod:`repro.analysis.queueing` provides the closed forms (D/D/1, M/D/1,
+and the multi-queue spraying analogue); the validation test suite runs
+the simulator against them.
+"""
+
+from repro.analysis.queueing import (
+    md1_mean_sojourn,
+    md1_mean_wait,
+    mm1_mean_wait,
+    sprayed_mean_sojourn,
+    utilization,
+)
+
+__all__ = [
+    "utilization",
+    "md1_mean_wait",
+    "md1_mean_sojourn",
+    "mm1_mean_wait",
+    "sprayed_mean_sojourn",
+]

@@ -1,0 +1,58 @@
+"""Closed-form queueing results for simulator validation.
+
+All times are in the same (arbitrary) unit as the service time passed
+in; the validation tests use picoseconds.
+
+- **D/D/1** (CBR arrivals, deterministic service, rho < 1): no queueing
+  at all — sojourn = service time. The simulator must match exactly.
+- **M/D/1** (Poisson arrivals, deterministic service): the
+  Pollaczek-Khinchine mean wait specializes to
+  ``W = rho * s / (2 * (1 - rho))``.
+- **Sprayed M/D/1 bank**: uniformly spraying a Poisson stream of rate
+  lambda over ``n`` independent single-server queues thins it into
+  ``n`` Poisson streams of rate lambda/n (each an M/D/1 with
+  rho' = rho). Spraying therefore does *not* reduce per-packet waiting
+  at equal utilization — its wins are capacity (n servers for one
+  flow) and burst parallelism; the Figure 8 latency gap comes from
+  bursts, which is why that experiment uses a bursty generator.
+"""
+
+from __future__ import annotations
+
+
+def utilization(arrival_rate: float, service_time: float) -> float:
+    """rho = lambda * s (single server)."""
+    if arrival_rate < 0 or service_time < 0:
+        raise ValueError("arrival_rate and service_time must be non-negative")
+    return arrival_rate * service_time
+
+
+def md1_mean_wait(arrival_rate: float, service_time: float) -> float:
+    """Mean queueing delay (excluding service) of an M/D/1 queue."""
+    rho = utilization(arrival_rate, service_time)
+    if not 0 <= rho < 1:
+        raise ValueError(f"M/D/1 requires 0 <= rho < 1, got {rho}")
+    return rho * service_time / (2 * (1 - rho))
+
+
+def md1_mean_sojourn(arrival_rate: float, service_time: float) -> float:
+    """Mean time in system (wait + service) of an M/D/1 queue."""
+    return md1_mean_wait(arrival_rate, service_time) + service_time
+
+
+def mm1_mean_wait(arrival_rate: float, mean_service_time: float) -> float:
+    """Mean queueing delay of an M/M/1 queue (for reference)."""
+    rho = utilization(arrival_rate, mean_service_time)
+    if not 0 <= rho < 1:
+        raise ValueError(f"M/M/1 requires 0 <= rho < 1, got {rho}")
+    return rho * mean_service_time / (1 - rho)
+
+
+def sprayed_mean_sojourn(
+    arrival_rate: float, service_time: float, num_queues: int
+) -> float:
+    """Mean sojourn when a Poisson stream is sprayed over ``num_queues``
+    independent deterministic servers (thinned M/D/1 per queue)."""
+    if num_queues < 1:
+        raise ValueError(f"num_queues must be >= 1, got {num_queues}")
+    return md1_mean_sojourn(arrival_rate / num_queues, service_time)

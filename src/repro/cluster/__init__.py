@@ -1,0 +1,22 @@
+"""Elastic scaling to multiple hosts (paper §7).
+
+"We can also scale Sprayer to multiple hosts, as long as packets from
+the same flow are not sprayed across different hosts."
+
+This package provides that layer: a consistent-hash flow dispatcher (an
+ECMP-style front end) that pins each flow — both directions — to one
+host, where the per-host Sprayer engine sprays it across that host's
+cores. Scale-out/scale-in remaps a minimal fraction of flows and
+migrates their state (the OpenNF/S6 problem, modelled as bulk entry
+moves with accounting).
+"""
+
+from repro.cluster.cluster import ClusterMiddlebox, ClusterStats
+from repro.cluster.dispatcher import ConsistentHashRing, FlowDispatcher
+
+__all__ = [
+    "ClusterMiddlebox",
+    "ClusterStats",
+    "FlowDispatcher",
+    "ConsistentHashRing",
+]

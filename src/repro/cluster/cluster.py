@@ -1,0 +1,177 @@
+"""The multi-host Sprayer cluster.
+
+Each host is a full :class:`~repro.core.engine.MiddleboxEngine` (its
+own NIC, cores, rings, flow tables, NF instance); the dispatcher pins
+flows to hosts. Within a host, Sprayer sprays as usual — the §7
+constraint ("packets from the same flow are not sprayed across
+different hosts") holds by construction.
+
+Elastic scaling: ``scale_out``/``scale_in`` change the host set; the
+flows whose dispatch target changes have their state *migrated* — the
+flow-table entries are moved to the new host's tables (re-homed to the
+new host's designated cores). The migration is counted and priced, in
+the spirit of OpenNF's move operations / S6's object migration, though
+without modelling migration latency in the dataplane.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import MiddleboxConfig
+from repro.core.engine import MiddleboxEngine
+from repro.core.nf import NetworkFunction
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.cluster.dispatcher import FlowDispatcher
+
+
+@dataclass
+class ClusterStats:
+    """Cluster-wide accounting."""
+
+    dispatched: int = 0
+    per_host_dispatched: Dict[str, int] = field(default_factory=dict)
+    migrations: int = 0
+    migrated_entries: int = 0
+
+
+class ClusterMiddlebox:
+    """N Sprayer hosts behind a per-flow consistent-hash front end."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nf_factory: Callable[[str], NetworkFunction],
+        num_hosts: int = 2,
+        config_factory: Optional[Callable[[str], MiddleboxConfig]] = None,
+        virtual_nodes: int = 64,
+        sticky_flows: bool = False,
+    ):
+        if num_hosts < 1:
+            raise ValueError(f"num_hosts must be >= 1, got {num_hosts}")
+        self.sim = sim
+        self.nf_factory = nf_factory
+        self.config_factory = config_factory or (lambda host: MiddleboxConfig(mode="sprayer"))
+        self._host_counter = 0
+        self.engines: Dict[str, MiddleboxEngine] = {}
+        self.stats = ClusterStats()
+        self._egress: Optional[Callable[[Packet], None]] = None
+        host_names = [self._next_host_name() for _ in range(num_hosts)]
+        self.dispatcher = FlowDispatcher(host_names, virtual_nodes, sticky=sticky_flows)
+        for host in host_names:
+            self._build_engine(host)
+
+    # -- host lifecycle ------------------------------------------------------
+
+    def _next_host_name(self) -> str:
+        name = f"host{self._host_counter}"
+        self._host_counter += 1
+        return name
+
+    def _build_engine(self, host: str) -> MiddleboxEngine:
+        engine = MiddleboxEngine(self.sim, self.nf_factory(host), self.config_factory(host))
+        self.engines[host] = engine
+        self.stats.per_host_dispatched.setdefault(host, 0)
+        if self._egress is not None:
+            engine.set_egress(self._egress)
+        return engine
+
+    @property
+    def hosts(self) -> List[str]:
+        return sorted(self.engines)
+
+    def set_egress(self, egress: Callable[[Packet], None]) -> None:
+        self._egress = egress
+        for engine in self.engines.values():
+            engine.set_egress(egress)
+
+    # -- dataplane -----------------------------------------------------------
+
+    def host_for(self, flow: FiveTuple) -> str:
+        return self.dispatcher.host_for(flow)
+
+    def pin_address(self, address: int, host: str) -> None:
+        """Route traffic to/from ``address`` to ``host`` (see
+        :meth:`FlowDispatcher.pin_address`; used for per-host NAT
+        external addresses)."""
+        if host not in self.engines:
+            raise ValueError(f"unknown host {host!r}")
+        self.dispatcher.pin_address(address, host)
+
+    def receive(self, packet: Packet, now: int) -> bool:
+        host = self.dispatcher.host_for(packet.five_tuple)
+        self.stats.dispatched += 1
+        self.stats.per_host_dispatched[host] += 1
+        return self.engines[host].receive(packet, now)
+
+    # -- elastic scaling ---------------------------------------------------------
+
+    def scale_out(self) -> str:
+        """Add a host; migrate the flows that re-map to it."""
+        host = self._next_host_name()
+        old_assignment = self._current_assignment()
+        self._build_engine(host)
+        self.dispatcher.add_host(host)
+        self._migrate(old_assignment)
+        return host
+
+    def scale_in(self, host: str) -> None:
+        """Drain and remove a host; its flows migrate to survivors."""
+        if host not in self.engines:
+            raise ValueError(f"unknown host {host!r}")
+        if len(self.engines) == 1:
+            raise ValueError("cannot remove the last host")
+        old_assignment = self._current_assignment()
+        self.dispatcher.remove_host(host)
+        self._migrate(old_assignment, removing=host)
+        del self.engines[host]
+
+    def _current_assignment(self) -> Dict[FiveTuple, str]:
+        """Which host currently owns each flow that has state."""
+        assignment: Dict[FiveTuple, str] = {}
+        for host, engine in self.engines.items():
+            for table in getattr(engine.flow_state, "tables", []):
+                for key in table.entries:
+                    assignment[self._tuple_of(key)] = host
+        return assignment
+
+    @staticmethod
+    def _tuple_of(key) -> FiveTuple:
+        """Flow-table keys may be scoped (chains); unwrap to the tuple."""
+        return key if isinstance(key, FiveTuple) else key.flow
+
+    def _migrate(self, old_assignment: Dict[FiveTuple, str], removing: Optional[str] = None) -> None:
+        """Move entries whose dispatch target changed (state re-homing)."""
+        moved_flows = set()
+        for host, engine in list(self.engines.items()):
+            tables = getattr(engine.flow_state, "tables", [])
+            for table in tables:
+                for key in list(table.entries):
+                    flow = self._tuple_of(key)
+                    new_host = self.dispatcher.host_for(flow)
+                    if new_host == host:
+                        continue
+                    entry = table.entries.pop(key)
+                    target = self.engines[new_host]
+                    designated = target.designated_core(key)
+                    target.flow_state.tables[designated].insert(key, entry)
+                    self.stats.migrated_entries += 1
+                    moved_flows.add(flow.canonical())
+        if moved_flows:
+            self.stats.migrations += 1
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> Dict[str, object]:
+        per_host = {host: engine.summary() for host, engine in self.engines.items()}
+        return {
+            "hosts": self.hosts,
+            "dispatched": self.stats.dispatched,
+            "per_host_dispatched": dict(self.stats.per_host_dispatched),
+            "migrated_entries": self.stats.migrated_entries,
+            "total_forwarded": sum(s["forwarded"] for s in per_host.values()),
+            "per_host": per_host,
+        }

@@ -1,0 +1,123 @@
+"""Flow-to-host dispatching.
+
+The front end (a switch doing ECMP, or an L4 balancer) must never spray
+a flow across hosts — §7 is explicit about that — so dispatching is
+per-flow and direction-symmetric (keys are canonical five-tuples).
+
+A consistent-hash ring keeps remapping minimal under elastic scaling:
+adding or removing a host moves only ~1/N of the flows, which bounds
+the state that has to migrate.
+"""
+
+from __future__ import annotations
+
+import bisect
+import hashlib
+from typing import Dict, List, Optional
+
+from repro.net.five_tuple import FiveTuple
+
+
+def _hash_point(data: str) -> int:
+    """A stable 64-bit hash point (process-independent, unlike hash())."""
+    return int.from_bytes(hashlib.blake2b(data.encode(), digest_size=8).digest(), "big")
+
+
+class ConsistentHashRing:
+    """Classic consistent hashing with virtual nodes."""
+
+    def __init__(self, virtual_nodes: int = 64):
+        if virtual_nodes < 1:
+            raise ValueError(f"virtual_nodes must be >= 1, got {virtual_nodes}")
+        self.virtual_nodes = virtual_nodes
+        self._points: List[int] = []
+        self._owners: Dict[int, str] = {}
+
+    def add_node(self, node: str) -> None:
+        if any(owner == node for owner in self._owners.values()):
+            raise ValueError(f"node {node!r} already present")
+        for replica in range(self.virtual_nodes):
+            point = _hash_point(f"{node}#{replica}")
+            if point in self._owners:
+                continue  # vanishingly rare 64-bit collision
+            bisect.insort(self._points, point)
+            self._owners[point] = node
+
+    def remove_node(self, node: str) -> None:
+        points = [p for p, owner in self._owners.items() if owner == node]
+        if not points:
+            raise ValueError(f"node {node!r} not present")
+        for point in points:
+            del self._owners[point]
+            index = bisect.bisect_left(self._points, point)
+            del self._points[index]
+
+    def nodes(self) -> List[str]:
+        return sorted(set(self._owners.values()))
+
+    def lookup(self, key: str) -> str:
+        if not self._points:
+            raise RuntimeError("ring is empty")
+        point = _hash_point(key)
+        index = bisect.bisect_right(self._points, point)
+        if index == len(self._points):
+            index = 0
+        return self._owners[self._points[index]]
+
+
+class FlowDispatcher:
+    """flow -> host, symmetric, cached, consistent under rescaling.
+
+    Besides hashing, addresses can be *pinned* to a host: a rewriting
+    NF (NAT) makes return traffic arrive under a tuple that hashes
+    independently of the original flow, so clustered NATs give each
+    host its own external address and the front end routes traffic for
+    that address back to its owner (the standard per-host-SNAT-pool
+    deployment). Pins take precedence over the ring.
+    """
+
+    def __init__(self, hosts: List[str], virtual_nodes: int = 64, sticky: bool = False):
+        self.ring = ConsistentHashRing(virtual_nodes)
+        for host in hosts:
+            self.ring.add_node(host)
+        #: Sticky mode: flows already dispatched keep their host across
+        #: rescaling (connection draining); only *new* flows follow the
+        #: updated ring. Required for NFs whose state cannot migrate
+        #: piecemeal (a NAT's port allocations).
+        self.sticky = sticky
+        self._cache: Dict[FiveTuple, str] = {}
+        self._address_pins: Dict[int, str] = {}
+
+    def pin_address(self, address: int, host: str) -> None:
+        """Route all traffic to/from ``address`` to ``host``."""
+        self._address_pins[address] = host
+        self._cache.clear()
+
+    def host_for(self, flow: FiveTuple) -> str:
+        """The host this flow (either direction) is pinned to."""
+        pinned = self._address_pins.get(flow.dst_ip) or self._address_pins.get(flow.src_ip)
+        if pinned is not None:
+            return pinned
+        canonical = flow.canonical()
+        host = self._cache.get(canonical)
+        if host is None:
+            host = self.ring.lookup(str(canonical))
+            self._cache[canonical] = host
+        return host
+
+    def add_host(self, host: str) -> None:
+        self.ring.add_node(host)
+        if not self.sticky:
+            self._cache.clear()
+
+    def remove_host(self, host: str) -> None:
+        self.ring.remove_node(host)
+        if self.sticky:
+            # Flows on surviving hosts stay; the removed host's flows
+            # must re-map.
+            self._cache = {k: v for k, v in self._cache.items() if v != host}
+        else:
+            self._cache.clear()
+        stale = [addr for addr, owner in self._address_pins.items() if owner == host]
+        for addr in stale:
+            del self._address_pins[addr]

@@ -1,0 +1,46 @@
+"""Sprayer's core: the paper's primary contribution.
+
+This package implements the design of §3 — connection/regular packet
+classification, designated cores, single-writer flow state with the
+Table 2 API, inter-core descriptor rings, the two-handler NF
+programming model — and the engine that executes it (or the RSS
+baseline, or any §7 extension) on the simulated host.
+"""
+
+from repro.core.chain import NfChain, ScopedContext
+from repro.core.classifier import split_connection_packets
+from repro.core.config import MODES, MiddleboxConfig
+from repro.core.designated import DesignatedCoreMap
+from repro.core.events import EventNf
+from repro.core.engine import EngineStats, MiddleboxEngine
+from repro.core.flow_state import (
+    FlowTable,
+    RemoteFlowState,
+    FlowTableFullError,
+    PartitionedFlowState,
+    SharedFlowState,
+    WritingPartitionError,
+)
+from repro.core.nf import NetworkFunction, NfContext
+from repro.core.rings import TransferRing
+
+__all__ = [
+    "NfChain",
+    "ScopedContext",
+    "MiddleboxConfig",
+    "MODES",
+    "MiddleboxEngine",
+    "EngineStats",
+    "NetworkFunction",
+    "EventNf",
+    "RemoteFlowState",
+    "NfContext",
+    "DesignatedCoreMap",
+    "FlowTable",
+    "PartitionedFlowState",
+    "SharedFlowState",
+    "WritingPartitionError",
+    "FlowTableFullError",
+    "TransferRing",
+    "split_connection_packets",
+]

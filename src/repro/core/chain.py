@@ -1,0 +1,229 @@
+"""NF service chains.
+
+Middleboxes rarely run one NF: packets typically traverse a chain
+(e.g. firewall -> NAT -> monitor). The related work the paper discusses
+(NFP, ParaBox, NFVnice) is about scheduling such chains; here we provide
+the run-to-completion composition those systems compare against — all
+NFs of the chain execute back-to-back on the same core for each batch,
+which composes cleanly with any steering policy.
+
+Semantics:
+
+- ``connection_packets``/``regular_packets`` run each stage in order;
+  a packet dropped by stage k is not seen by stage k+1;
+- every stage gets its own ``init`` call and shares the per-core
+  context (flow tables are shared engine-wide, so two stages keying
+  the same five-tuple must namespace their entries — see
+  :class:`ScopedContext`);
+- ``stateless`` is True only if every stage is stateless.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.nf import NetworkFunction, NfContext
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+
+
+class ScopedContext:
+    """A per-stage view of the core context.
+
+    Prefixes every flow-table key with the stage name, so two stages of
+    a chain can both keep state for the same five-tuple without
+    clobbering each other. Scoped keys preserve the designated core
+    (the scope only tags the key; hashing still uses the five-tuple),
+    which keeps the writing partition intact.
+    """
+
+    def __init__(self, ctx: NfContext, scope: str):
+        self._ctx = ctx
+        self._scope = scope
+        #: Per-stage scratch storage.
+        self.local = ctx.local.setdefault(f"chain:{scope}", {})
+
+    # -- scoping -------------------------------------------------------------
+
+    def _key(self, flow_id: FiveTuple) -> "_ScopedFlowKey":
+        return _ScopedFlowKey(self._scope, flow_id)
+
+    # -- Table 2 passthrough ---------------------------------------------------
+
+    def insert_local_flow(self, flow_id: FiveTuple, entry: Any) -> Any:
+        entry, cycles = self._ctx.engine.flow_state.insert_local(
+            self._ctx.core_id, self._key(flow_id), entry
+        )
+        self._ctx.consume_cycles(cycles)
+        return entry
+
+    def remove_local_flow(self, flow_id: FiveTuple) -> bool:
+        removed, cycles = self._ctx.engine.flow_state.remove_local(
+            self._ctx.core_id, self._key(flow_id)
+        )
+        self._ctx.consume_cycles(cycles)
+        return removed
+
+    def get_local_flow(self, flow_id: FiveTuple) -> Optional[Any]:
+        entry, cycles = self._ctx.engine.flow_state.get_local(
+            self._ctx.core_id, self._key(flow_id)
+        )
+        self._ctx.consume_cycles(cycles)
+        return entry
+
+    def get_flow(self, flow_id: FiveTuple) -> Optional[Any]:
+        entry, cycles = self._ctx.engine.flow_state.get(
+            self._ctx.core_id, self._key(flow_id)
+        )
+        self._ctx.consume_cycles(cycles)
+        return entry
+
+    def get_flows(self, flow_ids) -> List[Optional[Any]]:
+        entries, cycles = self._ctx.engine.flow_state.get_many(
+            self._ctx.core_id, [self._key(f) for f in flow_ids]
+        )
+        self._ctx.consume_cycles(cycles)
+        return entries
+
+    # -- everything else delegates -------------------------------------------
+
+    def __getattr__(self, name: str):
+        return getattr(self._ctx, name)
+
+
+class _ScopedFlowKey:
+    """A flow-table key carrying a stage scope.
+
+    Hashes like its five-tuple plus scope; exposes the attributes the
+    flow-state layer needs (``is_tcp`` via the tuple, and the designated
+    core is computed from the *tuple*, so scoping never moves a flow's
+    owner).
+    """
+
+    __slots__ = ("scope", "flow")
+
+    def __init__(self, scope: str, flow: FiveTuple):
+        self.scope = scope
+        self.flow = flow
+
+    def __hash__(self) -> int:
+        return hash((self.scope, self.flow))
+
+    def __eq__(self, other) -> bool:
+        return (
+            isinstance(other, _ScopedFlowKey)
+            and self.scope == other.scope
+            and self.flow == other.flow
+        )
+
+    def __repr__(self) -> str:
+        return f"<{self.scope}:{self.flow}>"
+
+    # The designated-core hash and protocol checks consult these:
+    @property
+    def is_tcp(self) -> bool:
+        return self.flow.is_tcp
+
+    @property
+    def src_ip(self):
+        return self.flow.src_ip
+
+    @property
+    def dst_ip(self):
+        return self.flow.dst_ip
+
+    @property
+    def src_port(self):
+        return self.flow.src_port
+
+    @property
+    def dst_port(self):
+        return self.flow.dst_port
+
+    @property
+    def protocol(self):
+        return self.flow.protocol
+
+    def reversed(self) -> "_ScopedFlowKey":
+        return _ScopedFlowKey(self.scope, self.flow.reversed())
+
+    def canonical(self) -> "_ScopedFlowKey":
+        return _ScopedFlowKey(self.scope, self.flow.canonical())
+
+
+class NfChain(NetworkFunction):
+    """Run-to-completion composition of NFs.
+
+    ``direction_fn(packet) -> bool`` (True = forward) makes the chain
+    *directional*: forward packets traverse the stages in order, return
+    packets in reverse order — the way a physical chain is wired, and a
+    necessity for chains containing rewriting NFs (a NAT must
+    un-translate return traffic *before* an inside firewall sees it).
+    Without a ``direction_fn`` all packets run the stages in order.
+
+    >>> chain = NfChain(
+    ...     [FirewallNf(acl), NatNf(external_ip)],
+    ...     direction_fn=lambda p: is_toward_server(p.five_tuple.dst_ip),
+    ... )
+    """
+
+    def __init__(
+        self,
+        stages: List[NetworkFunction],
+        name: str = "chain",
+        direction_fn=None,
+    ):
+        if not stages:
+            raise ValueError("a chain needs at least one NF")
+        self.stages = list(stages)
+        self.direction_fn = direction_fn
+        self.name = name + "(" + ">".join(nf.name for nf in self.stages) + ")"
+        self.stateless = all(nf.stateless for nf in self.stages)
+        #: Packets dropped per stage index (accounting).
+        self.drops_by_stage: Dict[int, int] = {i: 0 for i in range(len(stages))}
+
+    def init(self, ctx: NfContext) -> None:
+        for stage in self.stages:
+            stage.init(ScopedContext(ctx, stage.name))
+
+    def _run_stages(
+        self,
+        handler_name: str,
+        packets: List[Packet],
+        ctx: NfContext,
+        order: List[Tuple[int, NetworkFunction]],
+    ) -> None:
+        alive = packets
+        for index, stage in order:
+            if not alive:
+                break
+            scoped = ScopedContext(ctx, stage.name)
+            getattr(stage, handler_name)(alive, scoped)
+            survivors = [p for p in alive if not ctx.is_dropped(p)]
+            self.drops_by_stage[index] += len(alive) - len(survivors)
+            alive = survivors
+
+    def _run(self, handler_name: str, packets: List[Packet], ctx: NfContext) -> None:
+        forward_order = list(enumerate(self.stages))
+        if self.direction_fn is None:
+            self._run_stages(handler_name, packets, ctx, forward_order)
+            return
+        forward = [p for p in packets if self.direction_fn(p)]
+        backward = [p for p in packets if not self.direction_fn(p)]
+        if forward:
+            self._run_stages(handler_name, forward, ctx, forward_order)
+        if backward:
+            self._run_stages(handler_name, backward, ctx, forward_order[::-1])
+
+    def connection_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        self._run("connection_packets", packets, ctx)
+
+    def regular_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        self._run("regular_packets", packets, ctx)
+
+    def stage_contexts(self, contexts: List[NfContext], stage: NetworkFunction) -> List[ScopedContext]:
+        """Per-core scoped views for one stage — what that stage's
+        aggregation helpers (e.g. the monitor's shard merge) expect."""
+        if stage not in self.stages:
+            raise ValueError(f"{stage.name!r} is not a stage of {self.name}")
+        return [ScopedContext(ctx, stage.name) for ctx in contexts]

@@ -1,0 +1,27 @@
+"""Connection/regular packet classification (paper §3.2).
+
+Connection packets are TCP packets flagged SYN, FIN or RST — the ones
+that can modify connection state. Everything else (pure ACKs, data,
+non-TCP) is regular. Note the subtlety the paper's NAT example leans on:
+a SYN-ACK *is* a connection packet (SYN bit set) and therefore reaches
+the designated core, but the sample NAT chooses to treat everything
+after the first SYN as regular inside its handler.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.net.packet import Packet
+
+
+def split_connection_packets(batch: List[Packet]) -> Tuple[List[Packet], List[Packet]]:
+    """Partition a batch into (connection, regular) preserving order."""
+    connection: List[Packet] = []
+    regular: List[Packet] = []
+    for packet in batch:
+        if packet.is_connection:
+            connection.append(packet)
+        else:
+            regular.append(packet)
+    return connection, regular

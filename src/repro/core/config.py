@@ -1,0 +1,71 @@
+"""Middlebox engine configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.cpu.costs import CostModel
+
+#: Steering modes understood by :func:`repro.steering.make_policy`.
+MODES = ("rss", "sprayer", "naive", "prognic", "flowlet", "subset")
+
+
+@dataclass
+class MiddleboxConfig:
+    """Everything static about the simulated middlebox.
+
+    Defaults mirror the paper's testbed: 8 cores at 2.0 GHz behind a
+    10 GbE 82599-class NIC, DPDK-style batches of 32.
+    """
+
+    #: Steering mode: "rss" (baseline), "sprayer" (the paper), "naive"
+    #: (spray without designated cores — ablation), "prognic" (NIC
+    #: steers connection packets directly — §7), "flowlet", "subset".
+    mode: str = "sprayer"
+    num_cores: int = 8
+    batch_size: int = 32
+    queue_capacity: int = 512
+    ring_capacity: int = 512
+    flow_table_capacity: int = 1 << 20
+    #: Checksum LSBs matched by the spray rules (None = automatic).
+    spray_bits: Optional[int] = None
+    #: Flow Director classification cap in pps (None disables the cap).
+    flow_director_pps_cap: Optional[float] = 10.5e6
+    #: Enforce the single-writer discipline (raises on violation).
+    enforce_partition: bool = True
+    #: Use the symmetric designated-core hash (paper default). The
+    #: asymmetric ablation shows why symmetry matters: both directions
+    #: of a connection stop sharing a designated core.
+    symmetric_designation: bool = True
+    #: Flowlet gap that opens a new flowlet (picoseconds), flowlet mode.
+    flowlet_gap: int = 50_000_000  # 50 us
+    #: Cores per flow in "subset" mode.
+    subset_size: int = 2
+    #: UDP ports whose flows are sprayed too (§7: "More elaborated
+    #: classification could be made to spray only some UDP flows" —
+    #: e.g. 443 for QUIC, which tolerates reordering by design). All
+    #: other UDP traffic keeps RSS steering.
+    spray_udp_ports: tuple = ()
+    #: Flow-state backend override: None (policy default: partitioned
+    #: per-core tables, or shared+locked for "naive"), "partitioned",
+    #: "shared", or "remote" (StatelessNF-style store — §6 ablation).
+    state_backend: Optional[str] = None
+    #: CPU cycles per remote-store access when state_backend="remote".
+    remote_access_cycles: Optional[int] = None
+    costs: CostModel = field(default_factory=CostModel)
+
+    def __post_init__(self) -> None:
+        if self.mode not in MODES:
+            raise ValueError(f"unknown mode {self.mode!r}; expected one of {MODES}")
+        if self.state_backend not in (None, "partitioned", "shared", "remote"):
+            raise ValueError(
+                f"unknown state_backend {self.state_backend!r}; expected "
+                "None, 'partitioned', 'shared', or 'remote'"
+            )
+        if self.num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {self.num_cores}")
+        if not 1 <= self.subset_size <= self.num_cores:
+            raise ValueError(
+                f"subset_size must be in [1, {self.num_cores}], got {self.subset_size}"
+            )

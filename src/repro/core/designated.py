@@ -1,0 +1,48 @@
+"""Designated cores.
+
+Every flow has a deterministic *designated core* — the only core allowed
+to modify its state (paper §3.2). The mapping is a hash of the
+five-tuple; by default the hash is **symmetric** so that the upstream
+and downstream directions of a TCP connection share a designated core,
+which is what lets the paper's NAT install both translation directions
+from one SYN.
+
+We use the same Toeplitz function as RSS with the symmetric key, so the
+designated-core map is implementable on today's NICs (and in the
+"programmable NIC" extension the NIC itself steers connection packets
+with exactly this map).
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from repro.net.five_tuple import FiveTuple
+from repro.nic.rss import DEFAULT_RSS_KEY, SYMMETRIC_RSS_KEY, rss_input_bytes, toeplitz_hash
+
+
+class DesignatedCoreMap:
+    """flow -> designated core, cached per flow."""
+
+    def __init__(self, num_cores: int, symmetric: bool = True):
+        if num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+        self.num_cores = num_cores
+        self.symmetric = symmetric
+        self.key = SYMMETRIC_RSS_KEY if symmetric else DEFAULT_RSS_KEY
+        self._cache: Dict[FiveTuple, int] = {}
+
+    def core_for(self, flow: FiveTuple) -> int:
+        """The designated core of ``flow``.
+
+        With the symmetric key this is identical for both directions of
+        a connection; tests assert that property.
+        """
+        core = self._cache.get(flow)
+        if core is None:
+            core = toeplitz_hash(self.key, rss_input_bytes(flow)) % self.num_cores
+            self._cache[flow] = core
+        return core
+
+    def cache_size(self) -> int:
+        return len(self._cache)

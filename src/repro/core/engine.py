@@ -1,0 +1,219 @@
+"""The middlebox engine: Figure 4 of the paper, executable.
+
+The engine wires a steering policy, a NIC, cores, per-core transfer
+rings, flow-state tables, and one network function into a running
+middlebox on a simulator. Per batch, each core:
+
+1. drains its transfer ring (foreign connection packets, pre-classified
+   by their senders) and its rx queue;
+2. classifies local packets; connection packets whose designated core is
+   elsewhere are moved (as descriptors) to that core's ring;
+3. runs ``nf.connection_packets`` on local+foreign connection packets
+   and ``nf.regular_packets`` on the rest, accumulating state-access and
+   compute cycles through the per-core :class:`NfContext`;
+4. transmits the surviving packets.
+
+The same engine runs every policy — RSS, Sprayer, and the §7
+extensions — so comparisons differ only in steering and state layout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
+
+from repro.core.config import MiddleboxConfig
+from repro.core.flow_state import (
+    PartitionedFlowState,
+    RemoteFlowState,
+    SharedFlowState,
+)
+from repro.core.nf import NetworkFunction, NfContext
+from repro.core.rings import TransferRing
+from repro.cpu.cache import CoherenceModel
+from repro.cpu.core import BatchResult, Core
+from repro.cpu.host import Host
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.steering import make_policy
+from repro.steering.base import SteeringPolicy
+
+
+@dataclass
+class EngineStats:
+    """Aggregate counters the experiments report."""
+
+    packets_forwarded: int = 0
+    packets_dropped_nf: int = 0
+    connection_packets: int = 0
+    transfers: int = 0
+    ring_drops: int = 0
+
+
+class MiddleboxEngine:
+    """A complete simulated middlebox running one NF under one policy."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nf: NetworkFunction,
+        config: Optional[MiddleboxConfig] = None,
+        policy: Optional[SteeringPolicy] = None,
+    ):
+        self.sim = sim
+        self.nf = nf
+        self.config = config or MiddleboxConfig()
+        self.costs = self.config.costs
+        self.policy = policy or make_policy(self.config.mode, self.config)
+        self.nic = self.policy.build_nic()
+        self.host = Host(sim, self.nic, self.costs, batch_size=self.config.batch_size)
+        self.coherence = CoherenceModel(self.costs)
+        backend = self.config.state_backend
+        if backend is None:
+            backend = "shared" if self.policy.uses_shared_state else "partitioned"
+        if backend == "remote":
+            self.flow_state = RemoteFlowState(
+                self.costs, self.config.remote_access_cycles
+            )
+        elif backend == "shared":
+            self.flow_state = SharedFlowState(self.costs, self.coherence)
+        else:
+            self.flow_state = PartitionedFlowState(
+                self.config.num_cores,
+                self.designated_core,
+                self.costs,
+                self.coherence,
+                capacity_per_core=self.config.flow_table_capacity,
+                enforce=self.config.enforce_partition,
+            )
+        self.rings: List[TransferRing] = []
+        self.contexts: List[NfContext] = []
+        self.stats = EngineStats()
+        for core in self.host.cores:
+            ring = TransferRing(core.core_id, self.config.ring_capacity)
+            ring.on_first_packet = core.wake
+            core.ring = ring
+            self.rings.append(ring)
+            ctx = NfContext(core.core_id, self)
+            self.contexts.append(ctx)
+            core.processor = self._make_processor(ctx)
+            core.on_transfer = self._transfer
+        for ctx in self.contexts:
+            self.nf.init(ctx)
+        self.policy.attach(self)
+
+    # -- dataplane entry/exit ---------------------------------------------
+
+    def receive(self, packet: Packet, now: int) -> bool:
+        """Ingress: hand an arriving packet to the NIC."""
+        return self.host.receive(packet, now)
+
+    def set_egress(self, egress: Callable[[Packet], None]) -> None:
+        """Install the hook that receives every forwarded packet."""
+        self.host.set_egress(egress)
+
+    # -- policy facade -------------------------------------------------------
+
+    def designated_core(self, flow: FiveTuple) -> int:
+        return self.policy.designated_core(flow)
+
+    # -- core processors ----------------------------------------------------
+
+    def _transfer(self, dst_core: int, packet: Packet) -> None:
+        self.stats.transfers += 1
+        if not self.rings[dst_core].push(packet):
+            self.stats.ring_drops += 1
+
+    def _make_processor(self, ctx: NfContext):
+        """Build the per-core batch processor closure.
+
+        A closure (rather than per-packet virtual dispatch) keeps the
+        hot path tight, the same way DPDK apps specialize their loops.
+        """
+        costs = self.costs
+        nf = self.nf
+        stats = self.stats
+        redirect = self.policy.redirect_connection_packets and not nf.stateless
+        classify_needed = not nf.stateless
+
+        def process(core: Core, foreign: List[Packet], local: List[Packet]) -> BatchResult:
+            cycles = 0.0
+            if foreign:
+                cycles += costs.ring_dequeue_fixed
+                cycles += costs.ring_receive_per_packet * len(foreign)
+            if local:
+                cycles += costs.rx_batch_fixed
+                cycles += costs.rx_per_packet * len(local)
+
+            connection_batch: List[Packet] = list(foreign)
+            regular_batch: List[Packet] = []
+            transfers: List = []
+            if classify_needed:
+                cycles += costs.classify_per_packet * len(local)
+                core_id = core.core_id
+                designated_core = self.designated_core
+                for packet in local:
+                    if packet.is_connection:
+                        stats.connection_packets += 1
+                        if redirect:
+                            dst = designated_core(packet.five_tuple)
+                            if dst != core_id:
+                                transfers.append((dst, packet))
+                                continue
+                        connection_batch.append(packet)
+                    else:
+                        regular_batch.append(packet)
+                if transfers:
+                    destination_count = len({dst for dst, _pkt in transfers})
+                    cycles += costs.ring_enqueue_fixed * destination_count
+                    cycles += costs.ring_transfer_per_packet * len(transfers)
+            else:
+                regular_batch = local
+
+            ctx.begin_batch()
+            if connection_batch:
+                nf.connection_packets(connection_batch, ctx)
+            if regular_batch:
+                nf.regular_packets(regular_batch, ctx)
+            cycles += ctx.end_batch()
+
+            outputs: List[Packet] = []
+            dropped = 0
+            for packet in connection_batch:
+                if ctx.is_dropped(packet):
+                    dropped += 1
+                else:
+                    outputs.append(packet)
+            for packet in regular_batch:
+                if ctx.is_dropped(packet):
+                    dropped += 1
+                else:
+                    outputs.append(packet)
+            stats.packets_dropped_nf += dropped
+            stats.packets_forwarded += len(outputs)
+            if outputs:
+                cycles += costs.tx_batch_fixed
+                cycles += costs.tx_per_packet * len(outputs)
+            return BatchResult(cycles, outputs, transfers)
+
+        return process
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> Dict[str, float]:
+        """A flat dict of the counters experiments print."""
+        nic = self.nic.stats
+        return {
+            "policy": self.policy.name,
+            "rx_packets": nic.rx_packets,
+            "rx_dropped_queue_full": nic.rx_dropped_queue_full,
+            "rx_dropped_fd_cap": nic.rx_dropped_fd_cap,
+            "forwarded": self.stats.packets_forwarded,
+            "nf_drops": self.stats.packets_dropped_nf,
+            "connection_packets": self.stats.connection_packets,
+            "transfers": self.stats.transfers,
+            "ring_drops": self.stats.ring_drops,
+            "flow_entries": self.flow_state.total_entries(),
+            "per_core_forwarded": self.host.per_core_forwarded(),
+        }

@@ -1,0 +1,116 @@
+"""mOS-style event hooks on top of the two-handler model (paper §6).
+
+"mOS ... keeps track of TCP state machines and lets NFs implement
+handlers, which are triggered in the presence of events (e.g., new TCP
+connection). This is complementary to Sprayer's flow state
+abstractions." This module provides that complement: an
+:class:`EventNf` subclass writes event callbacks instead of raw packet
+handlers, and the base class runs the connection state machine on the
+designated core — so every event handler that may *modify* state runs
+where modification is legal, for free.
+
+Events:
+
+- ``on_connection_start(flow, state, ctx)`` — first SYN (designated core);
+- ``on_connection_established(flow, state, ctx)`` — SYN-ACK observed;
+- ``on_connection_end(flow, state, ctx)`` — RST, or both FINs seen;
+- ``on_packet(packet, state, ctx)`` — every regular packet, on its
+  arrival core, with the flow state as a *read-only* view (it may be
+  ``None`` for untracked flows). Return ``False`` to drop the packet.
+
+``create_state(flow)`` builds the per-connection user state stored in
+the flow table (shared by both directions).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.core.nf import NetworkFunction, NfContext
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+from repro.net.tcp_flags import ACK, FIN, RST, SYN
+
+
+class _Tracked:
+    """Connection-machine bookkeeping wrapped around the user state."""
+
+    __slots__ = ("user", "established", "fins_seen", "ended")
+
+    def __init__(self, user: Any):
+        self.user = user
+        self.established = False
+        self.fins_seen = 0
+        self.ended = False
+
+
+class EventNf(NetworkFunction):
+    """Subclass and override the event hooks you need."""
+
+    name = "event-nf"
+
+    # -- user-facing hooks ---------------------------------------------------
+
+    def create_state(self, flow: FiveTuple) -> Any:
+        """Build per-connection state (default: an empty dict)."""
+        return {}
+
+    def on_connection_start(self, flow: FiveTuple, state: Any, ctx: NfContext) -> None:
+        """First SYN of a connection (designated core)."""
+
+    def on_connection_established(self, flow: FiveTuple, state: Any, ctx: NfContext) -> None:
+        """SYN-ACK observed (designated core)."""
+
+    def on_connection_end(self, flow: FiveTuple, state: Any, ctx: NfContext) -> None:
+        """RST seen, or both directions FINed (designated core)."""
+
+    def on_packet(self, packet: Packet, state: Optional[Any], ctx: NfContext) -> Optional[bool]:
+        """A regular packet, on its arrival core; ``state`` is read-only.
+
+        Return ``False`` to drop the packet.
+        """
+
+    # -- plumbing -------------------------------------------------------------
+
+    def connection_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        for packet in packets:
+            flow = packet.five_tuple
+            flags = packet.flags
+            if flags & SYN and not flags & ACK:
+                if ctx.get_local_flow(flow) is None:
+                    tracked = _Tracked(self.create_state(flow))
+                    ctx.insert_local_flow(flow, tracked)
+                    ctx.insert_local_flow(flow.reversed(), tracked)
+                    self.on_connection_start(flow, tracked.user, ctx)
+                continue
+            tracked = ctx.get_local_flow(flow)
+            if tracked is None:
+                verdict = self.on_packet(packet, None, ctx)
+                if verdict is False:
+                    ctx.drop(packet)
+                continue
+            if flags & SYN and flags & ACK and not tracked.established:
+                tracked.established = True
+                self.on_connection_established(flow, tracked.user, ctx)
+            if flags & RST:
+                self._end(flow, tracked, ctx)
+            elif flags & FIN:
+                tracked.fins_seen += 1
+                if tracked.fins_seen >= 2:
+                    self._end(flow, tracked, ctx)
+
+    def _end(self, flow: FiveTuple, tracked: _Tracked, ctx: NfContext) -> None:
+        if tracked.ended:
+            return
+        tracked.ended = True
+        self.on_connection_end(flow, tracked.user, ctx)
+        ctx.remove_local_flow(flow)
+        ctx.remove_local_flow(flow.reversed())
+
+    def regular_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        tracked_entries = ctx.get_flows([p.five_tuple for p in packets])
+        for packet, tracked in zip(packets, tracked_entries):
+            state = tracked.user if tracked is not None else None
+            verdict = self.on_packet(packet, state, ctx)
+            if verdict is False:
+                ctx.drop(packet)

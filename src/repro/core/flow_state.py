@@ -1,0 +1,297 @@
+"""Flow state: per-core tables and the Table 2 access semantics.
+
+The paper's key invariant is **writing partition**: the state of a flow
+is only ever *modified* by its designated core, while any core may
+*read* it. Two managers implement the storage policy:
+
+- :class:`PartitionedFlowState` — Sprayer/RSS: one table per core,
+  writes allowed only on the designated core (enforced, raising
+  :class:`WritingPartitionError`, unless the engine disables
+  enforcement), reads from any core priced by the coherence model.
+- :class:`SharedFlowState` — the naive-spraying ablation: one global
+  table guarded by a lock; every access pays the lock, and writes from
+  changing cores pay invalidations. This is the design the paper's
+  single-writer discipline avoids.
+
+Like the paper's ``get_flow`` (which returns a ``const`` pointer whose
+constness "is only lightly enforced"), reads return the entry object
+itself; mutating it from a non-designated core is undefined behaviour
+here too — tests exercise the discipline, not the physics.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.cpu.cache import CoherenceModel
+from repro.cpu.costs import CostModel
+from repro.net.five_tuple import FiveTuple
+
+
+class WritingPartitionError(RuntimeError):
+    """A core tried to modify flow state it does not own."""
+
+
+class FlowTableFullError(RuntimeError):
+    """The per-core flow table reached its configured capacity."""
+
+
+class FlowTable:
+    """One core's flow table: a bounded hash map keyed by five-tuple."""
+
+    def __init__(self, core_id: int, capacity: int = 1 << 20):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.core_id = core_id
+        self.capacity = capacity
+        self.entries: Dict[FiveTuple, Any] = {}
+        self.inserts = 0
+        self.removes = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def insert(self, flow_id: FiveTuple, entry: Any) -> Any:
+        if flow_id not in self.entries and len(self.entries) >= self.capacity:
+            raise FlowTableFullError(
+                f"flow table on core {self.core_id} is full ({self.capacity} entries)"
+            )
+        self.entries[flow_id] = entry
+        self.inserts += 1
+        return entry
+
+    def remove(self, flow_id: FiveTuple) -> bool:
+        if flow_id in self.entries:
+            del self.entries[flow_id]
+            self.removes += 1
+            return True
+        return False
+
+    def get(self, flow_id: FiveTuple) -> Optional[Any]:
+        return self.entries.get(flow_id)
+
+
+class PartitionedFlowState:
+    """Per-core tables with single-writer enforcement.
+
+    All methods return ``(result, cycles)`` so the calling context can
+    charge the access to the current batch.
+    """
+
+    def __init__(
+        self,
+        num_cores: int,
+        designated_fn,
+        costs: CostModel,
+        coherence: Optional[CoherenceModel] = None,
+        capacity_per_core: int = 1 << 20,
+        enforce: bool = True,
+    ):
+        self.tables: List[FlowTable] = [
+            FlowTable(core_id, capacity_per_core) for core_id in range(num_cores)
+        ]
+        self.designated_fn = designated_fn
+        self.costs = costs
+        self.coherence = coherence or CoherenceModel(costs)
+        self.enforce = enforce
+        self.remote_reads = 0
+        self.local_reads = 0
+
+    def _check_owner(self, core_id: int, flow_id: FiveTuple, op: str) -> None:
+        designated = self.designated_fn(flow_id)
+        if designated != core_id and self.enforce:
+            raise WritingPartitionError(
+                f"{op} of {flow_id} on core {core_id}, but designated core is "
+                f"{designated}: writing partition violated"
+            )
+
+    def insert_local(self, core_id: int, flow_id: FiveTuple, entry: Any) -> Tuple[Any, int]:
+        self._check_owner(core_id, flow_id, "insert")
+        self.tables[core_id].insert(flow_id, entry)
+        cycles = self.costs.flow_insert + self.coherence.write(core_id, flow_id)
+        return entry, cycles
+
+    def remove_local(self, core_id: int, flow_id: FiveTuple) -> Tuple[bool, int]:
+        self._check_owner(core_id, flow_id, "remove")
+        removed = self.tables[core_id].remove(flow_id)
+        self.coherence.forget(flow_id)
+        return removed, self.costs.flow_remove
+
+    def get_local(self, core_id: int, flow_id: FiveTuple) -> Tuple[Optional[Any], int]:
+        """Modifiable entry from the local table (designated cores only)."""
+        self._check_owner(core_id, flow_id, "get_local (modifiable access)")
+        entry = self.tables[core_id].get(flow_id)
+        # A modifiable access is a write from the coherence protocol's
+        # point of view: it dirties the line.
+        cycles = self.coherence.write(core_id, flow_id) if entry is not None else (
+            self.costs.flow_lookup_local
+        )
+        return entry, cycles
+
+    def get(self, core_id: int, flow_id: FiveTuple) -> Tuple[Optional[Any], int]:
+        """Read-only entry from the flow's designated core's table."""
+        designated = self.designated_fn(flow_id)
+        entry = self.tables[designated].get(flow_id)
+        if designated == core_id:
+            self.local_reads += 1
+            return entry, self.costs.flow_lookup_local
+        self.remote_reads += 1
+        cycles = self.coherence.read(core_id, flow_id) if entry is not None else (
+            self.costs.flow_lookup_remote
+        )
+        return entry, cycles
+
+    def get_many(
+        self, core_id: int, flow_ids: Iterable[FiveTuple]
+    ) -> Tuple[List[Optional[Any]], int]:
+        """Batched ``get_flow`` (the paper's "optimized version").
+
+        Remote lookups to the same designated core after the first are
+        half price: the batch overlaps the cross-core transfers the way
+        software prefetching overlaps cache misses.
+        """
+        results: List[Optional[Any]] = []
+        total = 0
+        seen_cores: set = set()
+        for flow_id in flow_ids:
+            designated = self.designated_fn(flow_id)
+            entry, cycles = self.get(core_id, flow_id)
+            if designated != core_id and designated in seen_cores:
+                cycles = max(self.costs.flow_lookup_local, cycles // 2)
+            seen_cores.add(designated)
+            results.append(entry)
+            total += cycles
+        return results, total
+
+    def total_entries(self) -> int:
+        return sum(len(table) for table in self.tables)
+
+
+class RemoteFlowState:
+    """StatelessNF-style remote state (paper §6).
+
+    "StatelessNF moves all NF state (per-flow and global) to a remote
+    server, which is an elegant approach ... Moreover, accessing remote
+    states increases latency and requires extra CPU cycles."
+
+    Every access — read or write, from any core — is a round trip to
+    the store, priced at ``remote_access_cycles`` of CPU involvement
+    (marshalling + polling the RDMA completion; StatelessNF reports
+    single-digit-microsecond accesses over InfiniBand). There is no
+    writing partition to enforce: the store serializes writers, which
+    is exactly why the paper calls it a *potential replacement* for
+    Sprayer's flow-state abstractions — at a steep per-packet price
+    that the ablation bench quantifies.
+    """
+
+    #: Default CPU cost per remote access: ~1 us at 2 GHz.
+    DEFAULT_REMOTE_ACCESS_CYCLES = 2000
+
+    def __init__(self, costs: CostModel, remote_access_cycles: Optional[int] = None):
+        self.costs = costs
+        self.remote_access_cycles = (
+            remote_access_cycles
+            if remote_access_cycles is not None
+            else self.DEFAULT_REMOTE_ACCESS_CYCLES
+        )
+        self.table = FlowTable(core_id=-1, capacity=1 << 22)
+        self.remote_accesses = 0
+
+    def _access(self) -> int:
+        self.remote_accesses += 1
+        return self.remote_access_cycles
+
+    def insert_local(self, core_id: int, flow_id: FiveTuple, entry: Any) -> Tuple[Any, int]:
+        self.table.insert(flow_id, entry)
+        return entry, self._access()
+
+    def remove_local(self, core_id: int, flow_id: FiveTuple) -> Tuple[bool, int]:
+        return self.table.remove(flow_id), self._access()
+
+    def get_local(self, core_id: int, flow_id: FiveTuple) -> Tuple[Optional[Any], int]:
+        return self.table.get(flow_id), self._access()
+
+    def get(self, core_id: int, flow_id: FiveTuple) -> Tuple[Optional[Any], int]:
+        return self.table.get(flow_id), self._access()
+
+    def get_many(
+        self, core_id: int, flow_ids: Iterable[FiveTuple]
+    ) -> Tuple[List[Optional[Any]], int]:
+        """Batched reads amortize round trips (StatelessNF batches its
+        RDMA requests the same way): full price for the first, half for
+        the rest of the batch."""
+        results: List[Optional[Any]] = []
+        total = 0
+        for index, flow_id in enumerate(flow_ids):
+            entry, cycles = self.get(core_id, flow_id)
+            results.append(entry)
+            total += cycles if index == 0 else cycles // 2
+        return results, total
+
+    def total_entries(self) -> int:
+        return len(self.table)
+
+
+class SharedFlowState:
+    """One global, locked flow table — the design Sprayer avoids.
+
+    Used by the naive-spraying ablation: connection packets are handled
+    wherever they land, so every write may come from a different core.
+    Each access pays the lock; the coherence model adds invalidation and
+    remote-read penalties as ownership bounces.
+    """
+
+    def __init__(self, costs: CostModel, coherence: Optional[CoherenceModel] = None):
+        self.costs = costs
+        self.coherence = coherence or CoherenceModel(costs)
+        self.table = FlowTable(core_id=-1, capacity=1 << 22)
+        #: Lock acquisitions (every access pays one; contention — the
+        #: real-world killer — is *not* modelled, so the reported cost
+        #: is a lower bound on what naive spraying would pay).
+        self.lock_acquisitions = 0
+
+    def _lock(self) -> int:
+        self.lock_acquisitions += 1
+        return self.costs.lock_cycles
+
+    def insert_local(self, core_id: int, flow_id: FiveTuple, entry: Any) -> Tuple[Any, int]:
+        self.table.insert(flow_id, entry)
+        cycles = self._lock() + self.coherence.write(core_id, flow_id)
+        return entry, cycles
+
+    def remove_local(self, core_id: int, flow_id: FiveTuple) -> Tuple[bool, int]:
+        removed = self.table.remove(flow_id)
+        self.coherence.forget(flow_id)
+        return removed, self._lock() + self.costs.flow_remove
+
+    def get_local(self, core_id: int, flow_id: FiveTuple) -> Tuple[Optional[Any], int]:
+        entry = self.table.get(flow_id)
+        cycles = self._lock() + (
+            self.coherence.write(core_id, flow_id)
+            if entry is not None
+            else self.costs.flow_lookup_local
+        )
+        return entry, cycles
+
+    def get(self, core_id: int, flow_id: FiveTuple) -> Tuple[Optional[Any], int]:
+        entry = self.table.get(flow_id)
+        cycles = self._lock() + (
+            self.coherence.read(core_id, flow_id)
+            if entry is not None
+            else self.costs.flow_lookup_local
+        )
+        return entry, cycles
+
+    def get_many(
+        self, core_id: int, flow_ids: Iterable[FiveTuple]
+    ) -> Tuple[List[Optional[Any]], int]:
+        results: List[Optional[Any]] = []
+        total = 0
+        for flow_id in flow_ids:
+            entry, cycles = self.get(core_id, flow_id)
+            results.append(entry)
+            total += cycles
+        return results, total
+
+    def total_entries(self) -> int:
+        return len(self.table)

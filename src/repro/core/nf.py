@@ -1,0 +1,175 @@
+"""The NF programming model (paper §3.4, Tables 1 and 2).
+
+An NF implements up to three hooks:
+
+- ``init(ctx)`` — once per core, before traffic; allocate per-core
+  scratch state via ``ctx.local``, size flow tables, etc.
+- ``connection_packets(packets, ctx)`` — receives every connection
+  packet (SYN/FIN/RST) of flows designated to this core, both the ones
+  that arrived locally and the ones transferred from other cores. This
+  is the only place flow state may be created, modified or removed.
+- ``regular_packets(packets, ctx)`` — receives everything else, on
+  whatever core the NIC sprayed it to; may read any flow's state via
+  ``ctx.get_flow`` but must not modify it.
+
+The :class:`NfContext` is the per-core facade over the flow-state
+manager (Table 2 API) plus cycle accounting: every state access charges
+its modelled cost to the current batch, and ``consume_cycles`` expresses
+pure computation (the evaluation NF's busy loop, a firewall's ACL walk).
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Iterable, List, Optional, Set
+
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+
+
+class NfContext:
+    """Per-core execution context handed to NF hooks.
+
+    Created by the engine; one instance per core. The flow-state methods
+    mirror the paper's Table 2 exactly, with ``get_flows`` as the
+    documented batched-lookup optimization.
+    """
+
+    def __init__(self, core_id: int, engine: "Any"):
+        self.core_id = core_id
+        self.engine = engine
+        #: Per-core scratch storage for the NF (read/write freely).
+        self.local: Dict[str, Any] = {}
+        self._cycles: float = 0.0
+        self._dropped: Set[int] = set()
+
+    # -- batch lifecycle (driven by the engine) --------------------------
+
+    def begin_batch(self) -> None:
+        self._cycles = 0.0
+        self._dropped.clear()
+
+    def end_batch(self) -> float:
+        return self._cycles
+
+    def is_dropped(self, packet: Packet) -> bool:
+        return packet.packet_id in self._dropped
+
+    # -- Table 2: flow state API -----------------------------------------
+
+    def insert_local_flow(self, flow_id: FiveTuple, entry: Any) -> Any:
+        """Insert a flow entry in this core's local table.
+
+        Only legal on the flow's designated core (writing partition);
+        violating that raises
+        :class:`repro.core.flow_state.WritingPartitionError`.
+        """
+        entry, cycles = self.engine.flow_state.insert_local(self.core_id, flow_id, entry)
+        self._cycles += cycles
+        return entry
+
+    def remove_local_flow(self, flow_id: FiveTuple) -> bool:
+        """Remove a flow entry from this core's local table."""
+        removed, cycles = self.engine.flow_state.remove_local(self.core_id, flow_id)
+        self._cycles += cycles
+        return removed
+
+    def get_local_flow(self, flow_id: FiveTuple) -> Optional[Any]:
+        """Retrieve a *modifiable* entry from the local table."""
+        entry, cycles = self.engine.flow_state.get_local(self.core_id, flow_id)
+        self._cycles += cycles
+        return entry
+
+    def get_flow(self, flow_id: FiveTuple) -> Optional[Any]:
+        """Retrieve an *unmodifiable* entry from its designated core.
+
+        Like the paper's C API, read-only-ness is lightly enforced: the
+        entry object itself is returned and mutating it from here is
+        undefined behaviour.
+        """
+        entry, cycles = self.engine.flow_state.get(self.core_id, flow_id)
+        self._cycles += cycles
+        return entry
+
+    def get_flows(self, flow_ids: Iterable[FiveTuple]) -> List[Optional[Any]]:
+        """Batched ``get_flow`` over several flow ids (amortized cost)."""
+        entries, cycles = self.engine.flow_state.get_many(self.core_id, flow_ids)
+        self._cycles += cycles
+        return entries
+
+    def designated_core(self, flow_id: FiveTuple) -> int:
+        """Which core owns this flow's state (deterministic)."""
+        return self.engine.designated_core(flow_id)
+
+    # -- global (non-per-flow) state -------------------------------------
+
+    def read_global(self, name: str, relaxed: bool = False) -> None:
+        """Charge a read of NF-global shared state (e.g. a server pool).
+
+        ``relaxed=True`` models the paper's loose-consistency pattern
+        (per-core shards aggregated off the fast path): the access stays
+        core-local and cheap.
+        """
+        if relaxed:
+            self._cycles += self.engine.costs.flow_lookup_local
+        else:
+            self._cycles += self.engine.coherence.read(self.core_id, ("global", name))
+
+    def write_global(self, name: str, relaxed: bool = False) -> None:
+        """Charge a write of NF-global shared state (lock + coherence)."""
+        if relaxed:
+            self._cycles += self.engine.costs.flow_lookup_local
+        else:
+            self._cycles += self.engine.costs.lock_cycles
+            self._cycles += self.engine.coherence.write(self.core_id, ("global", name))
+
+    # -- packet verbs ------------------------------------------------------
+
+    def drop(self, packet: Packet) -> None:
+        """Drop the packet: it will not be forwarded."""
+        self._dropped.add(packet.packet_id)
+
+    def update_header(self, packet: Packet, new_flow_id: FiveTuple) -> None:
+        """Rewrite the packet's five-tuple (NAT-style), charging the cost."""
+        packet.five_tuple = new_flow_id
+        self._cycles += self.engine.costs.header_update
+
+    def consume_cycles(self, cycles: float) -> None:
+        """Charge pure computation to the current batch."""
+        if cycles < 0:
+            raise ValueError(f"cycles must be non-negative, got {cycles}")
+        self._cycles += cycles
+
+    @property
+    def now(self) -> int:
+        """Current simulation time (picoseconds)."""
+        return self.engine.sim.now
+
+
+class NetworkFunction:
+    """Base class for NFs built on Sprayer's programming model.
+
+    Subclasses override the hooks they need. ``stateless = True``
+    disables flow tables and connection-packet redirection entirely
+    (paper §3.4, last paragraph): all packets are then delivered to
+    ``regular_packets`` on their arrival core.
+    """
+
+    #: Short name used in registries and experiment output.
+    name: str = "nf"
+    #: Stateless NFs skip classification, flow tables, and redirection.
+    stateless: bool = False
+
+    def init(self, ctx: NfContext) -> None:
+        """Per-core initialization hook (memory allocation, parameters)."""
+
+    def connection_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        """Handle a batch of connection packets on their designated core.
+
+        The default forwards them through ``regular_packets``, matching
+        the paper's sample NAT which falls through for everything that
+        is not the first SYN.
+        """
+        self.regular_packets(packets, ctx)
+
+    def regular_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        """Handle a batch of regular packets on their arrival core."""

@@ -1,0 +1,72 @@
+"""Inter-core transfer rings.
+
+Sprayer redirects *connection packets* that arrive on the "wrong" core
+to their designated core through per-core rings (paper Figure 4). Only
+packet **descriptors** move — the paper is explicit that entire packets
+are never copied — which the cost model reflects with small per-
+descriptor transfer costs.
+
+The ring is bounded like a DPDK ``rte_ring``; overflow drops the
+descriptor and is accounted, since a saturated designated core is a real
+failure mode the design must surface.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.net.packet import Packet
+
+
+class TransferRing:
+    """A bounded descriptor ring feeding one core's connection handler."""
+
+    def __init__(self, owner_core: int, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.owner_core = owner_core
+        self.capacity = capacity
+        self._descriptors: Deque[Packet] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+        #: Called when the ring transitions empty -> non-empty.
+        self.on_first_packet: Optional[Callable[[], None]] = None
+
+    def __len__(self) -> int:
+        return len(self._descriptors)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._descriptors
+
+    def push(self, packet: Packet) -> bool:
+        """Enqueue a descriptor; False (and a drop) when full."""
+        if len(self._descriptors) >= self.capacity:
+            self.dropped += 1
+            return False
+        was_empty = not self._descriptors
+        self._descriptors.append(packet)
+        self.enqueued += 1
+        if was_empty and self.on_first_packet is not None:
+            self.on_first_packet()
+        return True
+
+    def push_batch(self, packets: List[Packet]) -> int:
+        """Enqueue a batch; returns how many fit."""
+        accepted = 0
+        for packet in packets:
+            if not self.push(packet):
+                break
+            accepted += 1
+        # Count the remainder as drops (push already counted the first).
+        self.dropped += len(packets) - accepted - (1 if accepted < len(packets) else 0)
+        return accepted
+
+    def pop_batch(self, max_batch: int) -> List[Packet]:
+        """Dequeue up to ``max_batch`` descriptors."""
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        descriptors = self._descriptors
+        count = min(max_batch, len(descriptors))
+        return [descriptors.popleft() for _ in range(count)]

@@ -1,0 +1,18 @@
+"""Multicore host model.
+
+Cores are event-driven batch processors: a core wakes when its NIC rx
+queue or its inter-core ring becomes non-empty, pulls a batch (DPDK
+``rx_burst`` style), charges the batch's cycle cost to the simulated
+clock, and emits the surviving packets at completion time. The cost
+model (:mod:`repro.cpu.costs`) carries the per-operation cycle constants
+that anchor absolute rates; the coherence model (:mod:`repro.cpu.cache`)
+prices local vs. cross-core state access — the penalty Sprayer's
+writing-partition design avoids.
+"""
+
+from repro.cpu.cache import CoherenceModel
+from repro.cpu.core import BatchResult, Core, CoreStats
+from repro.cpu.costs import CostModel
+from repro.cpu.host import Host
+
+__all__ = ["Core", "CoreStats", "BatchResult", "CostModel", "CoherenceModel", "Host"]

@@ -1,0 +1,86 @@
+"""A directory-style cache-coherence cost model.
+
+Flow state lives in cache lines. The model tracks, per state key, which
+core last wrote it, and prices each access:
+
+- read by the owner, or a repeat read: local (cheap);
+- read of a line another core dirtied since our last access: a
+  cross-core transfer (:attr:`CostModel.remote_read`);
+- write by the owner: local;
+- write by anyone else: invalidation + ownership transfer
+  (:attr:`CostModel.cache_invalidation`).
+
+Sprayer's thesis is that enforcing a *single writer per flow* makes all
+writes owner-writes and bounds reads to at most one transfer after each
+(rare) connection event. The naive-spraying ablation routes writes
+through this model from arbitrary cores and eats invalidations on every
+connection event instead.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Hashable, Set
+
+from repro.cpu.costs import CostModel
+
+
+@dataclass
+class CoherenceStats:
+    """Access counters, split by locality."""
+
+    local_reads: int = 0
+    remote_reads: int = 0
+    local_writes: int = 0
+    invalidating_writes: int = 0
+
+    @property
+    def total_accesses(self) -> int:
+        return (
+            self.local_reads
+            + self.remote_reads
+            + self.local_writes
+            + self.invalidating_writes
+        )
+
+
+class CoherenceModel:
+    """Tracks line ownership and returns the cycle cost of each access."""
+
+    def __init__(self, costs: CostModel):
+        self.costs = costs
+        #: key -> core that last wrote the line.
+        self._owner: Dict[Hashable, int] = {}
+        #: key -> cores holding a clean copy since the last write.
+        self._sharers: Dict[Hashable, Set[int]] = {}
+        self.stats = CoherenceStats()
+
+    def read(self, core_id: int, key: Hashable) -> int:
+        """Cost in cycles of ``core_id`` reading ``key``."""
+        owner = self._owner.get(key)
+        sharers = self._sharers.setdefault(key, set())
+        if owner == core_id or core_id in sharers:
+            self.stats.local_reads += 1
+            sharers.add(core_id)
+            return self.costs.flow_lookup_local
+        self.stats.remote_reads += 1
+        sharers.add(core_id)
+        return self.costs.remote_read
+
+    def write(self, core_id: int, key: Hashable) -> int:
+        """Cost in cycles of ``core_id`` writing ``key``."""
+        owner = self._owner.get(key)
+        sharers = self._sharers.get(key)
+        others_hold_copies = bool(sharers and (sharers - {core_id}))
+        self._owner[key] = core_id
+        self._sharers[key] = {core_id}
+        if owner in (None, core_id) and not others_hold_copies:
+            self.stats.local_writes += 1
+            return self.costs.flow_lookup_local
+        self.stats.invalidating_writes += 1
+        return self.costs.cache_invalidation
+
+    def forget(self, key: Hashable) -> None:
+        """Drop tracking for a removed entry."""
+        self._owner.pop(key, None)
+        self._sharers.pop(key, None)

@@ -1,0 +1,142 @@
+"""An event-driven CPU core.
+
+A core alternates between *idle* and *processing a batch*. It is woken
+by its rx queue or its inter-core ring turning non-empty; it then pulls
+up to ``batch_size`` packets (ring first — foreign connection packets
+are latency-sensitive and bounded in number), hands them to its packet
+*processor* (installed by the middlebox engine), and sleeps for the
+batch's total cycle cost. At completion it emits outputs and transfers,
+then immediately starts the next batch if work is pending.
+
+Modelling per *batch* instead of per packet keeps simulated-event count
+proportional to batches — the same reason DPDK applications batch.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.cpu.costs import CostModel
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+
+
+@dataclass
+class BatchResult:
+    """What processing one batch produced.
+
+    ``cycles`` is the total cycle charge; ``outputs`` the packets to
+    transmit; ``transfers`` the (destination core, packet) pairs to move
+    onto foreign rings at completion time.
+    """
+
+    cycles: float
+    outputs: List[Packet] = field(default_factory=list)
+    transfers: List[Tuple[int, Packet]] = field(default_factory=list)
+
+
+#: A processor takes (core, foreign_batch, local_batch) -> BatchResult.
+Processor = Callable[["Core", List[Packet], List[Packet]], BatchResult]
+
+
+@dataclass
+class CoreStats:
+    """Per-core accounting."""
+
+    batches: int = 0
+    packets_handled: int = 0
+    packets_forwarded: int = 0
+    packets_transferred: int = 0
+    foreign_handled: int = 0
+    busy_time_ps: int = 0
+    busy_cycles: float = 0.0
+
+
+class Core:
+    """One CPU core of the middlebox host."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        core_id: int,
+        costs: CostModel,
+        batch_size: int = 32,
+    ):
+        if batch_size < 1:
+            raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+        self.sim = sim
+        self.core_id = core_id
+        self.costs = costs
+        self.batch_size = batch_size
+        self.stats = CoreStats()
+        self.rx_queue = None  # set by Host wiring
+        self.ring = None  # set by Host wiring
+        self.processor: Optional[Processor] = None
+        self.on_output: Optional[Callable[[Packet], None]] = None
+        self.on_transfer: Optional[Callable[[int, Packet], None]] = None
+        self._busy = False
+
+    @property
+    def busy(self) -> bool:
+        return self._busy
+
+    def has_work(self) -> bool:
+        rx_pending = self.rx_queue is not None and not self.rx_queue.is_empty
+        ring_pending = self.ring is not None and not self.ring.is_empty
+        return rx_pending or ring_pending
+
+    def wake(self) -> None:
+        """Notify the core that work may be available."""
+        if not self._busy and self.has_work():
+            self._start_batch()
+
+    def _start_batch(self) -> None:
+        if self.processor is None:
+            raise RuntimeError(f"core {self.core_id} has no processor installed")
+        foreign: List[Packet] = []
+        if self.ring is not None and not self.ring.is_empty:
+            foreign = self.ring.pop_batch(self.batch_size)
+        room = self.batch_size - len(foreign)
+        local: List[Packet] = []
+        if room > 0 and self.rx_queue is not None and not self.rx_queue.is_empty:
+            local = self.rx_queue.pop_batch(room)
+        if not foreign and not local:
+            return
+        self._busy = True
+        result = self.processor(self, foreign, local)
+        duration = self.costs.cycles_to_ps(result.cycles)
+        self.stats.batches += 1
+        self.stats.packets_handled += len(foreign) + len(local)
+        self.stats.foreign_handled += len(foreign)
+        self.stats.busy_time_ps += duration
+        self.stats.busy_cycles += result.cycles
+        self.sim.after(duration, self._complete, result)
+
+    def _complete(self, result: BatchResult) -> None:
+        if result.outputs:
+            self.stats.packets_forwarded += len(result.outputs)
+            emit = self.on_output
+            if emit is not None:
+                for packet in result.outputs:
+                    packet.done_time = self.sim.now
+                    packet.processed_core = self.core_id
+                    emit(packet)
+        if result.transfers:
+            self.stats.packets_transferred += len(result.transfers)
+            transfer = self.on_transfer
+            if transfer is None:
+                raise RuntimeError(
+                    f"core {self.core_id} produced transfers but has no transfer hook"
+                )
+            for dst_core, packet in result.transfers:
+                transfer(dst_core, packet)
+        self._busy = False
+        if self.has_work():
+            self._start_batch()
+
+    def utilization(self, elapsed_ps: int) -> float:
+        """Fraction of ``elapsed_ps`` this core spent processing."""
+        if elapsed_ps <= 0:
+            return 0.0
+        return min(1.0, self.stats.busy_time_ps / elapsed_ps)

@@ -1,0 +1,93 @@
+"""The cycle cost model.
+
+Every operation a core performs is priced in cycles at the core clock.
+The constants below are the model's free parameters; they are chosen so
+that the *anchor points* of the paper's testbed hold:
+
+- a single 2.0 GHz core forwarding 64 B packets with a trivial NF
+  (0 busy cycles) sustains ~14 Mpps — i.e. the base per-packet path
+  costs ~140 cycles, in line with published DPDK forwarding numbers;
+- at 10,000 busy cycles per packet a core sustains ~0.197 Mpps, matching
+  the paper's Figure 6a right-hand side (~0.2 Mpps for RSS, ~1.6 Mpps
+  for 8-core Sprayer).
+
+Cross-core costs price what the paper's design avoids or pays:
+ring-descriptor transfer for connection packets (paid by Sprayer), and
+remote cache-line reads for foreign flow state (paid by ``get_flow`` on
+non-designated cores).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.timeunits import SECOND
+
+
+@dataclass
+class CostModel:
+    """Per-operation cycle costs and the core clock."""
+
+    #: Core clock in Hz (Xeon E5-2650: 8 cores at 2.0 GHz).
+    clock_hz: float = 2.0e9
+
+    # --- per batch (amortized across the batch) ---
+    #: Fixed cost of an rx_burst poll that returns packets.
+    rx_batch_fixed: int = 50
+    #: Fixed cost of a tx_burst flush.
+    tx_batch_fixed: int = 40
+    #: Fixed cost of draining the inter-core ring once.
+    ring_dequeue_fixed: int = 30
+    #: Fixed cost of an enqueue to one destination core's ring.
+    ring_enqueue_fixed: int = 30
+
+    # --- per packet ---
+    #: Rx descriptor handling + header prefetch.
+    rx_per_packet: int = 55
+    #: Tx descriptor handling.
+    tx_per_packet: int = 50
+    #: Connection/regular classification (flag test).
+    classify_per_packet: int = 10
+    #: Moving one packet descriptor onto a foreign ring.
+    ring_transfer_per_packet: int = 25
+    #: Receiving one descriptor from the local ring.
+    ring_receive_per_packet: int = 20
+
+    # --- flow state (see repro.core.flow_state) ---
+    #: Hash-table lookup served from local cache.
+    flow_lookup_local: int = 30
+    #: Lookup of a foreign core's entry: cross-core cache-line read.
+    flow_lookup_remote: int = 110
+    #: Insert into the local flow table.
+    flow_insert: int = 70
+    #: Remove from the local flow table.
+    flow_remove: int = 50
+    #: Header rewrite (e.g. NAT translation application).
+    header_update: int = 25
+
+    # --- shared/global state (ablation: what naive spraying would pay) ---
+    #: Acquire+release of an uncontended lock.
+    lock_cycles: int = 45
+    #: Write to a cache line owned by another core (invalidation).
+    cache_invalidation: int = 100
+    #: Read of a cache line recently written by another core.
+    remote_read: int = 110
+
+    def cycles_to_ps(self, cycles: float) -> int:
+        """Convert cycles at this clock into integer picoseconds."""
+        return round(cycles * SECOND / self.clock_hz)
+
+    @property
+    def base_packet_cycles(self) -> int:
+        """Approximate per-packet path cost with a free NF (diagnostics)."""
+        return (
+            self.rx_per_packet
+            + self.classify_per_packet
+            + self.flow_lookup_local
+            + self.header_update
+            + self.tx_per_packet
+        )
+
+    def single_core_rate_pps(self, nf_cycles: int) -> float:
+        """Back-of-envelope single-core rate for an NF of ``nf_cycles``."""
+        return self.clock_hz / (self.base_packet_cycles + nf_cycles)

@@ -1,0 +1,12 @@
+"""Experiment runners: one module per figure/table of the paper.
+
+Every module exposes ``run(...)`` returning a list of row dicts (the
+same rows the paper's plot shows) and a ``main()`` that prints them as
+an ASCII table, so ``python -m repro.experiments.fig6`` regenerates the
+figure's data from scratch. The benchmarks in ``benchmarks/`` call the
+same runners with reduced parameters and record timings.
+"""
+
+from repro.experiments.format import format_table
+
+__all__ = ["format_table"]

@@ -1,0 +1,42 @@
+"""Run every experiment and print the full paper-reproduction report.
+
+Usage::
+
+    python -m repro.experiments            # everything (minutes)
+    python -m repro.experiments fig6 fig8  # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, table1
+
+RUNNERS = {
+    "fig1": fig1.main,
+    "fig2": fig2.main,
+    "table1": table1.main,
+    "fig6": fig6.main,
+    "fig7": fig7.main,
+    "fig8": fig8.main,
+    "fig9": fig9.main,
+}
+
+
+def main(argv: list) -> int:
+    names = argv or list(RUNNERS)
+    unknown = [name for name in names if name not in RUNNERS]
+    if unknown:
+        print(f"unknown experiments: {unknown}; available: {sorted(RUNNERS)}")
+        return 2
+    for name in names:
+        print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}")
+        started = time.time()
+        RUNNERS[name]()
+        print(f"-- {name} done in {time.time() - started:.1f}s")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

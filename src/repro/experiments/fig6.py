@@ -1,0 +1,106 @@
+"""Figure 6: single-flow performance vs. per-packet NF cost.
+
+(a) processing rate (64 B packets at line rate, open loop) and
+(b) TCP throughput (one iperf-style connection), as the synthetic NF's
+busy-loop budget sweeps 0..10,000 cycles, for RSS vs. Sprayer on
+8 cores.
+
+Paper shapes to reproduce: RSS is pinned to one core's rate throughout;
+Sprayer is capped near 10 Mpps at low cycle counts (the 82599 Flow
+Director limitation) and ~8x RSS at high cycle counts; TCP throughput
+holds near line rate for Sprayer across the sweep while RSS collapses
+once one core can no longer carry the connection.
+"""
+
+from __future__ import annotations
+
+import statistics
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.format import format_table
+from repro.experiments.harness import run_open_loop, run_tcp
+from repro.sim.timeunits import MILLISECOND
+
+#: The sweep of per-packet busy-loop budgets (paper: 0..10,000).
+DEFAULT_CYCLES = (0, 1000, 2500, 5000, 7500, 10000)
+MODES = ("rss", "sprayer")
+
+
+def aggregate_seeds(row: Dict[str, float], mode: str, unit: str, samples: List[float]) -> None:
+    """Fold per-seed samples into mean (+ stddev when multi-seed) —
+    the paper's 'error bars represent one standard deviation'."""
+    row[f"{mode}_{unit}"] = statistics.fmean(samples)
+    if len(samples) > 1:
+        row[f"{mode}_std"] = statistics.stdev(samples)
+
+
+def run_fig6a(
+    cycles_sweep: Sequence[int] = DEFAULT_CYCLES,
+    duration: int = 8 * MILLISECOND,
+    warmup: int = 2 * MILLISECOND,
+    seed: int = 1,
+    num_cores: int = 8,
+    seeds: Optional[Sequence[int]] = None,
+) -> List[Dict[str, float]]:
+    """Processing rate (Mpps) vs. cycles, single flow, 64 B packets."""
+    seeds = list(seeds) if seeds else [seed]
+    rows = []
+    for cycles in cycles_sweep:
+        row: Dict[str, float] = {"cycles": cycles}
+        for mode in MODES:
+            samples = [
+                run_open_loop(
+                    mode,
+                    cycles,
+                    num_flows=1,
+                    duration=duration,
+                    warmup=warmup,
+                    seed=s,
+                    num_cores=num_cores,
+                ).rate_mpps
+                for s in seeds
+            ]
+            aggregate_seeds(row, mode, "mpps", samples)
+        rows.append(row)
+    return rows
+
+
+def run_fig6b(
+    cycles_sweep: Sequence[int] = DEFAULT_CYCLES,
+    duration: int = 120 * MILLISECOND,
+    warmup: Optional[int] = None,
+    seed: int = 1,
+    num_cores: int = 8,
+    seeds: Optional[Sequence[int]] = None,
+) -> List[Dict[str, float]]:
+    """TCP goodput (Gbps) vs. cycles, single connection."""
+    seeds = list(seeds) if seeds else [seed]
+    rows = []
+    for cycles in cycles_sweep:
+        row: Dict[str, float] = {"cycles": cycles}
+        for mode in MODES:
+            samples = [
+                run_tcp(
+                    mode,
+                    cycles,
+                    num_flows=1,
+                    duration=duration,
+                    warmup=warmup,
+                    seed=s,
+                    num_cores=num_cores,
+                ).total_goodput_gbps
+                for s in seeds
+            ]
+            aggregate_seeds(row, mode, "gbps", samples)
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    print(format_table(run_fig6a(), title="Figure 6(a): processing rate vs cycles/packet (single flow, 64 B)"))
+    print()
+    print(format_table(run_fig6b(), title="Figure 6(b): TCP throughput vs cycles/packet (single flow)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,98 @@
+"""Figure 7: performance vs. number of concurrent flows at 10,000 cycles.
+
+(a) processing rate and (b) TCP throughput as the flow count grows from
+1 to 128 ("sources and destinations change randomly at every
+execution"), with the synthetic NF fixed at 10,000 cycles/packet.
+
+Paper shapes: Sprayer is flat — its performance does not depend on the
+flow count. RSS ramps up as more flows spread over more cores and
+approaches (and in the paper slightly exceeds) Sprayer at ~100 flows,
+where Sprayer pays its reordering tax.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.fig6 import aggregate_seeds
+from repro.experiments.format import format_table
+from repro.experiments.harness import run_open_loop, run_tcp
+from repro.sim.timeunits import MILLISECOND
+
+DEFAULT_FLOWS = (1, 2, 4, 8, 16, 32, 64, 128)
+DEFAULT_CYCLES = 10000
+MODES = ("rss", "sprayer")
+
+
+def run_fig7a(
+    flow_sweep: Sequence[int] = DEFAULT_FLOWS,
+    nf_cycles: int = DEFAULT_CYCLES,
+    duration: int = 10 * MILLISECOND,
+    warmup: int = 3 * MILLISECOND,
+    seed: int = 1,
+    num_cores: int = 8,
+    seeds: Optional[Sequence[int]] = None,
+) -> List[Dict[str, float]]:
+    """Processing rate (Mpps) vs. flow count, 64 B packets."""
+    seeds = list(seeds) if seeds else [seed]
+    rows = []
+    for flows in flow_sweep:
+        row: Dict[str, float] = {"flows": flows}
+        for mode in MODES:
+            samples = [
+                run_open_loop(
+                    mode,
+                    nf_cycles,
+                    num_flows=flows,
+                    duration=duration,
+                    warmup=warmup,
+                    seed=s + flows,  # fresh random endpoints per point
+                    num_cores=num_cores,
+                ).rate_mpps
+                for s in seeds
+            ]
+            aggregate_seeds(row, mode, "mpps", samples)
+        rows.append(row)
+    return rows
+
+
+def run_fig7b(
+    flow_sweep: Sequence[int] = DEFAULT_FLOWS,
+    nf_cycles: int = DEFAULT_CYCLES,
+    duration: int = 150 * MILLISECOND,
+    warmup: Optional[int] = None,
+    seed: int = 1,
+    num_cores: int = 8,
+    seeds: Optional[Sequence[int]] = None,
+) -> List[Dict[str, float]]:
+    """TCP goodput (Gbps) vs. flow count."""
+    seeds = list(seeds) if seeds else [seed]
+    rows = []
+    for flows in flow_sweep:
+        row: Dict[str, float] = {"flows": flows}
+        for mode in MODES:
+            samples = [
+                run_tcp(
+                    mode,
+                    nf_cycles,
+                    num_flows=flows,
+                    duration=duration,
+                    warmup=warmup,
+                    seed=s + flows,
+                    num_cores=num_cores,
+                ).total_goodput_gbps
+                for s in seeds
+            ]
+            aggregate_seeds(row, mode, "gbps", samples)
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    print(format_table(run_fig7a(), title="Figure 7(a): processing rate vs #flows (10,000 cycles/packet)"))
+    print()
+    print(format_table(run_fig7b(), title="Figure 7(b): TCP throughput vs #flows (10,000 cycles/packet)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+"""Figure 9: Jain's fairness index vs. number of flows.
+
+Closed-loop TCP flows at 10,000 cycles/packet; the fairness index is
+computed over per-flow goodputs, averaged over several runs with fresh
+random endpoints (the paper's error bars are min/max across runs).
+
+Paper shape: Sprayer sits at ~1.0 for every flow count — all flows
+share all cores — while RSS dips wherever hash collisions leave some
+flows sharing a core that others have to themselves.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.format import format_table
+from repro.experiments.harness import run_tcp
+from repro.metrics.fairness import jain_index
+from repro.sim.timeunits import MILLISECOND
+
+DEFAULT_FLOWS = (2, 4, 8, 16, 32, 64, 128)
+DEFAULT_CYCLES = 10000
+MODES = ("rss", "sprayer")
+
+
+def run_fig9(
+    flow_sweep: Sequence[int] = DEFAULT_FLOWS,
+    nf_cycles: int = DEFAULT_CYCLES,
+    duration: int = 150 * MILLISECOND,
+    warmup: Optional[int] = None,
+    seeds: Sequence[int] = (1, 2, 3),
+    num_cores: int = 8,
+) -> List[Dict[str, float]]:
+    """Mean/min/max Jain's index per flow count and mode."""
+    rows = []
+    for flows in flow_sweep:
+        row: Dict[str, float] = {"flows": flows}
+        for mode in MODES:
+            indices = []
+            for seed in seeds:
+                result = run_tcp(
+                    mode,
+                    nf_cycles,
+                    num_flows=flows,
+                    duration=duration,
+                    warmup=warmup,
+                    seed=seed * 1000 + flows,
+                    num_cores=num_cores,
+                )
+                indices.append(jain_index(list(result.per_flow_goodput_bps.values())))
+            row[f"{mode}_jain"] = sum(indices) / len(indices)
+            row[f"{mode}_min"] = min(indices)
+            row[f"{mode}_max"] = max(indices)
+        rows.append(row)
+    return rows
+
+
+def main() -> None:
+    print(format_table(
+        run_fig9(),
+        title="Figure 9: Jain's fairness index vs #flows (10,000 cycles/packet)",
+    ))
+
+
+if __name__ == "__main__":
+    main()

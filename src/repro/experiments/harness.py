@@ -1,0 +1,195 @@
+"""Shared experiment plumbing.
+
+Two wirings, mirroring the two measurement setups of §5:
+
+- :func:`run_open_loop` — the MoonGen setup: a constant-rate 64 B
+  stream through the middlebox, counting egress packets (processing
+  rate) and per-packet latency (generator timestamp to return-side
+  arrival, both wire legs included).
+- :func:`run_tcp` — the iperf3 setup: closed-loop TCP flows through
+  the middlebox (see :class:`repro.trafficgen.iperf.TcpTestbed`).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from repro.core.config import MiddleboxConfig
+from repro.core.engine import MiddleboxEngine
+from repro.core.nf import NetworkFunction
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.throughput import RateMeter
+from repro.net.packet import Packet
+from repro.nfs.synthetic import SyntheticNf
+from repro.nic.link import Link
+from repro.sim.engine import Simulator
+from repro.sim.timeunits import MICROSECOND, MILLISECOND
+from repro.tcpstack.endpoint import TcpConfig
+from repro.trafficgen.flows import random_tcp_flows
+from repro.trafficgen.iperf import TcpTestbed, TcpTestbedResult
+from repro.trafficgen.moongen import LINE_RATE_64B_PPS, OpenLoopGenerator
+
+
+@dataclass
+class OpenLoopResult:
+    """Measured rates and latencies of one open-loop run."""
+
+    mode: str
+    nf_cycles: int
+    num_flows: int
+    offered_pps: float
+    rate_mpps: float
+    rate_gbps: float
+    latency: LatencyRecorder
+    engine_summary: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def p99_latency_us(self) -> float:
+        return self.latency.percentile_us(0.99)
+
+
+def build_engine(
+    mode: str,
+    nf: Optional[NetworkFunction] = None,
+    nf_cycles: int = 0,
+    num_cores: int = 8,
+    sim: Optional[Simulator] = None,
+    **config_kwargs,
+) -> MiddleboxEngine:
+    """A middlebox engine with the paper's defaults."""
+    sim = sim or Simulator()
+    nf = nf or SyntheticNf(busy_cycles=nf_cycles)
+    config = MiddleboxConfig(mode=mode, num_cores=num_cores, **config_kwargs)
+    return MiddleboxEngine(sim, nf, config)
+
+
+def run_open_loop(
+    mode: str,
+    nf_cycles: int,
+    num_flows: int = 1,
+    offered_pps: float = LINE_RATE_64B_PPS,
+    duration: int = 8 * MILLISECOND,
+    warmup: int = 2 * MILLISECOND,
+    seed: int = 1,
+    num_cores: int = 8,
+    frame_len: int = 64,
+    nf: Optional[NetworkFunction] = None,
+    burst: Optional[int] = None,
+    **config_kwargs,
+) -> OpenLoopResult:
+    """One MoonGen-style measurement point.
+
+    ``burst`` is the generator's tx-burst size (None = auto). Latency
+    experiments care: packet generators emit micro-bursts, and a burst
+    landing on one RSS core queues behind itself while Sprayer fans it
+    out across cores.
+    """
+    if not 0 <= warmup < duration:
+        raise ValueError(f"need 0 <= warmup < duration, got {warmup}, {duration}")
+    sim = Simulator()
+    rng = random.Random(seed)
+    engine = build_engine(
+        mode, nf=nf, nf_cycles=nf_cycles, num_cores=num_cores, sim=sim, **config_kwargs
+    )
+
+    meter = RateMeter()
+    latency = LatencyRecorder()
+
+    def collector(packet: Packet, now: int) -> None:
+        meter.record(packet.frame_len)
+        if meter.measuring:
+            latency.record(now - packet.created_at)
+
+    ingress = Link(sim, 10e9, 1 * MICROSECOND, name="gen->mb", queue_limit=1000)
+    ingress.sink = lambda p, now: engine.receive(p, now)
+    egress = Link(sim, 10e9, 1 * MICROSECOND, sink=collector, name="mb->gen")
+    engine.set_egress(egress.send)
+
+    # MoonGen cannot exceed line rate for the frame size.
+    line_rate = 10e9 / ((frame_len + 20) * 8)
+    offered = min(offered_pps, line_rate)
+    flows = random_tcp_flows(num_flows, rng)
+    generator = OpenLoopGenerator(
+        sim,
+        lambda p, now: ingress.send(p),
+        flows,
+        offered,
+        rng,
+        frame_len=frame_len,
+        burst=burst,
+    )
+    generator.start(at=0)
+    sim.run(until=warmup)
+    meter.open_window(sim.now)
+    sim.run(until=duration)
+    meter.close_window(sim.now)
+    generator.stop()
+    return OpenLoopResult(
+        mode=mode,
+        nf_cycles=nf_cycles,
+        num_flows=num_flows,
+        offered_pps=offered,
+        rate_mpps=meter.rate_mpps,
+        rate_gbps=meter.rate_gbps,
+        latency=latency,
+        engine_summary=engine.summary(),
+    )
+
+
+def measure_capacity(
+    mode: str,
+    nf_cycles: int,
+    num_flows: int = 1,
+    seed: int = 1,
+    num_cores: int = 8,
+    **config_kwargs,
+) -> float:
+    """Saturation processing rate (pps) for a mode/NF-cost point.
+
+    Used by Figure 8 to compute "70 % of the minimal processing rate".
+    """
+    result = run_open_loop(
+        mode,
+        nf_cycles,
+        num_flows=num_flows,
+        duration=6 * MILLISECOND,
+        warmup=2 * MILLISECOND,
+        seed=seed,
+        num_cores=num_cores,
+        **config_kwargs,
+    )
+    return result.rate_mpps * 1e6
+
+
+def run_tcp(
+    mode: str,
+    nf_cycles: int,
+    num_flows: int = 1,
+    duration: int = 150 * MILLISECOND,
+    warmup: Optional[int] = None,
+    seed: int = 1,
+    num_cores: int = 8,
+    cc_factory=None,
+    tcp_config: Optional[TcpConfig] = None,
+    nf: Optional[NetworkFunction] = None,
+    **config_kwargs,
+) -> TcpTestbedResult:
+    """One iperf3-style measurement point."""
+    sim = Simulator()
+    rng = random.Random(seed)
+    engine = build_engine(
+        mode, nf=nf, nf_cycles=nf_cycles, num_cores=num_cores, sim=sim, **config_kwargs
+    )
+    testbed = TcpTestbed(
+        sim,
+        engine,
+        num_flows=num_flows,
+        rng=rng,
+        cc_factory=cc_factory,
+        tcp_config=tcp_config,
+    )
+    if warmup is None:
+        warmup = duration // 2
+    return testbed.run(duration=duration, warmup=warmup)

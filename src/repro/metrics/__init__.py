@@ -1,0 +1,18 @@
+"""Measurement utilities: fairness, latency percentiles, rates, CDFs."""
+
+from repro.metrics.cdf import empirical_cdf, quantile
+from repro.metrics.fairness import jain_index
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.reordering import ReorderingTracker
+from repro.metrics.throughput import RateMeter, gbps, mpps
+
+__all__ = [
+    "jain_index",
+    "LatencyRecorder",
+    "RateMeter",
+    "mpps",
+    "gbps",
+    "empirical_cdf",
+    "quantile",
+    "ReorderingTracker",
+]

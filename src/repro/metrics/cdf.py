@@ -1,0 +1,32 @@
+"""Empirical CDFs and quantiles (Figures 1, 2)."""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+
+def quantile(sorted_values: Sequence[float], q: float) -> float:
+    """The ``q``-quantile of an ascending-sorted sequence.
+
+    Nearest-rank definition, which is what network-measurement papers
+    (and this one's "99th percentile") conventionally report.
+    """
+    if not sorted_values:
+        raise ValueError("quantile of an empty sequence")
+    if not 0.0 <= q <= 1.0:
+        raise ValueError(f"q must be in [0, 1], got {q}")
+    index = min(len(sorted_values) - 1, max(0, int(q * len(sorted_values))))
+    return sorted_values[index]
+
+
+def empirical_cdf(values: Iterable[float], points: int = 100) -> List[Tuple[float, float]]:
+    """Down-sampled empirical CDF as ``(value, F(value))`` pairs."""
+    data = sorted(values)
+    if not data:
+        return []
+    n = len(data)
+    step = max(1, n // points)
+    curve = [(data[i], (i + 1) / n) for i in range(0, n, step)]
+    if curve[-1][0] != data[-1]:
+        curve.append((data[-1], 1.0))
+    return curve

@@ -1,0 +1,25 @@
+"""Jain's fairness index (Jain, Chiu, Hawe 1984) — the paper's Figure 9 metric."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+
+def jain_index(values: Iterable[float]) -> float:
+    """``(sum x)^2 / (n * sum x^2)``; 1.0 = perfectly fair.
+
+    An all-zero allocation is vacuously fair (returns 1.0). Negative
+    allocations are rejected — they have no fairness interpretation.
+    """
+    xs = list(values)
+    if not xs:
+        raise ValueError("jain_index needs at least one value")
+    if any(x < 0 for x in xs):
+        raise ValueError("jain_index is undefined for negative values")
+    total = sum(xs)
+    denominator = len(xs) * sum(x * x for x in xs)
+    if total == 0 or denominator == 0:
+        # All-zero (or subnormal values whose squares underflow to 0):
+        # the allocation is degenerate, vacuously fair.
+        return 1.0
+    return min(1.0, total * total / denominator)

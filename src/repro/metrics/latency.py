@@ -1,0 +1,40 @@
+"""Per-packet latency collection (Figure 8's p99 RTT)."""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.metrics.cdf import quantile
+from repro.sim.timeunits import to_microseconds
+
+
+class LatencyRecorder:
+    """Collects per-packet latencies (ps) and reports percentiles."""
+
+    def __init__(self) -> None:
+        self.samples: List[int] = []
+
+    def record(self, latency_ps: int) -> None:
+        if latency_ps < 0:
+            raise ValueError(f"negative latency: {latency_ps}")
+        self.samples.append(latency_ps)
+
+    def __len__(self) -> int:
+        return len(self.samples)
+
+    def percentile_us(self, q: float) -> float:
+        """The q-quantile in microseconds."""
+        return to_microseconds(quantile(sorted(self.samples), q))
+
+    def summary_us(self) -> Dict[str, float]:
+        """Median / p99 / mean / max in microseconds."""
+        if not self.samples:
+            return {"count": 0}
+        ordered = sorted(self.samples)
+        return {
+            "count": len(ordered),
+            "mean": to_microseconds(sum(ordered) // len(ordered)),
+            "p50": to_microseconds(quantile(ordered, 0.50)),
+            "p99": to_microseconds(quantile(ordered, 0.99)),
+            "max": to_microseconds(ordered[-1]),
+        }

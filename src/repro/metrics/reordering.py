@@ -1,0 +1,62 @@
+"""Packet reordering measurement.
+
+Quantifies what spraying does to a flow's packet order at the
+middlebox egress — the phenomenon Figures 6b/7b are really about. The
+tracker follows RFC 4737's spirit: a packet is *reordered* if it leaves
+after some packet with a larger sequence number already left; the
+*extent* is how many later packets overtook it.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Hashable, List
+
+
+class _FlowOrder:
+    __slots__ = ("expected", "max_seen", "reordered", "extents")
+
+    def __init__(self) -> None:
+        self.expected = 0
+        self.max_seen = -1
+        self.reordered = 0
+        self.extents: List[int] = []
+
+
+class ReorderingTracker:
+    """Counts reordered packets and their extents, per flow."""
+
+    def __init__(self) -> None:
+        self._flows: Dict[Hashable, _FlowOrder] = {}
+        self.total_packets = 0
+
+    def observe(self, flow_id: Hashable, seq: int) -> bool:
+        """Feed one egress packet; returns True if it was reordered."""
+        state = self._flows.setdefault(flow_id, _FlowOrder())
+        self.total_packets += 1
+        if seq < state.max_seen:
+            state.reordered += 1
+            state.extents.append(state.max_seen - seq)
+            return True
+        state.max_seen = seq
+        return False
+
+    @property
+    def reordered_packets(self) -> int:
+        return sum(state.reordered for state in self._flows.values())
+
+    def reordering_rate(self) -> float:
+        """Fraction of observed packets that were reordered."""
+        if self.total_packets == 0:
+            return 0.0
+        return self.reordered_packets / self.total_packets
+
+    def max_extent(self) -> int:
+        """The worst displacement seen across all flows."""
+        extents = [e for state in self._flows.values() for e in state.extents]
+        return max(extents) if extents else 0
+
+    def mean_extent(self) -> float:
+        extents = [e for state in self._flows.values() for e in state.extents]
+        if not extents:
+            return 0.0
+        return sum(extents) / len(extents)

@@ -1,0 +1,61 @@
+"""Rate accounting: packets and bits over a measurement window."""
+
+from __future__ import annotations
+
+from repro.sim.timeunits import SECOND
+
+
+def mpps(packets: int, window_ps: int) -> float:
+    """Packets over a window, in millions of packets per second."""
+    if window_ps <= 0:
+        raise ValueError(f"window must be positive, got {window_ps}")
+    return packets / (window_ps / SECOND) / 1e6
+
+
+def gbps(bytes_count: int, window_ps: int) -> float:
+    """Bytes over a window, in gigabits per second."""
+    if window_ps <= 0:
+        raise ValueError(f"window must be positive, got {window_ps}")
+    return bytes_count * 8 / (window_ps / SECOND) / 1e9
+
+
+class RateMeter:
+    """Counts packets/bytes between ``open_window`` and ``close_window``."""
+
+    def __init__(self) -> None:
+        self.packets = 0
+        self.bytes = 0
+        self._window_open: int = -1
+        self._window_close: int = -1
+        self.measuring = False
+
+    def open_window(self, now: int) -> None:
+        self._window_open = now
+        self.measuring = True
+        self.packets = 0
+        self.bytes = 0
+
+    def close_window(self, now: int) -> None:
+        if not self.measuring:
+            raise RuntimeError("close_window without open_window")
+        self._window_close = now
+        self.measuring = False
+
+    def record(self, frame_len: int) -> None:
+        if self.measuring:
+            self.packets += 1
+            self.bytes += frame_len
+
+    @property
+    def window_ps(self) -> int:
+        if self._window_open < 0 or self._window_close < 0:
+            raise RuntimeError("measurement window not closed")
+        return self._window_close - self._window_open
+
+    @property
+    def rate_mpps(self) -> float:
+        return mpps(self.packets, self.window_ps)
+
+    @property
+    def rate_gbps(self) -> float:
+        return gbps(self.bytes, self.window_ps)

@@ -1,0 +1,69 @@
+"""Packet and protocol substrate.
+
+Real header layouts (Ethernet/IPv4/TCP/UDP) with byte-exact pack/unpack
+and RFC 1071 checksums, plus a lightweight :class:`~repro.net.packet.Packet`
+object used in the simulation hot path. The NIC models (RSS hashing, Flow
+Director checksum matching) operate on the same field values a real NIC
+would extract from the wire.
+"""
+
+from repro.net.addresses import ip_to_int, ip_to_str, mac_to_int, mac_to_str
+from repro.net.checksum import (
+    fold_checksum,
+    internet_checksum,
+    ipv4_header_checksum,
+    tcp_checksum,
+    udp_checksum,
+)
+from repro.net.five_tuple import PROTO_ICMP, PROTO_TCP, PROTO_UDP, FiveTuple
+from repro.net.headers import EthernetHeader, Ipv4Header, TcpHeader, UdpHeader
+from repro.net.packet import (
+    ETHERNET_OVERHEAD,
+    MIN_FRAME_SIZE,
+    Packet,
+    make_tcp_packet,
+    make_udp_packet,
+)
+from repro.net.tcp_flags import (
+    ACK,
+    FIN,
+    PSH,
+    RST,
+    SYN,
+    URG,
+    flags_to_str,
+    is_connection_packet,
+)
+
+__all__ = [
+    "FiveTuple",
+    "PROTO_TCP",
+    "PROTO_UDP",
+    "PROTO_ICMP",
+    "Packet",
+    "make_tcp_packet",
+    "make_udp_packet",
+    "MIN_FRAME_SIZE",
+    "ETHERNET_OVERHEAD",
+    "EthernetHeader",
+    "Ipv4Header",
+    "TcpHeader",
+    "UdpHeader",
+    "internet_checksum",
+    "fold_checksum",
+    "ipv4_header_checksum",
+    "tcp_checksum",
+    "udp_checksum",
+    "SYN",
+    "FIN",
+    "RST",
+    "ACK",
+    "PSH",
+    "URG",
+    "is_connection_packet",
+    "flags_to_str",
+    "ip_to_int",
+    "ip_to_str",
+    "mac_to_int",
+    "mac_to_str",
+]

@@ -1,0 +1,54 @@
+"""IPv4 and MAC address helpers.
+
+Addresses are stored as plain integers in the hot path (hashing, NIC
+steering); these helpers convert to and from the familiar dotted/colon
+notations at the edges (construction, logging, tests).
+"""
+
+from __future__ import annotations
+
+
+def ip_to_int(address: str) -> int:
+    """Parse dotted-quad IPv4 into a 32-bit integer.
+
+    >>> hex(ip_to_int("10.0.0.1"))
+    '0xa000001'
+    """
+    parts = address.split(".")
+    if len(parts) != 4:
+        raise ValueError(f"invalid IPv4 address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid IPv4 octet {part!r} in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def ip_to_str(value: int) -> str:
+    """Format a 32-bit integer as dotted-quad IPv4."""
+    if not 0 <= value <= 0xFFFFFFFF:
+        raise ValueError(f"IPv4 address out of range: {value}")
+    return ".".join(str((value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+
+def mac_to_int(address: str) -> int:
+    """Parse ``aa:bb:cc:dd:ee:ff`` into a 48-bit integer."""
+    parts = address.split(":")
+    if len(parts) != 6:
+        raise ValueError(f"invalid MAC address: {address!r}")
+    value = 0
+    for part in parts:
+        octet = int(part, 16)
+        if not 0 <= octet <= 255:
+            raise ValueError(f"invalid MAC octet {part!r} in {address!r}")
+        value = (value << 8) | octet
+    return value
+
+
+def mac_to_str(value: int) -> str:
+    """Format a 48-bit integer as ``aa:bb:cc:dd:ee:ff``."""
+    if not 0 <= value <= 0xFFFFFFFFFFFF:
+        raise ValueError(f"MAC address out of range: {value}")
+    return ":".join(f"{(value >> shift) & 0xFF:02x}" for shift in (40, 32, 24, 16, 8, 0))

@@ -1,0 +1,63 @@
+"""Internet checksum (RFC 1071) and the TCP/UDP pseudo-header variants.
+
+The Flow Director trick at the heart of Sprayer's implementation (paper
+§4) matches on the *TCP checksum field*, exploiting the fact that for
+varying payloads the checksum is effectively uniform. We therefore
+implement the real ones'-complement checksum so that simulated packets
+carry exactly the field a NIC would see.
+"""
+
+from __future__ import annotations
+
+import struct
+
+
+def fold_checksum(total: int) -> int:
+    """Fold a 32-bit (or larger) sum into 16 bits, ones'-complement style."""
+    while total > 0xFFFF:
+        total = (total & 0xFFFF) + (total >> 16)
+    return total
+
+
+def internet_checksum(data: bytes) -> int:
+    """RFC 1071 checksum over ``data`` (odd lengths are zero-padded)."""
+    if len(data) % 2:
+        data = data + b"\x00"
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
+    return ~fold_checksum(total) & 0xFFFF
+
+
+def ipv4_header_checksum(header: bytes) -> int:
+    """Checksum of an IPv4 header whose checksum field is zeroed."""
+    return internet_checksum(header)
+
+
+def _pseudo_header(src_ip: int, dst_ip: int, protocol: int, length: int) -> bytes:
+    return struct.pack("!IIBBH", src_ip, dst_ip, 0, protocol, length)
+
+
+def tcp_checksum(src_ip: int, dst_ip: int, segment: bytes) -> int:
+    """TCP checksum: pseudo-header + segment with a zeroed checksum field.
+
+    ``segment`` is the full TCP header+payload with bytes 16..18 (the
+    checksum field) set to zero.
+    """
+    pseudo = _pseudo_header(src_ip, dst_ip, 6, len(segment))
+    return internet_checksum(pseudo + segment)
+
+
+def udp_checksum(src_ip: int, dst_ip: int, datagram: bytes) -> int:
+    """UDP checksum; per RFC 768 a computed 0 is transmitted as 0xFFFF."""
+    pseudo = _pseudo_header(src_ip, dst_ip, 17, len(datagram))
+    value = internet_checksum(pseudo + datagram)
+    return value if value != 0 else 0xFFFF
+
+
+def verify_checksum(src_ip: int, dst_ip: int, protocol: int, segment: bytes) -> bool:
+    """True if a received segment's embedded checksum is consistent.
+
+    Summing a correct segment *including* its checksum field yields
+    0xFFFF before complement, i.e. ``internet_checksum`` returns 0.
+    """
+    pseudo = _pseudo_header(src_ip, dst_ip, protocol, len(segment))
+    return internet_checksum(pseudo + segment) == 0

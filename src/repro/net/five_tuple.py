@@ -1,0 +1,64 @@
+"""The five-tuple: the flow identity every middlebox keys on.
+
+Sprayer's designated-core hash, RSS, NAT translations and firewall state
+all key on ``(src_ip, dst_ip, src_port, dst_port, protocol)``. The tuple
+is immutable and hashable so it can be used directly as a flow-table key.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.net.addresses import ip_to_str
+
+#: IANA protocol numbers used throughout the simulator.
+PROTO_ICMP = 1
+PROTO_TCP = 6
+PROTO_UDP = 17
+
+
+class FiveTuple(NamedTuple):
+    """An immutable five-tuple flow identifier.
+
+    Addresses are 32-bit integers, ports 16-bit integers, ``protocol`` an
+    IANA protocol number. ``NamedTuple`` gives free hashing/equality and
+    tuple-cheap construction in the packet hot path.
+    """
+
+    src_ip: int
+    dst_ip: int
+    src_port: int
+    dst_port: int
+    protocol: int
+
+    def reversed(self) -> "FiveTuple":
+        """The opposite direction of the same conversation."""
+        return FiveTuple(self.dst_ip, self.src_ip, self.dst_port, self.src_port, self.protocol)
+
+    def canonical(self) -> "FiveTuple":
+        """A direction-independent representative of the connection.
+
+        Both directions of a TCP connection map to the same canonical
+        tuple, which is what a *symmetric* designated-core hash needs.
+        The smaller ``(ip, port)`` endpoint is placed first.
+        """
+        if (self.src_ip, self.src_port) <= (self.dst_ip, self.dst_port):
+            return self
+        return self.reversed()
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.protocol == PROTO_TCP
+
+    @property
+    def is_udp(self) -> bool:
+        return self.protocol == PROTO_UDP
+
+    def __str__(self) -> str:
+        name = {PROTO_TCP: "tcp", PROTO_UDP: "udp", PROTO_ICMP: "icmp"}.get(
+            self.protocol, str(self.protocol)
+        )
+        return (
+            f"{name} {ip_to_str(self.src_ip)}:{self.src_port}"
+            f" -> {ip_to_str(self.dst_ip)}:{self.dst_port}"
+        )

@@ -1,0 +1,192 @@
+"""Byte-exact protocol headers.
+
+These classes pack to and parse from real wire formats. The simulation
+hot path does not serialize packets (it carries parsed field values in
+:class:`repro.net.packet.Packet`), but the headers ground the model:
+tests assert that the fields the NIC models consume (five-tuple, flags,
+TCP checksum) round-trip through genuine byte layouts.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import Tuple
+
+from repro.net.checksum import ipv4_header_checksum, tcp_checksum, udp_checksum
+
+ETHERTYPE_IPV4 = 0x0800
+
+
+@dataclass
+class EthernetHeader:
+    """14-byte Ethernet II header (no VLAN)."""
+
+    dst_mac: int = 0xFFFFFFFFFFFF
+    src_mac: int = 0
+    ethertype: int = ETHERTYPE_IPV4
+
+    LENGTH = 14
+
+    def pack(self) -> bytes:
+        return (
+            self.dst_mac.to_bytes(6, "big")
+            + self.src_mac.to_bytes(6, "big")
+            + struct.pack("!H", self.ethertype)
+        )
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "EthernetHeader":
+        if len(data) < cls.LENGTH:
+            raise ValueError(f"Ethernet header needs {cls.LENGTH} bytes, got {len(data)}")
+        dst = int.from_bytes(data[0:6], "big")
+        src = int.from_bytes(data[6:12], "big")
+        (ethertype,) = struct.unpack("!H", data[12:14])
+        return cls(dst_mac=dst, src_mac=src, ethertype=ethertype)
+
+
+@dataclass
+class Ipv4Header:
+    """20-byte IPv4 header (no options)."""
+
+    src_ip: int = 0
+    dst_ip: int = 0
+    protocol: int = 6
+    total_length: int = 40
+    ttl: int = 64
+    identification: int = 0
+    dscp: int = 0
+    flags_fragment: int = 0x4000  # DF set, like a normal TCP sender
+
+    LENGTH = 20
+
+    def pack(self) -> bytes:
+        version_ihl = (4 << 4) | 5
+        header = struct.pack(
+            "!BBHHHBBHII",
+            version_ihl,
+            self.dscp,
+            self.total_length,
+            self.identification,
+            self.flags_fragment,
+            self.ttl,
+            self.protocol,
+            0,
+            self.src_ip,
+            self.dst_ip,
+        )
+        checksum = ipv4_header_checksum(header)
+        return header[:10] + struct.pack("!H", checksum) + header[12:]
+
+    @classmethod
+    def unpack(cls, data: bytes) -> "Ipv4Header":
+        if len(data) < cls.LENGTH:
+            raise ValueError(f"IPv4 header needs {cls.LENGTH} bytes, got {len(data)}")
+        (
+            version_ihl,
+            dscp,
+            total_length,
+            identification,
+            flags_fragment,
+            ttl,
+            protocol,
+            _checksum,
+            src_ip,
+            dst_ip,
+        ) = struct.unpack("!BBHHHBBHII", data[:20])
+        if version_ihl >> 4 != 4:
+            raise ValueError(f"not an IPv4 packet (version {version_ihl >> 4})")
+        return cls(
+            src_ip=src_ip,
+            dst_ip=dst_ip,
+            protocol=protocol,
+            total_length=total_length,
+            ttl=ttl,
+            identification=identification,
+            dscp=dscp,
+            flags_fragment=flags_fragment,
+        )
+
+
+@dataclass
+class TcpHeader:
+    """20-byte TCP header (no options in the packed layout)."""
+
+    src_port: int = 0
+    dst_port: int = 0
+    seq: int = 0
+    ack: int = 0
+    flags: int = 0
+    window: int = 65535
+    urgent: int = 0
+
+    LENGTH = 20
+
+    def pack_with_checksum(self, src_ip: int, dst_ip: int, payload: bytes = b"") -> bytes:
+        """Pack the header + payload with a correct TCP checksum."""
+        data_offset = (5 << 4)
+        header = struct.pack(
+            "!HHIIBBHHH",
+            self.src_port,
+            self.dst_port,
+            self.seq & 0xFFFFFFFF,
+            self.ack & 0xFFFFFFFF,
+            data_offset,
+            self.flags,
+            self.window,
+            0,
+            self.urgent,
+        )
+        checksum = tcp_checksum(src_ip, dst_ip, header + payload)
+        return header[:16] + struct.pack("!H", checksum) + header[18:] + payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> Tuple["TcpHeader", int]:
+        """Parse a TCP header; returns ``(header, embedded_checksum)``."""
+        if len(data) < cls.LENGTH:
+            raise ValueError(f"TCP header needs {cls.LENGTH} bytes, got {len(data)}")
+        (
+            src_port,
+            dst_port,
+            seq,
+            ack,
+            _offset,
+            flags,
+            window,
+            checksum,
+            urgent,
+        ) = struct.unpack("!HHIIBBHHH", data[:20])
+        header = cls(
+            src_port=src_port,
+            dst_port=dst_port,
+            seq=seq,
+            ack=ack,
+            flags=flags,
+            window=window,
+            urgent=urgent,
+        )
+        return header, checksum
+
+
+@dataclass
+class UdpHeader:
+    """8-byte UDP header."""
+
+    src_port: int = 0
+    dst_port: int = 0
+
+    LENGTH = 8
+
+    def pack_with_checksum(self, src_ip: int, dst_ip: int, payload: bytes = b"") -> bytes:
+        length = self.LENGTH + len(payload)
+        header = struct.pack("!HHHH", self.src_port, self.dst_port, length, 0)
+        checksum = udp_checksum(src_ip, dst_ip, header + payload)
+        return header[:6] + struct.pack("!H", checksum) + payload
+
+    @classmethod
+    def unpack(cls, data: bytes) -> Tuple["UdpHeader", int]:
+        """Parse a UDP header; returns ``(header, embedded_checksum)``."""
+        if len(data) < cls.LENGTH:
+            raise ValueError(f"UDP header needs {cls.LENGTH} bytes, got {len(data)}")
+        src_port, dst_port, _length, checksum = struct.unpack("!HHHH", data[:8])
+        return cls(src_port=src_port, dst_port=dst_port), checksum

@@ -1,0 +1,247 @@
+"""The simulation packet object.
+
+A :class:`Packet` carries parsed header fields (five-tuple, TCP flags,
+sequence numbers, the TCP checksum value) plus the timestamps the
+experiment harness needs (creation, NIC arrival, processing completion).
+It deliberately does **not** carry serialized bytes in the hot path —
+``to_bytes``/``from_bytes`` exist for grounding tests against the real
+wire formats in :mod:`repro.net.headers`.
+
+Sizes: ``frame_len`` is the Ethernet frame including the 4-byte FCS
+(minimum 64 bytes, the paper's "64 B packets"). Serialization time on the
+wire additionally pays the 8-byte preamble and the 12-byte inter-frame
+gap (:data:`ETHERNET_OVERHEAD`).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.net.five_tuple import PROTO_TCP, PROTO_UDP, FiveTuple
+from repro.net.headers import EthernetHeader, Ipv4Header, TcpHeader, UdpHeader
+from repro.net.tcp_flags import flags_to_str, is_connection_packet
+
+#: Minimum Ethernet frame size (including FCS) in bytes.
+MIN_FRAME_SIZE = 64
+#: Preamble (8) + inter-frame gap (12) paid per frame on the wire.
+ETHERNET_OVERHEAD = 20
+#: Ethernet(14) + IPv4(20) + TCP(20) + FCS(4).
+TCP_FRAME_HEADERS = 58
+#: Ethernet(14) + IPv4(20) + UDP(8) + FCS(4).
+UDP_FRAME_HEADERS = 46
+
+_next_packet_id = 0
+
+
+def _allocate_packet_id() -> int:
+    global _next_packet_id
+    _next_packet_id += 1
+    return _next_packet_id
+
+
+class Packet:
+    """A packet in flight through the simulated middlebox.
+
+    Attributes the pipeline writes:
+
+    - ``nic_rx_time``: when the NIC placed it in an rx queue.
+    - ``done_time``: when a core finished processing it.
+    - ``processed_core``: index of the core that ran the NF on it.
+    - ``rx_queue``: the NIC queue it was steered to.
+    """
+
+    __slots__ = (
+        "packet_id",
+        "five_tuple",
+        "flags",
+        "seq",
+        "ack",
+        "payload_len",
+        "payload",
+        "tcp_checksum",
+        "frame_len",
+        "created_at",
+        "nic_rx_time",
+        "done_time",
+        "processed_core",
+        "rx_queue",
+        "window",
+        "app_data",
+    )
+
+    def __init__(
+        self,
+        five_tuple: FiveTuple,
+        flags: int = 0,
+        seq: int = 0,
+        ack: int = 0,
+        payload_len: int = 0,
+        payload: Optional[bytes] = None,
+        tcp_checksum: int = 0,
+        frame_len: Optional[int] = None,
+        created_at: int = 0,
+        window: int = 65535,
+    ):
+        self.packet_id = _allocate_packet_id()
+        self.five_tuple = five_tuple
+        self.flags = flags
+        self.seq = seq
+        self.ack = ack
+        self.payload_len = payload_len
+        self.payload = payload
+        self.tcp_checksum = tcp_checksum
+        if frame_len is None:
+            headers = TCP_FRAME_HEADERS if five_tuple.protocol == PROTO_TCP else UDP_FRAME_HEADERS
+            frame_len = max(MIN_FRAME_SIZE, headers + payload_len)
+        self.frame_len = frame_len
+        self.created_at = created_at
+        self.nic_rx_time: int = 0
+        self.done_time: int = 0
+        self.processed_core: int = -1
+        self.rx_queue: int = -1
+        self.window = window
+        self.app_data = None
+
+    @property
+    def is_tcp(self) -> bool:
+        return self.five_tuple.protocol == PROTO_TCP
+
+    @property
+    def is_connection(self) -> bool:
+        """Connection packet per the paper: TCP with SYN/FIN/RST set."""
+        return self.is_tcp and is_connection_packet(self.flags)
+
+    @property
+    def wire_bytes(self) -> int:
+        """Bytes occupied on the wire including preamble and IFG."""
+        return self.frame_len + ETHERNET_OVERHEAD
+
+    def to_bytes(self) -> bytes:
+        """Serialize to a real Ethernet frame (without FCS bytes).
+
+        Payload content defaults to zeros of ``payload_len`` when no
+        explicit payload was attached. The embedded TCP/UDP checksum is
+        computed for real — after this call ``tcp_checksum`` matches the
+        wire bytes.
+        """
+        payload = self.payload if self.payload is not None else bytes(self.payload_len)
+        ft = self.five_tuple
+        ip_payload: bytes
+        if ft.protocol == PROTO_TCP:
+            tcp = TcpHeader(
+                src_port=ft.src_port,
+                dst_port=ft.dst_port,
+                seq=self.seq,
+                ack=self.ack,
+                flags=self.flags,
+                window=self.window,
+            )
+            ip_payload = tcp.pack_with_checksum(ft.src_ip, ft.dst_ip, payload)
+            self.tcp_checksum = int.from_bytes(ip_payload[16:18], "big")
+        elif ft.protocol == PROTO_UDP:
+            udp = UdpHeader(src_port=ft.src_port, dst_port=ft.dst_port)
+            ip_payload = udp.pack_with_checksum(ft.src_ip, ft.dst_ip, payload)
+        else:
+            ip_payload = payload
+        ip = Ipv4Header(
+            src_ip=ft.src_ip,
+            dst_ip=ft.dst_ip,
+            protocol=ft.protocol,
+            total_length=Ipv4Header.LENGTH + len(ip_payload),
+        )
+        eth = EthernetHeader()
+        return eth.pack() + ip.pack() + ip_payload
+
+    @classmethod
+    def from_bytes(cls, frame: bytes, created_at: int = 0) -> "Packet":
+        """Parse a serialized frame back into a :class:`Packet`."""
+        eth = EthernetHeader.unpack(frame)
+        if eth.ethertype != 0x0800:
+            raise ValueError(f"not IPv4: ethertype 0x{eth.ethertype:04x}")
+        ip = Ipv4Header.unpack(frame[EthernetHeader.LENGTH:])
+        l4 = frame[EthernetHeader.LENGTH + Ipv4Header.LENGTH:]
+        flags = 0
+        seq = ack = 0
+        checksum = 0
+        window = 65535
+        if ip.protocol == PROTO_TCP:
+            tcp, checksum = TcpHeader.unpack(l4)
+            src_port, dst_port = tcp.src_port, tcp.dst_port
+            flags, seq, ack, window = tcp.flags, tcp.seq, tcp.ack, tcp.window
+            payload = l4[TcpHeader.LENGTH:]
+        elif ip.protocol == PROTO_UDP:
+            udp, checksum = UdpHeader.unpack(l4)
+            src_port, dst_port = udp.src_port, udp.dst_port
+            payload = l4[UdpHeader.LENGTH:]
+        else:
+            src_port = dst_port = 0
+            payload = l4
+        ft = FiveTuple(ip.src_ip, ip.dst_ip, src_port, dst_port, ip.protocol)
+        packet = cls(
+            ft,
+            flags=flags,
+            seq=seq,
+            ack=ack,
+            payload_len=len(payload),
+            payload=payload,
+            tcp_checksum=checksum,
+            frame_len=max(MIN_FRAME_SIZE, len(frame) + 4),
+            created_at=created_at,
+            window=window,
+        )
+        return packet
+
+    def __repr__(self) -> str:
+        return (
+            f"<Packet #{self.packet_id} {self.five_tuple} flags={flags_to_str(self.flags)}"
+            f" len={self.frame_len}>"
+        )
+
+
+def make_tcp_packet(
+    five_tuple: FiveTuple,
+    flags: int = 0,
+    seq: int = 0,
+    ack: int = 0,
+    payload_len: int = 0,
+    tcp_checksum: int = 0,
+    created_at: int = 0,
+    frame_len: Optional[int] = None,
+) -> Packet:
+    """Convenience constructor for a (non-serialized) TCP packet."""
+    if five_tuple.protocol != PROTO_TCP:
+        raise ValueError(f"not a TCP five-tuple: {five_tuple}")
+    return Packet(
+        five_tuple,
+        flags=flags,
+        seq=seq,
+        ack=ack,
+        payload_len=payload_len,
+        tcp_checksum=tcp_checksum,
+        created_at=created_at,
+        frame_len=frame_len,
+    )
+
+
+def make_udp_packet(
+    five_tuple: FiveTuple,
+    payload_len: int = 0,
+    created_at: int = 0,
+    frame_len: Optional[int] = None,
+    checksum: int = 0,
+) -> Packet:
+    """Convenience constructor for a UDP packet.
+
+    ``checksum`` fills the packet's L4-checksum field (stored in
+    ``tcp_checksum``, which despite the name holds whichever L4
+    checksum the frame carries) — the field UDP spraying keys on.
+    """
+    if five_tuple.protocol != PROTO_UDP:
+        raise ValueError(f"not a UDP five-tuple: {five_tuple}")
+    return Packet(
+        five_tuple,
+        payload_len=payload_len,
+        created_at=created_at,
+        frame_len=frame_len,
+        tcp_checksum=checksum,
+    )

@@ -1,0 +1,42 @@
+"""TCP flag bits and the connection-packet predicate.
+
+Sprayer's central classification (paper §3.2) splits TCP traffic into
+*connection packets* — anything flagged SYN, FIN or RST, i.e. packets
+that can modify TCP connection state — and *regular packets* (everything
+else, including SYN-ACKs' ACK counterpart... note: a SYN-ACK carries SYN,
+so it is a connection packet; pure ACKs and data are regular).
+"""
+
+from __future__ import annotations
+
+#: TCP header flag bits, standard wire positions.
+FIN = 0x01
+SYN = 0x02
+RST = 0x04
+PSH = 0x08
+ACK = 0x10
+URG = 0x20
+
+_CONNECTION_MASK = SYN | FIN | RST
+
+_FLAG_NAMES = (
+    (URG, "U"),
+    (ACK, "A"),
+    (PSH, "P"),
+    (RST, "R"),
+    (SYN, "S"),
+    (FIN, "F"),
+)
+
+
+def is_connection_packet(flags: int) -> bool:
+    """True if the flags mark a packet that can modify connection state.
+
+    This is the exact predicate from the paper: SYN, FIN or RST set.
+    """
+    return bool(flags & _CONNECTION_MASK)
+
+
+def flags_to_str(flags: int) -> str:
+    """Human-readable flag string, e.g. ``'SA'`` for a SYN-ACK."""
+    return "".join(name for bit, name in _FLAG_NAMES if flags & bit) or "."

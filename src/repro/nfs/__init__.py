@@ -1,0 +1,46 @@
+"""Network functions built on the Sprayer programming model.
+
+One NF per module, covering every row of the paper's Table 1 plus the
+synthetic NF used in its evaluation (§5):
+
+- :class:`SyntheticNf` — flow-state lookup + header touch + busy loop,
+  the parameterized NF behind Figures 6-9.
+- :class:`NatNf` — the paper's Figure 5 NAT (flow map per-flow,
+  port pool global).
+- :class:`FirewallNf` — ACL + per-flow connection context.
+- :class:`LoadBalancerNf` — L4 load balancer (flow-server map per-flow,
+  server pool + statistics global).
+- :class:`TrafficMonitorNf` — connection context per-flow, sharded
+  global statistics with relaxed consistency.
+- :class:`RedundancyEliminationNf` — global packet cache, RW per packet.
+- :class:`DpiNf` — per-flow Aho-Corasick automaton, RW per packet; the
+  NF class the paper calls out as a poor fit for spraying.
+"""
+
+from repro.nfs.dpi import AhoCorasick, DpiNf
+from repro.nfs.dpi_ooo import OooDpiNf
+from repro.nfs.firewall import AclRule, FirewallNf
+from repro.nfs.load_balancer import LoadBalancerNf
+from repro.nfs.nat import NatNf, PortPool
+from repro.nfs.redundancy import RedundancyEliminationNf
+from repro.nfs.registry import NF_PROFILES, NfProfile, StateDecl, table1_rows
+from repro.nfs.synthetic import SyntheticNf
+from repro.nfs.traffic_monitor import TrafficMonitorNf
+
+__all__ = [
+    "SyntheticNf",
+    "NatNf",
+    "PortPool",
+    "FirewallNf",
+    "AclRule",
+    "LoadBalancerNf",
+    "TrafficMonitorNf",
+    "RedundancyEliminationNf",
+    "DpiNf",
+    "OooDpiNf",
+    "AhoCorasick",
+    "NfProfile",
+    "StateDecl",
+    "NF_PROFILES",
+    "table1_rows",
+]

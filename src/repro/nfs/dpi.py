@@ -1,0 +1,162 @@
+"""Deep packet inspection with a real Aho-Corasick automaton.
+
+Table 1 row: an **automaton**, per-flow scope, read-write on **every
+packet** — the one NF in the paper's survey that must update flow state
+per packet, and therefore the NF class the paper flags as a poor fit
+for spraying (§7: cross-packet pattern matching would require cores to
+share their state machines).
+
+Behaviour by steering mode:
+
+- under **RSS**, every packet of a flow is on the flow's (single) core:
+  the automaton state lives in the per-core scratch area and advances
+  locally and cheaply;
+- under **spraying** modes, the per-flow automaton state must be shared
+  across cores: each packet pays a locked read-modify-write of the
+  shared state (priced through the coherence model). The ablation bench
+  uses this to quantify the paper's claim.
+
+Pattern matching is real: the automaton is built with goto/fail links
+and scans actual payload bytes when present; synthetic packets without
+payloads charge the per-byte scan cost without advancing matches.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.core.nf import NetworkFunction, NfContext
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+
+#: Modelled DFA cost per scanned payload byte.
+CYCLES_PER_SCANNED_BYTE = 2.0
+
+
+class AhoCorasick:
+    """A classic Aho-Corasick multi-pattern matcher.
+
+    States are integers; 0 is the root. ``advance`` consumes one byte
+    and returns ``(next_state, matches_completed_here)`` so that
+    matching can be suspended and resumed across packet boundaries —
+    the cross-packet property DPI needs.
+    """
+
+    def __init__(self, patterns: Iterable[bytes]):
+        self.patterns: List[bytes] = [bytes(p) for p in patterns]
+        if any(len(p) == 0 for p in self.patterns):
+            raise ValueError("empty patterns are not allowed")
+        self._goto: List[Dict[int, int]] = [{}]
+        self._fail: List[int] = [0]
+        self._output: List[List[int]] = [[]]
+        for index, pattern in enumerate(self.patterns):
+            self._insert(pattern, index)
+        self._build_failure_links()
+
+    def _insert(self, pattern: bytes, pattern_index: int) -> None:
+        state = 0
+        for byte in pattern:
+            nxt = self._goto[state].get(byte)
+            if nxt is None:
+                self._goto.append({})
+                self._fail.append(0)
+                self._output.append([])
+                nxt = len(self._goto) - 1
+                self._goto[state][byte] = nxt
+            state = nxt
+        self._output[state].append(pattern_index)
+
+    def _build_failure_links(self) -> None:
+        queue = deque()
+        for byte, state in self._goto[0].items():
+            self._fail[state] = 0
+            queue.append(state)
+        while queue:
+            current = queue.popleft()
+            for byte, nxt in self._goto[current].items():
+                queue.append(nxt)
+                fallback = self._fail[current]
+                while fallback and byte not in self._goto[fallback]:
+                    fallback = self._fail[fallback]
+                self._fail[nxt] = self._goto[fallback].get(byte, 0)
+                if self._fail[nxt] == nxt:
+                    self._fail[nxt] = 0
+                self._output[nxt] = self._output[nxt] + self._output[self._fail[nxt]]
+
+    @property
+    def num_states(self) -> int:
+        return len(self._goto)
+
+    def advance(self, state: int, byte: int) -> Tuple[int, List[int]]:
+        """Consume one byte; return (new_state, completed pattern ids)."""
+        while state and byte not in self._goto[state]:
+            state = self._fail[state]
+        state = self._goto[state].get(byte, 0)
+        return state, self._output[state]
+
+    def scan(self, state: int, data: bytes) -> Tuple[int, List[Tuple[int, int]]]:
+        """Scan ``data`` from ``state``; return (end_state, matches).
+
+        Matches are ``(offset_of_last_byte, pattern_index)`` pairs.
+        """
+        matches: List[Tuple[int, int]] = []
+        for offset, byte in enumerate(data):
+            state, found = self.advance(state, byte)
+            for pattern_index in found:
+                matches.append((offset, pattern_index))
+        return state, matches
+
+
+class DpiNf(NetworkFunction):
+    """Signature-matching DPI over TCP payload streams."""
+
+    name = "dpi"
+
+    def __init__(self, patterns: Iterable[bytes]):
+        self.automaton = AhoCorasick(patterns)
+        self.matches: List[Tuple[FiveTuple, int]] = []
+        #: Shared per-flow automaton states, used under spraying modes.
+        self._shared_states: Dict[FiveTuple, int] = {}
+
+    def _states_are_core_local(self, ctx: NfContext) -> bool:
+        """True when every packet of a flow stays on one core (RSS)."""
+        return ctx.engine.policy.name == "rss"
+
+    def _scan_packet(self, packet: Packet, ctx: NfContext) -> None:
+        flow = packet.five_tuple
+        if self._states_are_core_local(ctx):
+            states: Dict[FiveTuple, int] = ctx.local.setdefault("dpi_states", {})
+            state = states.get(flow, 0)
+            state = self._scan_payload(packet, state, ctx)
+            states[flow] = state
+            # Local automaton-state update: cheap.
+            ctx.consume_cycles(ctx.engine.costs.flow_lookup_local)
+        else:
+            # Sprayed: the state machine is shared across cores — a
+            # locked read-modify-write per packet (the paper's warning).
+            ctx.write_global(("dpi_state", flow))
+            state = self._shared_states.get(flow, 0)
+            state = self._scan_payload(packet, state, ctx)
+            self._shared_states[flow] = state
+
+    def _scan_payload(self, packet: Packet, state: int, ctx: NfContext) -> int:
+        ctx.consume_cycles(CYCLES_PER_SCANNED_BYTE * packet.payload_len)
+        if packet.payload:
+            state, found = self.automaton.scan(state, packet.payload)
+            for _offset, pattern_index in found:
+                self.matches.append((packet.five_tuple, pattern_index))
+        return state
+
+    def connection_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        for packet in packets:
+            flow = packet.five_tuple
+            if packet.flags & 0x02 and not packet.flags & 0x10:  # first SYN
+                if ctx.get_local_flow(flow) is None:
+                    ctx.insert_local_flow(flow, {"scanned": 0})
+                    ctx.insert_local_flow(flow.reversed(), {"scanned": 0})
+            self._scan_packet(packet, ctx)
+
+    def regular_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        for packet in packets:
+            self._scan_packet(packet, ctx)

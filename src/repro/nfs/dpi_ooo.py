@@ -1,0 +1,157 @@
+"""Out-of-order-tolerant DPI (paper §7, citing O3FA [46]).
+
+"Some NFs that perform DPI need to support cross-packet pattern
+matching. Although they can be made to work with out-of-order packets
+[46], implementing them on top of Sprayer would require that cores
+share their state machines."
+
+This module implements that cited design point: instead of advancing a
+per-flow automaton on every packet (impossible without per-packet flow
+writes), each core buffers the payload segments it happens to receive,
+and the flow's *designated core* drains the contiguous prefix through
+the automaton whenever a connection event or a drain poll runs. The
+trade-offs O3FA describes appear naturally:
+
+- matching is correct for any arrival order (tests prove equality with
+  in-order scanning);
+- detection latency grows with reordering (a hole delays everything
+  behind it);
+- buffering is bounded (``max_buffered_segments`` per flow) — overflow
+  falls back to scan-on-arrival for the overflowing segment, trading
+  cross-packet coverage for memory, and is counted.
+
+Buffers are per-core shards (core-local writes, like the monitor's
+statistics pattern), so the writing partition holds; only the automaton
+state itself lives in the flow entry, written exclusively by the
+designated core at drain time.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.nf import NetworkFunction, NfContext
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+from repro.net.tcp_flags import ACK, FIN, RST, SYN
+from repro.nfs.dpi import CYCLES_PER_SCANNED_BYTE, AhoCorasick
+
+
+class _DpiFlowEntry:
+    """Designated-core-owned automaton state for one direction."""
+
+    __slots__ = ("state", "next_seq")
+
+    def __init__(self) -> None:
+        self.state = 0
+        self.next_seq = 0
+
+
+class OooDpiNf(NetworkFunction):
+    """Cross-packet DPI that tolerates sprayed (reordered) arrivals."""
+
+    name = "dpi_ooo"
+
+    def __init__(self, patterns, max_buffered_segments: int = 256):
+        if max_buffered_segments < 1:
+            raise ValueError(
+                f"max_buffered_segments must be >= 1, got {max_buffered_segments}"
+            )
+        self.automaton = AhoCorasick(patterns)
+        self.max_buffered_segments = max_buffered_segments
+        self.matches: List[Tuple[FiveTuple, int]] = []
+        self.segments_scanned = 0
+        self.buffer_overflows = 0
+        #: Shared staging area the designated core drains from. Each
+        #: (flow, seq) is written once by one core and consumed once by
+        #: the designated core — a hand-off, not contended state.
+        self._staging: Dict[FiveTuple, Dict[int, bytes]] = {}
+
+    # -- helpers ------------------------------------------------------------
+
+    def _entry_for(self, flow: FiveTuple, ctx: NfContext) -> Optional[_DpiFlowEntry]:
+        return ctx.get_flow(flow)
+
+    def _stage(self, packet: Packet, ctx: NfContext) -> None:
+        """Buffer a payload segment for later in-order scanning."""
+        flow = packet.five_tuple
+        buffered = self._staging.setdefault(flow, {})
+        if len(buffered) >= self.max_buffered_segments:
+            # O3FA's memory bound: scan this segment immediately from
+            # the root (cross-packet context lost for it) and count it.
+            self.buffer_overflows += 1
+            self._scan_bytes(flow, 0, packet, ctx)
+            return
+        payload = packet.payload if packet.payload is not None else b""
+        buffered[packet.seq] = payload
+        # The hand-off write is core-local (shard semantics).
+        ctx.write_global(("dpi_staging", flow, ctx.core_id), relaxed=True)
+
+    def _scan_bytes(self, flow: FiveTuple, state: int, packet: Packet,
+                    ctx: NfContext) -> int:
+        ctx.consume_cycles(CYCLES_PER_SCANNED_BYTE * packet.payload_len)
+        self.segments_scanned += 1
+        if packet.payload:
+            state, found = self.automaton.scan(state, packet.payload)
+            for _offset, _index in found:
+                self.matches.append((flow, _index))
+        return state
+
+    def _drain(self, flow: FiveTuple, ctx: NfContext) -> None:
+        """Run the contiguous prefix through the automaton.
+
+        Only legal on the designated core (it writes the flow entry);
+        the engine guarantees connection packets run there.
+        """
+        entry = ctx.get_local_flow(flow)
+        if entry is None:
+            return
+        buffered = self._staging.get(flow)
+        if not buffered:
+            return
+        while entry.next_seq in buffered:
+            payload = buffered.pop(entry.next_seq)
+            ctx.consume_cycles(CYCLES_PER_SCANNED_BYTE * len(payload))
+            self.segments_scanned += 1
+            if payload:
+                entry.state, found = self.automaton.scan(entry.state, payload)
+                for _offset, index in found:
+                    self.matches.append((flow, index))
+            entry.next_seq += 1
+
+    # -- handlers ------------------------------------------------------------
+
+    def connection_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        for packet in packets:
+            flow = packet.five_tuple
+            flags = packet.flags
+            if flags & SYN and not flags & ACK:
+                if ctx.get_local_flow(flow) is None:
+                    ctx.insert_local_flow(flow, _DpiFlowEntry())
+                    ctx.insert_local_flow(flow.reversed(), _DpiFlowEntry())
+            # Every connection event is a drain opportunity on the
+            # designated core (SYN-ACK, FIN, RST included).
+            if ctx.get_local_flow(flow) is not None:
+                self._drain(flow, ctx)
+            if flags & (FIN | RST):
+                self._drain(flow, ctx)
+                self._staging.pop(flow, None)
+
+    def regular_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        for packet in packets:
+            if packet.payload_len == 0 and not packet.payload:
+                continue
+            flow = packet.five_tuple
+            entry = self._entry_for(flow, ctx)
+            if entry is None:
+                continue  # untracked flow
+            self._stage(packet, ctx)
+            # If this core *is* the designated core, it may drain now.
+            if ctx.designated_core(flow) == ctx.core_id:
+                self._drain(flow, ctx)
+
+    # -- maintenance -----------------------------------------------------------
+
+    def pending_segments(self, flow: FiveTuple) -> int:
+        """Segments buffered but not yet scanned (diagnostics)."""
+        return len(self._staging.get(flow, ()))

@@ -1,0 +1,139 @@
+"""A stateful firewall.
+
+Table 1 row: **connection context**, per-flow scope, read per packet,
+read-write at flow events. Policy: an ordered ACL decides whether a new
+connection (first SYN) may be established; established connections pass;
+everything else is dropped (default-deny, established-only).
+
+The ACL itself is static global configuration: read-only after startup,
+so per-packet reads are cache-local and priced as compute (a linear
+rule walk — the footnote's "a firewall would lookup the flow state and
+go through an ACL").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from repro.core.nf import NetworkFunction, NfContext
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+from repro.net.tcp_flags import ACK, FIN, RST, SYN
+
+#: Modelled cost of evaluating one ACL rule (a few compares).
+CYCLES_PER_ACL_RULE = 4
+
+
+@dataclass(frozen=True)
+class AclRule:
+    """A match on (src prefix, dst prefix, dst port) with a verdict.
+
+    Prefixes are (address, prefix_len); ``dst_port=None`` matches any.
+    """
+
+    action: str  # "permit" | "deny"
+    src_prefix: tuple = (0, 0)  # (network, prefix_len); /0 matches all
+    dst_prefix: tuple = (0, 0)
+    dst_port: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.action not in ("permit", "deny"):
+            raise ValueError(f"action must be permit/deny, got {self.action!r}")
+        for network, length in (self.src_prefix, self.dst_prefix):
+            if not 0 <= length <= 32:
+                raise ValueError(f"bad prefix length {length}")
+
+    def _prefix_match(self, address: int, prefix: tuple) -> bool:
+        network, length = prefix
+        if length == 0:
+            return True
+        mask = ~((1 << (32 - length)) - 1) & 0xFFFFFFFF
+        return (address & mask) == (network & mask)
+
+    def matches(self, flow: FiveTuple) -> bool:
+        if not self._prefix_match(flow.src_ip, self.src_prefix):
+            return False
+        if not self._prefix_match(flow.dst_ip, self.dst_prefix):
+            return False
+        if self.dst_port is not None and flow.dst_port != self.dst_port:
+            return False
+        return True
+
+
+class _ConnContext:
+    """Per-connection context (both directions share it)."""
+
+    __slots__ = ("established", "fins_seen")
+
+    def __init__(self) -> None:
+        self.established = True
+        self.fins_seen = 0
+
+
+class FirewallNf(NetworkFunction):
+    """Default-deny stateful firewall with an ordered ACL."""
+
+    name = "firewall"
+
+    def __init__(self, acl: Optional[List[AclRule]] = None, default_action: str = "deny"):
+        if default_action not in ("permit", "deny"):
+            raise ValueError(f"default_action must be permit/deny, got {default_action!r}")
+        self.acl = list(acl) if acl else []
+        self.default_action = default_action
+        self.connections_admitted = 0
+        self.connections_refused = 0
+        self.drops_no_state = 0
+
+    def _acl_verdict(self, flow: FiveTuple, ctx: NfContext) -> str:
+        for index, rule in enumerate(self.acl):
+            if rule.matches(flow):
+                ctx.consume_cycles(CYCLES_PER_ACL_RULE * (index + 1))
+                return rule.action
+        ctx.consume_cycles(CYCLES_PER_ACL_RULE * max(1, len(self.acl)))
+        return self.default_action
+
+    def connection_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        for packet in packets:
+            flags = packet.flags
+            flow = packet.five_tuple
+            if flags & SYN and not flags & ACK:
+                if ctx.get_local_flow(flow) is not None:
+                    continue  # SYN retransmission of an admitted flow
+                if self._acl_verdict(flow, ctx) != "permit":
+                    self.connections_refused += 1
+                    ctx.drop(packet)
+                    continue
+                context = _ConnContext()
+                ctx.insert_local_flow(flow, context)
+                ctx.insert_local_flow(flow.reversed(), context)
+                self.connections_admitted += 1
+            elif flags & RST:
+                if ctx.get_local_flow(flow) is None:
+                    self.drops_no_state += 1
+                    ctx.drop(packet)
+                    continue
+                ctx.remove_local_flow(flow)
+                ctx.remove_local_flow(flow.reversed())
+            elif flags & FIN:
+                context = ctx.get_local_flow(flow)
+                if context is None:
+                    self.drops_no_state += 1
+                    ctx.drop(packet)
+                    continue
+                context.fins_seen += 1
+                if context.fins_seen >= 2:
+                    ctx.remove_local_flow(flow)
+                    ctx.remove_local_flow(flow.reversed())
+            else:
+                # SYN-ACK: forwarded only if the connection was admitted.
+                if ctx.get_local_flow(flow) is None:
+                    self.drops_no_state += 1
+                    ctx.drop(packet)
+
+    def regular_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        entries = ctx.get_flows([packet.five_tuple for packet in packets])
+        for packet, entry in zip(packets, entries):
+            if entry is None:
+                self.drops_no_state += 1
+                ctx.drop(packet)

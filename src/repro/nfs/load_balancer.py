@@ -1,0 +1,102 @@
+"""An L4 load balancer (direct-server-return style).
+
+Table 1 row: a **flow-server map** (per-flow; read per packet, written
+at flow events), a **pool of servers** and **statistics** (global;
+written at flow events).
+
+The balancer is DSR: only client->VIP traffic traverses it; it picks a
+backend per connection (least connections), records the assignment in
+the flow map, and "rewrites the header" (L2 next-hop toward the
+backend — modelled as a header update that leaves the five-tuple
+intact, as DSR does). Return traffic goes directly from backend to
+client, so no reverse-direction state is needed — which is also what
+keeps every write on the flow's designated core.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.nf import NetworkFunction, NfContext
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+from repro.net.tcp_flags import ACK, FIN, RST, SYN
+
+
+class _Assignment:
+    """A flow-map entry: which backend owns this connection."""
+
+    __slots__ = ("backend", "fin_seen")
+
+    def __init__(self, backend: int):
+        self.backend = backend
+        self.fin_seen = False
+
+
+class LoadBalancerNf(NetworkFunction):
+    """VIP -> backend steering with least-connections assignment."""
+
+    name = "load_balancer"
+
+    def __init__(self, vip: int, backends: List[int]):
+        if not backends:
+            raise ValueError("need at least one backend")
+        self.vip = vip
+        self.backends = list(backends)
+        #: Global statistics: active connections per backend.
+        self.active_connections: Dict[int, int] = {b: 0 for b in self.backends}
+        self.total_assigned = 0
+        self.drops_no_assignment = 0
+        self.drops_not_vip = 0
+
+    def _pick_backend(self, ctx: NfContext) -> int:
+        # Reads the global pool + per-server statistics (flow event).
+        ctx.read_global("lb_server_pool")
+        return min(self.backends, key=lambda b: (self.active_connections[b], b))
+
+    def _steer(self, packet: Packet, backend: int, ctx: NfContext) -> None:
+        """Point the packet at the backend (L2 rewrite: tuple unchanged)."""
+        ctx.consume_cycles(ctx.engine.costs.header_update)
+        packet.app_data = ("lb_backend", backend)
+
+    def connection_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        for packet in packets:
+            flags = packet.flags
+            flow = packet.five_tuple
+            if flow.dst_ip != self.vip:
+                self.drops_not_vip += 1
+                ctx.drop(packet)
+                continue
+            if flags & SYN and not flags & ACK:
+                existing = ctx.get_local_flow(flow)
+                if existing is not None:  # SYN retransmission
+                    self._steer(packet, existing.backend, ctx)
+                    continue
+                backend = self._pick_backend(ctx)
+                ctx.write_global("lb_statistics")
+                self.active_connections[backend] += 1
+                self.total_assigned += 1
+                ctx.insert_local_flow(flow, _Assignment(backend))
+                self._steer(packet, backend, ctx)
+            else:
+                entry = ctx.get_local_flow(flow)
+                if entry is None:
+                    self.drops_no_assignment += 1
+                    ctx.drop(packet)
+                    continue
+                self._steer(packet, entry.backend, ctx)
+                if flags & RST or (flags & FIN and entry.fin_seen):
+                    ctx.remove_local_flow(flow)
+                    ctx.write_global("lb_statistics")
+                    self.active_connections[entry.backend] -= 1
+                elif flags & FIN:
+                    entry.fin_seen = True
+
+    def regular_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        entries = ctx.get_flows([packet.five_tuple for packet in packets])
+        for packet, entry in zip(packets, entries):
+            if entry is None:
+                self.drops_no_assignment += 1
+                ctx.drop(packet)
+                continue
+            self._steer(packet, entry.backend, ctx)

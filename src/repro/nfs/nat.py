@@ -1,0 +1,206 @@
+"""The paper's sample NF: a NAT (Figure 5).
+
+State, per Table 1: a **flow map** (per-flow; read per packet, written
+at flow events) and a **pool of IPs/ports** (global; written at flow
+events only).
+
+Faithful to the listing: only the *first SYN* of a connection allocates
+a port and installs the translation — for both directions at once,
+which is only possible because the symmetric designated-core hash
+guarantees this core sees the reverse direction's packets' lookups —
+and everything after (including the SYN-ACK) is handled by the regular
+path: look up the translation, rewrite the header, forward. No
+translation found → drop.
+
+Beyond the listing (which "omits flow removal logic"), this
+implementation removes translations and releases ports on RST and on
+the second FIN.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, List, Optional, Set
+
+from repro.core.nf import NetworkFunction, NfContext
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+from repro.net.tcp_flags import ACK, FIN, RST, SYN
+
+
+class PortPool:
+    """The global pool of external (ip, port) pairs.
+
+    A single shared structure — every allocation/release is a flow-event
+    (not per-packet) operation, so the lock the caller pays for is off
+    the critical path, exactly the paper's point.
+    """
+
+    def __init__(self, external_ip: int, first_port: int = 1024, last_port: int = 65535):
+        if not 0 <= first_port <= last_port <= 65535:
+            raise ValueError(f"bad port range [{first_port}, {last_port}]")
+        self.external_ip = external_ip
+        self._free: Deque[int] = deque(range(first_port, last_port + 1))
+        self._used: Set[int] = set()
+
+    def __len__(self) -> int:
+        return len(self._free)
+
+    def allocate(self) -> Optional[int]:
+        if not self._free:
+            return None
+        port = self._free.popleft()
+        self._used.add(port)
+        return port
+
+    def allocate_matching(self, predicate, max_tries: int = 256) -> Optional[int]:
+        """Allocate a port for which ``predicate(port)`` holds.
+
+        Figure 5's line 24-25 ("we also include the other side") only
+        works if the *translated* reverse tuple hashes to the same
+        designated core as the original flow — so the NAT must pick its
+        external port accordingly, the way affinity-preserving NATs do.
+        With ``C`` cores a uniform hash accepts a port with probability
+        1/C, so a handful of tries suffice. Rejected ports go back.
+        """
+        rejected = []
+        chosen = None
+        for _ in range(min(max_tries, len(self._free))):
+            port = self.allocate()
+            if port is None:
+                break
+            if predicate(port):
+                chosen = port
+                break
+            rejected.append(port)
+        for port in rejected:
+            self.release(port)
+        return chosen
+
+    def release(self, port: int) -> None:
+        if port not in self._used:
+            raise ValueError(f"releasing port {port} that was not allocated")
+        self._used.remove(port)
+        self._free.append(port)
+
+
+class _Translation:
+    """A flow-map entry: how to rewrite packets of one direction."""
+
+    __slots__ = ("rewritten", "fin_seen", "peer")
+
+    def __init__(self, rewritten: FiveTuple, peer: FiveTuple):
+        self.rewritten = rewritten
+        self.peer = peer  # the entry key of the opposite direction
+        self.fin_seen = False
+
+
+class NatNf(NetworkFunction):
+    """Source NAT for TCP, after the paper's Figure 5."""
+
+    name = "nat"
+
+    def __init__(self, external_ip: int, first_port: int = 1024, last_port: int = 65535):
+        self.pool = PortPool(external_ip, first_port, last_port)
+        self.translations_active = 0
+        self.drops_no_port = 0
+        self.drops_no_translation = 0
+
+    # -- connection path (Figure 5, connection_packets) -------------------
+
+    def connection_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        for packet in packets:
+            flags = packet.flags
+            if flags & SYN and not flags & ACK:
+                self._open(packet, ctx)
+            elif flags & RST:
+                self._handle_rst(packet, ctx)
+            elif flags & FIN:
+                self._handle_fin(packet, ctx)
+            else:
+                # e.g. SYN-ACK: "NAT then treats all the packets that
+                # come after (including SYN-ACK) as regular packets."
+                self.regular_packets([packet], ctx)
+
+    def _open(self, packet: Packet, ctx: NfContext) -> None:
+        flow_id = packet.five_tuple
+        existing = ctx.get_local_flow(flow_id)
+        if existing is not None:
+            # SYN retransmission: reuse the installed translation.
+            ctx.update_header(packet, existing.rewritten)
+            return
+        # Select a port from the global pool (lock: flow-event only).
+        # The port must keep the translated reverse direction on this
+        # same designated core (see PortPool.allocate_matching).
+        ctx.write_global("nat_port_pool")
+
+        def preserves_affinity(port: int) -> bool:
+            ctx.consume_cycles(20)  # one hash evaluation per candidate
+            candidate = FiveTuple(
+                flow_id.dst_ip, self.pool.external_ip,
+                flow_id.dst_port, port, flow_id.protocol,
+            )
+            return ctx.designated_core(candidate) == ctx.core_id
+
+        port = self.pool.allocate_matching(preserves_affinity)
+        if port is None:
+            self.drops_no_port += 1
+            ctx.drop(packet)
+            return
+        translated = FiveTuple(
+            self.pool.external_ip, flow_id.dst_ip, port, flow_id.dst_port, flow_id.protocol
+        )
+        reverse_key = translated.reversed()
+        outbound = _Translation(rewritten=translated, peer=reverse_key)
+        inbound = _Translation(rewritten=flow_id.reversed(), peer=flow_id)
+        ctx.insert_local_flow(flow_id, outbound)
+        ctx.insert_local_flow(reverse_key, inbound)
+        self.translations_active += 1
+        ctx.update_header(packet, translated)
+
+    def _handle_rst(self, packet: Packet, ctx: NfContext) -> None:
+        # Capture the lookup key before update_header rewrites the packet.
+        flow_id = packet.five_tuple
+        entry = ctx.get_local_flow(flow_id)
+        if entry is None:
+            self.drops_no_translation += 1
+            ctx.drop(packet)
+            return
+        ctx.update_header(packet, entry.rewritten)
+        self._teardown(flow_id, entry, ctx)
+
+    def _handle_fin(self, packet: Packet, ctx: NfContext) -> None:
+        flow_id = packet.five_tuple
+        entry = ctx.get_local_flow(flow_id)
+        if entry is None:
+            self.drops_no_translation += 1
+            ctx.drop(packet)
+            return
+        ctx.update_header(packet, entry.rewritten)
+        entry.fin_seen = True
+        peer = ctx.get_local_flow(entry.peer)
+        if peer is not None and peer.fin_seen:
+            self._teardown(flow_id, entry, ctx)
+
+    def _teardown(self, flow_id: FiveTuple, entry: _Translation, ctx: NfContext) -> None:
+        ctx.remove_local_flow(flow_id)
+        ctx.remove_local_flow(entry.peer)
+        ctx.write_global("nat_port_pool")
+        # The external port is the source port of the outbound rewrite,
+        # or the destination port of the inbound key.
+        if entry.rewritten.src_ip == self.pool.external_ip:
+            self.pool.release(entry.rewritten.src_port)
+        else:
+            self.pool.release(flow_id.dst_port)
+        self.translations_active -= 1
+
+    # -- regular path (Figure 5, regular_packets) --------------------------
+
+    def regular_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        entries = ctx.get_flows([packet.five_tuple for packet in packets])
+        for packet, entry in zip(packets, entries):
+            if entry is None:
+                self.drops_no_translation += 1
+                ctx.drop(packet)
+                continue
+            ctx.update_header(packet, entry.rewritten)

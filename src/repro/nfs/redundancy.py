@@ -1,0 +1,74 @@
+"""Redundancy elimination.
+
+Table 1 row: a **packet cache**, global scope, read-write on **every
+packet** — the hard case for any multicore design, Sprayer or not
+("traditional approaches must also deal with shared global state").
+
+The NF fingerprints each payload; a cache hit lets it shrink the packet
+to a small shim (the savings), a miss inserts the fingerprint. The
+cache is one global structure: every access pays the lock, and the
+coherence model charges ownership bounces as cores take turns writing.
+
+It is *stateless* in Sprayer's flow-table sense (no per-flow state), so
+it sets the ``stateless`` flag from §3.4 and skips classification,
+flow tables and redirection entirely.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import List
+
+from repro.core.nf import NetworkFunction, NfContext
+from repro.net.packet import Packet
+
+#: Size of the forwarded shim when a payload is eliminated.
+SHIM_BYTES = 16
+#: Modelled cost of fingerprinting a payload (per byte).
+CYCLES_PER_FINGERPRINT_BYTE = 0.25
+
+
+class RedundancyEliminationNf(NetworkFunction):
+    """Global packet-cache RE with LRU eviction."""
+
+    name = "redundancy_elimination"
+    stateless = True
+
+    def __init__(self, cache_entries: int = 65536):
+        if cache_entries < 1:
+            raise ValueError(f"cache_entries must be >= 1, got {cache_entries}")
+        self.cache_entries = cache_entries
+        #: fingerprint -> payload length (a real RE stores the bytes).
+        self.cache: "OrderedDict[int, int]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+        self.bytes_saved = 0
+
+    def _fingerprint(self, packet: Packet) -> int:
+        # Real payloads get a real (stable) fingerprint; synthetic
+        # packets fall back to the checksum+length proxy.
+        if packet.payload:
+            return hash(packet.payload)
+        return (packet.tcp_checksum << 16) ^ packet.payload_len
+
+    def regular_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        for packet in packets:
+            if packet.payload_len == 0:
+                continue  # nothing to eliminate (e.g. pure ACKs)
+            ctx.consume_cycles(CYCLES_PER_FINGERPRINT_BYTE * packet.payload_len)
+            # Global cache: locked, RW per packet.
+            ctx.write_global("re_packet_cache")
+            fingerprint = self._fingerprint(packet)
+            if fingerprint in self.cache:
+                self.cache.move_to_end(fingerprint)
+                self.hits += 1
+                saved = packet.payload_len - SHIM_BYTES
+                if saved > 0:
+                    self.bytes_saved += saved
+                    packet.frame_len = max(64, packet.frame_len - saved)
+                    packet.payload_len = SHIM_BYTES
+            else:
+                self.misses += 1
+                self.cache[fingerprint] = packet.payload_len
+                if len(self.cache) > self.cache_entries:
+                    self.cache.popitem(last=False)

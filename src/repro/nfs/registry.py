@@ -1,0 +1,115 @@
+"""Table 1: state scope and access pattern of popular stateful NFs.
+
+The registry encodes the paper's taxonomy and doubles as ground truth
+for a runtime check: the Table 1 bench runs each implemented NF through
+the engine and verifies, from the flow-state manager's counters, that
+its *observed* access pattern matches the declared one (e.g. that a NAT
+really only writes flow state at flow events).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+#: Access-pattern codes as printed in Table 1.
+READ = "R"
+READ_WRITE = "RW"
+NONE = "-"
+
+
+@dataclass(frozen=True)
+class StateDecl:
+    """One state item of an NF: its scope and access pattern."""
+
+    state: str
+    scope: str  # "Per-flow" | "Global"
+    per_packet: str  # R / RW / -
+    per_flow_event: str  # R / RW / -
+
+    def __post_init__(self) -> None:
+        if self.scope not in ("Per-flow", "Global"):
+            raise ValueError(f"scope must be Per-flow/Global, got {self.scope!r}")
+        for access in (self.per_packet, self.per_flow_event):
+            if access not in (READ, READ_WRITE, NONE):
+                raise ValueError(f"access must be R/RW/-, got {access!r}")
+
+
+@dataclass(frozen=True)
+class NfProfile:
+    """An NF's Table 1 row(s) plus implementation metadata."""
+
+    nf: str
+    states: Tuple[StateDecl, ...]
+    #: Does the NF modify per-flow state outside connection events?
+    updates_flow_state_per_packet: bool = False
+    #: Module implementing it in this package (None = taxonomy-only).
+    implementation: Optional[str] = None
+
+
+#: The rows of Table 1, in the paper's order.
+NF_PROFILES: Dict[str, NfProfile] = {
+    "nat": NfProfile(
+        nf="NAT, IPv4 to IPv6",
+        states=(
+            StateDecl("Flow map", "Per-flow", READ, READ_WRITE),
+            StateDecl("Pool of IPs/ports", "Global", NONE, READ_WRITE),
+        ),
+        implementation="repro.nfs.nat",
+    ),
+    "firewall": NfProfile(
+        nf="Firewall",
+        states=(StateDecl("Connection context", "Per-flow", READ, READ_WRITE),),
+        implementation="repro.nfs.firewall",
+    ),
+    "load_balancer": NfProfile(
+        nf="Load Balancer",
+        states=(
+            StateDecl("Flow-server map", "Per-flow", READ, READ_WRITE),
+            StateDecl("Pool of servers", "Global", NONE, READ_WRITE),
+            StateDecl("Statistics", "Global", READ_WRITE, NONE),
+        ),
+        implementation="repro.nfs.load_balancer",
+    ),
+    "traffic_monitor": NfProfile(
+        nf="Traffic Monitor",
+        states=(
+            StateDecl("Connection context", "Per-flow", NONE, READ_WRITE),
+            StateDecl("Statistics", "Global", READ_WRITE, NONE),
+        ),
+        implementation="repro.nfs.traffic_monitor",
+    ),
+    "redundancy_elimination": NfProfile(
+        nf="Redundancy Elimination",
+        states=(StateDecl("Packet cache", "Global", READ_WRITE, NONE),),
+        implementation="repro.nfs.redundancy",
+    ),
+    "dpi": NfProfile(
+        nf="DPI",
+        states=(StateDecl("Automata", "Per-flow", READ_WRITE, NONE),),
+        updates_flow_state_per_packet=True,
+        implementation="repro.nfs.dpi",
+    ),
+}
+
+
+def table1_rows() -> List[Dict[str, str]]:
+    """The rows of Table 1 as flat dicts (one per state item)."""
+    rows: List[Dict[str, str]] = []
+    for profile in NF_PROFILES.values():
+        for decl in profile.states:
+            rows.append(
+                {
+                    "NF": profile.nf,
+                    "State": decl.state,
+                    "Scope": decl.scope,
+                    "packet": decl.per_packet,
+                    "flow": decl.per_flow_event,
+                }
+            )
+    return rows
+
+
+def sprayer_compatible(key: str) -> bool:
+    """True if the NF fits Sprayer's model (no per-packet flow writes)."""
+    return not NF_PROFILES[key].updates_flow_state_per_packet

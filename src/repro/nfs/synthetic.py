@@ -1,0 +1,61 @@
+"""The synthetic NF of the paper's evaluation (§5).
+
+"This NF creates a new entry in the flow table at every new connection.
+Moreover, for every packet it receives, it retrieves the flow state,
+modifies the header, and busy loops for a given number of cycles."
+
+The busy-loop budget is the experiments' sweep parameter (0..10,000
+cycles — 10,000 being the maximum per-packet cost among the NFs
+surveyed by ResQ [42]). The footnote's claim that this is representative
+("a firewall, for example, would lookup the flow state and go through
+an ACL") is what the real NFs in this package exist to check.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List
+
+from repro.core.nf import NetworkFunction, NfContext
+from repro.net.packet import Packet
+from repro.net.tcp_flags import ACK, SYN
+
+
+class SyntheticNf(NetworkFunction):
+    """Parameterized stand-in for NFs of arbitrary complexity."""
+
+    name = "synthetic"
+
+    def __init__(self, busy_cycles: int = 0):
+        if busy_cycles < 0:
+            raise ValueError(f"busy_cycles must be non-negative, got {busy_cycles}")
+        self.busy_cycles = busy_cycles
+        self.connections_seen = 0
+
+    def connection_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        for packet in packets:
+            flags = packet.flags
+            if flags & SYN and not flags & ACK:
+                # First SYN of a connection: create state for both
+                # directions (the designated core is the same for both,
+                # thanks to the symmetric hash).
+                flow = packet.five_tuple
+                if ctx.get_local_flow(flow) is None:
+                    ctx.insert_local_flow(flow, {"packets": 0})
+                    ctx.insert_local_flow(flow.reversed(), {"packets": 0})
+                    self.connections_seen += 1
+            else:
+                # FIN/RST/SYN-ACK: the per-packet state retrieval the
+                # synthetic NF performs for every packet it receives.
+                ctx.get_flow(packet.five_tuple)
+            self._touch(packet, ctx)
+
+    def regular_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        # The batched lookup is the paper's optimized get_flow variant.
+        ctx.get_flows([packet.five_tuple for packet in packets])
+        for packet in packets:
+            self._touch(packet, ctx)
+
+    def _touch(self, packet: Packet, ctx: NfContext) -> None:
+        ctx.consume_cycles(ctx.engine.costs.header_update)
+        if self.busy_cycles:
+            ctx.consume_cycles(self.busy_cycles)

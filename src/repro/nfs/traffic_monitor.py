@@ -1,0 +1,121 @@
+"""A traffic monitor.
+
+Table 1 row: **connection context** (per-flow; written at flow events)
+and **statistics** (global; written per packet — but tolerating looser
+consistency).
+
+The statistics follow the paper's recommended pattern (§3.4): every
+core keeps its own shard — including byte/packet counts for flows whose
+designated core is elsewhere — and shards are periodically aggregated
+at the designated cores, "similar to the logging mechanism of existing
+systems (e.g., Bro Cluster)". Shard updates are core-local (relaxed
+consistency), so the per-packet cost stays cheap.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List
+
+from repro.core.nf import NetworkFunction, NfContext
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+from repro.net.tcp_flags import ACK, FIN, RST, SYN
+
+
+class _ConnRecord:
+    """Per-connection context kept at the designated core."""
+
+    __slots__ = ("opened_at", "closed_at", "bytes_total", "packets_total", "fins_seen")
+
+    def __init__(self, opened_at: int):
+        self.opened_at = opened_at
+        self.closed_at = -1
+        self.bytes_total = 0
+        self.packets_total = 0
+        self.fins_seen = 0
+
+
+class TrafficMonitorNf(NetworkFunction):
+    """Connection logging + sharded global statistics."""
+
+    name = "traffic_monitor"
+
+    def __init__(self):
+        self.connections_opened = 0
+        self.connections_closed = 0
+        #: Completed-connection log: (flow, duration_ps, bytes).
+        self.connection_log: List[tuple] = []
+
+    def init(self, ctx: NfContext) -> None:
+        # Per-core statistic shards (the relaxed-consistency pattern).
+        ctx.local["bytes"] = 0
+        ctx.local["packets"] = 0
+        ctx.local["per_flow"] = {}
+
+    # -- helpers ------------------------------------------------------------
+
+    def _count(self, packet: Packet, ctx: NfContext) -> None:
+        ctx.local["bytes"] += packet.frame_len
+        ctx.local["packets"] += 1
+        per_flow: Dict[FiveTuple, int] = ctx.local["per_flow"]
+        key = packet.five_tuple.canonical()
+        per_flow[key] = per_flow.get(key, 0) + packet.frame_len
+        # Shard update: core-local, relaxed consistency.
+        ctx.write_global("monitor_statistics", relaxed=True)
+
+    # -- handlers ------------------------------------------------------------
+
+    def connection_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        for packet in packets:
+            flags = packet.flags
+            flow = packet.five_tuple
+            self._count(packet, ctx)
+            if flags & SYN and not flags & ACK:
+                if ctx.get_local_flow(flow) is None:
+                    record = _ConnRecord(opened_at=ctx.now)
+                    ctx.insert_local_flow(flow, record)
+                    ctx.insert_local_flow(flow.reversed(), record)
+                    self.connections_opened += 1
+            elif flags & (FIN | RST):
+                record = ctx.get_local_flow(flow)
+                if record is None:
+                    continue
+                record.fins_seen += 1
+                closing = bool(flags & RST) or record.fins_seen >= 2
+                if closing and record.closed_at < 0:
+                    record.closed_at = ctx.now
+                    self.connections_closed += 1
+                    self.connection_log.append(
+                        (flow.canonical(), record.closed_at - record.opened_at,
+                         record.bytes_total)
+                    )
+                    ctx.remove_local_flow(flow)
+                    ctx.remove_local_flow(flow.reversed())
+
+    def regular_packets(self, packets: List[Packet], ctx: NfContext) -> None:
+        # Read-only flow access (is this a tracked connection?) plus
+        # shard counting; never a flow-state write off the designated core.
+        # Read-only flow access (is this a tracked connection?) plus
+        # shard counting; never a flow-state write off the designated
+        # core — per-connection totals come from the shard merge.
+        ctx.get_flows([packet.five_tuple for packet in packets])
+        for packet in packets:
+            self._count(packet, ctx)
+
+    # -- aggregation (the periodic shard merge) --------------------------------
+
+    def aggregate(self, contexts: List[NfContext]) -> Dict[str, int]:
+        """Merge the per-core shards (what the periodic task would do)."""
+        totals = {"bytes": 0, "packets": 0}
+        for ctx in contexts:
+            totals["bytes"] += ctx.local.get("bytes", 0)
+            totals["packets"] += ctx.local.get("packets", 0)
+        return totals
+
+    def per_flow_bytes(self, contexts: List[NfContext]) -> Dict[FiveTuple, int]:
+        """Aggregate per-flow byte counts across all core shards."""
+        merged: Dict[FiveTuple, int] = {}
+        for ctx in contexts:
+            for flow, count in ctx.local.get("per_flow", {}).items():
+                merged[flow] = merged.get(flow, 0) + count
+        return merged

@@ -1,0 +1,48 @@
+"""Multi-queue NIC model.
+
+Reproduces the two Intel 82599 features the paper builds on:
+
+- **RSS** (:mod:`repro.nic.rss`): the real Toeplitz hash over the
+  four-tuple, an indirection table, and the symmetric key of Woo et
+  al. [44] that the paper configures so both directions of a connection
+  land on the same core.
+- **Flow Director** (:mod:`repro.nic.flow_director`): a rule table with
+  field/mask matching and the 8k-rule capacity limit. Sprayer programs it
+  to match the k least-significant bits of the TCP checksum — the paper's
+  trick for making a commodity NIC spray packets — and non-matching
+  (non-TCP) packets fall back to RSS.
+
+The :class:`~repro.nic.nic.MultiQueueNic` ties these together with
+bounded rx queues (tail-drop) and the empirical ~10 Mpps classification
+cap the paper observed when Flow Director is enabled.
+"""
+
+from repro.nic.flow_director import (
+    FLOW_DIRECTOR_CAPACITY,
+    FlowDirectorRule,
+    FlowDirectorTable,
+    build_checksum_spray_rules,
+)
+from repro.nic.nic import MultiQueueNic, NicConfig, NicStats
+from repro.nic.queues import RxQueue
+from repro.nic.rss import (
+    DEFAULT_RSS_KEY,
+    SYMMETRIC_RSS_KEY,
+    RssHasher,
+    toeplitz_hash,
+)
+
+__all__ = [
+    "MultiQueueNic",
+    "NicConfig",
+    "NicStats",
+    "RxQueue",
+    "RssHasher",
+    "toeplitz_hash",
+    "DEFAULT_RSS_KEY",
+    "SYMMETRIC_RSS_KEY",
+    "FlowDirectorRule",
+    "FlowDirectorTable",
+    "FLOW_DIRECTOR_CAPACITY",
+    "build_checksum_spray_rules",
+]

@@ -1,0 +1,169 @@
+"""Flow Director: the 82599 feature Sprayer abuses to spray packets.
+
+Flow Director was designed to pin *specific flows* to queues via
+field/mask match rules. The paper's implementation trick (§4) is to
+match on the **TCP checksum field** instead: because the checksum of
+packets with varying payloads is effectively uniform, masking its k
+least-significant bits and installing one rule per value sprays TCP
+packets uniformly across queues, with no software involvement.
+
+Two real hardware limits are modelled:
+
+- the ~8k rule capacity (:data:`FLOW_DIRECTOR_CAPACITY`) that makes
+  conventional per-flow use unattractive and forces the LSB-masking trick
+  ("rules that exhaust all possible matches");
+- the empirical ~10 Mpps classification cap the paper measured on the
+  82599 (enforced by :class:`repro.nic.nic.MultiQueueNic`, not here).
+
+Non-TCP packets match no spray rule and fall back to RSS.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.five_tuple import PROTO_TCP
+from repro.net.packet import Packet
+
+#: 82599 Flow Director rule capacity (perfect-match filters).
+FLOW_DIRECTOR_CAPACITY = 8192
+
+#: Packet fields a rule may match on, with their extraction functions.
+_FIELD_GETTERS = {
+    "tcp_checksum": lambda p: p.tcp_checksum,
+    "src_port": lambda p: p.five_tuple.src_port,
+    "dst_port": lambda p: p.five_tuple.dst_port,
+    "src_ip": lambda p: p.five_tuple.src_ip,
+    "dst_ip": lambda p: p.five_tuple.dst_ip,
+}
+
+
+@dataclass(frozen=True)
+class FlowDirectorRule:
+    """Match ``field & mask == value`` (for ``protocol``) → ``queue``."""
+
+    field: str
+    mask: int
+    value: int
+    queue: int
+    protocol: int = PROTO_TCP
+
+    def __post_init__(self) -> None:
+        if self.field not in _FIELD_GETTERS:
+            raise ValueError(f"unknown match field {self.field!r}")
+        if self.value & ~self.mask:
+            raise ValueError(
+                f"rule value 0x{self.value:x} has bits outside mask 0x{self.mask:x}"
+            )
+
+    def matches(self, packet: Packet) -> bool:
+        if packet.five_tuple.protocol != self.protocol:
+            return False
+        return (_FIELD_GETTERS[self.field](packet) & self.mask) == self.value
+
+
+class FlowDirectorTable:
+    """A capacity-limited rule table with O(1) lookup.
+
+    Rules are grouped by ``(field, mask, protocol)``; each group is a
+    hash map from masked value to queue, which models the hardware's
+    perfect-match behaviour and keeps per-packet matching cheap. Groups
+    are consulted in insertion order (first match wins).
+    """
+
+    def __init__(self, capacity: int = FLOW_DIRECTOR_CAPACITY):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.capacity = capacity
+        self._groups: Dict[Tuple[str, int, int], Dict[int, int]] = {}
+        self._rule_count = 0
+
+    def __len__(self) -> int:
+        return self._rule_count
+
+    @property
+    def free_rules(self) -> int:
+        return self.capacity - self._rule_count
+
+    def add_rule(self, rule: FlowDirectorRule) -> None:
+        """Install a rule; raises ``OverflowError`` when the table is full.
+
+        Re-installing a rule with the same match replaces the target
+        queue without consuming extra capacity (hardware semantics).
+        """
+        group_key = (rule.field, rule.mask, rule.protocol)
+        group = self._groups.setdefault(group_key, {})
+        if rule.value not in group:
+            if self._rule_count >= self.capacity:
+                raise OverflowError(
+                    f"Flow Director table full ({self.capacity} rules)"
+                )
+            self._rule_count += 1
+        group[rule.value] = rule.queue
+
+    def add_rules(self, rules: List[FlowDirectorRule]) -> None:
+        for rule in rules:
+            self.add_rule(rule)
+
+    def clear(self) -> None:
+        self._groups.clear()
+        self._rule_count = 0
+
+    def match(self, packet: Packet) -> Optional[int]:
+        """Return the target queue of the first matching rule, or None."""
+        protocol = packet.five_tuple.protocol
+        for (field, mask, rule_protocol), group in self._groups.items():
+            if rule_protocol != protocol:
+                continue
+            value = _FIELD_GETTERS[field](packet) & mask
+            queue = group.get(value)
+            if queue is not None:
+                return queue
+        return None
+
+
+def spray_bits_for(num_queues: int, extra_bits: int = 5, max_bits: int = 13) -> int:
+    """How many checksum LSBs to match for ``num_queues`` queues.
+
+    At least ``ceil(log2(num_queues))`` bits are needed to name every
+    queue; ``extra_bits`` more smooth out the imbalance when the queue
+    count does not divide the rule count. ``max_bits`` keeps the rule
+    count within the 8k table (2^13 = 8192).
+    """
+    if num_queues < 1:
+        raise ValueError(f"num_queues must be >= 1, got {num_queues}")
+    needed = max(1, (num_queues - 1).bit_length())
+    return min(max_bits, needed + extra_bits)
+
+
+def build_checksum_spray_rules(
+    num_queues: int, bits: Optional[int] = None
+) -> List[FlowDirectorRule]:
+    """The paper's spraying configuration: one rule per checksum-LSB value.
+
+    ``2**bits`` rules are generated, mapping masked value ``v`` to queue
+    ``v % num_queues``. Together the rules exhaust every possible value
+    of the masked field, so **every** TCP packet matches some rule — the
+    "rules that exhaust all possible matches" of §4.
+    """
+    if bits is None:
+        bits = spray_bits_for(num_queues)
+    if not 1 <= bits <= 16:
+        raise ValueError(f"bits must be in [1, 16], got {bits}")
+    if 2**bits > FLOW_DIRECTOR_CAPACITY:
+        raise ValueError(
+            f"2^{bits} rules exceed the Flow Director capacity "
+            f"({FLOW_DIRECTOR_CAPACITY})"
+        )
+    if 2**bits < num_queues:
+        raise ValueError(
+            f"2^{bits} rule values cannot cover {num_queues} queues"
+        )
+    mask = (1 << bits) - 1
+    return [
+        FlowDirectorRule(
+            field="tcp_checksum", mask=mask, value=value, queue=value % num_queues
+        )
+        for value in range(1 << bits)
+    ]

@@ -1,0 +1,91 @@
+"""Point-to-point link with serialization and propagation delay.
+
+Models the back-to-back 10 GbE cables of the paper's testbed. A link is
+unidirectional; a full-duplex cable is two ``Link`` instances. Packets
+are serialized FIFO at the line rate (including Ethernet preamble and
+inter-frame gap) and delivered to a sink callback after the propagation
+delay.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.timeunits import MICROSECOND, SECOND
+
+
+class Link:
+    """A unidirectional serializing link.
+
+    ``sink(packet, now)`` is invoked at the instant the last bit arrives
+    at the far end. Sending while the transmitter is busy queues the
+    packet behind the in-flight ones (unbounded: senders in this
+    simulator are either paced generators or TCP, both self-limiting).
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        rate_bps: float = 10e9,
+        propagation_delay: int = MICROSECOND,
+        sink: Optional[Callable[[Packet, int], None]] = None,
+        name: str = "link",
+        queue_limit: Optional[int] = None,
+    ):
+        if rate_bps <= 0:
+            raise ValueError(f"rate_bps must be positive, got {rate_bps}")
+        if propagation_delay < 0:
+            raise ValueError("propagation_delay must be non-negative")
+        if queue_limit is not None and queue_limit < 1:
+            raise ValueError(f"queue_limit must be >= 1, got {queue_limit}")
+        self.sim = sim
+        self.rate_bps = rate_bps
+        self.propagation_delay = propagation_delay
+        self.sink = sink
+        self.name = name
+        #: Max packets queued at the transmitter (None = unbounded).
+        #: Models the sending host's qdisc (Linux pfifo txqueuelen).
+        self.queue_limit = queue_limit
+        self._queued = 0
+        self._transmitter_free_at = 0
+        self.packets_sent = 0
+        self.bytes_sent = 0
+        self.packets_dropped = 0
+
+    def serialization_time(self, packet: Packet) -> int:
+        """Picoseconds to clock the frame (incl. preamble + IFG) out."""
+        return round(packet.wire_bytes * 8 * SECOND / self.rate_bps)
+
+    def send(self, packet: Packet) -> int:
+        """Enqueue a packet for transmission.
+
+        Returns the far-end arrival time, or -1 if the transmit queue
+        is full (the packet is dropped, as a host qdisc would).
+        """
+        if self.sink is None:
+            raise RuntimeError(f"link {self.name!r} has no sink attached")
+        now = self.sim.now
+        if self.queue_limit is not None and self._queued >= self.queue_limit:
+            self.packets_dropped += 1
+            return -1
+        start = max(now, self._transmitter_free_at)
+        finish = start + self.serialization_time(packet)
+        self._transmitter_free_at = finish
+        arrival = finish + self.propagation_delay
+        self.packets_sent += 1
+        self.bytes_sent += packet.frame_len
+        if self.queue_limit is not None:
+            self._queued += 1
+            self.sim.at(finish, self._on_serialized)
+        self.sim.at(arrival, self.sink, packet, arrival)
+        return arrival
+
+    def _on_serialized(self) -> None:
+        self._queued -= 1
+
+    @property
+    def backlog(self) -> int:
+        """Picoseconds of queued serialization work at the transmitter."""
+        return max(0, self._transmitter_free_at - self.sim.now)

@@ -1,0 +1,134 @@
+"""The multi-queue NIC.
+
+Receive path: classify (Flow Director first when enabled, RSS fallback)
+and append to the matched bounded rx queue. This is the paper's Figure 3
+— the NIC, not software, decides which core sees the packet.
+
+The model includes the empirical classification-rate cap the paper
+observed with Flow Director on the 82599 ("Sprayer's processing rate is
+limited to about 10 Mpps. This, however, is not fundamental and is a
+limitation of the 82599 NIC when using Flow Director"): a token bucket at
+``flow_director_pps_cap`` drops packets beyond the sustainable rate when
+Flow Director is enabled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional
+
+from repro.net.packet import Packet
+from repro.nic.flow_director import FlowDirectorTable
+from repro.nic.queues import RxQueue
+from repro.nic.rss import SYMMETRIC_RSS_KEY, RssHasher
+from repro.sim.timeunits import SECOND
+
+
+@dataclass
+class NicConfig:
+    """Static NIC configuration.
+
+    The paper configures the RSS hash to be symmetric (upstream and
+    downstream of a connection share a core), so the symmetric key is
+    the default here.
+    """
+
+    num_queues: int = 8
+    queue_capacity: int = 512
+    rss_key: bytes = SYMMETRIC_RSS_KEY
+    flow_director_enabled: bool = False
+    #: 82599 Flow Director classification cap, packets per second.
+    flow_director_pps_cap: Optional[float] = 10.5e6
+    #: Token-bucket burst allowance for the cap, in packets.
+    flow_director_burst: int = 64
+
+
+@dataclass
+class NicStats:
+    """Receive-path counters."""
+
+    rx_packets: int = 0
+    rx_dropped_queue_full: int = 0
+    rx_dropped_fd_cap: int = 0
+    fd_matched: int = 0
+    rss_fallback: int = 0
+    per_queue_rx: List[int] = field(default_factory=list)
+
+
+class MultiQueueNic:
+    """A multi-queue NIC with RSS and Flow Director classification."""
+
+    def __init__(self, config: Optional[NicConfig] = None):
+        self.config = config or NicConfig()
+        if self.config.num_queues < 1:
+            raise ValueError("NIC needs at least one queue")
+        self.queues: List[RxQueue] = [
+            RxQueue(i, self.config.queue_capacity) for i in range(self.config.num_queues)
+        ]
+        self.rss = RssHasher(self.config.num_queues, key=self.config.rss_key)
+        self.flow_director = FlowDirectorTable()
+        self.stats = NicStats(per_queue_rx=[0] * self.config.num_queues)
+        #: Optional programmable pipeline consulted before Flow Director
+        #: and RSS; return a queue id or None to fall through. Used by
+        #: the paper's §7 extensions (programmable NICs, flowlets,
+        #: bounded-subset spraying).
+        self.custom_classifier: Optional[Callable[[Packet], Optional[int]]] = None
+        self._fd_tokens = float(self.config.flow_director_burst)
+        self._fd_last_refill = 0
+
+    @property
+    def num_queues(self) -> int:
+        return self.config.num_queues
+
+    def classify(self, packet: Packet) -> int:
+        """Pick the rx queue: programmable pipeline, Flow Director, RSS."""
+        if self.custom_classifier is not None:
+            queue = self.custom_classifier(packet)
+            if queue is not None:
+                return queue
+        if self.config.flow_director_enabled:
+            queue = self.flow_director.match(packet)
+            if queue is not None:
+                self.stats.fd_matched += 1
+                return queue
+        self.stats.rss_fallback += 1
+        return self.rss.queue_for(packet.five_tuple)
+
+    def receive(self, packet: Packet, now: int) -> bool:
+        """Deliver an arriving packet to an rx queue.
+
+        Returns False when the packet is dropped (classification cap or
+        queue overflow).
+        """
+        self.stats.rx_packets += 1
+        if self.config.flow_director_enabled and not self._consume_fd_token(now):
+            self.stats.rx_dropped_fd_cap += 1
+            return False
+        queue_id = self.classify(packet)
+        packet.nic_rx_time = now
+        packet.rx_queue = queue_id
+        if not self.queues[queue_id].push(packet):
+            self.stats.rx_dropped_queue_full += 1
+            return False
+        self.stats.per_queue_rx[queue_id] += 1
+        return True
+
+    def _consume_fd_token(self, now: int) -> bool:
+        cap = self.config.flow_director_pps_cap
+        if cap is None:
+            return True
+        elapsed = now - self._fd_last_refill
+        if elapsed > 0:
+            self._fd_tokens = min(
+                float(self.config.flow_director_burst),
+                self._fd_tokens + elapsed * cap / SECOND,
+            )
+            self._fd_last_refill = now
+        if self._fd_tokens >= 1.0:
+            self._fd_tokens -= 1.0
+            return True
+        return False
+
+    def queue_depths(self) -> List[int]:
+        """Current occupancy of every rx queue (diagnostics)."""
+        return [len(q) for q in self.queues]

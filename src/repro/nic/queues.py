@@ -1,0 +1,58 @@
+"""Bounded NIC rx queues.
+
+A queue models a descriptor ring: fixed capacity, tail-drop on overflow
+(what a real NIC does when software cannot keep up), and an optional
+"not empty" callback used to wake the idle core polling it.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.net.packet import Packet
+
+
+class RxQueue:
+    """A bounded FIFO of packets with drop accounting."""
+
+    def __init__(self, queue_id: int, capacity: int = 512):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.queue_id = queue_id
+        self.capacity = capacity
+        self._packets: Deque[Packet] = deque()
+        self.enqueued = 0
+        self.dropped = 0
+        #: Called when the queue transitions empty -> non-empty.
+        self.on_first_packet: Optional[Callable[[], None]] = None
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self._packets
+
+    def push(self, packet: Packet) -> bool:
+        """Enqueue; returns False (and counts a drop) when full."""
+        if len(self._packets) >= self.capacity:
+            self.dropped += 1
+            return False
+        was_empty = not self._packets
+        self._packets.append(packet)
+        self.enqueued += 1
+        if was_empty and self.on_first_packet is not None:
+            self.on_first_packet()
+        return True
+
+    def pop_batch(self, max_batch: int) -> List[Packet]:
+        """Dequeue up to ``max_batch`` packets (DPDK ``rx_burst`` style)."""
+        if max_batch < 1:
+            raise ValueError(f"max_batch must be >= 1, got {max_batch}")
+        packets = self._packets
+        count = min(max_batch, len(packets))
+        return [packets.popleft() for _ in range(count)]
+
+    def clear(self) -> None:
+        self._packets.clear()

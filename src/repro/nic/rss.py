@@ -1,0 +1,126 @@
+"""Receive-Side Scaling: the Toeplitz hash and indirection table.
+
+This is the baseline the paper argues against: the NIC hashes the
+four-tuple (source/destination IP and port) with the Toeplitz function,
+indexes a 128-entry indirection table with the low bits, and delivers the
+packet to the queue found there. All packets of a flow therefore share a
+queue — which is precisely why a single flow can use only one core, and
+why hash collisions make core load unfair.
+
+Two standard keys are provided:
+
+- :data:`DEFAULT_RSS_KEY` — the Microsoft verification-suite key used by
+  most drivers.
+- :data:`SYMMETRIC_RSS_KEY` — ``0x6d5a`` repeated, which makes the hash
+  invariant under swapping (src ip, src port) with (dst ip, dst port);
+  the paper configures this (citing Woo et al. [44]) so that upstream and
+  downstream packets of a connection reach the same core.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.net.five_tuple import FiveTuple
+
+#: Microsoft's RSS verification key (40 bytes), the de-facto default.
+DEFAULT_RSS_KEY = bytes(
+    [
+        0x6D, 0x5A, 0x56, 0xDA, 0x25, 0x5B, 0x0E, 0xC2,
+        0x41, 0x67, 0x25, 0x3D, 0x43, 0xA3, 0x8F, 0xB0,
+        0xD0, 0xCA, 0x2B, 0xCB, 0xAE, 0x7B, 0x30, 0xB4,
+        0x77, 0xCB, 0x2D, 0xA3, 0x80, 0x30, 0xF2, 0x0C,
+        0x6A, 0x42, 0xB7, 0x3B, 0xBE, 0xAC, 0x01, 0xFA,
+    ]
+)
+
+#: The symmetric key of Woo et al.: 0x6d5a repeated 20 times.
+SYMMETRIC_RSS_KEY = bytes([0x6D, 0x5A] * 20)
+
+#: 82599 RSS indirection table size.
+INDIRECTION_TABLE_SIZE = 128
+
+
+def toeplitz_hash(key: bytes, data: bytes) -> int:
+    """The Toeplitz hash exactly as NICs compute it.
+
+    For each input bit (MSB first), if the bit is set, XOR the current
+    leftmost 32 bits of the (left-shifting) key into the result.
+    """
+    if len(key) * 8 < len(data) * 8 + 32:
+        raise ValueError(
+            f"key too short: {len(key)} bytes for {len(data)} bytes of input"
+        )
+    key_int = int.from_bytes(key, "big")
+    key_bits = len(key) * 8
+    result = 0
+    for byte in data:
+        for bit_index in range(7, -1, -1):
+            if byte >> bit_index & 1:
+                result ^= key_int >> (key_bits - 32)
+            key_int = (key_int << 1) & ((1 << key_bits) - 1)
+    return result & 0xFFFFFFFF
+
+
+def rss_input_bytes(flow: FiveTuple) -> bytes:
+    """The RSS hash input for IPv4 TCP/UDP: src ip, dst ip, src port, dst port."""
+    return (
+        flow.src_ip.to_bytes(4, "big")
+        + flow.dst_ip.to_bytes(4, "big")
+        + flow.src_port.to_bytes(2, "big")
+        + flow.dst_port.to_bytes(2, "big")
+    )
+
+
+class RssHasher:
+    """RSS hash + indirection table, with a per-flow result cache.
+
+    The cache mirrors what happens in hardware (the hash is a pure
+    function of the flow) while keeping the pure-Python bit loop off the
+    per-packet path.
+    """
+
+    def __init__(
+        self,
+        num_queues: int,
+        key: bytes = DEFAULT_RSS_KEY,
+        table_size: int = INDIRECTION_TABLE_SIZE,
+    ):
+        if num_queues < 1:
+            raise ValueError(f"num_queues must be >= 1, got {num_queues}")
+        self.key = key
+        self.num_queues = num_queues
+        #: queue id per indirection-table slot, default round-robin fill.
+        self.indirection_table: List[int] = [i % num_queues for i in range(table_size)]
+        self._cache: dict = {}
+
+    def hash(self, flow: FiveTuple) -> int:
+        """32-bit Toeplitz hash of the flow's RSS input."""
+        cached = self._cache.get(flow)
+        if cached is None:
+            cached = toeplitz_hash(self.key, rss_input_bytes(flow))
+            self._cache[flow] = cached
+        return cached
+
+    def queue_for(self, flow: FiveTuple) -> int:
+        """The rx queue RSS steers this flow to."""
+        index = self.hash(flow) % len(self.indirection_table)
+        return self.indirection_table[index]
+
+    def set_indirection(self, table: Sequence[int]) -> None:
+        """Install a custom indirection table (lengths must match)."""
+        if len(table) != len(self.indirection_table):
+            raise ValueError(
+                f"indirection table must have {len(self.indirection_table)} entries"
+            )
+        bad = [q for q in table if not 0 <= q < self.num_queues]
+        if bad:
+            raise ValueError(f"queue ids out of range: {bad}")
+        self.indirection_table = list(table)
+
+    def is_symmetric(self) -> bool:
+        """True if the configured key hashes both directions identically."""
+        probe = FiveTuple(0x0A000001, 0x0A000002, 1234, 80, 6)
+        return toeplitz_hash(self.key, rss_input_bytes(probe)) == toeplitz_hash(
+            self.key, rss_input_bytes(probe.reversed())
+        )

@@ -1,0 +1,40 @@
+"""Discrete-event simulation engine.
+
+The engine is the substrate everything else runs on: the NIC, the cores,
+the TCP endpoints, and the traffic generators are all event-driven
+components scheduling callbacks on a shared :class:`Simulator`.
+
+Time is kept as an integer number of **picoseconds** so that CPU cycles at
+2.0 GHz (500 ps) and wire times are exact; see :mod:`repro.sim.timeunits`.
+"""
+
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.rng import RngStreams
+from repro.sim.timeunits import (
+    MICROSECOND,
+    MILLISECOND,
+    NANOSECOND,
+    PICOSECOND,
+    SECOND,
+    cycles_to_time,
+    time_to_cycles,
+    to_microseconds,
+    to_milliseconds,
+    to_seconds,
+)
+
+__all__ = [
+    "EventHandle",
+    "Simulator",
+    "RngStreams",
+    "PICOSECOND",
+    "NANOSECOND",
+    "MICROSECOND",
+    "MILLISECOND",
+    "SECOND",
+    "cycles_to_time",
+    "time_to_cycles",
+    "to_seconds",
+    "to_milliseconds",
+    "to_microseconds",
+]

@@ -1,0 +1,142 @@
+"""The discrete-event simulator.
+
+A minimal, fast event loop: a binary heap of ``(time, sequence, handle)``
+entries. Components schedule plain callables; there is no coroutine
+machinery, which keeps per-event overhead low enough to push hundreds of
+thousands of packet batches through pure Python.
+
+Determinism: events scheduled for the same timestamp fire in scheduling
+order (the monotonically increasing sequence number breaks ties), so a
+run is a pure function of the RNG seeds.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable, List, Optional, Tuple
+
+
+class EventHandle:
+    """A scheduled event; ``cancel()`` prevents it from firing.
+
+    Cancellation is lazy: the heap entry stays in place and is skipped
+    when popped, which is far cheaper than heap surgery for the common
+    timer-reset pattern (e.g. TCP retransmission timers).
+    """
+
+    __slots__ = ("callback", "args", "time", "cancelled")
+
+    def __init__(self, callback: Callable[..., None], args: Tuple[Any, ...], time: int):
+        self.callback = callback
+        self.args = args
+        self.time = time
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent this event from firing; safe to call more than once."""
+        self.cancelled = True
+
+
+class Simulator:
+    """Discrete-event simulator with an integer-picosecond clock.
+
+    Typical use::
+
+        sim = Simulator()
+        sim.after(MICROSECOND, my_callback, arg1, arg2)
+        sim.run(until=10 * MILLISECOND)
+    """
+
+    def __init__(self) -> None:
+        self._now: int = 0
+        self._queue: List[Tuple[int, int, EventHandle]] = []
+        self._sequence: int = 0
+        self._running = False
+        self._events_processed: int = 0
+
+    @property
+    def now(self) -> int:
+        """Current simulation time in picoseconds."""
+        return self._now
+
+    @property
+    def events_processed(self) -> int:
+        """Number of events fired so far (diagnostics)."""
+        return self._events_processed
+
+    @property
+    def pending_events(self) -> int:
+        """Number of heap entries, including lazily cancelled ones."""
+        return len(self._queue)
+
+    def at(self, time: int, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` at absolute time ``time``.
+
+        Scheduling in the past raises ``ValueError`` — a component doing
+        that has a logic bug and silently clamping would hide it.
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time} ps; current time is {self._now} ps"
+            )
+        handle = EventHandle(callback, args, time)
+        self._sequence += 1
+        heapq.heappush(self._queue, (time, self._sequence, handle))
+        return handle
+
+    def after(self, delay: int, callback: Callable[..., None], *args: Any) -> EventHandle:
+        """Schedule ``callback(*args)`` after ``delay`` picoseconds."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        return self.at(self._now + delay, callback, *args)
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run the event loop.
+
+        Stops when the queue drains, when the clock would pass ``until``,
+        or after ``max_events`` events (a runaway-loop backstop). Returns
+        the number of events processed by this call. When stopped by
+        ``until``, the clock is advanced to exactly ``until`` so that
+        measurement windows have precise widths.
+        """
+        processed = 0
+        queue = self._queue
+        self._running = True
+        try:
+            while queue and self._running:
+                time, _seq, handle = queue[0]
+                if until is not None and time > until:
+                    break
+                heapq.heappop(queue)
+                if handle.cancelled:
+                    continue
+                self._now = time
+                handle.callback(*handle.args)
+                processed += 1
+                self._events_processed += 1
+                if max_events is not None and processed >= max_events:
+                    break
+        finally:
+            self._running = False
+        if until is not None and self._now < until:
+            has_earlier = bool(queue) and queue[0][0] <= until
+            if not has_earlier:
+                self._now = until
+        return processed
+
+    def stop(self) -> None:
+        """Request the loop to stop after the current event."""
+        self._running = False
+
+    def drain_cancelled(self) -> int:
+        """Compact the heap by dropping cancelled entries; returns count.
+
+        Long simulations with many timer resets can accumulate dead
+        entries; calling this occasionally bounds heap growth.
+        """
+        alive = [entry for entry in self._queue if not entry[2].cancelled]
+        dropped = len(self._queue) - len(alive)
+        if dropped:
+            heapq.heapify(alive)
+            self._queue = alive
+        return dropped

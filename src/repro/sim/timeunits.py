@@ -1,0 +1,75 @@
+"""Simulation time units.
+
+All simulation timestamps are integers in **picoseconds**. The choice is
+deliberate: a CPU cycle at 2.0 GHz is exactly 500 ps, and serialization
+times on a 10 Gbps wire are sub-nanosecond-exact, so integer picoseconds
+make every latency in the system representable without floating-point
+drift. Python integers are unbounded, so a multi-second simulation does
+not overflow.
+"""
+
+from __future__ import annotations
+
+#: One picosecond — the base unit (1).
+PICOSECOND = 1
+#: One nanosecond in picoseconds.
+NANOSECOND = 1_000
+#: One microsecond in picoseconds.
+MICROSECOND = 1_000_000
+#: One millisecond in picoseconds.
+MILLISECOND = 1_000_000_000
+#: One second in picoseconds.
+SECOND = 1_000_000_000_000
+
+
+def cycles_to_time(cycles: float, clock_hz: float) -> int:
+    """Convert a cycle count at ``clock_hz`` into integer picoseconds.
+
+    The result is rounded to the nearest picosecond; at 2.0 GHz one cycle
+    is exactly 500 ps so no rounding occurs for the default clock.
+    """
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return round(cycles * SECOND / clock_hz)
+
+
+def time_to_cycles(time_ps: int, clock_hz: float) -> float:
+    """Convert picoseconds into (fractional) cycles at ``clock_hz``."""
+    if clock_hz <= 0:
+        raise ValueError(f"clock_hz must be positive, got {clock_hz}")
+    return time_ps * clock_hz / SECOND
+
+
+def to_seconds(time_ps: int) -> float:
+    """Picoseconds to (float) seconds."""
+    return time_ps / SECOND
+
+
+def to_milliseconds(time_ps: int) -> float:
+    """Picoseconds to (float) milliseconds."""
+    return time_ps / MILLISECOND
+
+
+def to_microseconds(time_ps: int) -> float:
+    """Picoseconds to (float) microseconds."""
+    return time_ps / MICROSECOND
+
+
+def seconds(value: float) -> int:
+    """(Float) seconds to integer picoseconds."""
+    return round(value * SECOND)
+
+
+def milliseconds(value: float) -> int:
+    """(Float) milliseconds to integer picoseconds."""
+    return round(value * MILLISECOND)
+
+
+def microseconds(value: float) -> int:
+    """(Float) microseconds to integer picoseconds."""
+    return round(value * MICROSECOND)
+
+
+def nanoseconds(value: float) -> int:
+    """(Float) nanoseconds to integer picoseconds."""
+    return round(value * NANOSECOND)

@@ -1,0 +1,60 @@
+"""Steering policies: who decides which core sees which packet.
+
+A policy owns two decisions: how the NIC classifies arriving packets to
+rx queues, and where a flow's *designated core* (single writer of its
+state) lives. The engine consults the policy; the cores and NIC stay
+policy-free.
+
+Policies:
+
+- ``rss`` — the baseline the paper argues against: per-flow Toeplitz
+  steering, designated core = arrival core.
+- ``sprayer`` — the paper's system: Flow Director checksum-LSB spraying,
+  software redirection of connection packets to designated cores.
+- ``naive`` — ablation: spray *everything* with no designated cores;
+  flow state is a shared, locked table (what §3.2 warns against).
+- ``prognic`` — §7 extension: a programmable NIC steers connection
+  packets to their designated core in hardware; no ring transfers.
+- ``flowlet`` — §7 extension: spray at flowlet granularity (gap-based),
+  trading utilization for less reordering.
+- ``subset`` — §7 extension: spray each flow over a bounded subset of
+  cores (power-of-two-choices flavour).
+"""
+
+from repro.steering.base import SteeringPolicy
+from repro.steering.flowlet import FlowletPolicy
+from repro.steering.naive import NaiveSprayPolicy
+from repro.steering.prognic import ProgrammableNicPolicy
+from repro.steering.rss import RssPolicy
+from repro.steering.sprayer import SprayerPolicy
+from repro.steering.subset import SubsetPolicy
+
+_POLICIES = {
+    "rss": RssPolicy,
+    "sprayer": SprayerPolicy,
+    "naive": NaiveSprayPolicy,
+    "prognic": ProgrammableNicPolicy,
+    "flowlet": FlowletPolicy,
+    "subset": SubsetPolicy,
+}
+
+
+def make_policy(mode: str, config) -> SteeringPolicy:
+    """Instantiate the policy named by ``config.mode``."""
+    try:
+        policy_cls = _POLICIES[mode]
+    except KeyError:
+        raise ValueError(f"unknown steering mode {mode!r}; expected one of {sorted(_POLICIES)}")
+    return policy_cls(config)
+
+
+__all__ = [
+    "SteeringPolicy",
+    "RssPolicy",
+    "SprayerPolicy",
+    "NaiveSprayPolicy",
+    "ProgrammableNicPolicy",
+    "FlowletPolicy",
+    "SubsetPolicy",
+    "make_policy",
+]

@@ -1,0 +1,39 @@
+"""The steering-policy interface."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.net.five_tuple import FiveTuple
+from repro.nic.nic import MultiQueueNic
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, types only
+    from repro.core.engine import MiddleboxEngine
+
+
+class SteeringPolicy:
+    """Base class; concrete policies override the hooks they need."""
+
+    #: Policy name, used in experiment output.
+    name: str = "base"
+    #: If True, the engine redirects connection packets that arrive on a
+    #: non-designated core through the inter-core rings.
+    redirect_connection_packets: bool = True
+    #: If True, the engine uses a single shared, locked flow table
+    #: instead of partitioned per-core tables (the naive ablation).
+    uses_shared_state: bool = False
+
+    def __init__(self, config):
+        self.config = config
+        self.nic: MultiQueueNic = None  # set by build_nic
+
+    def build_nic(self) -> MultiQueueNic:
+        """Create and program the NIC for this policy."""
+        raise NotImplementedError
+
+    def designated_core(self, flow: FiveTuple) -> int:
+        """The single core allowed to modify this flow's state."""
+        raise NotImplementedError
+
+    def attach(self, engine: "MiddleboxEngine") -> None:
+        """Post-wiring hook; policies that need the clock/RNG grab it here."""

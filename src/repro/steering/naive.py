@@ -1,0 +1,56 @@
+"""Naive spraying: the ablation that motivates designated cores.
+
+Same NIC configuration as Sprayer, but *no* connection-packet
+redirection: SYN/FIN/RST packets are handled wherever they land, so any
+core may create or modify any flow's state. The engine therefore uses a
+single shared, locked flow table; every access pays the lock, and
+writes from shifting cores pay cache invalidations — exactly the
+"synchronization primitives that would impact performance" the paper's
+design exists to avoid (§1, §3.2).
+"""
+
+from __future__ import annotations
+
+from repro.core.designated import DesignatedCoreMap
+from repro.net.five_tuple import FiveTuple
+from repro.nic.flow_director import build_checksum_spray_rules
+from repro.nic.nic import MultiQueueNic, NicConfig
+from repro.nic.rss import SYMMETRIC_RSS_KEY
+from repro.steering.base import SteeringPolicy
+
+
+class NaiveSprayPolicy(SteeringPolicy):
+    """Spray everything; share one locked flow table."""
+
+    name = "naive"
+    redirect_connection_packets = False
+    uses_shared_state = True
+
+    def __init__(self, config):
+        super().__init__(config)
+        # Kept for API parity (ctx.designated_core); the shared table
+        # does not consult it.
+        self.designated_map = DesignatedCoreMap(
+            config.num_cores, symmetric=getattr(config, "symmetric_designation", True)
+        )
+
+    def build_nic(self) -> MultiQueueNic:
+        self.nic = MultiQueueNic(
+            NicConfig(
+                num_queues=self.config.num_cores,
+                queue_capacity=self.config.queue_capacity,
+                rss_key=SYMMETRIC_RSS_KEY,
+                flow_director_enabled=True,
+                flow_director_pps_cap=self.config.flow_director_pps_cap,
+            )
+        )
+        rules = build_checksum_spray_rules(
+            self.config.num_cores, bits=self.config.spray_bits
+        )
+        self.nic.flow_director.add_rules(rules)
+        return self.nic
+
+    def designated_core(self, flow: FiveTuple) -> int:
+        if flow.is_tcp:
+            return self.designated_map.core_for(flow)
+        return self.nic.rss.queue_for(flow)

@@ -1,0 +1,65 @@
+"""Programmable-NIC steering (paper §7, "Programmable NICs").
+
+"We could program NICs to direct connection packets to designated
+cores, reducing some of Sprayer's overhead." This policy models that: a
+programmable pipeline checks the SYN/FIN/RST flags and steers connection
+packets straight to their designated core's queue, while regular TCP
+packets are sprayed. No ring transfers remain, and the 82599's Flow
+Director classification cap does not apply to the programmable pipeline.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.designated import DesignatedCoreMap
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+from repro.nic.nic import MultiQueueNic, NicConfig
+from repro.nic.rss import SYMMETRIC_RSS_KEY
+from repro.steering.base import SteeringPolicy
+
+
+class ProgrammableNicPolicy(SteeringPolicy):
+    """Hardware steering of connection packets; spraying for the rest."""
+
+    name = "prognic"
+    # The engine's redirect path stays enabled as a safety net, but the
+    # NIC already delivers connection packets to their designated core,
+    # so no transfers actually occur.
+    redirect_connection_packets = True
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.designated_map = DesignatedCoreMap(
+            config.num_cores, symmetric=getattr(config, "symmetric_designation", True)
+        )
+        self._spray_counter = 0
+
+    def build_nic(self) -> MultiQueueNic:
+        self.nic = MultiQueueNic(
+            NicConfig(
+                num_queues=self.config.num_cores,
+                queue_capacity=self.config.queue_capacity,
+                rss_key=SYMMETRIC_RSS_KEY,
+                flow_director_enabled=False,
+                flow_director_pps_cap=None,
+            )
+        )
+        self.nic.custom_classifier = self._classify
+        return self.nic
+
+    def _classify(self, packet: Packet) -> Optional[int]:
+        if not packet.is_tcp:
+            return None  # RSS fallback, like Sprayer
+        if packet.is_connection:
+            return self.designated_map.core_for(packet.five_tuple)
+        # Spray regular packets: the programmable pipeline can use any
+        # uniform source; we keep the checksum LSBs for comparability
+        # with Flow Director spraying.
+        return packet.tcp_checksum % self.config.num_cores
+
+    def designated_core(self, flow: FiveTuple) -> int:
+        if flow.is_tcp:
+            return self.designated_map.core_for(flow)
+        return self.nic.rss.queue_for(flow)

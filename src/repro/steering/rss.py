@@ -1,0 +1,34 @@
+"""The RSS baseline: per-flow steering, the status quo the paper measures against."""
+
+from __future__ import annotations
+
+from repro.net.five_tuple import FiveTuple
+from repro.nic.nic import MultiQueueNic, NicConfig
+from repro.nic.rss import SYMMETRIC_RSS_KEY
+from repro.steering.base import SteeringPolicy
+
+
+class RssPolicy(SteeringPolicy):
+    """Classic RSS with the symmetric key (paper's baseline config).
+
+    All packets of a flow land on one queue, so the designated core *is*
+    the arrival core: flow state is naturally partitioned, no transfers
+    ever happen, and a single flow can use exactly one core.
+    """
+
+    name = "rss"
+    redirect_connection_packets = True  # engine path is generic; dst == arrival
+
+    def build_nic(self) -> MultiQueueNic:
+        self.nic = MultiQueueNic(
+            NicConfig(
+                num_queues=self.config.num_cores,
+                queue_capacity=self.config.queue_capacity,
+                rss_key=SYMMETRIC_RSS_KEY,
+                flow_director_enabled=False,
+            )
+        )
+        return self.nic
+
+    def designated_core(self, flow: FiveTuple) -> int:
+        return self.nic.rss.queue_for(flow)

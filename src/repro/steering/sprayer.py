@@ -1,0 +1,73 @@
+"""Sprayer: the paper's steering policy.
+
+The NIC is programmed with Flow Director rules that exhaust every value
+of the k least-significant TCP-checksum bits, spraying TCP packets
+uniformly over all queues with zero software involvement; non-TCP
+traffic falls back to RSS. Connection packets are redirected in
+software (descriptor rings) to their designated core.
+"""
+
+from __future__ import annotations
+
+from repro.core.designated import DesignatedCoreMap
+from repro.net.five_tuple import FiveTuple
+from repro.nic.flow_director import build_checksum_spray_rules
+from repro.nic.nic import MultiQueueNic, NicConfig
+from repro.nic.rss import SYMMETRIC_RSS_KEY
+from repro.steering.base import SteeringPolicy
+
+
+class SprayerPolicy(SteeringPolicy):
+    """Checksum spraying + software connection-packet redirection."""
+
+    name = "sprayer"
+    redirect_connection_packets = True
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.designated_map = DesignatedCoreMap(
+            config.num_cores, symmetric=getattr(config, "symmetric_designation", True)
+        )
+        #: §7 extension: UDP ports (e.g. QUIC's 443) whose flows are
+        #: sprayed like TCP; everything else UDP stays on RSS.
+        self.spray_udp_ports = frozenset(getattr(config, "spray_udp_ports", ()))
+
+    def build_nic(self) -> MultiQueueNic:
+        self.nic = MultiQueueNic(
+            NicConfig(
+                num_queues=self.config.num_cores,
+                queue_capacity=self.config.queue_capacity,
+                rss_key=SYMMETRIC_RSS_KEY,
+                flow_director_enabled=True,
+                flow_director_pps_cap=self.config.flow_director_pps_cap,
+            )
+        )
+        rules = build_checksum_spray_rules(
+            self.config.num_cores, bits=self.config.spray_bits
+        )
+        self.nic.flow_director.add_rules(rules)
+        if self.spray_udp_ports:
+            # Flow Director perfect filters can match ports together
+            # with the masked checksum; we model that combination with
+            # a classifier consulted before the TCP rules.
+            self.nic.custom_classifier = self._classify_udp
+        return self.nic
+
+    def _sprayed_udp(self, flow: FiveTuple) -> bool:
+        return flow.is_udp and (
+            flow.src_port in self.spray_udp_ports
+            or flow.dst_port in self.spray_udp_ports
+        )
+
+    def _classify_udp(self, packet) -> "int | None":
+        if self._sprayed_udp(packet.five_tuple):
+            return packet.tcp_checksum % self.config.num_cores
+        return None  # TCP falls through to Flow Director; other UDP to RSS
+
+    def designated_core(self, flow: FiveTuple) -> int:
+        # Non-TCP flows are (normally) never sprayed — they arrive via
+        # RSS — so their state naturally lives on the RSS core. Sprayed
+        # UDP ports get a designated core like TCP flows do.
+        if flow.is_tcp or self._sprayed_udp(flow):
+            return self.designated_map.core_for(flow)
+        return self.nic.rss.queue_for(flow)

@@ -1,0 +1,29 @@
+"""An event-driven TCP model.
+
+The paper's TCP results (Figures 6b, 7b, 9) hinge on one question: how
+does a real congestion-controlled sender react to the packet reordering
+that spraying introduces? This package models the Linux behaviour the
+testbed ran — CUBIC congestion control, fast retransmit with an
+*adaptive* duplicate-ACK reordering threshold (``tcp_reordering``),
+DSACK-based undo of spurious recoveries, delayed ACKs, RFC 6298 RTO —
+at segment granularity on the discrete-event simulator.
+
+The model is deliberately not a byte-exact TCP: segments are the unit,
+handshake and teardown use real SYN/FIN flags (so middleboxes see real
+connection packets), and everything that matters to
+reordering-vs-throughput dynamics is retained.
+"""
+
+from repro.tcpstack.cubic import CubicCongestionControl
+from repro.tcpstack.endpoint import TcpFlow, TcpReceiverEndpoint, TcpSenderEndpoint
+from repro.tcpstack.reno import RenoCongestionControl
+from repro.tcpstack.rtt import RttEstimator
+
+__all__ = [
+    "CubicCongestionControl",
+    "RenoCongestionControl",
+    "RttEstimator",
+    "TcpFlow",
+    "TcpSenderEndpoint",
+    "TcpReceiverEndpoint",
+]

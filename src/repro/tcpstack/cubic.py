@@ -1,0 +1,126 @@
+"""CUBIC congestion control (what the paper's testbed ran).
+
+The window grows as the cubic ``W(t) = C*(t-K)^3 + W_max`` of the time
+since the last reduction, with the TCP-friendly region of RFC 8312
+ensuring it is never slower than an AIMD flow. The multiplicative
+decrease factor is CUBIC's beta = 0.7.
+
+Windows are in segments (floats internally; the sender floors when
+deciding whether it may transmit).
+"""
+
+from __future__ import annotations
+
+from repro.sim.timeunits import SECOND
+
+
+class CubicCongestionControl:
+    """RFC 8312-style CUBIC, segment-based."""
+
+    C = 0.4  # cubic scaling constant, segments/second^3
+    BETA = 0.7  # multiplicative decrease
+
+    #: HyStart: leave slow start when RTT rises this much over the min.
+    HYSTART_RTT_GROWTH = 1.25
+
+    def __init__(
+        self,
+        initial_cwnd: float = 10.0,
+        max_cwnd: float = 4096.0,
+        hystart: bool = True,
+    ):
+        if initial_cwnd < 1:
+            raise ValueError(f"initial_cwnd must be >= 1, got {initial_cwnd}")
+        self.cwnd: float = initial_cwnd
+        self.max_cwnd = max_cwnd
+        self.hystart = hystart
+        self.ssthresh: float = float("inf")
+        self.w_max: float = 0.0
+        self._k: float = 0.0
+        self._epoch_start: int = -1
+        self._min_rtt: float = float("inf")
+        self.losses = 0
+        self.timeouts = 0
+        self.hystart_exits = 0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def _enter_epoch(self, now: int) -> None:
+        self._epoch_start = now
+        if self.w_max > self.cwnd:
+            self._k = ((self.w_max - self.cwnd) / self.C) ** (1 / 3)
+        else:
+            self._k = 0.0
+            self.w_max = self.cwnd
+
+    def on_rtt_sample(self, rtt_ps: int, now: int) -> None:
+        """HyStart (Linux default): exit slow start when the RTT shows
+        the queue building, before the overshoot becomes a loss burst."""
+        if rtt_ps < self._min_rtt:
+            self._min_rtt = rtt_ps
+        if (
+            self.hystart
+            and self.in_slow_start
+            and self.cwnd >= 16
+            and self._min_rtt != float("inf")
+            and rtt_ps > self._min_rtt * self.HYSTART_RTT_GROWTH
+        ):
+            self.ssthresh = self.cwnd
+            self.hystart_exits += 1
+
+    def on_ack(self, acked_segments: int, now: int, srtt_ps: float) -> None:
+        """Grow the window for ``acked_segments`` newly ACKed segments."""
+        if acked_segments <= 0:
+            return
+        if self.in_slow_start:
+            self.cwnd = min(self.max_cwnd, self.cwnd + acked_segments)
+            return
+        if self._epoch_start < 0:
+            self._enter_epoch(now)
+        t = (now - self._epoch_start) / SECOND
+        target = self.C * (t - self._k) ** 3 + self.w_max
+        # TCP-friendly region (RFC 8312 §4.2): never grow slower than
+        # an AIMD flow with beta=0.7 would — set cwnd to W_est directly.
+        rtt_s = max(srtt_ps, 1.0) / SECOND
+        w_est = self.w_max * self.BETA + (3 * (1 - self.BETA) / (1 + self.BETA)) * (
+            t / rtt_s
+        )
+        if w_est > max(self.cwnd, target):
+            self.cwnd = w_est
+        elif target > self.cwnd:
+            # Concave/convex region: (target - cwnd) / cwnd per ACKed
+            # segment, so a full window of ACKs reaches the target.
+            self.cwnd += min(
+                acked_segments * (target - self.cwnd) / self.cwnd,
+                acked_segments * 0.5,
+            )
+        else:
+            self.cwnd += acked_segments * 0.01 / self.cwnd  # minimal probing
+        self.cwnd = min(self.max_cwnd, self.cwnd)
+
+    def on_loss(self, now: int) -> float:
+        """Fast-retransmit reduction; returns the new ssthresh."""
+        self.losses += 1
+        self.w_max = self.cwnd
+        self.cwnd = max(2.0, self.cwnd * self.BETA)
+        self.ssthresh = self.cwnd
+        self._epoch_start = -1
+        return self.ssthresh
+
+    def on_timeout(self, now: int) -> None:
+        """RTO: collapse to one segment and re-enter slow start."""
+        self.timeouts += 1
+        self.w_max = self.cwnd
+        self.ssthresh = max(2.0, self.cwnd / 2)
+        self.cwnd = 1.0
+        self._epoch_start = -1
+
+    def undo(self, prior_cwnd: float, prior_ssthresh: float) -> None:
+        """Revert a spurious reduction (DSACK-based undo)."""
+        self.cwnd = max(self.cwnd, prior_cwnd)
+        self.ssthresh = max(self.ssthresh, prior_ssthresh)
+        if self.losses:
+            self.losses -= 1
+        self._epoch_start = -1

@@ -1,0 +1,666 @@
+"""TCP sender/receiver endpoints.
+
+A :class:`TcpSenderEndpoint` drives one connection's data direction
+(iperf-style bulk transfer); a :class:`TcpReceiverEndpoint` terminates
+any number of connections, generating SYN-ACKs, cumulative ACKs with
+SACK blocks, DSACK duplicate reports, reordering-extent hints, and
+delayed ACKs.
+
+Segments are the unit: ``Packet.seq`` is a segment index and
+``Packet.ack`` the next expected index. Handshake and teardown use real
+SYN/FIN flags so middleboxes on the path observe genuine connection
+packets. ACK metadata that real stacks carry in TCP options (timestamp
+echo, SACK blocks, DSACK) rides in ``app_data``.
+
+Loss recovery mirrors the Linux behaviour the paper's testbed ran,
+because that is exactly what the reordering results hinge on:
+
+- **SACK scoreboard** (RFC 6675-style): the receiver reports received
+  blocks above the cumulative ACK; the sender computes the pipe and
+  retransmits inferred-lost segments without collapsing the window.
+- **Adaptive reordering threshold** (Linux ``tcp_reordering``): a
+  segment is marked lost when SACKed data extends more than
+  ``dupthresh`` segments above it. When a "lost" hole fills without a
+  retransmission — or a DSACK reveals a spurious one — the threshold
+  rises to the observed reordering extent + 1 (capped at 300). This is
+  the mechanism that makes TCP tolerate Sprayer's spraying.
+- **DSACK undo** of spurious congestion-window reductions.
+- RFC 6298 RTO with exponential backoff as the last resort.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet, make_tcp_packet
+from repro.net.tcp_flags import ACK, FIN, SYN
+from repro.nic.link import Link
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.timeunits import MICROSECOND, MILLISECOND
+
+
+@dataclass
+class TcpConfig:
+    """Knobs shared by senders and receivers."""
+
+    mss_payload: int = 1448
+    data_frame_len: int = 1518
+    ack_frame_len: int = 64
+    initial_cwnd: float = 10.0
+    max_cwnd: float = 4096.0
+    #: ACK every Nth in-order segment (immediate on any disorder).
+    delayed_ack: int = 2
+    #: Flush a held delayed ACK after this long (ps).
+    ack_delay_timeout: int = 200 * MICROSECOND
+    initial_dupthresh: int = 3
+    max_dupthresh: int = 300
+    #: Adapt dupthresh to observed reordering (Linux tcp_reordering).
+    adaptive_reordering: bool = True
+    #: RTO floor. Linux uses 200 ms but also has TLP/RACK timers that
+    #: fire long before it; without those, 20 ms is low enough to break
+    #: genuine stalls quickly yet high enough not to fire spuriously
+    #: when the bottleneck queue inflates RTTs to a few milliseconds.
+    min_rto: int = 20 * MILLISECOND
+    #: Max SACK ranges carried per ACK (real TCP fits 3-4 blocks).
+    max_sack_ranges: int = 4
+    #: Max transmissions per ACK event (the ACK clock; prevents the
+    #: pipe-vs-cwnd gap at recovery entry from flooding the path).
+    max_burst: int = 16
+
+
+@dataclass
+class TcpFlow:
+    """Identity and lifetime bounds of one connection."""
+
+    five_tuple: FiveTuple
+    #: Stop after this many data segments (None = run until sim end).
+    total_segments: Optional[int] = None
+    #: Don't start before this simulation time.
+    start_at: int = 0
+
+
+class _AckMeta:
+    """What a real stack carries in TCP options, modelled explicitly."""
+
+    __slots__ = ("echo_ts", "echo_rexmit", "sack_ranges", "dsack_seq", "reorder_extent")
+
+    def __init__(
+        self,
+        echo_ts: int,
+        echo_rexmit: bool,
+        sack_ranges: Tuple[Tuple[int, int], ...] = (),
+        dsack_seq: Optional[int] = None,
+        reorder_extent: int = 0,
+    ):
+        self.echo_ts = echo_ts
+        self.echo_rexmit = echo_rexmit
+        self.sack_ranges = sack_ranges
+        self.dsack_seq = dsack_seq
+        self.reorder_extent = reorder_extent
+
+
+class TcpSenderEndpoint:
+    """The client side: handshake, bulk data, congestion control."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow: TcpFlow,
+        link: Link,
+        congestion_control,
+        rng: random.Random,
+        config: Optional[TcpConfig] = None,
+        on_done: Optional[Callable[["TcpSenderEndpoint"], None]] = None,
+    ):
+        from repro.tcpstack.rtt import RttEstimator
+
+        self.sim = sim
+        self.flow = flow
+        self.link = link
+        self.cc = congestion_control
+        self.rng = rng
+        self.config = config or TcpConfig()
+        self.on_done = on_done
+        self.rtt = RttEstimator(min_rto=self.config.min_rto)
+
+        self.state = "closed"  # closed -> syn_sent -> established -> closing -> done
+        self.next_seq = 0
+        self.cum_acked = 0
+        self.dupthresh = self.config.initial_dupthresh
+
+        # SACK scoreboard (all entries >= cum_acked).
+        self.sacked: Set[int] = set()
+        self.lost: Set[int] = set()
+        self.rexmitted: Set[int] = set()  # lost segments retransmitted this episode
+        self._rexmit_time: Dict[int, int] = {}
+        self._ever_rexmitted: Set[int] = set()
+
+        self.recovery_point: Optional[int] = None
+        self._recovery_is_rto = False
+        self._undone_this_episode = False
+        self._episode_losses = 0
+        self._prior_cwnd = 0.0
+        self._prior_ssthresh = 0.0
+        self._rto_handle: Optional[EventHandle] = None
+        self._rto_backoff = 1
+
+        # statistics
+        self.segments_sent = 0
+        self.retransmissions = 0
+        self.fast_recoveries = 0
+        self.spurious_recoveries = 0
+        self.timeouts = 0
+        self.reorder_events = 0
+        self.syn_time: int = -1
+        self.established_time: int = -1
+        self.fin_sent = False
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        """Schedule the SYN at the flow's start time."""
+        self.sim.at(max(self.flow.start_at, self.sim.now), self._send_syn)
+
+    def _send_syn(self) -> None:
+        self.state = "syn_sent"
+        self.syn_time = self.sim.now
+        syn = self._make_packet(flags=SYN, seq=0, payload_len=0,
+                                frame_len=self.config.ack_frame_len)
+        self.link.send(syn)
+        self._arm_rto()
+
+    # -- receive path ---------------------------------------------------------
+
+    def receive(self, packet: Packet, now: int) -> None:
+        """Handle a packet addressed to this sender (SYN-ACK or ACK)."""
+        if self.state == "syn_sent":
+            if packet.flags & SYN and packet.flags & ACK:
+                self.state = "established"
+                self.established_time = now
+                # The handshake is the first RTT sample (Karn: only if
+                # the SYN was not retransmitted).
+                if self._rto_backoff == 1 and self.syn_time >= 0:
+                    self.rtt.on_sample(now - self.syn_time)
+                self._rto_backoff = 1
+                self._cancel_rto()
+                self.link.send(
+                    self._make_packet(flags=ACK, seq=0, payload_len=0,
+                                      frame_len=self.config.ack_frame_len)
+                )
+                self._send_loop()
+            return
+        if self.state not in ("established", "closing"):
+            return
+        if not packet.flags & ACK:
+            return
+        self._process_ack(packet, now)
+
+    def _process_ack(self, packet: Packet, now: int) -> None:
+        meta: Optional[_AckMeta] = (
+            packet.app_data if isinstance(packet.app_data, _AckMeta) else None
+        )
+        ack = packet.ack
+
+        if meta is not None:
+            if meta.dsack_seq is not None:
+                self._on_dsack(meta)
+            if meta.reorder_extent and self.config.adaptive_reordering:
+                self._raise_dupthresh(meta.reorder_extent)
+            for start, end in meta.sack_ranges:
+                for seq in range(max(start, self.cum_acked), end):
+                    if seq < self.next_seq:
+                        self.sacked.add(seq)
+                        # A SACKed segment is delivered: it is neither
+                        # lost nor pending-retransmission.
+                        self.lost.discard(seq)
+                        self.rexmitted.discard(seq)
+
+        if ack > self.cum_acked:
+            self._on_new_ack(ack, meta, now)
+
+        self._infer_losses()
+        self._detect_lost_retransmissions(now)
+        self._send_loop()
+        self._maybe_finish()
+
+    def _on_new_ack(self, ack: int, meta: Optional[_AckMeta], now: int) -> None:
+        newly_acked = ack - self.cum_acked
+        # Reordering inference: a hole we declared lost was cum-ACKed
+        # although we never retransmitted it — pure reordering.
+        if self.config.adaptive_reordering:
+            for seq in range(self.cum_acked, ack):
+                if seq in self.lost and seq not in self._ever_rexmitted:
+                    self.reorder_events += 1
+                    self._raise_dupthresh(self._fack() - seq)
+                    break
+        self.cum_acked = ack
+        self._rto_backoff = 1
+        self._prune_scoreboard()
+
+        if self.recovery_point is not None and ack >= self.recovery_point:
+            self.recovery_point = None
+            self._recovery_is_rto = False
+            self._undone_this_episode = False
+
+        if meta is not None and not meta.echo_rexmit:
+            sample = now - meta.echo_ts
+            self.rtt.on_sample(sample)
+            on_rtt = getattr(self.cc, "on_rtt_sample", None)
+            if on_rtt is not None:
+                on_rtt(sample, now)
+
+        # Window growth: normal ACKs always grow; during an RTO episode
+        # slow start regrows the window (Linux behaviour); during fast
+        # recovery the window stays at the reduced level.
+        if self.recovery_point is None or self._recovery_is_rto:
+            self.cc.on_ack(newly_acked, now, self.rtt.smoothed_rtt)
+        self._arm_rto()
+
+    def _prune_scoreboard(self) -> None:
+        cum = self.cum_acked
+        self.sacked = {s for s in self.sacked if s >= cum}
+        self.lost = {s for s in self.lost if s >= cum}
+        self.rexmitted = {s for s in self.rexmitted if s >= cum}
+        self._rexmit_time = {s: t for s, t in self._rexmit_time.items() if s >= cum}
+        if len(self._ever_rexmitted) > 4096:
+            self._ever_rexmitted = {s for s in self._ever_rexmitted if s >= cum - 1024}
+
+    def _fack(self) -> int:
+        """Forward-most SACKed segment + 1 (cum if nothing SACKed)."""
+        return max(self.sacked) + 1 if self.sacked else self.cum_acked
+
+    def _raise_dupthresh(self, extent: int) -> None:
+        if extent <= 0:
+            return
+        self.dupthresh = min(self.config.max_dupthresh, max(self.dupthresh, extent + 1))
+
+    def _infer_losses(self) -> None:
+        """FACK-style: lost if SACKed data extends dupthresh above it."""
+        fack = self._fack()
+        newly_lost = False
+        for seq in range(self.cum_acked, min(fack, self.next_seq)):
+            if seq in self.sacked or seq in self.lost:
+                continue
+            if fack - seq >= self.dupthresh:
+                self.lost.add(seq)
+                self._episode_losses += 1
+                newly_lost = True
+        if newly_lost and self.recovery_point is None:
+            self._enter_recovery(rto=False)
+
+    def _detect_lost_retransmissions(self, now: int) -> None:
+        """RACK-style: a retransmission unacknowledged for well over an
+        RTT was itself dropped — make it eligible for retransmission
+        again (otherwise a dropped rexmit stalls recovery until RTO)."""
+        if not self.rexmitted:
+            return
+        timeout = max(
+            int(self.rtt.srtt + 4 * self.rtt.rttvar), 200 * MICROSECOND
+        )
+        for seq in list(self.rexmitted):
+            if seq in self.sacked:
+                self.rexmitted.discard(seq)
+                self._rexmit_time.pop(seq, None)
+                continue
+            sent_at = self._rexmit_time.get(seq, now)
+            if now - sent_at > timeout:
+                self.rexmitted.discard(seq)
+                self._rexmit_time.pop(seq, None)
+
+    def _enter_recovery(self, rto: bool) -> None:
+        self._prior_cwnd = self.cc.cwnd
+        self._prior_ssthresh = self.cc.ssthresh
+        self.recovery_point = self.next_seq
+        self._recovery_is_rto = rto
+        self._undone_this_episode = False
+        self._episode_losses = len(self.lost)
+        self.rexmitted.clear()
+        if rto:
+            self.cc.on_timeout(self.sim.now)
+        else:
+            self.fast_recoveries += 1
+            self.cc.on_loss(self.sim.now)
+
+    def _on_dsack(self, meta: _AckMeta) -> None:
+        """The receiver saw a duplicate: a retransmission was spurious."""
+        seq = meta.dsack_seq
+        if seq in self._ever_rexmitted:
+            # Undo the window reduction only when the whole episode was
+            # plausibly spurious: a reordering-induced recovery marks
+            # only a segment or two lost. A mass-loss episode (slow
+            # start overshoot, RTO) had genuine congestion — restoring
+            # the old window there would re-flood the bottleneck.
+            plausible_spurious = (
+                not self._recovery_is_rto and self._episode_losses <= 2
+            )
+            if plausible_spurious and not self._undone_this_episode:
+                self.spurious_recoveries += 1
+                self.cc.undo(self._prior_cwnd, self._prior_ssthresh)
+                self._undone_this_episode = True
+            if self.config.adaptive_reordering and meta.reorder_extent > 0:
+                self._raise_dupthresh(meta.reorder_extent)
+
+    # -- transmit path -------------------------------------------------------
+
+    def in_flight(self) -> int:
+        return self.next_seq - self.cum_acked
+
+    def _pipe(self) -> int:
+        """RFC 6675-flavoured estimate of segments in the network."""
+        return max(
+            0,
+            self.in_flight()
+            - len(self.sacked)
+            - len(self.lost)
+            + len(self.rexmitted),
+        )
+
+    def _send_loop(self) -> None:
+        if self.state != "established":
+            return
+        total = self.flow.total_segments
+        window = int(self.cc.cwnd)
+        budget = self.config.max_burst  # the ACK clock's burst bound
+        while self._pipe() < window and budget > 0:
+            pending_rexmit = self.lost - self.rexmitted
+            if pending_rexmit:
+                seq = min(pending_rexmit)
+                self._send_segment(seq, rexmit=True)
+                budget -= 1
+                continue
+            if total is not None and self.next_seq >= total:
+                break
+            if self.in_flight() >= self.config.max_cwnd:
+                break
+            self._send_segment(self.next_seq, rexmit=False)
+            self.next_seq += 1
+            budget -= 1
+        self._maybe_send_fin()
+
+    def _send_segment(self, seq: int, rexmit: bool) -> None:
+        packet = self._make_packet(
+            flags=ACK,
+            seq=seq,
+            payload_len=self.config.mss_payload,
+            frame_len=self.config.data_frame_len,
+        )
+        packet.app_data = ("data", rexmit)
+        self.link.send(packet)
+        self.segments_sent += 1
+        if rexmit:
+            self.retransmissions += 1
+            self.rexmitted.add(seq)
+            self._rexmit_time[seq] = self.sim.now
+            self._ever_rexmitted.add(seq)
+        if self._rto_handle is None:
+            self._arm_rto()
+
+    def _make_packet(self, flags: int, seq: int, payload_len: int, frame_len: int) -> Packet:
+        return make_tcp_packet(
+            self.flow.five_tuple,
+            flags=flags,
+            seq=seq,
+            ack=0,
+            payload_len=payload_len,
+            tcp_checksum=self.rng.getrandbits(16),
+            created_at=self.sim.now,
+            frame_len=frame_len,
+        )
+
+    # -- RTO ----------------------------------------------------------------
+
+    def _arm_rto(self) -> None:
+        self._cancel_rto()
+        if self.state == "syn_sent" or self.in_flight() > 0:
+            self._rto_handle = self.sim.after(
+                self.rtt.rto * self._rto_backoff, self._on_rto
+            )
+
+    def _cancel_rto(self) -> None:
+        if self._rto_handle is not None:
+            self._rto_handle.cancel()
+            self._rto_handle = None
+
+    def _on_rto(self) -> None:
+        self._rto_handle = None
+        if self.state == "syn_sent":
+            self.timeouts += 1
+            self._send_syn()
+            self._rto_backoff = min(64, self._rto_backoff * 2)
+            return
+        if self.in_flight() <= 0:
+            return
+        self.timeouts += 1
+        # Everything un-SACKed in flight is presumed lost.
+        self.lost = {
+            s for s in range(self.cum_acked, self.next_seq) if s not in self.sacked
+        }
+        self._enter_recovery(rto=True)
+        self._rto_backoff = min(64, self._rto_backoff * 2)
+        self._send_loop()
+        self._arm_rto()
+
+    # -- teardown --------------------------------------------------------------
+
+    def _maybe_send_fin(self) -> None:
+        total = self.flow.total_segments
+        if (
+            total is not None
+            and not self.fin_sent
+            and self.next_seq >= total
+            and self.cum_acked >= total
+        ):
+            self.fin_sent = True
+            self.state = "closing"
+            fin = self._make_packet(flags=FIN | ACK, seq=self.next_seq, payload_len=0,
+                                    frame_len=self.config.ack_frame_len)
+            self.link.send(fin)
+            self._cancel_rto()
+
+    def _maybe_finish(self) -> None:
+        if self.state == "closing" and self.fin_sent:
+            self.state = "done"
+            if self.on_done is not None:
+                self.on_done(self)
+
+
+class _ReceiverFlowState:
+    """Per-connection receive state at the server."""
+
+    __slots__ = (
+        "cum",
+        "out_of_order",
+        "highest_seen",
+        "delivered_segments",
+        "unacked_inorder",
+        "duplicates",
+        "fin_seen",
+        "ack_timer",
+        "last_data_packet",
+        "sack_rotation",
+    )
+
+    def __init__(self) -> None:
+        self.cum = 0
+        self.out_of_order: Set[int] = set()
+        self.highest_seen = -1
+        self.delivered_segments = 0
+        self.unacked_inorder = 0
+        self.duplicates = 0
+        self.fin_seen = False
+        self.ack_timer: Optional[EventHandle] = None
+        self.last_data_packet: Optional[Packet] = None
+        self.sack_rotation = 0
+
+
+class TcpReceiverEndpoint:
+    """The server side: terminates any number of connections."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        rng: random.Random,
+        config: Optional[TcpConfig] = None,
+    ):
+        self.sim = sim
+        self.link = link
+        self.rng = rng
+        self.config = config or TcpConfig()
+        self.flows: Dict[FiveTuple, _ReceiverFlowState] = {}
+        self.syns_accepted = 0
+        self.total_duplicates = 0
+        self.reorder_arrivals = 0
+
+    # -- helpers ------------------------------------------------------------
+
+    def _sack_ranges(self, state: _ReceiverFlowState) -> Tuple[Tuple[int, int], ...]:
+        """Contiguous received blocks above cum.
+
+        Real SACK options fit only ~4 blocks, and receivers rotate
+        through their blocks across successive ACKs so the sender's
+        scoreboard eventually learns all of them; we model that with a
+        per-flow rotation offset. (Reporting only the highest blocks
+        would starve the sender of knowledge about low blocks and cause
+        storms of spurious retransmissions after bursty loss.)
+        """
+        if not state.out_of_order:
+            return ()
+        ranges: List[Tuple[int, int]] = []
+        run_start: Optional[int] = None
+        previous = None
+        for seq in sorted(state.out_of_order):
+            if run_start is None:
+                run_start = seq
+            elif seq != previous + 1:
+                ranges.append((run_start, previous + 1))
+                run_start = seq
+            previous = seq
+        ranges.append((run_start, previous + 1))
+        limit = self.config.max_sack_ranges
+        if len(ranges) <= limit:
+            return tuple(ranges)
+        offset = state.sack_rotation % len(ranges)
+        state.sack_rotation += limit
+        rotated = ranges[offset:] + ranges[:offset]
+        return tuple(rotated[:limit])
+
+    def _send_ack(
+        self,
+        data_packet: Packet,
+        state: _ReceiverFlowState,
+        dsack_seq: Optional[int] = None,
+        reorder_extent: int = 0,
+        flags: int = ACK,
+    ) -> None:
+        reverse = data_packet.five_tuple.reversed()
+        ack = make_tcp_packet(
+            reverse,
+            flags=flags,
+            seq=0,
+            ack=state.cum,
+            payload_len=0,
+            tcp_checksum=self.rng.getrandbits(16),
+            created_at=self.sim.now,
+            frame_len=self.config.ack_frame_len,
+        )
+        is_rexmit = (
+            isinstance(data_packet.app_data, tuple)
+            and len(data_packet.app_data) == 2
+            and bool(data_packet.app_data[1])
+        )
+        ack.app_data = _AckMeta(
+            echo_ts=data_packet.created_at,
+            echo_rexmit=is_rexmit,
+            sack_ranges=self._sack_ranges(state),
+            dsack_seq=dsack_seq,
+            reorder_extent=reorder_extent,
+        )
+        state.unacked_inorder = 0
+        if state.ack_timer is not None:
+            state.ack_timer.cancel()
+            state.ack_timer = None
+        self.link.send(ack)
+
+    # -- receive path -----------------------------------------------------------
+
+    def receive(self, packet: Packet, now: int) -> None:
+        flow = packet.five_tuple
+        flags = packet.flags
+        if flags & SYN and not flags & ACK:
+            if flow not in self.flows:
+                self.flows[flow] = _ReceiverFlowState()
+                self.syns_accepted += 1
+            state = self.flows[flow]
+            self._send_ack(packet, state, flags=SYN | ACK)
+            return
+        state = self.flows.get(flow)
+        if state is None:
+            return  # not ours (e.g. stray packet after teardown)
+        if flags & FIN:
+            state.fin_seen = True
+            self._send_ack(packet, state, flags=FIN | ACK)
+            return
+        if packet.payload_len == 0:
+            return  # pure ACK (handshake completion)
+        self._on_data(packet, state)
+
+    def _on_data(self, packet: Packet, state: _ReceiverFlowState) -> None:
+        seq = packet.seq
+        if seq < state.cum or seq in state.out_of_order:
+            # Duplicate: DSACK it so the sender can detect spuriousness.
+            state.duplicates += 1
+            self.total_duplicates += 1
+            self._send_ack(packet, state, dsack_seq=seq)
+            return
+        filled_hole = seq == state.cum and state.highest_seen > seq
+        state.highest_seen = max(state.highest_seen, seq)
+        if seq == state.cum:
+            state.cum += 1
+            state.delivered_segments += 1
+            while state.cum in state.out_of_order:
+                state.out_of_order.discard(state.cum)
+                state.cum += 1
+                state.delivered_segments += 1
+            if filled_hole:
+                # A late packet closed the gap: report how far it was
+                # overtaken so the sender can widen its dupthresh.
+                extent = state.highest_seen - seq
+                self.reorder_arrivals += 1
+                self._send_ack(packet, state, reorder_extent=extent)
+            else:
+                state.unacked_inorder += 1
+                if state.unacked_inorder >= self.config.delayed_ack or state.out_of_order:
+                    self._send_ack(packet, state)
+                else:
+                    # Hold the ACK, but never indefinitely.
+                    state.last_data_packet = packet
+                    if state.ack_timer is None:
+                        state.ack_timer = self.sim.after(
+                            self.config.ack_delay_timeout, self._flush_ack, state
+                        )
+        else:
+            # Out of order: immediate duplicate ACK (with SACK info).
+            state.out_of_order.add(seq)
+            self.reorder_arrivals += 1
+            self._send_ack(packet, state)
+
+    def _flush_ack(self, state: _ReceiverFlowState) -> None:
+        state.ack_timer = None
+        if state.unacked_inorder > 0 and state.last_data_packet is not None:
+            self._send_ack(state.last_data_packet, state)
+
+    # -- measurement -----------------------------------------------------------
+
+    def delivered_segments(self, flow: FiveTuple) -> int:
+        state = self.flows.get(flow)
+        return state.delivered_segments if state else 0
+
+    def delivered_bytes(self, flow: FiveTuple) -> int:
+        return self.delivered_segments(flow) * self.config.mss_payload
+
+    def total_delivered_segments(self) -> int:
+        return sum(state.delivered_segments for state in self.flows.values())

@@ -1,0 +1,405 @@
+"""A QUIC-like transport over UDP (paper §7, last paragraph).
+
+"QUIC, for example, runs on top of UDP and by design is more resilient
+to packet reordering than TCP." The resilience comes from structural
+properties this model keeps (after RFC 9002):
+
+- **packet numbers are never reused**: retransmitted *data* rides in a
+  fresh packet number, so there is no retransmission ambiguity and a
+  late (reordered) packet can always be told apart from a lost one;
+- loss is declared by a **packet threshold** (default 3) below the
+  largest acknowledged packet number, and the threshold adapts upward
+  when a "lost" packet's ACK later arrives (spurious loss ⇒ pure
+  reordering), mirroring RFC 9002 §6.2's latitude;
+- a **PTO** (probe timeout) replaces TCP's RTO: it sends a probe
+  instead of collapsing state.
+
+Congestion control is the RFC 9002 NewReno flavour (reuse of
+:class:`repro.tcpstack.reno.RenoCongestionControl`), with at most one
+window reduction per loss epoch.
+
+The stream model matches the TCP endpoints': data is a sequence of
+fixed-size segments identified by *offset*; goodput is measured in
+contiguously delivered offsets.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet, make_udp_packet
+from repro.nic.link import Link
+from repro.sim.engine import EventHandle, Simulator
+from repro.sim.timeunits import MICROSECOND, MILLISECOND
+from repro.tcpstack.reno import RenoCongestionControl
+from repro.tcpstack.rtt import RttEstimator
+
+
+@dataclass
+class QuicConfig:
+    """Knobs for the QUIC-like endpoints."""
+
+    segment_payload: int = 1200  # QUIC's typical max datagram payload
+    data_frame_len: int = 1278  # 1200 + UDP/IP/Ethernet headers + FCS
+    ack_frame_len: int = 80
+    initial_cwnd: float = 10.0
+    max_cwnd: float = 4096.0
+    packet_threshold: int = 3
+    max_packet_threshold: int = 128
+    adaptive_threshold: bool = True
+    ack_every: int = 2
+    ack_delay_timeout: int = 200 * MICROSECOND
+    min_pto: int = 20 * MILLISECOND
+    max_burst: int = 16
+    #: How many ACK ranges ride in each ACK frame.
+    max_ack_ranges: int = 8
+
+
+class _AckedSet:
+    """A grow-forever set of integers in O(window) memory: everything
+    below ``floor`` is a member, plus a sparse set above it."""
+
+    __slots__ = ("floor", "above", "count")
+
+    def __init__(self) -> None:
+        self.floor = 0
+        self.above: Set[int] = set()
+        self.count = 0
+
+    def add(self, value: int) -> None:
+        if self.__contains__(value):
+            return
+        self.above.add(value)
+        while self.floor in self.above:
+            self.above.discard(self.floor)
+            self.floor += 1
+        self.count += 1
+
+    def __contains__(self, value: int) -> bool:
+        return value < self.floor or value in self.above
+
+    def __len__(self) -> int:
+        return self.count
+
+
+class _QuicAckFrame:
+    """What a QUIC ACK frame carries (modelled explicitly)."""
+
+    __slots__ = ("largest", "ranges", "echo_ts")
+
+    def __init__(self, largest: int, ranges: Tuple[Tuple[int, int], ...], echo_ts: int):
+        self.largest = largest
+        self.ranges = ranges  # (start, end) packet-number ranges, inclusive-exclusive
+        self.echo_ts = echo_ts
+
+
+class QuicLikeSender:
+    """Bulk data sender over one sprayed UDP flow."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        flow: FiveTuple,
+        link: Link,
+        rng: random.Random,
+        config: Optional[QuicConfig] = None,
+        total_segments: Optional[int] = None,
+    ):
+        if not flow.is_udp:
+            raise ValueError(f"QUIC rides on UDP; got {flow}")
+        self.sim = sim
+        self.flow = flow
+        self.link = link
+        self.rng = rng
+        self.config = config or QuicConfig()
+        self.total_segments = total_segments
+        self.cc = RenoCongestionControl(self.config.initial_cwnd, self.config.max_cwnd)
+        self.rtt = RttEstimator(min_rto=self.config.min_pto)
+
+        self.next_packet_number = 0
+        self.next_offset = 0
+        #: packet number -> (data offset, sent time)
+        self.in_flight: Dict[int, Tuple[int, int]] = {}
+        self.largest_acked = -1
+        self.packet_threshold = self.config.packet_threshold
+        #: Offsets needing (re)transmission.
+        self._pending_offsets: List[int] = []
+        self._acked_offsets = _AckedSet()
+        #: pn -> offset for packets declared lost (to detect spuriousness).
+        self._declared_lost: Dict[int, int] = {}
+        self._loss_epoch_end = -1  # largest pn at last cwnd reduction
+        self._pto_handle: Optional[EventHandle] = None
+        self._pto_backoff = 1
+
+        # statistics
+        self.packets_sent = 0
+        self.data_retransmissions = 0
+        self.loss_epochs = 0
+        self.spurious_losses = 0
+        self.ptos = 0
+
+    # -- transmit ------------------------------------------------------------
+
+    def start(self) -> None:
+        self._send_loop()
+
+    def _offset_to_send(self) -> Optional[int]:
+        if self._pending_offsets:
+            return self._pending_offsets.pop(0)
+        if self.total_segments is not None and self.next_offset >= self.total_segments:
+            return None
+        offset = self.next_offset
+        self.next_offset += 1
+        return offset
+
+    def _send_loop(self) -> None:
+        budget = self.config.max_burst
+        while len(self.in_flight) < int(self.cc.cwnd) and budget > 0:
+            offset = self._offset_to_send()
+            if offset is None:
+                break
+            self._send_segment(offset)
+            budget -= 1
+        if self.in_flight and self._pto_handle is None:
+            self._arm_pto()
+
+    def _send_segment(self, offset: int) -> None:
+        pn = self.next_packet_number
+        self.next_packet_number += 1
+        packet = make_udp_packet(
+            self.flow,
+            payload_len=self.config.segment_payload,
+            created_at=self.sim.now,
+            frame_len=self.config.data_frame_len,
+            checksum=self.rng.getrandbits(16),
+        )
+        packet.seq = pn
+        packet.app_data = ("quic-data", offset)
+        self.in_flight[pn] = (offset, self.sim.now)
+        self.packets_sent += 1
+        self.link.send(packet)
+
+    # -- receive (ACK frames) ---------------------------------------------------
+
+    def receive(self, packet: Packet, now: int) -> None:
+        frame = packet.app_data
+        if not isinstance(frame, _QuicAckFrame):
+            return
+        newly_acked = 0
+        for start, end in frame.ranges:
+            # A contiguous range can cover the whole history; iterate the
+            # (window-bounded) outstanding sets instead of the range.
+            span = end - start
+            if span > len(self.in_flight) + len(self._declared_lost):
+                candidates = [p for p in self.in_flight if start <= p < end]
+                candidates += [p for p in self._declared_lost if start <= p < end]
+            else:
+                candidates = list(range(start, end))
+            for pn in candidates:
+                entry = self.in_flight.pop(pn, None)
+                if entry is not None:
+                    offset, sent_time = entry
+                    self._acked_offsets.add(offset)
+                    newly_acked += 1
+                    if pn == frame.largest:
+                        self.rtt.on_sample(now - sent_time)
+                elif pn in self._declared_lost:
+                    # A "lost" packet got acknowledged: pure reordering.
+                    self.spurious_losses += 1
+                    offset = self._declared_lost.pop(pn)
+                    if self.config.adaptive_threshold:
+                        self.packet_threshold = min(
+                            self.config.max_packet_threshold,
+                            max(self.packet_threshold + 1,
+                                frame.largest - pn + 1),
+                        )
+        if frame.largest > self.largest_acked:
+            self.largest_acked = frame.largest
+            self._pto_backoff = 1
+        if newly_acked:
+            self.cc.on_ack(newly_acked, now, self.rtt.smoothed_rtt)
+        self._detect_losses(now)
+        self._arm_pto()
+        self._send_loop()
+
+    def _detect_losses(self, now: int) -> None:
+        threshold_pn = self.largest_acked - self.packet_threshold
+        lost = [pn for pn in self.in_flight if pn <= threshold_pn]
+        if not lost:
+            return
+        for pn in lost:
+            offset, _sent = self.in_flight.pop(pn)
+            self._declared_lost[pn] = offset
+            if offset not in self._acked_offsets:
+                self._pending_offsets.append(offset)
+                self.data_retransmissions += 1
+        # One window reduction per loss epoch (RFC 9002 §7.3.1).
+        if max(lost) > self._loss_epoch_end:
+            self.loss_epochs += 1
+            self.cc.on_loss(now)
+            self._loss_epoch_end = self.next_packet_number
+        if len(self._declared_lost) > 4096:
+            cutoff = self.largest_acked - 4096
+            self._declared_lost = {
+                pn: off for pn, off in self._declared_lost.items() if pn > cutoff
+            }
+
+    # -- PTO ----------------------------------------------------------------
+
+    def _arm_pto(self) -> None:
+        if self._pto_handle is not None:
+            self._pto_handle.cancel()
+            self._pto_handle = None
+        if self.in_flight:
+            self._pto_handle = self.sim.after(
+                self.rtt.rto * self._pto_backoff, self._on_pto
+            )
+
+    def _on_pto(self) -> None:
+        self._pto_handle = None
+        if not self.in_flight:
+            return
+        self.ptos += 1
+        self._pto_backoff = min(64, self._pto_backoff * 2)
+        # Probe: retransmit the oldest unacked data in a new packet.
+        oldest_pn = min(self.in_flight)
+        offset, _sent = self.in_flight.pop(oldest_pn)
+        self._declared_lost[oldest_pn] = offset
+        if offset not in self._acked_offsets:
+            self.data_retransmissions += 1
+            self._send_segment(offset)
+        self._arm_pto()
+
+    @property
+    def delivered_offsets(self) -> int:
+        return len(self._acked_offsets)
+
+
+class _PnSpace:
+    """A compact received-set: contiguous floor + sparse window above.
+
+    ``floor`` is the first number not yet contiguously received;
+    ``above`` holds the (bounded, window-sized) numbers beyond it. This
+    keeps per-packet bookkeeping O(window), not O(total received).
+    """
+
+    __slots__ = ("floor", "above", "largest", "count")
+
+    def __init__(self) -> None:
+        self.floor = 0
+        self.above: Set[int] = set()
+        self.largest = -1
+        self.count = 0
+
+    def add(self, value: int) -> bool:
+        """Insert; returns False for duplicates."""
+        if value < self.floor or value in self.above:
+            return False
+        self.above.add(value)
+        while self.floor in self.above:
+            self.above.discard(self.floor)
+            self.floor += 1
+        self.largest = max(self.largest, value)
+        self.count += 1
+        return True
+
+    @property
+    def has_gap(self) -> bool:
+        return bool(self.above)
+
+    def ranges(self, max_ranges: int) -> Tuple[Tuple[int, int], ...]:
+        """Received blocks as (start, end) — the contiguous prefix plus
+        the sparse blocks above, newest-biased like real ACK frames."""
+        blocks: List[Tuple[int, int]] = []
+        if self.floor > 0:
+            blocks.append((0, self.floor))
+        run_start = previous = None
+        for value in sorted(self.above):
+            if run_start is None:
+                run_start = value
+            elif value != previous + 1:
+                blocks.append((run_start, previous + 1))
+                run_start = value
+            previous = value
+        if run_start is not None:
+            blocks.append((run_start, previous + 1))
+        return tuple(blocks[-max_ranges:])
+
+
+class _RecvFlowState:
+    __slots__ = ("pns", "offsets", "unacked", "ack_timer")
+
+    def __init__(self) -> None:
+        self.pns = _PnSpace()
+        self.offsets = _PnSpace()
+        self.unacked = 0
+        self.ack_timer: Optional[EventHandle] = None
+
+
+class QuicLikeReceiver:
+    """Receives data packets, emits ACK frames with ranges."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        link: Link,
+        rng: random.Random,
+        config: Optional[QuicConfig] = None,
+    ):
+        self.sim = sim
+        self.link = link
+        self.rng = rng
+        self.config = config or QuicConfig()
+        self._flows: Dict[FiveTuple, _RecvFlowState] = {}
+        self.duplicates = 0
+        self.reordered_arrivals = 0
+
+    def receive(self, packet: Packet, now: int) -> None:
+        if not (isinstance(packet.app_data, tuple) and packet.app_data[0] == "quic-data"):
+            return
+        flow = packet.five_tuple
+        state = self._flows.setdefault(flow, _RecvFlowState())
+        pn = packet.seq
+        offset = packet.app_data[1]
+        if pn < state.pns.largest:
+            self.reordered_arrivals += 1
+        fresh_pn = state.pns.add(pn)
+        fresh_offset = state.offsets.add(offset)
+        if fresh_pn and not fresh_offset:
+            self.duplicates += 1  # redundant data retransmission
+        state.unacked += 1
+        if state.unacked >= self.config.ack_every or state.pns.has_gap:
+            self._send_ack(flow, state, packet.created_at)
+        elif state.ack_timer is None:
+            state.ack_timer = self.sim.after(
+                self.config.ack_delay_timeout, self._flush, flow, state, packet.created_at
+            )
+
+    def _flush(self, flow: FiveTuple, state: _RecvFlowState, echo_ts: int) -> None:
+        state.ack_timer = None
+        if state.unacked > 0:
+            self._send_ack(flow, state, echo_ts)
+
+    def _send_ack(self, flow: FiveTuple, state: _RecvFlowState, echo_ts: int) -> None:
+        if state.ack_timer is not None:
+            state.ack_timer.cancel()
+            state.ack_timer = None
+        state.unacked = 0
+        ack = make_udp_packet(
+            flow.reversed(),
+            payload_len=0,
+            created_at=self.sim.now,
+            frame_len=self.config.ack_frame_len,
+            checksum=self.rng.getrandbits(16),
+        )
+        ack.app_data = _QuicAckFrame(
+            state.pns.largest, state.pns.ranges(self.config.max_ack_ranges), echo_ts
+        )
+        self.link.send(ack)
+
+    def delivered_segments(self, flow: FiveTuple) -> int:
+        state = self._flows.get(flow)
+        return state.offsets.count if state else 0

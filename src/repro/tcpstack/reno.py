@@ -1,0 +1,52 @@
+"""NewReno AIMD congestion control (comparison baseline).
+
+The paper's summary asks "how well Sprayer interacts with other TCP
+implementations" — Reno's halving on loss makes it more sensitive to
+spurious fast retransmits than CUBIC, so the ablation benches run both.
+"""
+
+from __future__ import annotations
+
+
+class RenoCongestionControl:
+    """Classic AIMD: +1/cwnd per ACK, halve on loss."""
+
+    BETA = 0.5
+
+    def __init__(self, initial_cwnd: float = 10.0, max_cwnd: float = 4096.0):
+        if initial_cwnd < 1:
+            raise ValueError(f"initial_cwnd must be >= 1, got {initial_cwnd}")
+        self.cwnd: float = initial_cwnd
+        self.max_cwnd = max_cwnd
+        self.ssthresh: float = float("inf")
+        self.losses = 0
+        self.timeouts = 0
+
+    @property
+    def in_slow_start(self) -> bool:
+        return self.cwnd < self.ssthresh
+
+    def on_ack(self, acked_segments: int, now: int, srtt_ps: float) -> None:
+        if acked_segments <= 0:
+            return
+        if self.in_slow_start:
+            self.cwnd = min(self.max_cwnd, self.cwnd + acked_segments)
+        else:
+            self.cwnd = min(self.max_cwnd, self.cwnd + acked_segments / self.cwnd)
+
+    def on_loss(self, now: int) -> float:
+        self.losses += 1
+        self.cwnd = max(2.0, self.cwnd * self.BETA)
+        self.ssthresh = self.cwnd
+        return self.ssthresh
+
+    def on_timeout(self, now: int) -> None:
+        self.timeouts += 1
+        self.ssthresh = max(2.0, self.cwnd / 2)
+        self.cwnd = 1.0
+
+    def undo(self, prior_cwnd: float, prior_ssthresh: float) -> None:
+        self.cwnd = max(self.cwnd, prior_cwnd)
+        self.ssthresh = max(self.ssthresh, prior_ssthresh)
+        if self.losses:
+            self.losses -= 1

@@ -1,0 +1,60 @@
+"""RTT estimation and the retransmission timeout (RFC 6298)."""
+
+from __future__ import annotations
+
+from repro.sim.timeunits import MICROSECOND, MILLISECOND
+
+
+class RttEstimator:
+    """SRTT/RTTVAR smoothing with the standard gains.
+
+    Times are integer picoseconds. ``min_rto`` defaults far below
+    Linux's 200 ms because the simulated testbed's RTTs are tens of
+    microseconds to a few milliseconds, and the model has no TLP/RACK
+    timers — the RTO is the only stall-breaker.
+    """
+
+    ALPHA = 1 / 8
+    BETA = 1 / 4
+    K = 4
+
+    def __init__(self, min_rto: int = 20 * MILLISECOND, max_rto: int = 1000 * MILLISECOND):
+        if min_rto <= 0 or max_rto < min_rto:
+            raise ValueError(f"bad RTO bounds [{min_rto}, {max_rto}]")
+        self.min_rto = min_rto
+        self.max_rto = max_rto
+        self.srtt: float = 0.0
+        self.rttvar: float = 0.0
+        self.samples = 0
+        self.latest_sample: int = 0
+
+    def on_sample(self, rtt: int) -> None:
+        """Feed one RTT measurement (Karn's rule: callers must not
+        sample retransmitted segments)."""
+        if rtt < 0:
+            raise ValueError(f"negative RTT sample: {rtt}")
+        self.latest_sample = rtt
+        if self.samples == 0:
+            self.srtt = float(rtt)
+            self.rttvar = rtt / 2
+        else:
+            delta = abs(self.srtt - rtt)
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * delta
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        self.samples += 1
+
+    @property
+    def rto(self) -> int:
+        """Current retransmission timeout in picoseconds."""
+        if self.samples == 0:
+            # Pre-sample default: conservative but not catatonic. Real
+            # stacks rarely hit this because the handshake provides the
+            # first sample (the sender endpoint does the same).
+            return self.min_rto * 3
+        rto = self.srtt + self.K * self.rttvar
+        return int(min(self.max_rto, max(self.min_rto, rto)))
+
+    @property
+    def smoothed_rtt(self) -> float:
+        """Smoothed RTT (ps); 0 before the first sample."""
+        return self.srtt

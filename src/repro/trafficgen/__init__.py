@@ -1,0 +1,37 @@
+"""Workload generation.
+
+- :mod:`repro.trafficgen.moongen` — an open-loop constant-rate packet
+  generator in the role of MoonGen: 64 B TCP frames whose "variable
+  payload content" gives uniformly distributed checksums.
+- :mod:`repro.trafficgen.iperf` — the closed-loop TCP testbed harness
+  in the role of iperf3: client endpoints, middlebox, server endpoint,
+  full-duplex 10 GbE links.
+- :mod:`repro.trafficgen.trace` — a synthetic backbone-trace generator
+  calibrated to the paper's §2 measurements (MAWI is not shipped with
+  this reproduction), driving Figures 1 and 2.
+- :mod:`repro.trafficgen.distributions` — the heavy-tailed samplers.
+- :mod:`repro.trafficgen.flows` — random flow-set construction
+  ("sources and destinations change randomly at every execution").
+"""
+
+from repro.trafficgen.distributions import (
+    BoundedLognormal,
+    BoundedPareto,
+    FlowSizeDistribution,
+)
+from repro.trafficgen.flows import random_tcp_flows
+from repro.trafficgen.iperf import TcpTestbed, TcpTestbedResult
+from repro.trafficgen.moongen import OpenLoopGenerator
+from repro.trafficgen.trace import SyntheticBackboneTrace, TraceFlow
+
+__all__ = [
+    "OpenLoopGenerator",
+    "TcpTestbed",
+    "TcpTestbedResult",
+    "SyntheticBackboneTrace",
+    "TraceFlow",
+    "random_tcp_flows",
+    "FlowSizeDistribution",
+    "BoundedPareto",
+    "BoundedLognormal",
+]

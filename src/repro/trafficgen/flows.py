@@ -1,0 +1,45 @@
+"""Random flow-set construction.
+
+The paper's Figure 7/9 experiments note that "sources and destinations
+change randomly at every execution" — important because RSS fairness
+depends entirely on which queues the random five-tuples collide on.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Set
+
+from repro.net.five_tuple import PROTO_TCP, FiveTuple
+
+#: Client addresses live in 10.0.0.0/16, servers in 10.1.0.0/16 — the
+#: experiment harness uses the /16 to pick the egress direction.
+CLIENT_NET = 0x0A000000
+SERVER_NET = 0x0A010000
+
+
+def random_tcp_flows(
+    count: int,
+    rng: random.Random,
+    server_port: int = 5201,  # iperf3's default
+) -> List[FiveTuple]:
+    """``count`` distinct client->server TCP five-tuples."""
+    if count < 1:
+        raise ValueError(f"count must be >= 1, got {count}")
+    flows: List[FiveTuple] = []
+    seen: Set[FiveTuple] = set()
+    while len(flows) < count:
+        src_ip = CLIENT_NET | rng.randrange(1, 0xFFFF)
+        dst_ip = SERVER_NET | rng.randrange(1, 0xFFFF)
+        src_port = rng.randrange(1024, 65536)
+        flow = FiveTuple(src_ip, dst_ip, src_port, server_port, PROTO_TCP)
+        if flow in seen:
+            continue
+        seen.add(flow)
+        flows.append(flow)
+    return flows
+
+
+def is_toward_server(dst_ip: int) -> bool:
+    """True if the address belongs to the server /16."""
+    return (dst_ip & 0xFFFF0000) == SERVER_NET

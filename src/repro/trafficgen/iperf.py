@@ -1,0 +1,181 @@
+"""The closed-loop TCP testbed (iperf3's role).
+
+Topology, mirroring the paper's two back-to-back servers::
+
+    clients ──10GbE──▶ middlebox ──10GbE──▶ server
+       ▲                                      │
+       └────────────10GbE (ACK path)──────────┘
+
+All client flows share the client NIC's link (as iperf3 processes share
+the generator machine's port); the middlebox forwards both directions,
+so data and ACKs both traverse the NF — which is also what makes the
+symmetric designated-core hash matter.
+
+Goodput is measured sender-side from cumulative-ACK progress over the
+measurement window (warmup excluded), which keeps the measurement
+correct even when the NF rewrites five-tuples (NAT).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.engine import MiddleboxEngine
+from repro.metrics.reordering import ReorderingTracker
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+from repro.nic.link import Link
+from repro.sim.engine import Simulator
+from repro.sim.timeunits import MICROSECOND, SECOND
+from repro.tcpstack.cubic import CubicCongestionControl
+from repro.tcpstack.endpoint import (
+    TcpConfig,
+    TcpFlow,
+    TcpReceiverEndpoint,
+    TcpSenderEndpoint,
+)
+from repro.trafficgen.flows import is_toward_server, random_tcp_flows
+
+
+@dataclass
+class TcpTestbedResult:
+    """What one closed-loop run produced."""
+
+    duration_s: float
+    per_flow_goodput_bps: Dict[FiveTuple, float]
+    retransmissions: int
+    fast_recoveries: int
+    spurious_recoveries: int
+    timeouts: int
+    reorder_events: int
+    final_dupthresh: Dict[FiveTuple, int] = field(default_factory=dict)
+    #: Fraction of middlebox-egress data packets that left out of order
+    #: (RFC 4737-style, measured by the testbed, not the endpoints).
+    egress_reordering_rate: float = 0.0
+    egress_reordering_extent: int = 0
+
+    @property
+    def total_goodput_bps(self) -> float:
+        return sum(self.per_flow_goodput_bps.values())
+
+    @property
+    def total_goodput_gbps(self) -> float:
+        return self.total_goodput_bps / 1e9
+
+
+class TcpTestbed:
+    """Client endpoints + middlebox + server endpoint, fully wired."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        engine: MiddleboxEngine,
+        num_flows: int,
+        rng: random.Random,
+        cc_factory: Optional[Callable[[], object]] = None,
+        link_rate_bps: float = 10e9,
+        propagation_delay: int = 1 * MICROSECOND,
+        tcp_config: Optional[TcpConfig] = None,
+        flows: Optional[List[FiveTuple]] = None,
+    ):
+        self.sim = sim
+        self.engine = engine
+        self.rng = rng
+        self.tcp_config = tcp_config or TcpConfig()
+        cc_factory = cc_factory or (lambda: CubicCongestionControl(
+            initial_cwnd=self.tcp_config.initial_cwnd,
+            max_cwnd=self.tcp_config.max_cwnd,
+        ))
+
+        # Endpoint links carry a host-qdisc bound (Linux pfifo
+        # txqueuelen 1000): senders that out-pace the wire drop locally
+        # and proportionally to their sending rate, like real hosts.
+        self.client_to_mb = Link(sim, link_rate_bps, propagation_delay,
+                                 sink=self._into_middlebox, name="client->mb",
+                                 queue_limit=1000)
+        self.server_to_mb = Link(sim, link_rate_bps, propagation_delay,
+                                 sink=self._into_middlebox, name="server->mb",
+                                 queue_limit=1000)
+        self.mb_to_client = Link(sim, link_rate_bps, propagation_delay,
+                                 sink=self._deliver_to_client, name="mb->client")
+        self.mb_to_server = Link(sim, link_rate_bps, propagation_delay,
+                                 sink=self._deliver_to_server, name="mb->server")
+        self.egress_order = ReorderingTracker()
+        engine.set_egress(self._egress)
+
+        five_tuples = flows if flows is not None else random_tcp_flows(num_flows, rng)
+        self.server = TcpReceiverEndpoint(sim, self.server_to_mb, rng, self.tcp_config)
+        self.senders: List[TcpSenderEndpoint] = []
+        self._sender_by_ack_tuple: Dict[FiveTuple, TcpSenderEndpoint] = {}
+        for index, five_tuple in enumerate(five_tuples):
+            # Stagger SYNs so the handshakes and slow starts don't all
+            # collide in one burst (launching many iperf3 processes is
+            # similarly skewed in practice).
+            flow = TcpFlow(five_tuple, start_at=index * 50 * MICROSECOND)
+            sender = TcpSenderEndpoint(
+                sim, flow, self.client_to_mb, cc_factory(), rng, self.tcp_config
+            )
+            self.senders.append(sender)
+            self._sender_by_ack_tuple[five_tuple.reversed()] = sender
+
+    # -- wiring -----------------------------------------------------------
+
+    def _into_middlebox(self, packet: Packet, now: int) -> None:
+        self.engine.receive(packet, now)
+
+    def _egress(self, packet: Packet) -> None:
+        if is_toward_server(packet.five_tuple.dst_ip):
+            is_rexmit = isinstance(packet.app_data, tuple) and packet.app_data[1]
+            if packet.payload_len > 0 and not is_rexmit:
+                # Retransmissions legitimately run the sequence backwards;
+                # only original transmissions measure middlebox reordering.
+                self.egress_order.observe(packet.five_tuple, packet.seq)
+            self.mb_to_server.send(packet)
+        else:
+            self.mb_to_client.send(packet)
+
+    def _deliver_to_server(self, packet: Packet, now: int) -> None:
+        self.server.receive(packet, now)
+
+    def _deliver_to_client(self, packet: Packet, now: int) -> None:
+        sender = self._sender_by_ack_tuple.get(packet.five_tuple)
+        if sender is not None:
+            sender.receive(packet, now)
+
+    # -- execution -----------------------------------------------------------
+
+    def run(self, duration: int, warmup: Optional[int] = None) -> TcpTestbedResult:
+        """Run for ``duration`` ps; measure goodput after ``warmup``.
+
+        Warmup defaults to a quarter of the duration (slow-start ramp,
+        like discarding iperf3's first intervals).
+        """
+        if warmup is None:
+            warmup = duration // 4
+        if not 0 <= warmup < duration:
+            raise ValueError(f"need 0 <= warmup < duration, got {warmup}, {duration}")
+        for sender in self.senders:
+            sender.start()
+        self.sim.run(until=warmup)
+        baseline = {s.flow.five_tuple: s.cum_acked for s in self.senders}
+        self.sim.run(until=duration)
+        window_s = (duration - warmup) / SECOND
+        mss_bits = self.tcp_config.mss_payload * 8
+        per_flow = {
+            s.flow.five_tuple: (s.cum_acked - baseline[s.flow.five_tuple]) * mss_bits / window_s
+            for s in self.senders
+        }
+        return TcpTestbedResult(
+            duration_s=duration / SECOND,
+            per_flow_goodput_bps=per_flow,
+            retransmissions=sum(s.retransmissions for s in self.senders),
+            fast_recoveries=sum(s.fast_recoveries for s in self.senders),
+            spurious_recoveries=sum(s.spurious_recoveries for s in self.senders),
+            timeouts=sum(s.timeouts for s in self.senders),
+            reorder_events=sum(s.reorder_events for s in self.senders),
+            final_dupthresh={s.flow.five_tuple: s.dupthresh for s in self.senders},
+            egress_reordering_rate=self.egress_order.reordering_rate(),
+            egress_reordering_extent=self.egress_order.max_extent(),
+        )

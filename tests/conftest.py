@@ -1,0 +1,11 @@
+"""Shared test configuration.
+
+Hypothesis runs with no deadline: the simulation-heavy property tests
+have occasional slow examples (building engines, scanning automata) and
+wall-clock deadlines would make them flaky on loaded machines.
+"""
+
+from hypothesis import settings
+
+settings.register_profile("repro", deadline=None)
+settings.load_profile("repro")

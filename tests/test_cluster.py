@@ -1,0 +1,277 @@
+"""Tests for the multi-host cluster extension (§7)."""
+
+import random
+
+import pytest
+
+from repro.cluster import ClusterMiddlebox, ConsistentHashRing, FlowDispatcher
+from repro.core.config import MiddleboxConfig
+from repro.net import ACK, SYN, make_tcp_packet
+from repro.nfs import NatNf, SyntheticNf
+from repro.sim import MILLISECOND, Simulator
+from repro.trafficgen.flows import random_tcp_flows
+
+
+class TestConsistentHashRing:
+    def test_lookup_deterministic(self):
+        ring = ConsistentHashRing()
+        ring.add_node("a")
+        ring.add_node("b")
+        assert ring.lookup("key1") == ring.lookup("key1")
+
+    def test_all_nodes_get_keys(self):
+        ring = ConsistentHashRing()
+        for node in ("a", "b", "c"):
+            ring.add_node(node)
+        owners = {ring.lookup(f"key{i}") for i in range(200)}
+        assert owners == {"a", "b", "c"}
+
+    def test_minimal_disruption_on_add(self):
+        ring = ConsistentHashRing()
+        for node in ("a", "b", "c", "d"):
+            ring.add_node(node)
+        keys = [f"key{i}" for i in range(1000)]
+        before = {key: ring.lookup(key) for key in keys}
+        ring.add_node("e")
+        moved = sum(1 for key in keys if ring.lookup(key) != before[key])
+        # Ideal is 1/5 of keys; allow slack for virtual-node variance.
+        assert moved < 0.35 * len(keys)
+        # Every moved key went to the new node.
+        assert all(ring.lookup(k) == "e" for k in keys if ring.lookup(k) != before[k])
+
+    def test_remove_restores_previous_owners(self):
+        ring = ConsistentHashRing()
+        for node in ("a", "b", "c"):
+            ring.add_node(node)
+        keys = [f"key{i}" for i in range(300)]
+        before = {key: ring.lookup(key) for key in keys}
+        ring.add_node("d")
+        ring.remove_node("d")
+        assert all(ring.lookup(key) == before[key] for key in keys)
+
+    def test_duplicate_and_missing_nodes(self):
+        ring = ConsistentHashRing()
+        ring.add_node("a")
+        with pytest.raises(ValueError):
+            ring.add_node("a")
+        with pytest.raises(ValueError):
+            ring.remove_node("zzz")
+
+    def test_empty_ring_lookup_raises(self):
+        with pytest.raises(RuntimeError):
+            ConsistentHashRing().lookup("key")
+
+
+class TestFlowDispatcher:
+    def test_direction_symmetric(self):
+        dispatcher = FlowDispatcher(["h0", "h1", "h2"])
+        for flow in random_tcp_flows(100, random.Random(1)):
+            assert dispatcher.host_for(flow) == dispatcher.host_for(flow.reversed())
+
+    def test_spreads_flows(self):
+        dispatcher = FlowDispatcher(["h0", "h1", "h2", "h3"])
+        hosts = [dispatcher.host_for(f) for f in random_tcp_flows(400, random.Random(2))]
+        counts = {h: hosts.count(h) for h in set(hosts)}
+        assert len(counts) == 4
+        assert max(counts.values()) < 3 * min(counts.values())
+
+
+def make_cluster(num_hosts=2, nf_factory=None):
+    sim = Simulator()
+    nf_factory = nf_factory or (lambda host: SyntheticNf(busy_cycles=1000))
+    cluster = ClusterMiddlebox(sim, nf_factory, num_hosts=num_hosts)
+    out = []
+    cluster.set_egress(out.append)
+    return sim, cluster, out
+
+
+def open_and_send(sim, cluster, flow, rng, data=16):
+    cluster.receive(make_tcp_packet(flow, flags=SYN, tcp_checksum=rng.getrandbits(16)), sim.now)
+    sim.run(until=sim.now + MILLISECOND)
+    for seq in range(data):
+        cluster.receive(
+            make_tcp_packet(flow, flags=ACK, seq=seq, tcp_checksum=rng.getrandbits(16)),
+            sim.now,
+        )
+    sim.run(until=sim.now + 3 * MILLISECOND)
+
+
+class TestClusterDataplane:
+    def test_flow_never_sprayed_across_hosts(self):
+        """The §7 constraint, by construction."""
+        sim, cluster, out = make_cluster(num_hosts=3)
+        rng = random.Random(3)
+        flows = random_tcp_flows(12, rng)
+        for flow in flows:
+            open_and_send(sim, cluster, flow, rng, data=12)
+        # Replay the dispatch decision: all packets of a flow hit one host.
+        for flow in flows:
+            assert cluster.host_for(flow) == cluster.host_for(flow.reversed())
+        total = sum(cluster.stats.per_host_dispatched.values())
+        assert total == cluster.stats.dispatched == 13 * len(flows)
+
+    def test_within_host_spraying_still_happens(self):
+        sim, cluster, out = make_cluster(num_hosts=2)
+        rng = random.Random(5)
+        flow = random_tcp_flows(1, rng)[0]
+        open_and_send(sim, cluster, flow, rng, data=200)
+        host = cluster.host_for(flow)
+        per_core = cluster.engines[host].host.per_core_forwarded()
+        assert sum(1 for c in per_core if c > 0) == 8
+
+    def test_aggregate_forwarding(self):
+        sim, cluster, out = make_cluster(num_hosts=2)
+        rng = random.Random(7)
+        for flow in random_tcp_flows(8, rng):
+            open_and_send(sim, cluster, flow, rng, data=8)
+        assert cluster.summary()["total_forwarded"] == 8 * 9
+        assert len(out) == 72
+
+
+class TestElasticScaling:
+    def test_scale_out_migrates_a_fraction(self):
+        sim, cluster, out = make_cluster(num_hosts=2)
+        rng = random.Random(9)
+        flows = random_tcp_flows(40, rng)
+        for flow in flows:
+            open_and_send(sim, cluster, flow, rng, data=2)
+        entries_before = sum(
+            e.flow_state.total_entries() for e in cluster.engines.values()
+        )
+        new_host = cluster.scale_out()
+        assert new_host in cluster.hosts
+        assert len(cluster.hosts) == 3
+        # Some state moved, but far from all of it.
+        assert 0 < cluster.stats.migrated_entries < entries_before
+        entries_after = sum(
+            e.flow_state.total_entries() for e in cluster.engines.values()
+        )
+        assert entries_after == entries_before  # nothing lost
+
+    def test_traffic_follows_migrated_state(self):
+        """After scale-out, a NAT translation keeps working on its new host."""
+        sim = Simulator()
+        cluster = ClusterMiddlebox(
+            sim,
+            lambda host: NatNf(external_ip=0x0B000000 | int(host[4:]) + 1),
+            num_hosts=2,
+        )
+        out = []
+        cluster.set_egress(out.append)
+        rng = random.Random(11)
+        flows = random_tcp_flows(20, rng)
+        for flow in flows:
+            open_and_send(sim, cluster, flow, rng, data=1)
+        cluster.scale_out()
+        moved = [f for f in flows if cluster.host_for(f) == cluster.hosts[-1]]
+        assert moved, "expected some flows to re-map to the new host"
+        out.clear()
+        for flow in moved:
+            cluster.receive(
+                make_tcp_packet(flow, flags=ACK, seq=99, tcp_checksum=rng.getrandbits(16)),
+                sim.now,
+            )
+        sim.run(until=sim.now + 5 * MILLISECOND)
+        # The migrated translations still applied (packets not dropped).
+        assert len(out) == len(moved)
+        assert all(p.five_tuple.src_ip >> 24 == 0x0B for p in out)
+
+    def test_scale_in_redistributes(self):
+        sim, cluster, out = make_cluster(num_hosts=3)
+        rng = random.Random(13)
+        flows = random_tcp_flows(30, rng)
+        for flow in flows:
+            open_and_send(sim, cluster, flow, rng, data=2)
+        victim = cluster.hosts[0]
+        entries_before = sum(
+            e.flow_state.total_entries() for e in cluster.engines.values()
+        )
+        cluster.scale_in(victim)
+        assert victim not in cluster.hosts
+        entries_after = sum(
+            e.flow_state.total_entries() for e in cluster.engines.values()
+        )
+        assert entries_after == entries_before
+
+    def test_scale_in_guards(self):
+        sim, cluster, out = make_cluster(num_hosts=1)
+        with pytest.raises(ValueError):
+            cluster.scale_in(cluster.hosts[0])
+        with pytest.raises(ValueError):
+            cluster.scale_in("nope")
+
+
+class TestStickyFlowsAndPinning:
+    def test_sticky_flows_stay_on_scale_out(self):
+        """Connection-draining mode: existing flows never move."""
+        sim = Simulator()
+        cluster = ClusterMiddlebox(
+            sim, lambda host: SyntheticNf(busy_cycles=0), num_hosts=2,
+            sticky_flows=True,
+        )
+        cluster.set_egress(lambda p: None)
+        rng = random.Random(21)
+        flows = random_tcp_flows(30, rng)
+        before = {f: cluster.host_for(f) for f in flows}
+        for flow in flows:
+            open_and_send(sim, cluster, flow, rng, data=2)
+        cluster.scale_out()
+        assert all(cluster.host_for(f) == before[f] for f in flows)
+        assert cluster.stats.migrated_entries == 0
+        # New flows do use the new host eventually.
+        new_flows = random_tcp_flows(60, random.Random(99))
+        targets = {cluster.host_for(f) for f in new_flows}
+        assert cluster.hosts[-1] in targets
+
+    def test_sticky_scale_in_remaps_only_victims(self):
+        sim = Simulator()
+        cluster = ClusterMiddlebox(
+            sim, lambda host: SyntheticNf(busy_cycles=0), num_hosts=3,
+            sticky_flows=True,
+        )
+        cluster.set_egress(lambda p: None)
+        flows = random_tcp_flows(60, random.Random(5))
+        before = {f: cluster.host_for(f) for f in flows}
+        victim = cluster.hosts[0]
+        cluster.scale_in(victim)
+        for f in flows:
+            if before[f] == victim:
+                assert cluster.host_for(f) != victim
+            else:
+                assert cluster.host_for(f) == before[f]
+
+    def test_pinned_address_routes_to_owner(self):
+        sim = Simulator()
+        cluster = ClusterMiddlebox(
+            sim, lambda host: SyntheticNf(busy_cycles=0), num_hosts=3,
+        )
+        cluster.set_egress(lambda p: None)
+        external = 0x0B000001
+        cluster.pin_address(external, cluster.hosts[1])
+        from repro.net import FiveTuple
+
+        returning = FiveTuple(0x0A010001, external, 80, 4242, 6)
+        assert cluster.host_for(returning) == cluster.hosts[1]
+        assert cluster.host_for(returning.reversed()) == cluster.hosts[1]
+
+    def test_pin_requires_known_host(self):
+        sim = Simulator()
+        cluster = ClusterMiddlebox(
+            sim, lambda host: SyntheticNf(busy_cycles=0), num_hosts=2,
+        )
+        with pytest.raises(ValueError):
+            cluster.pin_address(1, "ghost")
+
+    def test_pins_removed_with_host(self):
+        sim = Simulator()
+        cluster = ClusterMiddlebox(
+            sim, lambda host: SyntheticNf(busy_cycles=0), num_hosts=2,
+        )
+        cluster.set_egress(lambda p: None)
+        victim = cluster.hosts[0]
+        cluster.pin_address(0x0B000001, victim)
+        cluster.scale_in(victim)
+        from repro.net import FiveTuple
+
+        flow = FiveTuple(0x0A010001, 0x0B000001, 80, 4242, 6)
+        assert cluster.host_for(flow) == cluster.hosts[0]  # survivor, via ring

@@ -1,0 +1,219 @@
+"""Unit tests for cores, the cost model, and the coherence model."""
+
+import pytest
+
+from repro.cpu.cache import CoherenceModel
+from repro.cpu.core import BatchResult, Core
+from repro.cpu.costs import CostModel
+from repro.cpu.host import Host
+from repro.net import FiveTuple, make_tcp_packet
+from repro.nic import MultiQueueNic, NicConfig
+from repro.nic.queues import RxQueue
+from repro.sim import MILLISECOND, SECOND, Simulator
+
+FLOW = FiveTuple(0x0A000001, 0x0A010001, 1234, 80, 6)
+
+
+class TestCostModel:
+    def test_cycles_to_ps_at_2ghz(self):
+        costs = CostModel(clock_hz=2.0e9)
+        assert costs.cycles_to_ps(1) == 500
+        assert costs.cycles_to_ps(10000) == 5_000_000  # 5 us
+
+    def test_base_packet_cycles_anchor(self):
+        """~170 base cycles -> one core forwards ~11-12 Mpps, the
+        Figure 6(a) zero-cycles anchor."""
+        costs = CostModel()
+        rate = costs.single_core_rate_pps(0)
+        assert 10e6 < rate < 13e6
+
+    def test_rate_at_10k_cycles_anchor(self):
+        """10k cycles/packet -> ~0.197 Mpps/core (Figure 6a right edge)."""
+        costs = CostModel()
+        rate = costs.single_core_rate_pps(10000)
+        assert 0.19e6 < rate < 0.21e6
+
+
+class TestCoherence:
+    def test_owner_reads_are_local(self):
+        costs = CostModel()
+        model = CoherenceModel(costs)
+        model.write(0, "flow")
+        assert model.read(0, "flow") == costs.flow_lookup_local
+        assert model.stats.local_reads == 1
+
+    def test_foreign_read_pays_transfer_once(self):
+        costs = CostModel()
+        model = CoherenceModel(costs)
+        model.write(0, "flow")
+        assert model.read(1, "flow") == costs.remote_read
+        # Second read hits the local clean copy.
+        assert model.read(1, "flow") == costs.flow_lookup_local
+
+    def test_write_invalidates_sharers(self):
+        costs = CostModel()
+        model = CoherenceModel(costs)
+        model.write(0, "flow")
+        model.read(1, "flow")
+        # Writing again while core 1 holds a copy invalidates it.
+        assert model.write(0, "flow") == costs.cache_invalidation
+        # ... and core 1 must re-fetch.
+        assert model.read(1, "flow") == costs.remote_read
+
+    def test_foreign_write_pays_invalidation(self):
+        costs = CostModel()
+        model = CoherenceModel(costs)
+        model.write(0, "flow")
+        assert model.write(1, "flow") == costs.cache_invalidation
+        assert model.stats.invalidating_writes == 1
+
+    def test_single_writer_never_pays_invalidation(self):
+        """Sprayer's writing partition in coherence terms."""
+        costs = CostModel()
+        model = CoherenceModel(costs)
+        for _ in range(10):
+            assert model.write(2, "flow") == costs.flow_lookup_local
+        assert model.stats.invalidating_writes == 0
+
+    def test_forget_clears_ownership(self):
+        costs = CostModel()
+        model = CoherenceModel(costs)
+        model.write(0, "flow")
+        model.forget("flow")
+        assert model.write(1, "flow") == costs.flow_lookup_local
+
+
+class TestCore:
+    def _make_core(self, sim, processor, batch_size=32):
+        core = Core(sim, core_id=0, costs=CostModel(), batch_size=batch_size)
+        core.rx_queue = RxQueue(0, capacity=64)
+        core.rx_queue.on_first_packet = core.wake
+        core.processor = processor
+        return core
+
+    def test_core_processes_batch_after_cycle_cost(self):
+        sim = Simulator()
+        outputs = []
+
+        def processor(core, foreign, local):
+            return BatchResult(cycles=2000, outputs=list(local))
+
+        core = self._make_core(sim, processor)
+        core.on_output = outputs.append
+        packet = make_tcp_packet(FLOW)
+        core.rx_queue.push(packet)
+        core.wake()
+        assert core.busy
+        sim.run()
+        assert outputs == [packet]
+        assert packet.done_time == CostModel().cycles_to_ps(2000)
+        assert packet.processed_core == 0
+
+    def test_batch_size_respected(self):
+        sim = Simulator()
+        batches = []
+
+        def processor(core, foreign, local):
+            batches.append(len(local))
+            return BatchResult(cycles=100, outputs=list(local))
+
+        core = self._make_core(sim, processor, batch_size=4)
+        core.rx_queue.on_first_packet = None  # fill first, wake once
+        core.on_output = lambda p: None
+        for i in range(10):
+            core.rx_queue.push(make_tcp_packet(FLOW, seq=i))
+        core.wake()
+        sim.run()
+        assert batches == [4, 4, 2]
+
+    def test_busy_core_ignores_wake(self):
+        sim = Simulator()
+
+        def processor(core, foreign, local):
+            return BatchResult(cycles=1000, outputs=list(local))
+
+        core = self._make_core(sim, processor)
+        core.on_output = lambda p: None
+        core.rx_queue.push(make_tcp_packet(FLOW))
+        core.wake()
+        # Wake again while busy: must not start a nested batch.
+        core.wake()
+        assert core.stats.batches == 1
+        sim.run()
+
+    def test_back_to_back_batches_drain_queue(self):
+        sim = Simulator()
+
+        def processor(core, foreign, local):
+            return BatchResult(cycles=500, outputs=list(local))
+
+        core = self._make_core(sim, processor, batch_size=2)
+        core.rx_queue.on_first_packet = None  # fill first, wake once
+        outputs = []
+        core.on_output = outputs.append
+        for i in range(6):
+            core.rx_queue.push(make_tcp_packet(FLOW, seq=i))
+        core.wake()
+        sim.run()
+        assert len(outputs) == 6
+        assert core.stats.batches == 3
+
+    def test_utilization_accounting(self):
+        sim = Simulator()
+
+        def processor(core, foreign, local):
+            return BatchResult(cycles=2000, outputs=list(local))
+
+        core = self._make_core(sim, processor)
+        core.on_output = lambda p: None
+        core.rx_queue.push(make_tcp_packet(FLOW))
+        core.wake()
+        sim.run()
+        busy = CostModel().cycles_to_ps(2000)
+        assert core.stats.busy_time_ps == busy
+        assert core.utilization(2 * busy) == pytest.approx(0.5)
+
+    def test_transfers_require_hook(self):
+        sim = Simulator()
+
+        def processor(core, foreign, local):
+            return BatchResult(cycles=10, outputs=[], transfers=[(1, local[0])])
+
+        core = self._make_core(sim, processor)
+        core.rx_queue.push(make_tcp_packet(FLOW))
+        core.wake()
+        with pytest.raises(RuntimeError):
+            sim.run()
+
+    def test_missing_processor_raises(self):
+        sim = Simulator()
+        core = Core(sim, 0, CostModel())
+        core.rx_queue = RxQueue(0)
+        core.rx_queue.push(make_tcp_packet(FLOW))
+        with pytest.raises(RuntimeError):
+            core.wake()
+
+
+class TestHost:
+    def test_wiring_queue_to_core(self):
+        sim = Simulator()
+        nic = MultiQueueNic(NicConfig(num_queues=4))
+        host = Host(sim, nic)
+        assert host.num_cores == 4
+        for core, queue in zip(host.cores, nic.queues):
+            assert core.rx_queue is queue
+            assert queue.on_first_packet is not None
+
+    def test_receive_counts_and_wakes(self):
+        sim = Simulator()
+        nic = MultiQueueNic(NicConfig(num_queues=2))
+        host = Host(sim, nic)
+        outputs = []
+        for core in host.cores:
+            core.processor = lambda c, f, l: BatchResult(cycles=100, outputs=list(l))
+        host.set_egress(outputs.append)
+        host.receive(make_tcp_packet(FLOW), now=0)
+        sim.run()
+        assert host.packets_in == 1
+        assert host.packets_out == 1
+        assert len(outputs) == 1

@@ -1,0 +1,138 @@
+"""Tests for the out-of-order-tolerant DPI (§7, O3FA-style)."""
+
+import random
+
+import pytest
+
+from repro.core import MiddleboxConfig, MiddleboxEngine
+from repro.net import ACK, FIN, SYN, FiveTuple, make_tcp_packet
+from repro.nfs import OooDpiNf
+from repro.sim import MILLISECOND, Simulator
+
+PATTERNS = [b"attack", b"malware"]
+
+
+def flow(i: int = 1) -> FiveTuple:
+    return FiveTuple(0x0A000000 + i, 0x0A010000 + i, 10000 + i, 80, 6)
+
+
+class _Harness:
+    def __init__(self, mode="sprayer", **nf_kwargs):
+        self.sim = Simulator()
+        self.nf = OooDpiNf(PATTERNS, **nf_kwargs)
+        self.engine = MiddleboxEngine(
+            self.sim, self.nf, MiddleboxConfig(mode=mode, num_cores=8)
+        )
+        self.engine.set_egress(lambda p: None)
+        self.rng = random.Random(8)
+
+    def open(self, f):
+        self.engine.receive(
+            make_tcp_packet(f, flags=SYN, tcp_checksum=self.rng.getrandbits(16)),
+            self.sim.now,
+        )
+        self.sim.run(until=self.sim.now + MILLISECOND)
+
+    def data(self, f, seq, payload):
+        packet = make_tcp_packet(
+            f, flags=ACK, seq=seq, tcp_checksum=self.rng.getrandbits(16)
+        )
+        packet.payload = payload
+        packet.payload_len = len(payload)
+        self.engine.receive(packet, self.sim.now)
+        self.sim.run(until=self.sim.now + MILLISECOND)
+
+    def fin(self, f):
+        self.engine.receive(
+            make_tcp_packet(f, flags=FIN | ACK, tcp_checksum=self.rng.getrandbits(16)),
+            self.sim.now,
+        )
+        self.sim.run(until=self.sim.now + MILLISECOND)
+
+
+class TestInOrderMatching:
+    def test_within_packet_match(self):
+        harness = _Harness()
+        harness.open(flow())
+        harness.data(flow(), 0, b"xx attack xx")
+        harness.fin(flow())
+        assert len(harness.nf.matches) == 1
+
+    def test_cross_packet_match_in_order(self):
+        harness = _Harness()
+        harness.open(flow())
+        harness.data(flow(), 0, b"...att")
+        harness.data(flow(), 1, b"ack...")
+        harness.fin(flow())
+        assert len(harness.nf.matches) == 1
+
+
+class TestOutOfOrderMatching:
+    def test_cross_packet_match_survives_reordering(self):
+        """The O3FA property: arrival order does not matter."""
+        harness = _Harness()
+        harness.open(flow())
+        harness.data(flow(), 1, b"ack...")  # second half arrives first
+        harness.data(flow(), 0, b"...att")
+        harness.fin(flow())
+        assert len(harness.nf.matches) == 1
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_random_permutations_equal_in_order_result(self, seed):
+        chunks = [b"aaatt", b"ackbb", b"bmal", b"warexx", b"attack!"]
+        rng = random.Random(seed)
+        order = list(enumerate(chunks))
+        rng.shuffle(order)
+        harness = _Harness()
+        harness.open(flow())
+        for seq, chunk in order:
+            harness.data(flow(), seq, chunk)
+        harness.fin(flow())
+        # In-order reference: one "attack" spans chunks 0-1, "malware"
+        # spans 2-3, another "attack" sits inside chunk 4.
+        assert len(harness.nf.matches) == 3
+
+    def test_hole_delays_detection_until_filled(self):
+        harness = _Harness()
+        harness.open(flow())
+        harness.data(flow(), 1, b"tack!!")  # waits for seq 0
+        assert harness.nf.matches == []
+        assert harness.nf.pending_segments(flow()) >= 1
+        harness.data(flow(), 0, b"xx at")
+        harness.fin(flow())
+        assert len(harness.nf.matches) == 1
+        assert harness.nf.pending_segments(flow()) == 0
+
+
+class TestBufferBound:
+    def test_overflow_falls_back_to_context_free_scan(self):
+        harness = _Harness(max_buffered_segments=2)
+        harness.open(flow())
+        # seq 0 never arrives; the buffer fills with 1..2 and overflows.
+        harness.data(flow(), 1, b"...")
+        harness.data(flow(), 2, b"...")
+        harness.data(flow(), 3, b"zz attack zz")  # overflow: scanned alone
+        assert harness.nf.buffer_overflows == 1
+        assert len(harness.nf.matches) == 1  # within-packet match still found
+
+    def test_fin_cleans_staging(self):
+        harness = _Harness()
+        harness.open(flow())
+        harness.data(flow(), 1, b"orphan")  # hole at 0 forever
+        harness.fin(flow())
+        assert harness.nf.pending_segments(flow()) == 0
+
+
+class TestPartitionDiscipline:
+    def test_works_under_every_spraying_mode(self):
+        for mode in ("rss", "sprayer", "prognic"):
+            harness = _Harness(mode=mode)
+            harness.open(flow())
+            harness.data(flow(), 0, b"...att")
+            harness.data(flow(), 1, b"ack...")
+            harness.fin(flow())
+            assert len(harness.nf.matches) == 1, mode
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            OooDpiNf(PATTERNS, max_buffered_segments=0)

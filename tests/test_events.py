@@ -1,0 +1,150 @@
+"""Tests for the mOS-style event API."""
+
+import random
+
+import pytest
+
+from repro.core import MiddleboxConfig, MiddleboxEngine
+from repro.core.events import EventNf
+from repro.net import ACK, FIN, RST, SYN, FiveTuple, make_tcp_packet
+from repro.sim import MILLISECOND, Simulator
+
+
+def flow(i: int = 1) -> FiveTuple:
+    return FiveTuple(0x0A000000 + i, 0x0A010000 + i, 10000 + i, 80, 6)
+
+
+class RecordingNf(EventNf):
+    """Records every event with the core it ran on."""
+
+    name = "recorder"
+
+    def __init__(self):
+        self.events = []
+        self.drop_ports = set()
+
+    def create_state(self, flow):
+        return {"packets": 0}
+
+    def on_connection_start(self, flow, state, ctx):
+        self.events.append(("start", flow, ctx.core_id))
+
+    def on_connection_established(self, flow, state, ctx):
+        self.events.append(("established", flow, ctx.core_id))
+
+    def on_connection_end(self, flow, state, ctx):
+        self.events.append(("end", flow, ctx.core_id))
+
+    def on_packet(self, packet, state, ctx):
+        self.events.append(("packet", packet.five_tuple, ctx.core_id))
+        if packet.five_tuple.dst_port in self.drop_ports:
+            return False
+        return True
+
+
+class _Harness:
+    def __init__(self, mode="sprayer"):
+        self.sim = Simulator()
+        self.nf = RecordingNf()
+        self.engine = MiddleboxEngine(
+            self.sim, self.nf, MiddleboxConfig(mode=mode, num_cores=8)
+        )
+        self.out = []
+        self.engine.set_egress(self.out.append)
+        self.rng = random.Random(4)
+
+    def send(self, f, flags=ACK, seq=0):
+        self.engine.receive(
+            make_tcp_packet(f, flags=flags, seq=seq,
+                            tcp_checksum=self.rng.getrandbits(16)),
+            self.sim.now,
+        )
+        self.sim.run(until=self.sim.now + MILLISECOND)
+
+
+class TestLifecycleEvents:
+    def test_full_connection_event_sequence(self):
+        harness = _Harness()
+        f = flow()
+        harness.send(f, flags=SYN)
+        harness.send(f.reversed(), flags=SYN | ACK)
+        harness.send(f, flags=ACK, seq=1)
+        harness.send(f, flags=FIN | ACK)
+        harness.send(f.reversed(), flags=FIN | ACK)
+        kinds = [event[0] for event in harness.nf.events]
+        assert kinds == ["start", "established", "packet", "end"]
+
+    def test_rst_ends_immediately(self):
+        harness = _Harness()
+        f = flow()
+        harness.send(f, flags=SYN)
+        harness.send(f, flags=RST)
+        kinds = [event[0] for event in harness.nf.events]
+        assert kinds == ["start", "end"]
+        assert harness.engine.flow_state.total_entries() == 0
+
+    def test_syn_retransmission_fires_start_once(self):
+        harness = _Harness()
+        harness.send(flow(), flags=SYN)
+        harness.send(flow(), flags=SYN)
+        kinds = [event[0] for event in harness.nf.events]
+        assert kinds.count("start") == 1
+
+    def test_double_rst_fires_end_once(self):
+        harness = _Harness()
+        f = flow()
+        harness.send(f, flags=SYN)
+        harness.send(f, flags=RST)
+        harness.send(f, flags=RST)
+        kinds = [event[0] for event in harness.nf.events]
+        assert kinds.count("end") == 1
+
+
+class TestEventPlacement:
+    def test_lifecycle_events_run_on_designated_core(self):
+        """mOS-on-Sprayer's free lunch: state-mutating events land
+        where mutation is legal."""
+        harness = _Harness()
+        for i in range(10):
+            f = flow(i)
+            harness.send(f, flags=SYN)
+            harness.send(f, flags=RST)
+        for kind, f, core in harness.nf.events:
+            if kind in ("start", "end", "established"):
+                assert core == harness.engine.designated_core(f)
+
+    def test_packets_run_on_many_cores_under_sprayer(self):
+        harness = _Harness()
+        f = flow()
+        harness.send(f, flags=SYN)
+        for seq in range(64):
+            harness.send(f, flags=ACK, seq=seq)
+        packet_cores = {core for kind, _f, core in harness.nf.events if kind == "packet"}
+        assert len(packet_cores) >= 4
+
+    def test_works_under_rss_too(self):
+        harness = _Harness(mode="rss")
+        f = flow()
+        harness.send(f, flags=SYN)
+        harness.send(f, flags=ACK, seq=0)
+        harness.send(f, flags=RST)
+        kinds = [event[0] for event in harness.nf.events]
+        assert kinds == ["start", "packet", "end"]
+
+
+class TestPacketVerdicts:
+    def test_on_packet_false_drops(self):
+        harness = _Harness()
+        harness.nf.drop_ports.add(80)
+        f = flow()
+        harness.send(f, flags=SYN)
+        harness.send(f, flags=ACK, seq=0)
+        # SYN forwarded, data dropped by the verdict.
+        assert len(harness.out) == 1
+
+    def test_untracked_packet_gets_none_state(self):
+        harness = _Harness()
+        harness.send(flow(), flags=ACK)  # no SYN first
+        kind, f, _core = harness.nf.events[0]
+        assert kind == "packet"
+        assert len(harness.out) == 1  # default verdict forwards

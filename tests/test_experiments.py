@@ -1,0 +1,139 @@
+"""Smoke tests for every experiment runner (reduced parameters).
+
+Each test asserts the *paper-shape* property of its figure on a small
+configuration, so the full benchmark harness regenerating the real
+figures is exercised end to end on every test run.
+"""
+
+import pytest
+
+from repro.experiments import format_table
+from repro.experiments.fig1 import headline, run_fig1
+from repro.experiments.fig2 import cdf_points, run_fig2
+from repro.experiments.fig6 import run_fig6a, run_fig6b
+from repro.experiments.fig7 import run_fig7a, run_fig7b
+from repro.experiments.fig8 import run_fig8
+from repro.experiments.fig9 import run_fig9
+from repro.experiments.harness import measure_capacity, run_open_loop, run_tcp
+from repro.experiments.table1 import run_table1, verify_nf
+from repro.nfs.registry import NF_PROFILES
+from repro.sim.timeunits import MILLISECOND
+
+
+class TestHarness:
+    def test_open_loop_measures_rate(self):
+        result = run_open_loop("rss", 10000, duration=4 * MILLISECOND, warmup=MILLISECOND)
+        assert result.rate_mpps == pytest.approx(0.197, rel=0.1)
+
+    def test_open_loop_validates_window(self):
+        with pytest.raises(ValueError):
+            run_open_loop("rss", 0, duration=MILLISECOND, warmup=MILLISECOND)
+
+    def test_measure_capacity_sprayer_hits_fd_cap(self):
+        capacity = measure_capacity("sprayer", 0)
+        assert capacity == pytest.approx(10.5e6, rel=0.05)
+
+    def test_run_tcp_returns_result(self):
+        result = run_tcp("sprayer", 0, duration=20 * MILLISECOND)
+        assert result.total_goodput_gbps > 8.0
+
+
+class TestFig1:
+    def test_headline_band(self):
+        stats = headline(seed=1, duration_s=4.0)
+        assert stats["bytes_fraction_over_10MB"] > 0.6
+        assert stats["flow_fraction_over_10MB"] < 0.02
+
+    def test_cdf_rows_are_monotone(self):
+        rows = run_fig1(seed=1, duration_s=3.0)
+        flows = [row["flows_cdf"] for row in rows]
+        bytes_ = [row["bytes_cdf"] for row in rows]
+        assert flows == sorted(flows)
+        assert bytes_ == sorted(bytes_)
+        assert flows[-1] == pytest.approx(1.0)
+
+
+class TestFig2:
+    def test_quantile_bands(self):
+        rows = run_fig2(seed=1, duration_s=4.0, samples=600)
+        all_flows = next(r for r in rows if r["population"] == "all flows")
+        big = next(r for r in rows if r["population"] == "> 10 MB")
+        assert 2 <= all_flows["median"] <= 9  # paper: 4
+        assert big["median"] <= all_flows["median"]  # paper: 1 vs 4
+
+    def test_cdf_points_valid(self):
+        points = cdf_points(seed=1, duration_s=3.0, samples=300)
+        cdf = [p["cdf"] for p in points]
+        assert cdf == sorted(cdf)
+        assert cdf[-1] == 1.0
+
+
+class TestFig6:
+    def test_fig6a_shape(self):
+        rows = run_fig6a(cycles_sweep=(0, 10000), duration=4 * MILLISECOND,
+                         warmup=MILLISECOND)
+        low, high = rows[0], rows[1]
+        # Sprayer capped near 10.5 Mpps at 0 cycles; RSS single core.
+        assert low["sprayer_mpps"] == pytest.approx(10.5, rel=0.1)
+        assert low["rss_mpps"] > low["sprayer_mpps"]
+        # At 10k cycles Sprayer ~8x RSS.
+        assert high["sprayer_mpps"] == pytest.approx(8 * high["rss_mpps"], rel=0.1)
+
+    def test_fig6b_shape(self):
+        rows = run_fig6b(cycles_sweep=(0, 10000), duration=40 * MILLISECOND)
+        low, high = rows[0], rows[1]
+        assert low["rss_gbps"] == pytest.approx(low["sprayer_gbps"], rel=0.1)
+        assert high["sprayer_gbps"] > 4 * high["rss_gbps"]
+
+
+class TestFig7:
+    def test_fig7a_shape(self):
+        rows = run_fig7a(flow_sweep=(1, 16), duration=5 * MILLISECOND,
+                         warmup=2 * MILLISECOND)
+        assert rows[0]["sprayer_mpps"] == pytest.approx(rows[1]["sprayer_mpps"], rel=0.05)
+        assert rows[1]["rss_mpps"] > 4 * rows[0]["rss_mpps"]
+
+    def test_fig7b_shape(self):
+        rows = run_fig7b(flow_sweep=(1, 8), duration=60 * MILLISECOND)
+        assert rows[0]["sprayer_gbps"] > 4 * rows[0]["rss_gbps"]
+        assert rows[1]["rss_gbps"] > 0.8 * rows[1]["sprayer_gbps"]
+
+
+class TestFig8:
+    def test_latency_ordering(self):
+        rows = run_fig8(cycles_sweep=(5000,), duration=6 * MILLISECOND,
+                        warmup=2 * MILLISECOND)
+        row = rows[0]
+        assert row["sprayer_p99_us"] < row["rss_p99_us"]
+
+
+class TestFig9:
+    def test_fairness_ordering(self):
+        rows = run_fig9(flow_sweep=(8,), duration=80 * MILLISECOND, seeds=(1, 2))
+        row = rows[0]
+        assert row["sprayer_jain"] > 0.85
+        assert row["sprayer_jain"] >= row["rss_jain"] - 0.05
+        assert row["rss_min"] <= row["rss_max"]
+
+
+class TestTable1:
+    def test_rows_match_registry(self):
+        rows = run_table1(verify=False)
+        assert len(rows) == sum(len(p.states) for p in NF_PROFILES.values())
+
+    def test_all_implemented_nfs_verify(self):
+        for key, profile in NF_PROFILES.items():
+            if profile.implementation is None:
+                continue
+            result = verify_nf(key)
+            assert result["ok"], f"{key}: {result['checks']}"
+
+
+class TestFormatting:
+    def test_format_table_renders(self):
+        rows = [{"a": 1, "b": 2.5}, {"a": 10, "b": 0.001}]
+        text = format_table(rows, title="T")
+        assert "T" in text and "a" in text and "10" in text
+
+    def test_format_empty(self):
+        assert "(no rows)" in format_table([])

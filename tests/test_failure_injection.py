@@ -1,0 +1,114 @@
+"""Failure injection: bounded resources must degrade, not corrupt."""
+
+import random
+
+import pytest
+
+from repro.core import MiddleboxConfig, MiddleboxEngine
+from repro.core.flow_state import FlowTableFullError
+from repro.net import ACK, SYN, make_tcp_packet
+from repro.nfs import SyntheticNf
+from repro.sim import MILLISECOND, Simulator
+from repro.trafficgen.flows import random_tcp_flows
+from repro.trafficgen.iperf import TcpTestbed
+
+
+class TestRingOverflow:
+    def test_tiny_rings_drop_but_do_not_wedge(self):
+        """Connection packets beyond ring capacity are dropped and
+        counted; regular traffic keeps flowing."""
+        sim = Simulator()
+        engine = MiddleboxEngine(
+            sim, SyntheticNf(busy_cycles=10000),
+            MiddleboxConfig(mode="sprayer", num_cores=8, ring_capacity=1),
+        )
+        out = []
+        engine.set_egress(out.append)
+        rng = random.Random(3)
+        # Burst many SYNs at one instant: designated cores' rings overflow.
+        for flow in random_tcp_flows(64, rng):
+            engine.receive(
+                make_tcp_packet(flow, flags=SYN, tcp_checksum=rng.getrandbits(16)),
+                sim.now,
+            )
+        sim.run(until=20 * MILLISECOND)
+        assert engine.stats.ring_drops > 0
+        assert len(out) > 0  # the surviving SYNs were still processed
+        assert len(out) + engine.stats.ring_drops == 64
+
+    def test_nic_queue_overflow_counted_not_fatal(self):
+        sim = Simulator()
+        engine = MiddleboxEngine(
+            sim, SyntheticNf(busy_cycles=10000),
+            MiddleboxConfig(mode="rss", num_cores=8, queue_capacity=4),
+        )
+        out = []
+        engine.set_egress(out.append)
+        rng = random.Random(5)
+        flow = random_tcp_flows(1, rng)[0]
+        for seq in range(100):
+            engine.receive(
+                make_tcp_packet(flow, flags=ACK, seq=seq, tcp_checksum=rng.getrandbits(16)),
+                sim.now,
+            )
+        sim.run(until=20 * MILLISECOND)
+        assert engine.nic.stats.rx_dropped_queue_full > 0
+        assert len(out) + engine.nic.stats.rx_dropped_queue_full == 100
+
+
+class TestFlowTableExhaustion:
+    def test_full_flow_table_raises(self):
+        """Per-core table capacity is a hard limit; exceeding it is a
+        programming/provisioning error and surfaces loudly."""
+        sim = Simulator()
+        engine = MiddleboxEngine(
+            sim, SyntheticNf(busy_cycles=0),
+            MiddleboxConfig(mode="sprayer", num_cores=2, flow_table_capacity=2),
+        )
+        engine.set_egress(lambda p: None)
+        rng = random.Random(7)
+        with pytest.raises(FlowTableFullError):
+            for flow in random_tcp_flows(64, rng):
+                engine.receive(
+                    make_tcp_packet(flow, flags=SYN, tcp_checksum=rng.getrandbits(16)),
+                    sim.now,
+                )
+                sim.run(until=sim.now + MILLISECOND)
+
+
+class TestFdCapUnderTcp:
+    def test_severe_fd_cap_still_carries_tcp(self):
+        """An artificially tight Flow Director cap throttles but does
+        not break the closed loop (TCP adapts to the drops)."""
+        sim = Simulator()
+        engine = MiddleboxEngine(
+            sim, SyntheticNf(busy_cycles=0),
+            MiddleboxConfig(mode="sprayer", num_cores=8,
+                            flow_director_pps_cap=2e5),
+        )
+        testbed = TcpTestbed(sim, engine, num_flows=1, rng=random.Random(9))
+        result = testbed.run(duration=60 * MILLISECOND, warmup=30 * MILLISECOND)
+        # The policer drops indiscriminately (a hostile regime for TCP:
+        # it behaves like heavy random loss), but the connection must
+        # keep making forward progress rather than deadlocking.
+        assert 0 < result.total_goodput_gbps < 2.5
+        assert testbed.senders[0].cum_acked > 0
+        assert engine.nic.stats.rx_dropped_fd_cap > 0
+
+
+class TestEgressReorderingMeasurement:
+    def test_rss_egress_in_order_sprayer_not(self):
+        def run(mode):
+            sim = Simulator()
+            engine = MiddleboxEngine(
+                sim, SyntheticNf(busy_cycles=5000),
+                MiddleboxConfig(mode=mode, num_cores=8),
+            )
+            testbed = TcpTestbed(sim, engine, num_flows=1, rng=random.Random(4))
+            return testbed.run(duration=40 * MILLISECOND, warmup=20 * MILLISECOND)
+
+        rss = run("rss")
+        sprayer = run("sprayer")
+        assert rss.egress_reordering_rate == 0.0
+        assert sprayer.egress_reordering_rate > 0.0
+        assert sprayer.egress_reordering_extent >= 1

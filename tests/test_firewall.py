@@ -1,0 +1,134 @@
+"""Unit/integration tests for the stateful firewall."""
+
+import random
+
+import pytest
+
+from repro.core import MiddleboxConfig, MiddleboxEngine
+from repro.net import ACK, FIN, RST, SYN, FiveTuple, ip_to_int, make_tcp_packet
+from repro.nfs import AclRule, FirewallNf
+from repro.sim import MILLISECOND, Simulator
+
+
+def flow(i: int = 1, dst_port: int = 80) -> FiveTuple:
+    return FiveTuple(0x0A000000 + i, 0x0A010000 + i, 10000 + i, dst_port, 6)
+
+
+class TestAclRule:
+    def test_prefix_match(self):
+        rule = AclRule(action="permit", src_prefix=(ip_to_int("10.0.0.0"), 16))
+        assert rule.matches(flow())
+        outsider = flow()._replace(src_ip=ip_to_int("192.168.0.1"))
+        assert not rule.matches(outsider)
+
+    def test_zero_prefix_matches_everything(self):
+        rule = AclRule(action="deny")
+        assert rule.matches(flow())
+
+    def test_port_match(self):
+        rule = AclRule(action="permit", dst_port=80)
+        assert rule.matches(flow(dst_port=80))
+        assert not rule.matches(flow(dst_port=443))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AclRule(action="maybe")
+        with pytest.raises(ValueError):
+            AclRule(action="permit", src_prefix=(0, 40))
+
+
+class _FirewallHarness:
+    def __init__(self, acl, mode="sprayer", default_action="deny"):
+        self.sim = Simulator()
+        self.fw = FirewallNf(acl=acl, default_action=default_action)
+        self.engine = MiddleboxEngine(self.sim, self.fw, MiddleboxConfig(mode=mode))
+        self.out = []
+        self.engine.set_egress(self.out.append)
+        self.rng = random.Random(5)
+
+    def send(self, five_tuple, flags=ACK, seq=0):
+        packet = make_tcp_packet(
+            five_tuple, flags=flags, seq=seq, tcp_checksum=self.rng.getrandbits(16)
+        )
+        self.engine.receive(packet, self.sim.now)
+        self.sim.run(until=self.sim.now + MILLISECOND)
+        return packet
+
+
+PERMIT_WEB = [AclRule(action="permit", dst_port=80)]
+
+
+@pytest.mark.parametrize("mode", ["rss", "sprayer"])
+class TestFirewallPolicy:
+    def test_permitted_connection_establishes(self, mode):
+        harness = _FirewallHarness(PERMIT_WEB, mode)
+        harness.send(flow(), flags=SYN)
+        assert len(harness.out) == 1
+        assert harness.fw.connections_admitted == 1
+
+    def test_denied_syn_dropped(self, mode):
+        harness = _FirewallHarness(PERMIT_WEB, mode)
+        harness.send(flow(dst_port=23), flags=SYN)  # telnet: no rule, default deny
+        assert harness.out == []
+        assert harness.fw.connections_refused == 1
+
+    def test_data_of_established_flow_passes_both_directions(self, mode):
+        harness = _FirewallHarness(PERMIT_WEB, mode)
+        harness.send(flow(), flags=SYN)
+        harness.send(flow(), flags=ACK, seq=1)
+        harness.send(flow().reversed(), flags=ACK)
+        assert len(harness.out) == 3
+
+    def test_data_without_connection_dropped(self, mode):
+        harness = _FirewallHarness(PERMIT_WEB, mode)
+        harness.send(flow(), flags=ACK)
+        assert harness.out == []
+        assert harness.fw.drops_no_state == 1
+
+    def test_first_matching_rule_wins(self, mode):
+        acl = [
+            AclRule(action="deny", src_prefix=(0x0A000001, 32)),
+            AclRule(action="permit", dst_port=80),
+        ]
+        harness = _FirewallHarness(acl, mode)
+        harness.send(flow(1), flags=SYN)  # src 10.0.0.1+1... flow(1) src=0x0A000001
+        assert harness.fw.connections_refused == 1
+        harness.send(flow(2), flags=SYN)
+        assert harness.fw.connections_admitted == 1
+
+
+class TestFirewallLifecycle:
+    def test_rst_removes_state(self):
+        harness = _FirewallHarness(PERMIT_WEB)
+        harness.send(flow(), flags=SYN)
+        assert harness.engine.flow_state.total_entries() == 2
+        harness.send(flow(), flags=RST)
+        assert harness.engine.flow_state.total_entries() == 0
+
+    def test_full_fin_handshake_removes_state(self):
+        harness = _FirewallHarness(PERMIT_WEB)
+        harness.send(flow(), flags=SYN)
+        harness.send(flow(), flags=FIN | ACK)
+        assert harness.engine.flow_state.total_entries() == 2  # half closed
+        harness.send(flow().reversed(), flags=FIN | ACK)
+        assert harness.engine.flow_state.total_entries() == 0
+
+    def test_syn_ack_without_connection_dropped(self):
+        harness = _FirewallHarness(PERMIT_WEB)
+        harness.send(flow().reversed(), flags=SYN | ACK)
+        assert harness.out == []
+
+    def test_syn_retransmission_not_double_admitted(self):
+        harness = _FirewallHarness(PERMIT_WEB)
+        harness.send(flow(), flags=SYN)
+        harness.send(flow(), flags=SYN)
+        assert harness.fw.connections_admitted == 1
+
+    def test_default_permit_mode(self):
+        harness = _FirewallHarness([], default_action="permit")
+        harness.send(flow(dst_port=2323), flags=SYN)
+        assert harness.fw.connections_admitted == 1
+
+    def test_bad_default_action(self):
+        with pytest.raises(ValueError):
+            FirewallNf(default_action="whatever")

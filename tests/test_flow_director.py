@@ -1,0 +1,135 @@
+"""Unit tests for the Flow Director model and the checksum-spray rules."""
+
+import random
+
+import pytest
+
+from repro.net import FiveTuple, make_tcp_packet, make_udp_packet
+from repro.net.five_tuple import PROTO_TCP, PROTO_UDP
+from repro.nic.flow_director import (
+    FLOW_DIRECTOR_CAPACITY,
+    FlowDirectorRule,
+    FlowDirectorTable,
+    build_checksum_spray_rules,
+    spray_bits_for,
+)
+
+TCP_FLOW = FiveTuple(0x0A000001, 0x0A010001, 1234, 80, PROTO_TCP)
+UDP_FLOW = FiveTuple(0x0A000001, 0x0A010001, 1234, 53, PROTO_UDP)
+
+
+class TestRules:
+    def test_rule_matches_masked_field(self):
+        rule = FlowDirectorRule(field="tcp_checksum", mask=0xFF, value=0x42, queue=3)
+        hit = make_tcp_packet(TCP_FLOW, tcp_checksum=0x1342)
+        miss = make_tcp_packet(TCP_FLOW, tcp_checksum=0x1343)
+        assert rule.matches(hit)
+        assert not rule.matches(miss)
+
+    def test_rule_is_protocol_scoped(self):
+        rule = FlowDirectorRule(field="dst_port", mask=0xFFFF, value=53, queue=1)
+        udp = make_udp_packet(UDP_FLOW)
+        assert not rule.matches(udp)  # rule defaults to TCP
+
+    def test_value_outside_mask_rejected(self):
+        with pytest.raises(ValueError):
+            FlowDirectorRule(field="tcp_checksum", mask=0x0F, value=0x10, queue=0)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError):
+            FlowDirectorRule(field="ttl", mask=0xFF, value=1, queue=0)
+
+
+class TestTable:
+    def test_match_returns_queue(self):
+        table = FlowDirectorTable()
+        table.add_rule(FlowDirectorRule(field="tcp_checksum", mask=0x3, value=0x2, queue=5))
+        packet = make_tcp_packet(TCP_FLOW, tcp_checksum=0xABCE)  # LSBs 0b10
+        assert table.match(packet) == 5
+
+    def test_no_match_returns_none(self):
+        table = FlowDirectorTable()
+        table.add_rule(FlowDirectorRule(field="tcp_checksum", mask=0x3, value=0x2, queue=5))
+        packet = make_tcp_packet(TCP_FLOW, tcp_checksum=0xABCD)  # LSBs 0b01
+        assert table.match(packet) is None
+
+    def test_capacity_enforced(self):
+        table = FlowDirectorTable(capacity=4)
+        for value in range(4):
+            table.add_rule(FlowDirectorRule(field="tcp_checksum", mask=0x7, value=value, queue=0))
+        with pytest.raises(OverflowError):
+            table.add_rule(FlowDirectorRule(field="tcp_checksum", mask=0x7, value=5, queue=0))
+
+    def test_reinstall_same_match_does_not_consume_capacity(self):
+        table = FlowDirectorTable(capacity=1)
+        table.add_rule(FlowDirectorRule(field="tcp_checksum", mask=0x1, value=0, queue=0))
+        table.add_rule(FlowDirectorRule(field="tcp_checksum", mask=0x1, value=0, queue=7))
+        packet = make_tcp_packet(TCP_FLOW, tcp_checksum=0x2)
+        assert table.match(packet) == 7
+        assert len(table) == 1
+
+    def test_clear(self):
+        table = FlowDirectorTable()
+        table.add_rules(build_checksum_spray_rules(4, bits=4))
+        table.clear()
+        assert len(table) == 0
+        assert table.match(make_tcp_packet(TCP_FLOW, tcp_checksum=1)) is None
+
+    def test_real_capacity_is_8k(self):
+        assert FLOW_DIRECTOR_CAPACITY == 8192
+
+
+class TestSprayRules:
+    def test_rules_exhaust_all_masked_values(self):
+        """The paper's trick: every TCP packet must match some rule."""
+        rules = build_checksum_spray_rules(8, bits=6)
+        assert len(rules) == 64
+        table = FlowDirectorTable()
+        table.add_rules(rules)
+        rng = random.Random(3)
+        for _ in range(500):
+            packet = make_tcp_packet(TCP_FLOW, tcp_checksum=rng.getrandbits(16))
+            assert table.match(packet) is not None
+
+    def test_non_tcp_packets_never_match(self):
+        table = FlowDirectorTable()
+        table.add_rules(build_checksum_spray_rules(8))
+        assert table.match(make_udp_packet(UDP_FLOW)) is None
+
+    def test_rules_cover_all_queues_evenly(self):
+        rules = build_checksum_spray_rules(8, bits=6)
+        per_queue = {}
+        for rule in rules:
+            per_queue[rule.queue] = per_queue.get(rule.queue, 0) + 1
+        assert set(per_queue) == set(range(8))
+        assert all(count == 8 for count in per_queue.values())
+
+    def test_random_checksums_spread_uniformly(self):
+        table = FlowDirectorTable()
+        table.add_rules(build_checksum_spray_rules(8))
+        rng = random.Random(1)
+        counts = [0] * 8
+        total = 8000
+        for _ in range(total):
+            packet = make_tcp_packet(TCP_FLOW, tcp_checksum=rng.getrandbits(16))
+            counts[table.match(packet)] += 1
+        for count in counts:
+            assert abs(count - total / 8) < total / 8 * 0.25
+
+    def test_bits_respect_flow_director_capacity(self):
+        with pytest.raises(ValueError):
+            build_checksum_spray_rules(8, bits=14)  # 2^14 > 8192
+
+    def test_bits_must_cover_queue_count(self):
+        with pytest.raises(ValueError):
+            build_checksum_spray_rules(8, bits=2)  # 4 values < 8 queues
+
+    def test_spray_bits_for_defaults(self):
+        assert spray_bits_for(8) == 8  # 3 needed + 5 extra
+        assert spray_bits_for(8, extra_bits=0) == 3
+        assert 2 ** spray_bits_for(256) <= FLOW_DIRECTOR_CAPACITY
+
+    def test_non_power_of_two_queue_counts_work(self):
+        rules = build_checksum_spray_rules(6, bits=8)
+        queues = {rule.queue for rule in rules}
+        assert queues == set(range(6))

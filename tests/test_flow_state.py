@@ -1,0 +1,200 @@
+"""Unit tests for flow tables and the writing-partition discipline."""
+
+import pytest
+
+from repro.core.designated import DesignatedCoreMap
+from repro.core.flow_state import (
+    FlowTable,
+    FlowTableFullError,
+    PartitionedFlowState,
+    SharedFlowState,
+    WritingPartitionError,
+)
+from repro.cpu.cache import CoherenceModel
+from repro.cpu.costs import CostModel
+from repro.net import FiveTuple
+
+COSTS = CostModel()
+
+
+def flow(i: int) -> FiveTuple:
+    return FiveTuple(0x0A000000 + i, 0x0A010000 + i, 1000 + i, 80, 6)
+
+
+class TestFlowTable:
+    def test_insert_get_remove(self):
+        table = FlowTable(0)
+        table.insert(flow(1), {"x": 1})
+        assert table.get(flow(1)) == {"x": 1}
+        assert table.remove(flow(1))
+        assert table.get(flow(1)) is None
+
+    def test_remove_missing_returns_false(self):
+        assert not FlowTable(0).remove(flow(1))
+
+    def test_capacity_enforced(self):
+        table = FlowTable(0, capacity=2)
+        table.insert(flow(1), "a")
+        table.insert(flow(2), "b")
+        with pytest.raises(FlowTableFullError):
+            table.insert(flow(3), "c")
+
+    def test_overwrite_does_not_hit_capacity(self):
+        table = FlowTable(0, capacity=1)
+        table.insert(flow(1), "a")
+        table.insert(flow(1), "b")  # same key: fine
+        assert table.get(flow(1)) == "b"
+
+
+class _FixedDesignation:
+    """flow -> core via a simple deterministic rule for tests."""
+
+    def __init__(self, num_cores: int):
+        self.num_cores = num_cores
+
+    def __call__(self, flow_id: FiveTuple) -> int:
+        return flow_id.src_port % self.num_cores
+
+
+def make_partitioned(num_cores=4, enforce=True):
+    return PartitionedFlowState(
+        num_cores,
+        _FixedDesignation(num_cores),
+        COSTS,
+        CoherenceModel(COSTS),
+        enforce=enforce,
+    )
+
+
+class TestPartitionedFlowState:
+    def test_insert_on_designated_core_succeeds(self):
+        state = make_partitioned()
+        f = flow(0)  # port 1000 % 4 == 0
+        entry, cycles = state.insert_local(0, f, {"v": 1})
+        assert entry == {"v": 1}
+        assert cycles > 0
+
+    def test_insert_on_wrong_core_raises(self):
+        state = make_partitioned()
+        with pytest.raises(WritingPartitionError):
+            state.insert_local(1, flow(0), {})
+
+    def test_remove_on_wrong_core_raises(self):
+        state = make_partitioned()
+        state.insert_local(0, flow(0), {})
+        with pytest.raises(WritingPartitionError):
+            state.remove_local(2, flow(0))
+
+    def test_get_local_on_wrong_core_raises(self):
+        """get_local returns a *modifiable* entry: designated cores only."""
+        state = make_partitioned()
+        state.insert_local(0, flow(0), {})
+        with pytest.raises(WritingPartitionError):
+            state.get_local(3, flow(0))
+
+    def test_get_from_any_core_reads_designated_table(self):
+        state = make_partitioned()
+        state.insert_local(0, flow(0), {"v": 42})
+        entry, _ = state.get(2, flow(0))
+        assert entry == {"v": 42}
+
+    def test_remote_read_costs_more_than_local(self):
+        state = make_partitioned()
+        state.insert_local(0, flow(0), {})
+        _, local_cycles = state.get(0, flow(0))
+        _, remote_cycles = state.get(1, flow(0))
+        assert remote_cycles > local_cycles
+        assert state.remote_reads == 1 and state.local_reads == 1
+
+    def test_enforcement_can_be_disabled(self):
+        state = make_partitioned(enforce=False)
+        state.insert_local(1, flow(0), {})  # would raise with enforce=True
+
+    def test_get_many_amortizes_remote_lookups(self):
+        flows = [flow(4 * i) for i in range(4)]  # all designated to core 0
+
+        def populate():
+            state = make_partitioned()
+            for f in flows:
+                state.insert_local(0, f, {})
+            return state
+
+        # Fresh state each way: coherence sharing from the first
+        # measurement would make the second one artificially cheap.
+        _, batched = populate().get_many(1, flows)
+        fresh = populate()
+        individual = sum(fresh.get(1, f)[1] for f in flows)
+        assert batched < individual
+
+    def test_get_missing_entry_returns_none(self):
+        state = make_partitioned()
+        entry, cycles = state.get(0, flow(0))
+        assert entry is None and cycles > 0
+
+    def test_total_entries(self):
+        state = make_partitioned()
+        state.insert_local(0, flow(0), {})
+        state.insert_local(1, flow(1), {})
+        assert state.total_entries() == 2
+
+
+class TestSharedFlowState:
+    def test_any_core_may_write(self):
+        state = SharedFlowState(COSTS)
+        state.insert_local(0, flow(0), {"v": 1})
+        state.insert_local(3, flow(1), {"v": 2})
+        assert state.get(1, flow(0))[0] == {"v": 1}
+
+    def test_every_access_pays_the_lock(self):
+        state = SharedFlowState(COSTS)
+        _, insert_cycles = state.insert_local(0, flow(0), {})
+        assert insert_cycles >= COSTS.lock_cycles
+        _, read_cycles = state.get(0, flow(0))
+        assert read_cycles >= COSTS.lock_cycles
+
+    def test_bouncing_writers_pay_invalidations(self):
+        state = SharedFlowState(COSTS)
+        state.insert_local(0, flow(0), {})
+        _, cycles = state.insert_local(1, flow(0), {})
+        assert cycles >= COSTS.lock_cycles + COSTS.cache_invalidation
+
+    def test_get_many(self):
+        state = SharedFlowState(COSTS)
+        flows = [flow(i) for i in range(3)]
+        for i, f in enumerate(flows):
+            state.insert_local(0, f, i)
+        entries, cycles = state.get_many(1, flows)
+        assert entries == [0, 1, 2]
+        assert cycles > 0
+
+
+class TestDesignatedCoreMap:
+    def test_deterministic(self):
+        dmap = DesignatedCoreMap(8)
+        assert dmap.core_for(flow(5)) == dmap.core_for(flow(5))
+
+    def test_symmetric_by_default(self):
+        dmap = DesignatedCoreMap(8)
+        for i in range(50):
+            f = flow(i)
+            assert dmap.core_for(f) == dmap.core_for(f.reversed())
+
+    def test_covers_all_cores(self):
+        dmap = DesignatedCoreMap(8)
+        cores = {dmap.core_for(flow(i)) for i in range(300)}
+        assert cores == set(range(8))
+
+    def test_in_range(self):
+        dmap = DesignatedCoreMap(3)
+        for i in range(100):
+            assert 0 <= dmap.core_for(flow(i)) < 3
+
+    def test_cache_grows_once_per_flow(self):
+        dmap = DesignatedCoreMap(8)
+        dmap.core_for(flow(1))
+        dmap.core_for(flow(1))
+        assert dmap.cache_size() == 1
+
+    def test_bad_core_count(self):
+        with pytest.raises(ValueError):
+            DesignatedCoreMap(0)

@@ -1,0 +1,119 @@
+"""End-to-end integration: TCP flows through the simulated middlebox.
+
+These are the slow-ish tests that pin the paper's headline behaviours:
+single-flow Sprayer >> RSS at high NF cost, RSS == Sprayer at low cost,
+fairness ordering, reordering confined to spraying modes, and NFs
+(NAT) transparently carrying real TCP connections.
+"""
+
+import random
+
+import pytest
+
+from repro.core import MiddleboxConfig, MiddleboxEngine
+from repro.metrics.fairness import jain_index
+from repro.nfs import NatNf, SyntheticNf
+from repro.sim import MILLISECOND, Simulator
+from repro.trafficgen.iperf import TcpTestbed
+
+
+def run_testbed(mode, cycles, flows=1, duration=60, seed=11, nf=None, **cfg):
+    sim = Simulator()
+    nf = nf or SyntheticNf(busy_cycles=cycles)
+    engine = MiddleboxEngine(sim, nf, MiddleboxConfig(mode=mode, num_cores=8, **cfg))
+    testbed = TcpTestbed(sim, engine, num_flows=flows, rng=random.Random(seed))
+    result = testbed.run(duration=duration * MILLISECOND, warmup=duration * MILLISECOND // 2)
+    return result, engine, testbed
+
+
+class TestHeadlineResult:
+    def test_sprayer_beats_rss_single_flow_heavy_nf(self):
+        """Figure 6(b) right edge: ~6x advantage for one flow at 10k cycles."""
+        rss, _, _ = run_testbed("rss", 10000)
+        sprayer, _, _ = run_testbed("sprayer", 10000)
+        assert sprayer.total_goodput_gbps > 4 * rss.total_goodput_gbps
+        assert sprayer.total_goodput_gbps > 7.0
+
+    def test_equal_at_trivial_nf(self):
+        """Figure 6(b) left edge: both at line rate."""
+        rss, _, _ = run_testbed("rss", 0, duration=30)
+        sprayer, _, _ = run_testbed("sprayer", 0, duration=30)
+        assert rss.total_goodput_gbps == pytest.approx(9.4, abs=0.3)
+        assert sprayer.total_goodput_gbps == pytest.approx(9.4, abs=0.3)
+
+    def test_rss_catches_up_with_many_flows(self):
+        """Figure 7(b): RSS approaches Sprayer at high flow counts."""
+        rss, _, _ = run_testbed("rss", 10000, flows=16, duration=100)
+        sprayer, _, _ = run_testbed("sprayer", 10000, flows=16, duration=100)
+        assert rss.total_goodput_gbps > 0.8 * sprayer.total_goodput_gbps
+
+
+class TestReordering:
+    def test_rss_preserves_order(self):
+        result, _, testbed = run_testbed("rss", 5000, duration=40)
+        assert testbed.server.reorder_arrivals == 0
+
+    def test_sprayer_reorders_but_tcp_adapts(self):
+        result, _, testbed = run_testbed("sprayer", 5000, duration=60)
+        assert testbed.server.reorder_arrivals > 0
+        sender = testbed.senders[0]
+        assert sender.dupthresh > 3  # adaptive threshold rose
+        assert result.timeouts == 0  # ... and no RTO catastrophes
+
+    def test_prognic_behaves_like_sprayer_without_transfers(self):
+        result, engine, _ = run_testbed("prognic", 10000, duration=60)
+        assert result.total_goodput_gbps > 7.0
+        assert engine.stats.transfers == 0
+
+
+class TestFairness:
+    def test_sprayer_fairer_than_rss_with_collisions(self):
+        """Figure 9: with few flows on 8 cores, RSS collisions starve
+        some flows while Sprayer shares all cores equally."""
+        seeds = (101, 202, 303)
+        rss_idx = []
+        sprayer_idx = []
+        for seed in seeds:
+            rss, _, _ = run_testbed("rss", 10000, flows=8, duration=100, seed=seed)
+            sprayer, _, _ = run_testbed("sprayer", 10000, flows=8, duration=100, seed=seed)
+            rss_idx.append(jain_index(list(rss.per_flow_goodput_bps.values())))
+            sprayer_idx.append(jain_index(list(sprayer.per_flow_goodput_bps.values())))
+        assert sum(sprayer_idx) / len(seeds) > 0.9
+        assert sum(sprayer_idx) / len(seeds) > sum(rss_idx) / len(seeds)
+
+
+class TestNatOverTcp:
+    def test_nat_carries_real_connections_under_sprayer(self):
+        nat = NatNf(external_ip=0x0B000001)
+        result, engine, testbed = run_testbed(
+            "sprayer", 0, flows=4, duration=40, nf=nat
+        )
+        assert result.total_goodput_gbps > 5.0
+        assert nat.translations_active == 4
+        # The server saw only translated sources.
+        for flow in testbed.server.flows:
+            assert flow.src_ip == 0x0B000001
+
+    def test_nat_under_rss_matches(self):
+        nat = NatNf(external_ip=0x0B000001)
+        result, _, _ = run_testbed("rss", 0, flows=4, duration=40, nf=nat)
+        assert result.total_goodput_gbps > 5.0
+
+
+class TestExtensions:
+    def test_flowlet_mode_sits_between_rss_and_sprayer(self):
+        """Flowlets avoid most reordering but only parallelize at burst
+        granularity: a single flow lands between RSS (one core) and
+        full spraying — the §7 trade-off, quantified."""
+        flowlet, _, _ = run_testbed("flowlet", 10000, duration=60)
+        assert flowlet.total_goodput_gbps > 2.0  # > RSS's ~1.5
+        assert flowlet.total_goodput_gbps < 8.0  # < Sprayer's ~8.7
+
+    def test_subset_mode_uses_partial_capacity(self):
+        """subset_size=2 of 8 cores: ~2x a single core, well below full
+        spraying — the §7 trade-off."""
+        subset, _, _ = run_testbed("subset", 10000, duration=60, subset_size=2)
+        rss, _, _ = run_testbed("rss", 10000, duration=60)
+        sprayer, _, _ = run_testbed("sprayer", 10000, duration=60)
+        assert subset.total_goodput_gbps > 1.3 * rss.total_goodput_gbps
+        assert subset.total_goodput_gbps < sprayer.total_goodput_gbps

@@ -1,0 +1,167 @@
+"""Tests for the load balancer, traffic monitor, and redundancy elimination."""
+
+import random
+
+import pytest
+
+from repro.core import MiddleboxConfig, MiddleboxEngine
+from repro.net import ACK, FIN, RST, SYN, FiveTuple, make_tcp_packet
+from repro.nfs import LoadBalancerNf, RedundancyEliminationNf, TrafficMonitorNf
+from repro.sim import MILLISECOND, Simulator
+from repro.trafficgen.flows import SERVER_NET
+
+VIP = SERVER_NET | 0x0101
+BACKENDS = [SERVER_NET | 0x10, SERVER_NET | 0x11, SERVER_NET | 0x12]
+
+
+def vip_flow(i: int = 1) -> FiveTuple:
+    return FiveTuple(0x0A000000 + i, VIP, 20000 + i, 80, 6)
+
+
+class _Harness:
+    def __init__(self, nf, mode="sprayer"):
+        self.sim = Simulator()
+        self.nf = nf
+        self.engine = MiddleboxEngine(self.sim, nf, MiddleboxConfig(mode=mode))
+        self.out = []
+        self.engine.set_egress(self.out.append)
+        self.rng = random.Random(31)
+
+    def send(self, five_tuple, flags=ACK, seq=0, payload_len=0, payload=None):
+        packet = make_tcp_packet(
+            five_tuple, flags=flags, seq=seq, payload_len=payload_len,
+            tcp_checksum=self.rng.getrandbits(16),
+        )
+        if payload is not None:
+            packet.payload = payload
+            packet.payload_len = len(payload)
+            packet.frame_len = max(64, 58 + len(payload))
+        self.engine.receive(packet, self.sim.now)
+        self.sim.run(until=self.sim.now + MILLISECOND)
+        return packet
+
+
+class TestLoadBalancer:
+    def test_new_connection_assigned_least_loaded_backend(self):
+        harness = _Harness(LoadBalancerNf(vip=VIP, backends=BACKENDS))
+        harness.send(vip_flow(1), flags=SYN)
+        assert harness.out[-1].app_data == ("lb_backend", BACKENDS[0])
+
+    def test_assignment_is_sticky(self):
+        harness = _Harness(LoadBalancerNf(vip=VIP, backends=BACKENDS))
+        harness.send(vip_flow(1), flags=SYN)
+        backend = harness.out[-1].app_data
+        for seq in range(5):
+            harness.send(vip_flow(1), flags=ACK, seq=seq)
+            assert harness.out[-1].app_data == backend
+
+    def test_connections_spread_across_backends(self):
+        harness = _Harness(LoadBalancerNf(vip=VIP, backends=BACKENDS))
+        for i in range(9):
+            harness.send(vip_flow(i), flags=SYN)
+        assert harness.nf.active_connections == {b: 3 for b in BACKENDS}
+
+    def test_rst_releases_backend(self):
+        harness = _Harness(LoadBalancerNf(vip=VIP, backends=BACKENDS))
+        harness.send(vip_flow(1), flags=SYN)
+        harness.send(vip_flow(1), flags=RST)
+        assert sum(harness.nf.active_connections.values()) == 0
+
+    def test_non_vip_traffic_dropped(self):
+        harness = _Harness(LoadBalancerNf(vip=VIP, backends=BACKENDS))
+        stray = vip_flow(1)._replace(dst_ip=SERVER_NET | 0x99)
+        harness.send(stray, flags=SYN)
+        assert harness.out == []
+        assert harness.nf.drops_not_vip == 1
+
+    def test_data_without_assignment_dropped(self):
+        harness = _Harness(LoadBalancerNf(vip=VIP, backends=BACKENDS))
+        harness.send(vip_flow(1), flags=ACK)
+        assert harness.nf.drops_no_assignment == 1
+
+    def test_needs_backends(self):
+        with pytest.raises(ValueError):
+            LoadBalancerNf(vip=VIP, backends=[])
+
+
+class TestTrafficMonitor:
+    def _run_connection(self, harness, f, data_packets=4):
+        harness.send(f, flags=SYN)
+        for seq in range(data_packets):
+            harness.send(f, flags=ACK, seq=seq, payload_len=100)
+        harness.send(f, flags=FIN | ACK)
+        harness.send(f.reversed(), flags=FIN | ACK)
+
+    def test_connection_lifecycle_logged(self):
+        harness = _Harness(TrafficMonitorNf())
+        self._run_connection(harness, vip_flow(1))
+        assert harness.nf.connections_opened == 1
+        assert harness.nf.connections_closed == 1
+        assert len(harness.nf.connection_log) == 1
+
+    def test_sharded_statistics_aggregate(self):
+        harness = _Harness(TrafficMonitorNf())
+        self._run_connection(harness, vip_flow(1), data_packets=6)
+        totals = harness.nf.aggregate(harness.engine.contexts)
+        assert totals["packets"] == 9  # SYN + 6 data + 2 FINs
+        assert totals["bytes"] > 0
+
+    def test_per_flow_bytes_merge_across_cores(self):
+        harness = _Harness(TrafficMonitorNf())
+        self._run_connection(harness, vip_flow(1), data_packets=8)
+        merged = harness.nf.per_flow_bytes(harness.engine.contexts)
+        assert vip_flow(1).canonical() in merged
+        # Under spraying the shards live on several cores.
+        shard_counts = sum(
+            1 for ctx in harness.engine.contexts if ctx.local.get("per_flow")
+        )
+        assert shard_counts >= 2
+
+    def test_rst_closes(self):
+        harness = _Harness(TrafficMonitorNf())
+        harness.send(vip_flow(2), flags=SYN)
+        harness.send(vip_flow(2), flags=RST)
+        assert harness.nf.connections_closed == 1
+
+
+class TestRedundancyElimination:
+    def test_duplicate_payload_shrinks_packet(self):
+        harness = _Harness(RedundancyEliminationNf())
+        payload = b"The quick brown fox jumps over the lazy dog" * 10
+        first = harness.send(vip_flow(1), seq=0, payload=payload)
+        second = harness.send(vip_flow(1), seq=1, payload=payload)
+        assert harness.nf.hits == 1
+        assert harness.nf.misses == 1
+        assert second.frame_len < first.frame_len
+        assert harness.nf.bytes_saved > 0
+
+    def test_distinct_payloads_both_miss(self):
+        harness = _Harness(RedundancyEliminationNf())
+        harness.send(vip_flow(1), seq=0, payload=b"A" * 100)
+        harness.send(vip_flow(1), seq=1, payload=b"B" * 100)
+        assert harness.nf.misses == 2 and harness.nf.hits == 0
+
+    def test_cross_flow_redundancy_detected(self):
+        """The cache is global: duplicates across flows count."""
+        harness = _Harness(RedundancyEliminationNf())
+        payload = b"shared content here" * 8
+        harness.send(vip_flow(1), payload=payload)
+        harness.send(vip_flow(2), payload=payload)
+        assert harness.nf.hits == 1
+
+    def test_pure_acks_ignored(self):
+        harness = _Harness(RedundancyEliminationNf())
+        harness.send(vip_flow(1), flags=ACK, payload_len=0)
+        assert harness.nf.hits == 0 and harness.nf.misses == 0
+
+    def test_lru_eviction(self):
+        harness = _Harness(RedundancyEliminationNf(cache_entries=2))
+        harness.send(vip_flow(1), seq=0, payload=b"one" * 20)
+        harness.send(vip_flow(1), seq=1, payload=b"two" * 20)
+        harness.send(vip_flow(1), seq=2, payload=b"three" * 20)  # evicts "one"
+        harness.send(vip_flow(1), seq=3, payload=b"one" * 20)
+        assert harness.nf.hits == 0
+        assert len(harness.nf.cache) == 2
+
+    def test_stateless_flag_set(self):
+        assert RedundancyEliminationNf.stateless

@@ -1,0 +1,151 @@
+"""Tests for fairness, latency, throughput, reordering, and CDF metrics."""
+
+import pytest
+
+from repro.metrics import (
+    LatencyRecorder,
+    RateMeter,
+    ReorderingTracker,
+    empirical_cdf,
+    gbps,
+    jain_index,
+    mpps,
+    quantile,
+)
+from repro.sim.timeunits import MICROSECOND, MILLISECOND, SECOND
+
+
+class TestJainIndex:
+    def test_equal_allocation_is_one(self):
+        assert jain_index([5, 5, 5, 5]) == pytest.approx(1.0)
+
+    def test_single_user_hogging(self):
+        # One of n gets everything: index = 1/n.
+        assert jain_index([10, 0, 0, 0]) == pytest.approx(0.25)
+
+    def test_known_value(self):
+        # (1+2+3)^2 / (3 * (1+4+9)) = 36/42
+        assert jain_index([1, 2, 3]) == pytest.approx(36 / 42)
+
+    def test_scale_invariance(self):
+        assert jain_index([1, 2, 3]) == pytest.approx(jain_index([10, 20, 30]))
+
+    def test_bounds(self):
+        import random
+
+        rng = random.Random(5)
+        for _ in range(50):
+            values = [rng.random() for _ in range(rng.randrange(1, 20))]
+            index = jain_index(values)
+            assert 1 / len(values) - 1e-9 <= index <= 1.0 + 1e-9
+
+    def test_all_zero_is_vacuously_fair(self):
+        assert jain_index([0, 0, 0]) == 1.0
+
+    def test_rejections(self):
+        with pytest.raises(ValueError):
+            jain_index([])
+        with pytest.raises(ValueError):
+            jain_index([1, -1])
+
+
+class TestQuantileAndCdf:
+    def test_quantile_nearest_rank(self):
+        data = list(range(100))
+        assert quantile(data, 0.0) == 0
+        assert quantile(data, 0.5) == 50
+        assert quantile(data, 0.99) == 99
+        assert quantile(data, 1.0) == 99
+
+    def test_quantile_validation(self):
+        with pytest.raises(ValueError):
+            quantile([], 0.5)
+        with pytest.raises(ValueError):
+            quantile([1], 1.5)
+
+    def test_empirical_cdf_endpoints(self):
+        curve = empirical_cdf([3, 1, 2])
+        assert curve[0][0] == 1
+        assert curve[-1] == (3, 1.0)
+
+    def test_empirical_cdf_empty(self):
+        assert empirical_cdf([]) == []
+
+
+class TestLatencyRecorder:
+    def test_percentiles(self):
+        recorder = LatencyRecorder()
+        for i in range(1, 101):
+            recorder.record(i * MICROSECOND)
+        assert recorder.percentile_us(0.99) == pytest.approx(100.0)
+        summary = recorder.summary_us()
+        assert summary["count"] == 100
+        assert summary["p50"] == pytest.approx(51.0)
+        assert summary["max"] == pytest.approx(100.0)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyRecorder().record(-1)
+
+    def test_empty_summary(self):
+        assert LatencyRecorder().summary_us() == {"count": 0}
+
+
+class TestRateMeter:
+    def test_rates(self):
+        meter = RateMeter()
+        meter.open_window(0)
+        for _ in range(1000):
+            meter.record(64)
+        meter.close_window(MILLISECOND)
+        assert meter.rate_mpps == pytest.approx(1.0)
+        assert meter.rate_gbps == pytest.approx(1000 * 64 * 8 / 1e-3 / 1e9)
+
+    def test_only_counts_inside_window(self):
+        meter = RateMeter()
+        meter.record(64)  # before open: ignored
+        meter.open_window(0)
+        meter.record(64)
+        meter.close_window(MILLISECOND)
+        meter.record(64)  # after close: ignored
+        assert meter.packets == 1
+
+    def test_misuse_raises(self):
+        meter = RateMeter()
+        with pytest.raises(RuntimeError):
+            meter.close_window(1)
+        with pytest.raises(RuntimeError):
+            RateMeter().window_ps
+
+    def test_helpers(self):
+        assert mpps(1_000_000, SECOND) == pytest.approx(1.0)
+        assert gbps(125_000_000, SECOND) == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            mpps(1, 0)
+
+
+class TestReorderingTracker:
+    def test_in_order_stream(self):
+        tracker = ReorderingTracker()
+        for seq in range(10):
+            assert not tracker.observe("flow", seq)
+        assert tracker.reordered_packets == 0
+        assert tracker.reordering_rate() == 0.0
+
+    def test_detects_late_packet(self):
+        tracker = ReorderingTracker()
+        for seq in (0, 1, 3, 4, 2):
+            tracker.observe("flow", seq)
+        assert tracker.reordered_packets == 1
+        assert tracker.max_extent() == 2  # overtaken by 3 and 4
+
+    def test_per_flow_isolation(self):
+        tracker = ReorderingTracker()
+        tracker.observe("a", 5)
+        assert not tracker.observe("b", 0)  # different flow: fine
+
+    def test_mean_extent(self):
+        tracker = ReorderingTracker()
+        for seq in (0, 2, 1, 4, 3):
+            tracker.observe("flow", seq)
+        assert tracker.mean_extent() == pytest.approx(1.0)

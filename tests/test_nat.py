@@ -1,0 +1,166 @@
+"""Unit/integration tests for the NAT (paper Figure 5)."""
+
+import random
+
+import pytest
+
+from repro.core import MiddleboxConfig, MiddleboxEngine
+from repro.net import ACK, FIN, RST, SYN, FiveTuple, make_tcp_packet
+from repro.nfs import NatNf, PortPool
+from repro.sim import MILLISECOND, Simulator
+
+EXTERNAL_IP = 0x0B000001
+
+
+def flow(i: int = 1) -> FiveTuple:
+    return FiveTuple(0x0A000000 + i, 0x0A010000 + i, 10000 + i, 80, 6)
+
+
+class TestPortPool:
+    def test_allocate_release_cycle(self):
+        pool = PortPool(EXTERNAL_IP, 1024, 1027)
+        ports = {pool.allocate() for _ in range(4)}
+        assert ports == {1024, 1025, 1026, 1027}
+        assert pool.allocate() is None
+        pool.release(1025)
+        assert pool.allocate() == 1025
+
+    def test_double_release_rejected(self):
+        pool = PortPool(EXTERNAL_IP, 1024, 1027)
+        port = pool.allocate()
+        pool.release(port)
+        with pytest.raises(ValueError):
+            pool.release(port)
+
+    def test_allocate_matching_returns_predicate_hit(self):
+        pool = PortPool(EXTERNAL_IP, 1024, 2047)
+        port = pool.allocate_matching(lambda p: p % 8 == 3)
+        assert port is not None and port % 8 == 3
+
+    def test_allocate_matching_returns_rejects_to_pool(self):
+        pool = PortPool(EXTERNAL_IP, 1024, 1031)
+        before = len(pool)
+        port = pool.allocate_matching(lambda p: p == 1030)
+        assert port == 1030
+        assert len(pool) == before - 1  # only the chosen port is gone
+
+    def test_allocate_matching_gives_up(self):
+        pool = PortPool(EXTERNAL_IP, 1024, 1031)
+        assert pool.allocate_matching(lambda p: False, max_tries=8) is None
+        assert len(pool) == 8  # everything returned
+
+    def test_bad_range(self):
+        with pytest.raises(ValueError):
+            PortPool(EXTERNAL_IP, 5000, 4000)
+
+
+class _NatHarness:
+    """NAT behind a Sprayer engine, with an egress capture."""
+
+    def __init__(self, mode="sprayer"):
+        self.sim = Simulator()
+        self.nat = NatNf(external_ip=EXTERNAL_IP)
+        self.engine = MiddleboxEngine(
+            self.sim, self.nat, MiddleboxConfig(mode=mode, num_cores=8)
+        )
+        self.out = []
+        self.engine.set_egress(self.out.append)
+        self.rng = random.Random(23)
+
+    def send(self, five_tuple, flags=ACK, seq=0):
+        packet = make_tcp_packet(
+            five_tuple, flags=flags, seq=seq, tcp_checksum=self.rng.getrandbits(16)
+        )
+        self.engine.receive(packet, self.sim.now)
+        self.sim.run(until=self.sim.now + MILLISECOND)
+        return packet
+
+    def open(self, five_tuple):
+        self.send(five_tuple, flags=SYN)
+        return self.out[-1].five_tuple  # the translated tuple
+
+
+@pytest.mark.parametrize("mode", ["rss", "sprayer", "prognic"])
+class TestNatTranslation:
+    def test_syn_is_translated_to_external(self, mode):
+        harness = _NatHarness(mode)
+        translated = harness.open(flow())
+        assert translated.src_ip == EXTERNAL_IP
+        assert translated.dst_ip == flow().dst_ip
+        assert translated.dst_port == flow().dst_port
+        assert translated.src_port != flow().src_port or True  # port from pool
+
+    def test_data_uses_installed_translation(self, mode):
+        harness = _NatHarness(mode)
+        translated = harness.open(flow())
+        harness.send(flow(), flags=ACK, seq=1)
+        assert harness.out[-1].five_tuple == translated
+
+    def test_reverse_direction_translated_back(self, mode):
+        harness = _NatHarness(mode)
+        translated = harness.open(flow())
+        # The server answers toward the external (ip, port).
+        harness.send(translated.reversed(), flags=ACK)
+        assert harness.out[-1].five_tuple == flow().reversed()
+
+    def test_unknown_flow_dropped(self, mode):
+        harness = _NatHarness(mode)
+        harness.send(flow(), flags=ACK)
+        assert harness.out == []
+        assert harness.nat.drops_no_translation == 1
+
+    def test_distinct_flows_get_distinct_ports(self, mode):
+        harness = _NatHarness(mode)
+        translations = {harness.open(flow(i)).src_port for i in range(10)}
+        assert len(translations) == 10
+
+
+class TestNatLifecycle:
+    def test_rst_tears_down_and_releases_port(self):
+        harness = _NatHarness()
+        pool_before = len(harness.nat.pool)
+        harness.open(flow())
+        assert harness.nat.translations_active == 1
+        harness.send(flow(), flags=RST)
+        assert harness.nat.translations_active == 0
+        assert len(harness.nat.pool) == pool_before
+        assert harness.engine.flow_state.total_entries() == 0
+
+    def test_two_fins_tear_down(self):
+        harness = _NatHarness()
+        translated = harness.open(flow())
+        harness.send(flow(), flags=FIN | ACK)
+        assert harness.nat.translations_active == 1  # half closed
+        harness.send(translated.reversed(), flags=FIN | ACK)
+        assert harness.nat.translations_active == 0
+
+    def test_syn_retransmission_reuses_translation(self):
+        harness = _NatHarness()
+        first = harness.open(flow())
+        second = harness.open(flow())
+        assert first == second
+        assert harness.nat.translations_active == 1
+
+    def test_pool_exhaustion_drops_new_connections(self):
+        harness = _NatHarness()
+        harness.nat.pool = PortPool(EXTERNAL_IP, 1024, 1024 + 7)
+        opened = 0
+        for i in range(40):
+            before = harness.nat.translations_active
+            harness.send(flow(i), flags=SYN)
+            opened += harness.nat.translations_active - before
+        assert opened <= 8
+        assert harness.nat.drops_no_port > 0
+
+
+class TestNatAffinity:
+    def test_translated_reverse_lands_on_same_designated_core(self):
+        """Figure 5 lines 24-25 only work with affinity-preserving
+        port selection: the reverse tuple must hash to the same core."""
+        harness = _NatHarness()
+        for i in range(12):
+            translated = harness.open(flow(i))
+            reverse_key = translated.reversed()
+            assert harness.engine.designated_core(reverse_key) == (
+                harness.engine.designated_core(flow(i))
+            )

@@ -1,0 +1,177 @@
+"""Unit tests for addresses, five-tuples, flags, and packets."""
+
+import pytest
+
+from repro.net import (
+    ACK,
+    ETHERNET_OVERHEAD,
+    FIN,
+    MIN_FRAME_SIZE,
+    PROTO_TCP,
+    PROTO_UDP,
+    RST,
+    SYN,
+    FiveTuple,
+    Packet,
+    flags_to_str,
+    ip_to_int,
+    ip_to_str,
+    is_connection_packet,
+    mac_to_int,
+    mac_to_str,
+    make_tcp_packet,
+    make_udp_packet,
+)
+
+
+class TestAddresses:
+    def test_ip_roundtrip(self):
+        for text in ("0.0.0.0", "10.0.0.1", "255.255.255.255", "192.168.1.77"):
+            assert ip_to_str(ip_to_int(text)) == text
+
+    def test_ip_known_value(self):
+        assert ip_to_int("10.0.0.1") == 0x0A000001
+
+    def test_ip_rejects_garbage(self):
+        for bad in ("1.2.3", "1.2.3.4.5", "256.0.0.1", "a.b.c.d"):
+            with pytest.raises(ValueError):
+                ip_to_int(bad)
+
+    def test_ip_to_str_range_check(self):
+        with pytest.raises(ValueError):
+            ip_to_str(-1)
+        with pytest.raises(ValueError):
+            ip_to_str(1 << 32)
+
+    def test_mac_roundtrip(self):
+        assert mac_to_str(mac_to_int("de:ad:be:ef:00:01")) == "de:ad:be:ef:00:01"
+
+    def test_mac_rejects_garbage(self):
+        with pytest.raises(ValueError):
+            mac_to_int("de:ad:be:ef:00")
+
+
+class TestFiveTuple:
+    def _flow(self):
+        return FiveTuple(ip_to_int("10.0.0.1"), ip_to_int("10.1.0.1"), 1234, 80, PROTO_TCP)
+
+    def test_reversed_swaps_endpoints(self):
+        flow = self._flow()
+        rev = flow.reversed()
+        assert rev.src_ip == flow.dst_ip
+        assert rev.dst_port == flow.src_port
+        assert rev.protocol == flow.protocol
+
+    def test_double_reverse_is_identity(self):
+        flow = self._flow()
+        assert flow.reversed().reversed() == flow
+
+    def test_canonical_is_direction_independent(self):
+        flow = self._flow()
+        assert flow.canonical() == flow.reversed().canonical()
+
+    def test_hashable_and_usable_as_dict_key(self):
+        flow = self._flow()
+        table = {flow: "entry"}
+        same = FiveTuple(flow.src_ip, flow.dst_ip, flow.src_port, flow.dst_port, flow.protocol)
+        assert table[same] == "entry"
+
+    def test_protocol_predicates(self):
+        assert self._flow().is_tcp
+        udp = self._flow()._replace(protocol=PROTO_UDP)
+        assert udp.is_udp and not udp.is_tcp
+
+    def test_str_is_readable(self):
+        assert "tcp 10.0.0.1:1234 -> 10.1.0.1:80" == str(self._flow())
+
+
+class TestFlags:
+    def test_connection_packet_predicate(self):
+        assert is_connection_packet(SYN)
+        assert is_connection_packet(FIN)
+        assert is_connection_packet(RST)
+        assert is_connection_packet(SYN | ACK)  # SYN-ACK is a connection packet
+        assert is_connection_packet(FIN | ACK)
+        assert not is_connection_packet(ACK)
+        assert not is_connection_packet(0)
+
+    def test_flags_to_str(self):
+        assert flags_to_str(SYN | ACK) == "AS"
+        assert flags_to_str(0) == "."
+
+
+class TestPacket:
+    def _flow(self):
+        return FiveTuple(ip_to_int("10.0.0.1"), ip_to_int("10.1.0.1"), 1234, 80, PROTO_TCP)
+
+    def test_minimum_frame_size_applies(self):
+        packet = make_tcp_packet(self._flow(), payload_len=0)
+        assert packet.frame_len == MIN_FRAME_SIZE
+
+    def test_frame_len_grows_with_payload(self):
+        packet = make_tcp_packet(self._flow(), payload_len=1448)
+        assert packet.frame_len == 58 + 1448  # headers + FCS + payload
+
+    def test_wire_bytes_include_preamble_and_ifg(self):
+        packet = make_tcp_packet(self._flow())
+        assert packet.wire_bytes == packet.frame_len + ETHERNET_OVERHEAD
+
+    def test_connection_property_follows_flags(self):
+        assert make_tcp_packet(self._flow(), flags=SYN).is_connection
+        assert make_tcp_packet(self._flow(), flags=FIN | ACK).is_connection
+        assert not make_tcp_packet(self._flow(), flags=ACK).is_connection
+
+    def test_udp_packets_are_never_connection_packets(self):
+        flow = self._flow()._replace(protocol=PROTO_UDP)
+        packet = make_udp_packet(flow)
+        assert not packet.is_connection
+
+    def test_make_tcp_rejects_non_tcp_tuple(self):
+        flow = self._flow()._replace(protocol=PROTO_UDP)
+        with pytest.raises(ValueError):
+            make_tcp_packet(flow)
+
+    def test_make_udp_rejects_tcp_tuple(self):
+        with pytest.raises(ValueError):
+            make_udp_packet(self._flow())
+
+    def test_packet_ids_are_unique(self):
+        a = make_tcp_packet(self._flow())
+        b = make_tcp_packet(self._flow())
+        assert a.packet_id != b.packet_id
+
+    def test_serialization_roundtrip_preserves_headers(self):
+        original = make_tcp_packet(
+            self._flow(), flags=SYN | ACK, seq=123456, ack=654321, payload_len=32
+        )
+        frame = original.to_bytes()
+        parsed = Packet.from_bytes(frame)
+        assert parsed.five_tuple == original.five_tuple
+        assert parsed.flags == original.flags
+        assert parsed.seq == original.seq
+        assert parsed.ack == original.ack
+        assert parsed.payload_len == 32
+
+    def test_serialization_embeds_real_checksum(self):
+        packet = make_tcp_packet(self._flow(), flags=ACK, payload_len=10)
+        frame = packet.to_bytes()
+        parsed = Packet.from_bytes(frame)
+        # to_bytes computed the real checksum and stored it back
+        assert packet.tcp_checksum == parsed.tcp_checksum
+        assert 0 <= packet.tcp_checksum <= 0xFFFF
+
+    def test_different_payloads_give_different_checksums(self):
+        a = make_tcp_packet(self._flow(), payload_len=8)
+        a.payload = b"AAAAAAAA"
+        b = make_tcp_packet(self._flow(), payload_len=8)
+        b.payload = b"BBBBBBBB"
+        a.to_bytes()
+        b.to_bytes()
+        assert a.tcp_checksum != b.tcp_checksum
+
+    def test_udp_roundtrip(self):
+        flow = self._flow()._replace(protocol=PROTO_UDP)
+        original = make_udp_packet(flow, payload_len=16)
+        parsed = Packet.from_bytes(original.to_bytes())
+        assert parsed.five_tuple == flow
+        assert parsed.payload_len == 16

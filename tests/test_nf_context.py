@@ -1,0 +1,145 @@
+"""Unit tests for the NfContext facade (Table 2 + accounting verbs)."""
+
+import pytest
+
+from repro.core import MiddleboxConfig, MiddleboxEngine, NetworkFunction, WritingPartitionError
+from repro.net import FiveTuple, make_tcp_packet
+from repro.sim import Simulator
+
+
+def flow(i: int = 1) -> FiveTuple:
+    return FiveTuple(0x0A000000 + i, 0x0A010000 + i, 10000 + i, 80, 6)
+
+
+@pytest.fixture()
+def engine():
+    sim = Simulator()
+    return MiddleboxEngine(sim, NetworkFunction(), MiddleboxConfig(mode="sprayer", num_cores=4))
+
+
+def ctx_for(engine, core_id):
+    return engine.contexts[core_id]
+
+
+class TestFlowStateFacade:
+    def test_insert_and_get_roundtrip(self, engine):
+        f = flow()
+        designated = engine.designated_core(f)
+        ctx = ctx_for(engine, designated)
+        ctx.begin_batch()
+        ctx.insert_local_flow(f, {"v": 7})
+        assert ctx.get_local_flow(f) == {"v": 7}
+        other = ctx_for(engine, (designated + 1) % 4)
+        other.begin_batch()
+        assert other.get_flow(f) == {"v": 7}
+
+    def test_wrong_core_insert_raises(self, engine):
+        f = flow()
+        wrong = (engine.designated_core(f) + 1) % 4
+        ctx = ctx_for(engine, wrong)
+        ctx.begin_batch()
+        with pytest.raises(WritingPartitionError):
+            ctx.insert_local_flow(f, {})
+
+    def test_cycle_accounting_accumulates(self, engine):
+        f = flow()
+        ctx = ctx_for(engine, engine.designated_core(f))
+        ctx.begin_batch()
+        ctx.insert_local_flow(f, {})
+        ctx.consume_cycles(123)
+        total = ctx.end_batch()
+        assert total >= 123 + engine.costs.flow_insert
+
+    def test_begin_batch_resets(self, engine):
+        ctx = ctx_for(engine, 0)
+        ctx.begin_batch()
+        ctx.consume_cycles(50)
+        ctx.begin_batch()
+        assert ctx.end_batch() == 0
+
+    def test_negative_cycles_rejected(self, engine):
+        ctx = ctx_for(engine, 0)
+        with pytest.raises(ValueError):
+            ctx.consume_cycles(-1)
+
+    def test_get_flows_returns_aligned_list(self, engine):
+        flows = [flow(i) for i in range(6)]
+        for f in flows:
+            designated_ctx = ctx_for(engine, engine.designated_core(f))
+            designated_ctx.begin_batch()
+            designated_ctx.insert_local_flow(f, f.src_port)
+        ctx = ctx_for(engine, 0)
+        ctx.begin_batch()
+        entries = ctx.get_flows(flows)
+        assert entries == [f.src_port for f in flows]
+
+    def test_remove(self, engine):
+        f = flow()
+        ctx = ctx_for(engine, engine.designated_core(f))
+        ctx.begin_batch()
+        ctx.insert_local_flow(f, {})
+        assert ctx.remove_local_flow(f)
+        assert ctx.get_local_flow(f) is None
+
+
+class TestPacketVerbs:
+    def test_drop_marks_packet(self, engine):
+        ctx = ctx_for(engine, 0)
+        ctx.begin_batch()
+        packet = make_tcp_packet(flow())
+        assert not ctx.is_dropped(packet)
+        ctx.drop(packet)
+        assert ctx.is_dropped(packet)
+
+    def test_drop_cleared_next_batch(self, engine):
+        ctx = ctx_for(engine, 0)
+        ctx.begin_batch()
+        packet = make_tcp_packet(flow())
+        ctx.drop(packet)
+        ctx.begin_batch()
+        assert not ctx.is_dropped(packet)
+
+    def test_update_header_rewrites_and_charges(self, engine):
+        ctx = ctx_for(engine, 0)
+        ctx.begin_batch()
+        packet = make_tcp_packet(flow())
+        new_tuple = flow(2)
+        ctx.update_header(packet, new_tuple)
+        assert packet.five_tuple == new_tuple
+        assert ctx.end_batch() == engine.costs.header_update
+
+
+class TestGlobalState:
+    def test_strict_global_write_charges_lock(self, engine):
+        ctx = ctx_for(engine, 0)
+        ctx.begin_batch()
+        ctx.write_global("pool")
+        assert ctx.end_batch() >= engine.costs.lock_cycles
+
+    def test_relaxed_access_is_cheap(self, engine):
+        ctx = ctx_for(engine, 0)
+        ctx.begin_batch()
+        ctx.write_global("stats", relaxed=True)
+        relaxed_cost = ctx.end_batch()
+        ctx.begin_batch()
+        ctx.write_global("stats")
+        strict_cost = ctx.end_batch()
+        assert relaxed_cost < strict_cost
+
+    def test_global_reads_bounce_between_writers(self, engine):
+        a, b = ctx_for(engine, 0), ctx_for(engine, 1)
+        a.begin_batch()
+        b.begin_batch()
+        a.write_global("shared")
+        first = b.end_batch()
+        b.read_global("shared")
+        assert b.end_batch() >= engine.costs.remote_read
+
+    def test_now_tracks_simulator(self, engine):
+        ctx = ctx_for(engine, 0)
+        assert ctx.now == engine.sim.now
+
+    def test_designated_core_helper(self, engine):
+        f = flow()
+        ctx = ctx_for(engine, 0)
+        assert ctx.designated_core(f) == engine.designated_core(f)

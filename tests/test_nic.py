@@ -1,0 +1,211 @@
+"""Unit tests for the multi-queue NIC, rx queues, and links."""
+
+import random
+
+import pytest
+
+from repro.net import FiveTuple, make_tcp_packet, make_udp_packet
+from repro.net.five_tuple import PROTO_TCP, PROTO_UDP
+from repro.nic import MultiQueueNic, NicConfig, RxQueue, build_checksum_spray_rules
+from repro.nic.link import Link
+from repro.sim import MICROSECOND, SECOND, Simulator
+
+TCP_FLOW = FiveTuple(0x0A000001, 0x0A010001, 1234, 80, PROTO_TCP)
+UDP_FLOW = FiveTuple(0x0A000001, 0x0A010001, 1234, 53, PROTO_UDP)
+
+
+class TestRxQueue:
+    def test_fifo_order(self):
+        queue = RxQueue(0, capacity=10)
+        packets = [make_tcp_packet(TCP_FLOW, seq=i) for i in range(3)]
+        for packet in packets:
+            queue.push(packet)
+        assert queue.pop_batch(10) == packets
+
+    def test_tail_drop_on_overflow(self):
+        queue = RxQueue(0, capacity=2)
+        assert queue.push(make_tcp_packet(TCP_FLOW))
+        assert queue.push(make_tcp_packet(TCP_FLOW))
+        assert not queue.push(make_tcp_packet(TCP_FLOW))
+        assert queue.dropped == 1
+        assert len(queue) == 2
+
+    def test_batch_respects_limit(self):
+        queue = RxQueue(0)
+        for i in range(10):
+            queue.push(make_tcp_packet(TCP_FLOW, seq=i))
+        batch = queue.pop_batch(4)
+        assert len(batch) == 4
+        assert len(queue) == 6
+
+    def test_wake_callback_only_on_empty_transition(self):
+        queue = RxQueue(0)
+        wakes = []
+        queue.on_first_packet = lambda: wakes.append(1)
+        queue.push(make_tcp_packet(TCP_FLOW))
+        queue.push(make_tcp_packet(TCP_FLOW))
+        assert len(wakes) == 1
+        queue.pop_batch(10)
+        queue.push(make_tcp_packet(TCP_FLOW))
+        assert len(wakes) == 2
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            RxQueue(0, capacity=0)
+        with pytest.raises(ValueError):
+            RxQueue(0).pop_batch(0)
+
+
+class TestNicClassification:
+    def test_rss_steers_flow_to_one_queue(self):
+        nic = MultiQueueNic(NicConfig(num_queues=8))
+        queues = set()
+        for i in range(20):
+            packet = make_tcp_packet(TCP_FLOW, seq=i, tcp_checksum=i * 7919)
+            assert nic.receive(packet, now=i)
+            queues.add(packet.rx_queue)
+        assert len(queues) == 1
+
+    def test_symmetric_rss_default(self):
+        nic = MultiQueueNic(NicConfig(num_queues=8))
+        fwd = make_tcp_packet(TCP_FLOW)
+        rev = make_tcp_packet(TCP_FLOW.reversed())
+        assert nic.classify(fwd) == nic.classify(rev)
+
+    def test_flow_director_sprays_tcp(self):
+        config = NicConfig(num_queues=8, flow_director_enabled=True, flow_director_pps_cap=None)
+        nic = MultiQueueNic(config)
+        nic.flow_director.add_rules(build_checksum_spray_rules(8))
+        rng = random.Random(5)
+        queues = set()
+        for i in range(200):
+            packet = make_tcp_packet(TCP_FLOW, seq=i, tcp_checksum=rng.getrandbits(16))
+            nic.receive(packet, now=i)
+            queues.add(packet.rx_queue)
+        assert len(queues) == 8  # one flow sprayed over every queue
+
+    def test_non_tcp_falls_back_to_rss(self):
+        config = NicConfig(num_queues=8, flow_director_enabled=True, flow_director_pps_cap=None)
+        nic = MultiQueueNic(config)
+        nic.flow_director.add_rules(build_checksum_spray_rules(8))
+        queues = set()
+        for i in range(20):
+            packet = make_udp_packet(UDP_FLOW)
+            nic.receive(packet, now=i)
+            queues.add(packet.rx_queue)
+        assert len(queues) == 1
+        assert nic.stats.rss_fallback == 20
+
+    def test_custom_classifier_takes_priority(self):
+        nic = MultiQueueNic(NicConfig(num_queues=8))
+        nic.custom_classifier = lambda packet: 6
+        packet = make_tcp_packet(TCP_FLOW)
+        assert nic.classify(packet) == 6
+
+    def test_custom_classifier_none_falls_through(self):
+        nic = MultiQueueNic(NicConfig(num_queues=8))
+        nic.custom_classifier = lambda packet: None
+        packet = make_tcp_packet(TCP_FLOW)
+        assert nic.classify(packet) == nic.rss.queue_for(TCP_FLOW)
+
+    def test_queue_overflow_counted(self):
+        nic = MultiQueueNic(NicConfig(num_queues=1, queue_capacity=2))
+        for i in range(5):
+            nic.receive(make_tcp_packet(TCP_FLOW, seq=i), now=i)
+        assert nic.stats.rx_dropped_queue_full == 3
+
+    def test_per_queue_rx_accounting(self):
+        nic = MultiQueueNic(NicConfig(num_queues=4))
+        for i in range(10):
+            nic.receive(make_tcp_packet(TCP_FLOW, seq=i), now=i)
+        assert sum(nic.stats.per_queue_rx) == 10
+
+
+class TestFlowDirectorCap:
+    def test_cap_drops_beyond_rate(self):
+        """The 82599's ~10 Mpps Flow Director ceiling (paper §5)."""
+        config = NicConfig(
+            num_queues=8,
+            flow_director_enabled=True,
+            flow_director_pps_cap=1e6,  # 1 Mpps for the test
+            flow_director_burst=8,
+        )
+        nic = MultiQueueNic(config)
+        nic.flow_director.add_rules(build_checksum_spray_rules(8))
+        # Offer 2 Mpps for a simulated millisecond: 2000 packets.
+        interval = round(SECOND / 2e6)
+        accepted = sum(
+            1 for i in range(2000)
+            if nic.receive(make_tcp_packet(TCP_FLOW, seq=i, tcp_checksum=i), now=i * interval)
+        )
+        # ~1 Mpps sustained => ~1000 accepted (plus the burst allowance).
+        assert 900 <= accepted <= 1200
+        assert nic.stats.rx_dropped_fd_cap == 2000 - accepted
+
+    def test_cap_disabled_accepts_everything(self):
+        config = NicConfig(num_queues=8, flow_director_enabled=True, flow_director_pps_cap=None)
+        nic = MultiQueueNic(config)
+        nic.flow_director.add_rules(build_checksum_spray_rules(8))
+        for i in range(1000):
+            assert nic.receive(make_tcp_packet(TCP_FLOW, seq=i, tcp_checksum=i), now=0)
+
+    def test_rss_mode_is_not_capped(self):
+        nic = MultiQueueNic(
+            NicConfig(num_queues=8, queue_capacity=2048, flow_director_enabled=False)
+        )
+        for i in range(1000):
+            assert nic.receive(make_tcp_packet(TCP_FLOW, seq=i), now=0)
+        assert nic.stats.rx_dropped_fd_cap == 0
+
+
+class TestLink:
+    def test_serialization_time_64b_at_10g(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=10e9, sink=lambda p, t: None)
+        packet = make_tcp_packet(TCP_FLOW)  # 64 B frame -> 84 wire bytes
+        assert link.serialization_time(packet) == round(84 * 8 * SECOND / 10e9)
+
+    def test_fifo_serialization_backs_up(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, rate_bps=10e9, propagation_delay=0,
+                    sink=lambda p, t: arrivals.append(t))
+        a = make_tcp_packet(TCP_FLOW)
+        b = make_tcp_packet(TCP_FLOW)
+        link.send(a)
+        link.send(b)
+        sim.run()
+        assert arrivals[1] - arrivals[0] == link.serialization_time(b)
+
+    def test_propagation_delay_added(self):
+        sim = Simulator()
+        arrivals = []
+        link = Link(sim, rate_bps=10e9, propagation_delay=5 * MICROSECOND,
+                    sink=lambda p, t: arrivals.append(t))
+        packet = make_tcp_packet(TCP_FLOW)
+        expected = link.serialization_time(packet) + 5 * MICROSECOND
+        link.send(packet)
+        sim.run()
+        assert arrivals == [expected]
+
+    def test_queue_limit_drops(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=10e9, sink=lambda p, t: None, queue_limit=2)
+        results = [link.send(make_tcp_packet(TCP_FLOW)) for _ in range(5)]
+        assert results.count(-1) == 3
+        assert link.packets_dropped == 3
+
+    def test_queue_drains_over_time(self):
+        sim = Simulator()
+        link = Link(sim, rate_bps=10e9, sink=lambda p, t: None, queue_limit=2)
+        link.send(make_tcp_packet(TCP_FLOW))
+        link.send(make_tcp_packet(TCP_FLOW))
+        assert link.send(make_tcp_packet(TCP_FLOW)) == -1
+        sim.run()  # serialize everything out
+        assert link.send(make_tcp_packet(TCP_FLOW)) != -1
+
+    def test_no_sink_raises(self):
+        sim = Simulator()
+        link = Link(sim)
+        with pytest.raises(RuntimeError):
+            link.send(make_tcp_packet(TCP_FLOW))

@@ -1,0 +1,112 @@
+"""Property-based tests for the extension data structures."""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cluster.dispatcher import ConsistentHashRing
+from repro.tcpstack.quic import _AckedSet, _PnSpace
+from repro.trafficgen.trace import TraceFlow
+
+
+class TestPnSpaceProperties:
+    @given(st.lists(st.integers(min_value=0, max_value=200), max_size=100))
+    def test_membership_matches_reference_set(self, values):
+        space = _PnSpace()
+        reference = set()
+        for value in values:
+            fresh = space.add(value)
+            assert fresh == (value not in reference)
+            reference.add(value)
+        assert space.count == len(reference)
+        if reference:
+            assert space.largest == max(reference)
+
+    @given(st.sets(st.integers(min_value=0, max_value=150), max_size=80))
+    def test_ranges_cover_exactly_the_members(self, values):
+        space = _PnSpace()
+        for value in values:
+            space.add(value)
+        covered = set()
+        for start, end in space.ranges(max_ranges=10_000):
+            covered.update(range(start, end))
+        assert covered == values
+
+    @given(st.lists(st.integers(min_value=0, max_value=60), min_size=1, max_size=200))
+    def test_floor_is_first_missing(self, values):
+        space = _PnSpace()
+        reference = set()
+        for value in values:
+            space.add(value)
+            reference.add(value)
+        expected_floor = 0
+        while expected_floor in reference:
+            expected_floor += 1
+        assert space.floor == expected_floor
+
+    @given(st.sets(st.integers(min_value=0, max_value=100), max_size=60))
+    def test_acked_set_matches_reference(self, values):
+        acked = _AckedSet()
+        for value in values:
+            acked.add(value)
+            acked.add(value)  # idempotent
+        for probe in range(110):
+            assert (probe in acked) == (probe in values)
+        assert len(acked) == len(values)
+
+
+class TestTraceFlowWindowProperty:
+    @given(
+        start=st.integers(min_value=0, max_value=10_000),
+        gap=st.integers(min_value=1, max_value=500),
+        num_packets=st.integers(min_value=1, max_value=40),
+        window_start=st.integers(min_value=0, max_value=30_000),
+        window_len=st.integers(min_value=1, max_value=2_000),
+    )
+    @settings(max_examples=200)
+    def test_window_check_matches_enumeration(
+        self, start, gap, num_packets, window_start, window_len
+    ):
+        """The closed-form packet-in-window test equals brute force."""
+        flow = TraceFlow(
+            start=start, size_bytes=1.0, rate_bps=1.0,
+            num_packets=num_packets, packet_gap=gap,
+        )
+        arrivals = [start + k * gap for k in range(num_packets)]
+        expected = any(window_start <= t < window_start + window_len for t in arrivals)
+        assert flow.has_packet_in(window_start, window_len) == expected
+
+    @given(
+        start=st.integers(min_value=0, max_value=1_000),
+        window_start=st.integers(min_value=0, max_value=3_000),
+        window_len=st.integers(min_value=1, max_value=500),
+    )
+    def test_single_packet_flow(self, start, window_start, window_len):
+        flow = TraceFlow(start=start, size_bytes=1.0, rate_bps=1.0,
+                         num_packets=1, packet_gap=0)
+        expected = window_start <= start < window_start + window_len
+        assert flow.has_packet_in(window_start, window_len) == expected
+
+
+class TestConsistentHashProperties:
+    @given(st.lists(st.text(alphabet="abcdef", min_size=1, max_size=6),
+                    min_size=1, max_size=6, unique=True),
+           st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=100, deadline=None)
+    def test_lookup_always_returns_a_member(self, nodes, key):
+        ring = ConsistentHashRing(virtual_nodes=8)
+        for node in nodes:
+            ring.add_node(node)
+        assert ring.lookup(str(key)) in nodes
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=50, deadline=None)
+    def test_remove_then_readd_is_idempotent(self, key):
+        ring = ConsistentHashRing(virtual_nodes=8)
+        for node in ("a", "b", "c"):
+            ring.add_node(node)
+        before = ring.lookup(str(key))
+        ring.remove_node("b")
+        ring.add_node("b")
+        assert ring.lookup(str(key)) == before

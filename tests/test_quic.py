@@ -1,0 +1,142 @@
+"""Tests for the QUIC-like transport over sprayed UDP (§7)."""
+
+import random
+
+import pytest
+
+from repro.core import MiddleboxConfig, MiddleboxEngine
+from repro.net import FiveTuple
+from repro.net.five_tuple import PROTO_UDP
+from repro.nfs import SyntheticNf
+from repro.nic.link import Link
+from repro.sim import MICROSECOND, MILLISECOND, SECOND, Simulator
+from repro.tcpstack.quic import QuicConfig, QuicLikeReceiver, QuicLikeSender
+from repro.trafficgen.flows import CLIENT_NET, SERVER_NET, is_toward_server
+
+QUIC_FLOW = FiveTuple(CLIENT_NET | 5, SERVER_NET | 5, 50000, 443, PROTO_UDP)
+
+
+class _Loopback:
+    """Sender/receiver joined by clean links (no middlebox)."""
+
+    def __init__(self, total_segments=None, loss_filter=None):
+        self.sim = Simulator()
+        rng = random.Random(6)
+        self.loss_filter = loss_filter
+        self.c2s = Link(self.sim, 10e9, 1 * MICROSECOND, sink=self._to_server)
+        self.s2c = Link(self.sim, 10e9, 1 * MICROSECOND, sink=self._to_client)
+        self.receiver = QuicLikeReceiver(self.sim, self.s2c, rng)
+        self.sender = QuicLikeSender(
+            self.sim, QUIC_FLOW, self.c2s, rng, total_segments=total_segments
+        )
+
+    def _to_server(self, packet, now):
+        if self.loss_filter is not None and self.loss_filter(packet):
+            return
+        self.receiver.receive(packet, now)
+
+    def _to_client(self, packet, now):
+        self.sender.receive(packet, now)
+
+    def run(self, duration=100 * MILLISECOND):
+        self.sender.start()
+        self.sim.run(until=duration)
+
+
+class TestQuicLoopback:
+    def test_finite_transfer_completes(self):
+        loop = _Loopback(total_segments=300)
+        loop.run()
+        assert loop.receiver.delivered_segments(QUIC_FLOW) == 300
+        assert loop.sender.delivered_offsets == 300
+
+    def test_clean_path_no_retransmissions(self):
+        loop = _Loopback(total_segments=500)
+        loop.run()
+        assert loop.sender.data_retransmissions == 0
+        assert loop.sender.ptos == 0
+
+    def test_loss_recovers_without_pto(self):
+        dropped = []
+
+        def drop_one(packet):
+            if (
+                isinstance(packet.app_data, tuple)
+                and packet.app_data[1] == 50
+                and not dropped
+            ):
+                dropped.append(True)
+                return True
+            return False
+
+        loop = _Loopback(total_segments=300, loss_filter=drop_one)
+        loop.run()
+        assert loop.receiver.delivered_segments(QUIC_FLOW) == 300
+        assert loop.sender.data_retransmissions == 1
+        assert loop.sender.ptos == 0
+
+    def test_random_loss_still_completes(self):
+        rng = random.Random(9)
+
+        def lossy(packet):
+            return (
+                isinstance(packet.app_data, tuple)
+                and packet.app_data[0] == "quic-data"
+                and rng.random() < 0.02
+            )
+
+        loop = _Loopback(total_segments=300, loss_filter=lossy)
+        loop.run(400 * MILLISECOND)
+        assert loop.receiver.delivered_segments(QUIC_FLOW) == 300
+
+
+class TestQuicThroughSprayedMiddlebox:
+    def _run(self, nf_cycles=10000, duration=80 * MILLISECOND):
+        sim = Simulator()
+        engine = MiddleboxEngine(
+            sim,
+            SyntheticNf(busy_cycles=nf_cycles),
+            MiddleboxConfig(mode="sprayer", num_cores=8, spray_udp_ports=(443,)),
+        )
+        rng = random.Random(3)
+        c2m = Link(sim, 10e9, 1 * MICROSECOND,
+                   sink=lambda p, t: engine.receive(p, t))
+        s2m = Link(sim, 10e9, 1 * MICROSECOND,
+                   sink=lambda p, t: engine.receive(p, t))
+        receiver = QuicLikeReceiver(sim, s2m, rng)
+        sender = QuicLikeSender(sim, QUIC_FLOW, c2m, rng)
+        m2s = Link(sim, 10e9, 1 * MICROSECOND, sink=lambda p, t: receiver.receive(p, t))
+        m2c = Link(sim, 10e9, 1 * MICROSECOND, sink=lambda p, t: sender.receive(p, t))
+        engine.set_egress(
+            lambda p: (m2s if is_toward_server(p.five_tuple.dst_ip) else m2c).send(p)
+        )
+        sender.start()
+        sim.run(until=duration)
+        return sim, engine, sender, receiver
+
+    def test_quic_uses_all_cores_and_sustains_throughput(self):
+        """The §7 punchline: a reorder-resilient transport over sprayed
+        UDP gets multi-core throughput from a single flow."""
+        sim, engine, sender, receiver = self._run()
+        cores = [c for c in engine.host.per_core_forwarded() if c > 0]
+        assert len(cores) == 8
+        delivered = receiver.delivered_segments(QUIC_FLOW)
+        gbps = delivered * 1200 * 8 / (80 * MILLISECOND / SECOND) / 1e9
+        # 8 cores at 10k cycles sustain ~1.57 Mpps >> this flow's needs;
+        # a single RSS core would cap the flow near 1200B*8*~130kpps ≈ 1.2 Gbps.
+        assert gbps > 3.0
+
+    def test_reordering_tolerated_via_adaptive_threshold(self):
+        sim, engine, sender, receiver = self._run()
+        assert receiver.reordered_arrivals > 0  # spraying did reorder
+        assert sender.packet_threshold > 3  # and the sender adapted
+        assert sender.ptos == 0  # without stalling
+
+
+class TestQuicValidation:
+    def test_requires_udp(self):
+        sim = Simulator()
+        tcp_flow = FiveTuple(1, 2, 3, 443, 6)
+        with pytest.raises(ValueError):
+            QuicLikeSender(sim, tcp_flow, Link(sim, sink=lambda p, t: None),
+                           random.Random(1))

@@ -1,0 +1,65 @@
+"""Tests for the NF registry (Table 1 data) and the experiments CLI."""
+
+import pytest
+
+from repro.experiments.__main__ import RUNNERS, main
+from repro.nfs.registry import (
+    NF_PROFILES,
+    NfProfile,
+    StateDecl,
+    sprayer_compatible,
+    table1_rows,
+)
+
+
+class TestRegistry:
+    def test_contains_every_paper_nf(self):
+        names = {profile.nf for profile in NF_PROFILES.values()}
+        assert names == {
+            "NAT, IPv4 to IPv6",
+            "Firewall",
+            "Load Balancer",
+            "Traffic Monitor",
+            "Redundancy Elimination",
+            "DPI",
+        }
+
+    def test_row_count_matches_table1(self):
+        # Table 1 has 10 state rows across the 6 NFs.
+        assert len(table1_rows()) == 10
+
+    def test_dpi_is_the_only_incompatible_nf(self):
+        incompatible = [key for key in NF_PROFILES if not sprayer_compatible(key)]
+        assert incompatible == ["dpi"]
+
+    def test_nat_rows_match_paper(self):
+        nat = NF_PROFILES["nat"]
+        flow_map, pool = nat.states
+        assert flow_map.scope == "Per-flow"
+        assert flow_map.per_packet == "R" and flow_map.per_flow_event == "RW"
+        assert pool.scope == "Global"
+        assert pool.per_packet == "-" and pool.per_flow_event == "RW"
+
+    def test_every_profile_has_an_implementation(self):
+        for key, profile in NF_PROFILES.items():
+            assert profile.implementation, key
+
+    def test_declaration_validation(self):
+        with pytest.raises(ValueError):
+            StateDecl("x", "Universe", "R", "RW")
+        with pytest.raises(ValueError):
+            StateDecl("x", "Global", "RWX", "RW")
+
+
+class TestCli:
+    def test_runner_names_cover_all_figures(self):
+        assert set(RUNNERS) == {"fig1", "fig2", "table1", "fig6", "fig7", "fig8", "fig9"}
+
+    def test_unknown_name_rejected(self):
+        assert main(["nope"]) == 2
+
+    def test_single_fast_experiment_runs(self, capsys):
+        assert main(["fig2"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 2" in out
+        assert "fig2 done" in out

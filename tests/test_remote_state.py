@@ -1,0 +1,100 @@
+"""Tests for the StatelessNF-style remote state backend (§6)."""
+
+import random
+
+import pytest
+
+from repro.core import MiddleboxConfig, MiddleboxEngine
+from repro.core.flow_state import RemoteFlowState
+from repro.cpu.costs import CostModel
+from repro.net import ACK, SYN, FiveTuple, make_tcp_packet
+from repro.nfs import SyntheticNf
+from repro.sim import MILLISECOND, Simulator
+
+COSTS = CostModel()
+
+
+def flow(i: int = 1) -> FiveTuple:
+    return FiveTuple(0x0A000000 + i, 0x0A010000 + i, 10000 + i, 80, 6)
+
+
+class TestRemoteFlowState:
+    def test_any_core_may_write_and_read(self):
+        state = RemoteFlowState(COSTS)
+        state.insert_local(0, flow(1), {"v": 1})
+        state.insert_local(5, flow(2), {"v": 2})
+        assert state.get(3, flow(1))[0] == {"v": 1}
+        assert state.get_local(7, flow(2))[0] == {"v": 2}
+
+    def test_every_access_costs_a_round_trip(self):
+        state = RemoteFlowState(COSTS, remote_access_cycles=1234)
+        _, insert_cost = state.insert_local(0, flow(1), {})
+        _, read_cost = state.get(1, flow(1))
+        assert insert_cost == 1234
+        assert read_cost == 1234
+        assert state.remote_accesses == 2
+
+    def test_batched_reads_amortize(self):
+        state = RemoteFlowState(COSTS, remote_access_cycles=1000)
+        flows = [flow(i) for i in range(4)]
+        for f in flows:
+            state.insert_local(0, f, f.src_port)
+        entries, cycles = state.get_many(2, flows)
+        assert entries == [f.src_port for f in flows]
+        assert cycles == 1000 + 3 * 500
+
+    def test_remove(self):
+        state = RemoteFlowState(COSTS)
+        state.insert_local(0, flow(1), {})
+        removed, cycles = state.remove_local(4, flow(1))
+        assert removed and cycles == state.remote_access_cycles
+        assert state.get(0, flow(1))[0] is None
+
+    def test_default_cost_is_a_microsecond_ish(self):
+        state = RemoteFlowState(COSTS)
+        assert state.remote_access_cycles == 2000  # 1 us at 2 GHz
+
+
+class TestEngineWithRemoteBackend:
+    def test_engine_runs_end_to_end(self):
+        sim = Simulator()
+        engine = MiddleboxEngine(
+            sim, SyntheticNf(busy_cycles=0),
+            MiddleboxConfig(mode="sprayer", num_cores=8, state_backend="remote"),
+        )
+        out = []
+        engine.set_egress(out.append)
+        rng = random.Random(2)
+        f = flow()
+        engine.receive(make_tcp_packet(f, flags=SYN, tcp_checksum=rng.getrandbits(16)), 0)
+        sim.run(until=5 * MILLISECOND)
+        for seq in range(32):
+            engine.receive(
+                make_tcp_packet(f, flags=ACK, seq=seq, tcp_checksum=rng.getrandbits(16)),
+                sim.now,
+            )
+        sim.run(until=sim.now + 10 * MILLISECOND)
+        assert len(out) == 33
+        assert engine.flow_state.remote_accesses > 32
+
+    def test_backend_override_beats_policy_default(self):
+        sim = Simulator()
+        engine = MiddleboxEngine(
+            sim, SyntheticNf(),
+            MiddleboxConfig(mode="naive", state_backend="remote"),
+        )
+        assert isinstance(engine.flow_state, RemoteFlowState)
+
+    def test_explicit_partitioned_backend(self):
+        from repro.core.flow_state import PartitionedFlowState
+
+        sim = Simulator()
+        engine = MiddleboxEngine(
+            sim, SyntheticNf(),
+            MiddleboxConfig(mode="sprayer", state_backend="partitioned"),
+        )
+        assert isinstance(engine.flow_state, PartitionedFlowState)
+
+    def test_bad_backend_rejected(self):
+        with pytest.raises(ValueError):
+            MiddleboxConfig(state_backend="cloud")

@@ -1,0 +1,55 @@
+"""Unit tests for inter-core transfer rings."""
+
+import pytest
+
+from repro.core.rings import TransferRing
+from repro.net import FiveTuple, make_tcp_packet
+
+FLOW = FiveTuple(0x0A000001, 0x0A010001, 1234, 80, 6)
+
+
+class TestTransferRing:
+    def test_fifo(self):
+        ring = TransferRing(0)
+        packets = [make_tcp_packet(FLOW, seq=i) for i in range(3)]
+        for packet in packets:
+            assert ring.push(packet)
+        assert ring.pop_batch(8) == packets
+
+    def test_bounded_with_drop_accounting(self):
+        ring = TransferRing(0, capacity=2)
+        assert ring.push(make_tcp_packet(FLOW))
+        assert ring.push(make_tcp_packet(FLOW))
+        assert not ring.push(make_tcp_packet(FLOW))
+        assert ring.dropped == 1
+
+    def test_wake_on_empty_transition_only(self):
+        ring = TransferRing(0)
+        wakes = []
+        ring.on_first_packet = lambda: wakes.append(1)
+        ring.push(make_tcp_packet(FLOW))
+        ring.push(make_tcp_packet(FLOW))
+        assert len(wakes) == 1
+        ring.pop_batch(8)
+        ring.push(make_tcp_packet(FLOW))
+        assert len(wakes) == 2
+
+    def test_push_batch_partial(self):
+        ring = TransferRing(0, capacity=3)
+        packets = [make_tcp_packet(FLOW, seq=i) for i in range(5)]
+        accepted = ring.push_batch(packets)
+        assert accepted == 3
+        assert ring.dropped == 2
+
+    def test_pop_batch_limit(self):
+        ring = TransferRing(0)
+        for i in range(5):
+            ring.push(make_tcp_packet(FLOW, seq=i))
+        assert len(ring.pop_batch(2)) == 2
+        assert len(ring) == 3
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransferRing(0, capacity=0)
+        with pytest.raises(ValueError):
+            TransferRing(0).pop_batch(0)

@@ -1,0 +1,102 @@
+"""Unit tests for the Toeplitz RSS model."""
+
+import pytest
+
+from repro.net import FiveTuple, ip_to_int
+from repro.nic.rss import (
+    DEFAULT_RSS_KEY,
+    SYMMETRIC_RSS_KEY,
+    RssHasher,
+    rss_input_bytes,
+    toeplitz_hash,
+)
+
+#: Microsoft RSS verification-suite vectors (IPv4 + TCP ports).
+MICROSOFT_VECTORS = [
+    ("66.9.149.187", "161.142.100.80", 2794, 1766, 0x51CCC178),
+    ("199.92.111.2", "65.69.140.83", 14230, 4739, 0xC626B0EA),
+    ("24.19.198.95", "12.22.207.184", 12898, 38024, 0x5C2B394A),
+    ("38.27.205.30", "209.142.163.6", 48228, 2217, 0xAFC7327F),
+    ("153.39.163.191", "202.188.127.2", 44251, 1303, 0x10E828A2),
+]
+
+
+class TestToeplitz:
+    @pytest.mark.parametrize("src,dst,sport,dport,expected", MICROSOFT_VECTORS)
+    def test_microsoft_verification_vectors(self, src, dst, sport, dport, expected):
+        flow = FiveTuple(ip_to_int(src), ip_to_int(dst), sport, dport, 6)
+        assert toeplitz_hash(DEFAULT_RSS_KEY, rss_input_bytes(flow)) == expected
+
+    def test_short_key_raises(self):
+        with pytest.raises(ValueError):
+            toeplitz_hash(b"\x01\x02", b"\x00" * 12)
+
+    def test_default_key_is_not_symmetric(self):
+        flow = FiveTuple(ip_to_int("10.0.0.1"), ip_to_int("10.0.0.2"), 1111, 80, 6)
+        forward = toeplitz_hash(DEFAULT_RSS_KEY, rss_input_bytes(flow))
+        backward = toeplitz_hash(DEFAULT_RSS_KEY, rss_input_bytes(flow.reversed()))
+        assert forward != backward
+
+    @pytest.mark.parametrize("seed", range(10))
+    def test_symmetric_key_hashes_both_directions_equally(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        flow = FiveTuple(
+            rng.getrandbits(32), rng.getrandbits(32),
+            rng.randrange(65536), rng.randrange(65536), 6,
+        )
+        forward = toeplitz_hash(SYMMETRIC_RSS_KEY, rss_input_bytes(flow))
+        backward = toeplitz_hash(SYMMETRIC_RSS_KEY, rss_input_bytes(flow.reversed()))
+        assert forward == backward
+
+
+class TestRssHasher:
+    def _flow(self, i: int) -> FiveTuple:
+        return FiveTuple(0x0A000000 + i, 0x0A010000 + i, 1000 + i, 80, 6)
+
+    def test_queue_assignment_is_deterministic(self):
+        hasher = RssHasher(num_queues=8)
+        flow = self._flow(1)
+        assert hasher.queue_for(flow) == hasher.queue_for(flow)
+
+    def test_queue_in_range(self):
+        hasher = RssHasher(num_queues=8)
+        for i in range(100):
+            assert 0 <= hasher.queue_for(self._flow(i)) < 8
+
+    def test_symmetric_hasher_maps_both_directions_to_same_queue(self):
+        hasher = RssHasher(num_queues=8, key=SYMMETRIC_RSS_KEY)
+        for i in range(50):
+            flow = self._flow(i)
+            assert hasher.queue_for(flow) == hasher.queue_for(flow.reversed())
+
+    def test_flows_spread_over_queues(self):
+        hasher = RssHasher(num_queues=8)
+        queues = {hasher.queue_for(self._flow(i)) for i in range(200)}
+        assert len(queues) == 8  # with 200 flows every queue gets hit
+
+    def test_cache_hits_return_same_hash(self):
+        hasher = RssHasher(num_queues=4)
+        flow = self._flow(7)
+        assert hasher.hash(flow) == hasher.hash(flow)
+
+    def test_custom_indirection_table(self):
+        hasher = RssHasher(num_queues=4)
+        hasher.set_indirection([0] * 128)
+        assert hasher.queue_for(self._flow(3)) == 0
+
+    def test_indirection_validation(self):
+        hasher = RssHasher(num_queues=4)
+        with pytest.raises(ValueError):
+            hasher.set_indirection([0] * 10)  # wrong length
+        with pytest.raises(ValueError):
+            hasher.set_indirection([9] * 128)  # queue id out of range
+
+    def test_is_symmetric_probe(self):
+        assert RssHasher(4, key=SYMMETRIC_RSS_KEY).is_symmetric()
+        assert not RssHasher(4, key=DEFAULT_RSS_KEY).is_symmetric()
+
+    def test_zero_queues_rejected(self):
+        with pytest.raises(ValueError):
+            RssHasher(num_queues=0)

@@ -1,0 +1,165 @@
+"""Unit tests for the discrete-event simulator."""
+
+import pytest
+
+from repro.sim import MICROSECOND, MILLISECOND, Simulator
+from repro.sim.timeunits import (
+    SECOND,
+    cycles_to_time,
+    microseconds,
+    milliseconds,
+    seconds,
+    time_to_cycles,
+    to_microseconds,
+    to_milliseconds,
+    to_seconds,
+)
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        order = []
+        sim.at(30, order.append, "c")
+        sim.at(10, order.append, "a")
+        sim.at(20, order.append, "b")
+        sim.run()
+        assert order == ["a", "b", "c"]
+
+    def test_same_time_events_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        for tag in ("first", "second", "third"):
+            sim.at(100, order.append, tag)
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_after_is_relative_to_now(self):
+        sim = Simulator()
+        times = []
+        sim.at(50, lambda: sim.after(25, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [75]
+
+    def test_scheduling_in_the_past_raises(self):
+        sim = Simulator()
+        sim.at(100, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.at(50, lambda: None)
+
+    def test_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.after(-1, lambda: None)
+
+    def test_callbacks_receive_arguments(self):
+        sim = Simulator()
+        seen = []
+        sim.at(1, lambda a, b: seen.append((a, b)), 1, "x")
+        sim.run()
+        assert seen == [(1, "x")]
+
+
+class TestRunControl:
+    def test_run_until_stops_before_later_events(self):
+        sim = Simulator()
+        fired = []
+        sim.at(10, fired.append, "early")
+        sim.at(1000, fired.append, "late")
+        sim.run(until=100)
+        assert fired == ["early"]
+        assert sim.now == 100  # clock advanced to the boundary exactly
+
+    def test_run_until_then_resume(self):
+        sim = Simulator()
+        fired = []
+        sim.at(10, fired.append, 1)
+        sim.at(200, fired.append, 2)
+        sim.run(until=100)
+        sim.run(until=300)
+        assert fired == [1, 2]
+
+    def test_run_returns_event_count(self):
+        sim = Simulator()
+        for t in (1, 2, 3):
+            sim.at(t, lambda: None)
+        assert sim.run() == 3
+        assert sim.events_processed == 3
+
+    def test_max_events_backstop(self):
+        sim = Simulator()
+
+        def reschedule():
+            sim.after(1, reschedule)
+
+        sim.at(0, reschedule)
+        processed = sim.run(max_events=50)
+        assert processed == 50
+
+    def test_stop_halts_the_loop(self):
+        sim = Simulator()
+        fired = []
+        sim.at(1, fired.append, "a")
+        sim.at(2, lambda: sim.stop())
+        sim.at(3, fired.append, "b")
+        sim.run()
+        assert fired == ["a"]
+
+    def test_empty_run_is_a_noop(self):
+        sim = Simulator()
+        assert sim.run() == 0
+        assert sim.now == 0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        handle = sim.at(10, fired.append, "x")
+        handle.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_twice_is_safe(self):
+        sim = Simulator()
+        handle = sim.at(10, lambda: None)
+        handle.cancel()
+        handle.cancel()
+        sim.run()
+
+    def test_drain_cancelled_compacts_heap(self):
+        sim = Simulator()
+        handles = [sim.at(10 + i, lambda: None) for i in range(100)]
+        for handle in handles[:60]:
+            handle.cancel()
+        dropped = sim.drain_cancelled()
+        assert dropped == 60
+        assert sim.pending_events == 40
+
+
+class TestTimeUnits:
+    def test_cycle_at_2ghz_is_500ps(self):
+        assert cycles_to_time(1, 2.0e9) == 500
+
+    def test_cycles_roundtrip(self):
+        ps = cycles_to_time(12345, 2.0e9)
+        assert time_to_cycles(ps, 2.0e9) == pytest.approx(12345)
+
+    def test_unit_constants_are_consistent(self):
+        assert MILLISECOND == 1000 * MICROSECOND
+        assert SECOND == 1000 * MILLISECOND
+
+    def test_conversions(self):
+        assert to_seconds(SECOND) == 1.0
+        assert to_milliseconds(SECOND) == 1000.0
+        assert to_microseconds(MICROSECOND) == 1.0
+        assert seconds(1.5) == 3 * SECOND // 2
+        assert milliseconds(2) == 2 * MILLISECOND
+        assert microseconds(0.5) == MICROSECOND // 2
+
+    def test_bad_clock_raises(self):
+        with pytest.raises(ValueError):
+            cycles_to_time(1, 0)
+        with pytest.raises(ValueError):
+            time_to_cycles(1, -1)

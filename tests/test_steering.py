@@ -1,0 +1,137 @@
+"""Unit tests for the steering policies (without a full engine)."""
+
+import random
+
+import pytest
+
+from repro.core.config import MODES, MiddleboxConfig
+from repro.net import ACK, SYN, FiveTuple, make_tcp_packet, make_udp_packet
+from repro.net.five_tuple import PROTO_UDP
+from repro.steering import make_policy
+from repro.trafficgen.flows import random_tcp_flows
+
+
+def policy_for(mode, **kwargs):
+    config = MiddleboxConfig(mode=mode, num_cores=8, **kwargs)
+    policy = make_policy(mode, config)
+    policy.build_nic()
+    return policy
+
+
+class TestFactory:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_every_mode_constructs(self, mode):
+        policy = policy_for(mode)
+        assert policy.name == mode
+        assert policy.nic is not None
+
+    def test_unknown_mode(self):
+        config = MiddleboxConfig(mode="rss")
+        with pytest.raises(ValueError):
+            make_policy("bogus", config)
+
+
+class TestDesignation:
+    @pytest.mark.parametrize("mode", MODES)
+    def test_designated_core_in_range_and_symmetric(self, mode):
+        policy = policy_for(mode)
+        for flow in random_tcp_flows(30, random.Random(1)):
+            core = policy.designated_core(flow)
+            assert 0 <= core < 8
+            assert policy.designated_core(flow.reversed()) == core
+
+    def test_rss_designation_is_the_arrival_queue(self):
+        policy = policy_for("rss")
+        for flow in random_tcp_flows(20, random.Random(2)):
+            packet = make_tcp_packet(flow, flags=ACK)
+            assert policy.nic.classify(packet) == policy.designated_core(flow)
+
+    def test_udp_designation_follows_rss(self):
+        policy = policy_for("sprayer")
+        udp = FiveTuple(0x0A000001, 0x0A010001, 5000, 53, PROTO_UDP)
+        assert policy.designated_core(udp) == policy.nic.rss.queue_for(udp)
+
+
+class TestNicProgramming:
+    def test_sprayer_nic_has_exhaustive_rules(self):
+        policy = policy_for("sprayer")
+        assert policy.nic.config.flow_director_enabled
+        assert len(policy.nic.flow_director) == 2 ** 8  # spray_bits_for(8)
+
+    def test_sprayer_respects_spray_bits(self):
+        policy = policy_for("sprayer", spray_bits=6)
+        assert len(policy.nic.flow_director) == 64
+
+    def test_rss_nic_has_no_flow_director(self):
+        policy = policy_for("rss")
+        assert not policy.nic.config.flow_director_enabled
+        assert len(policy.nic.flow_director) == 0
+
+    def test_prognic_has_no_pps_cap(self):
+        policy = policy_for("prognic")
+        assert policy.nic.config.flow_director_pps_cap is None
+
+    def test_prognic_steers_connection_packets_to_designated(self):
+        policy = policy_for("prognic")
+        rng = random.Random(3)
+        for flow in random_tcp_flows(20, rng):
+            syn = make_tcp_packet(flow, flags=SYN, tcp_checksum=rng.getrandbits(16))
+            assert policy.nic.classify(syn) == policy.designated_core(flow)
+
+    def test_subset_confines_regular_packets(self):
+        policy = policy_for("subset", subset_size=2)
+        rng = random.Random(4)
+        flow = random_tcp_flows(1, rng)[0]
+        subset = {c % 8 for c in policy.subset_for(flow)}
+        for _ in range(64):
+            packet = make_tcp_packet(flow, flags=ACK, tcp_checksum=rng.getrandbits(16))
+            assert policy.nic.classify(packet) in subset
+
+    def test_subset_connection_packets_go_to_designated(self):
+        policy = policy_for("subset", subset_size=3)
+        rng = random.Random(5)
+        for flow in random_tcp_flows(10, rng):
+            syn = make_tcp_packet(flow, flags=SYN, tcp_checksum=rng.getrandbits(16))
+            assert policy.nic.classify(syn) == policy.designated_core(flow)
+
+    def test_naive_shares_state(self):
+        policy = policy_for("naive")
+        assert policy.uses_shared_state
+        assert not policy.redirect_connection_packets
+
+
+class TestFlowletClassifier:
+    def test_same_flowlet_same_queue(self):
+        policy = policy_for("flowlet")
+
+        class _Clock:
+            class sim:
+                now = 0
+
+        policy.attach(_Clock())
+        rng = random.Random(6)
+        flow = random_tcp_flows(1, rng)[0]
+        queues = {
+            policy.nic.classify(
+                make_tcp_packet(flow, flags=ACK, tcp_checksum=rng.getrandbits(16))
+            )
+            for _ in range(20)
+        }
+        assert len(queues) == 1  # no time passes: one flowlet
+
+    def test_gap_opens_new_flowlet(self):
+        policy = policy_for("flowlet", flowlet_gap=100)
+
+        class _Clock:
+            class sim:
+                now = 0
+
+        clock = _Clock()
+        policy.attach(clock)
+        rng = random.Random(7)
+        flow = random_tcp_flows(1, rng)[0]
+        policy.nic.classify(make_tcp_packet(flow, flags=ACK, tcp_checksum=1))
+        started = policy.flowlets_started
+        clock.sim.now = 1000  # > gap
+        policy.nic.classify(make_tcp_packet(flow, flags=ACK, tcp_checksum=2))
+        assert policy.flowlets_started == started + 1

@@ -1,0 +1,196 @@
+"""Edge-case tests for the TCP model's recovery machinery."""
+
+import random
+
+import pytest
+
+from repro.net import FiveTuple
+from repro.nic.link import Link
+from repro.sim import MICROSECOND, MILLISECOND, Simulator
+from repro.tcpstack import CubicCongestionControl, TcpFlow, TcpReceiverEndpoint, TcpSenderEndpoint
+from repro.tcpstack.endpoint import TcpConfig
+
+FLOW = FiveTuple(0x0A000001, 0x0A010001, 40000, 5201, 6)
+
+
+class _Harness:
+    """Loopback with a programmable packet mangler on the data path."""
+
+    def __init__(self, total_segments=None, mangler=None, config=None):
+        self.sim = Simulator()
+        rng = random.Random(6)
+        self.config = config or TcpConfig()
+        self.mangler = mangler
+        self.c2s = Link(self.sim, 10e9, 1 * MICROSECOND, sink=self._to_server)
+        self.s2c = Link(self.sim, 10e9, 1 * MICROSECOND, sink=self._to_client)
+        self.server = TcpReceiverEndpoint(self.sim, self.s2c, rng, self.config)
+        self.sender = TcpSenderEndpoint(
+            self.sim, TcpFlow(FLOW, total_segments=total_segments), self.c2s,
+            CubicCongestionControl(self.config.initial_cwnd, self.config.max_cwnd),
+            rng, self.config,
+        )
+        self._delayed = []
+
+    def _to_server(self, packet, now):
+        if self.mangler is not None:
+            verdict = self.mangler(packet, now)
+            if verdict == "drop":
+                return
+            if verdict == "hold":
+                self._delayed.append(packet)
+                return
+        self.server.receive(packet, now)
+
+    def release_held(self):
+        for packet in self._delayed:
+            self.server.receive(packet, self.sim.now)
+        self._delayed.clear()
+
+    def _to_client(self, packet, now):
+        self.sender.receive(packet, now)
+
+    def run(self, duration):
+        self.sender.start()
+        self.sim.run(until=duration)
+
+
+class TestReorderingAdaptation:
+    def test_artificial_reordering_raises_dupthresh(self):
+        """Hold one segment, deliver it late: the sender must classify
+        the episode as reordering and widen its threshold."""
+        state = {"held": False}
+
+        def hold_segment_40(packet, now):
+            if packet.payload_len > 0 and packet.seq == 40 and not state["held"]:
+                state["held"] = True
+                return "hold"
+            return None
+
+        harness = _Harness(total_segments=200, mangler=hold_segment_40)
+        harness.sender.start()
+        harness.sim.run(until=2 * MILLISECOND)
+        harness.release_held()
+        harness.sim.run(until=100 * MILLISECOND)
+        assert harness.server.delivered_segments(FLOW) == 200
+        assert harness.sender.dupthresh > 3
+
+    def test_adaptation_can_be_disabled(self):
+        state = {"held": False}
+
+        def hold_segment_40(packet, now):
+            if packet.payload_len > 0 and packet.seq == 40 and not state["held"]:
+                state["held"] = True
+                return "hold"
+            return None
+
+        config = TcpConfig(adaptive_reordering=False)
+        harness = _Harness(total_segments=200, mangler=hold_segment_40, config=config)
+        harness.sender.start()
+        harness.sim.run(until=2 * MILLISECOND)
+        harness.release_held()
+        harness.sim.run(until=100 * MILLISECOND)
+        assert harness.sender.dupthresh == 3
+
+    def test_dupthresh_capped(self):
+        config = TcpConfig(max_dupthresh=10)
+        harness = _Harness(total_segments=10, config=config)
+        harness.sender._raise_dupthresh(10_000)
+        assert harness.sender.dupthresh == 10
+
+
+class TestSpuriousRecoveryUndo:
+    def test_spurious_fast_retransmit_is_undone(self):
+        """Delay (not drop) a segment long enough to trigger a fast
+        retransmit; the DSACK for the duplicate must undo the cwnd cut."""
+        state = {"held": False}
+
+        def hold_long(packet, now):
+            if packet.payload_len > 0 and packet.seq == 30 and not state["held"]:
+                state["held"] = True
+                return "hold"
+            return None
+
+        harness = _Harness(total_segments=20000, mangler=hold_long)
+        harness.sender.start()
+        # Run long enough for the FR to fire on SACK evidence, but keep
+        # the connection busy so the DSACK still matters.
+        harness.sim.run(until=1 * MILLISECOND)
+        harness.release_held()  # the original finally arrives: DSACK follows
+        harness.sim.run(until=40 * MILLISECOND)
+        assert harness.sender.fast_recoveries > 0
+        assert harness.sender.spurious_recoveries > 0
+        assert harness.sender.state in ("established", "closing", "done")
+
+
+class TestRtoBehaviour:
+    def test_total_blackout_triggers_rto_and_recovers(self):
+        window = {"blackout": False}
+
+        def blackout(packet, now):
+            if window["blackout"] and packet.payload_len > 0:
+                return "drop"
+            return None
+
+        harness = _Harness(total_segments=None, mangler=blackout)
+        harness.sender.start()
+        harness.sim.run(until=2 * MILLISECOND)
+        window["blackout"] = True
+        # Longer than min_rto (20 ms), so the RTO must fire.
+        harness.sim.run(until=60 * MILLISECOND)
+        delivered_during = harness.server.delivered_segments(FLOW)
+        window["blackout"] = False
+        harness.sim.run(until=200 * MILLISECOND)
+        assert harness.sender.timeouts >= 1
+        # Transfer resumed after the blackout lifted.
+        assert harness.server.delivered_segments(FLOW) > delivered_during + 100
+
+    def test_backoff_resets_after_progress(self):
+        window = {"blackout": False}
+
+        def blackout(packet, now):
+            if window["blackout"] and packet.payload_len > 0:
+                return "drop"
+            return None
+
+        harness = _Harness(total_segments=300, mangler=blackout)
+        harness.sender.start()
+        harness.sim.run(until=2 * MILLISECOND)
+        window["blackout"] = True
+        harness.sim.run(until=50 * MILLISECOND)  # a couple of backoffs
+        window["blackout"] = False
+        harness.sim.run(until=800 * MILLISECOND)
+        assert harness.sender._rto_backoff == 1  # reset by new ACKs
+        assert harness.server.delivered_segments(FLOW) == 300
+
+
+class TestFinHandshake:
+    def test_fin_sent_when_done(self):
+        harness = _Harness(total_segments=50)
+        harness.run(50 * MILLISECOND)
+        assert harness.sender.fin_sent
+        assert harness.sender.state == "done"
+        assert harness.server.flows[FLOW].fin_seen
+
+    def test_endless_flow_never_fins(self):
+        harness = _Harness(total_segments=None)
+        harness.run(10 * MILLISECOND)
+        assert not harness.sender.fin_sent
+        assert harness.sender.state == "established"
+
+
+class TestCubicFriendlyRegion:
+    def test_growth_never_below_aimd_estimate(self):
+        """After a reduction, CUBIC must at least track the Reno-style
+        TCP-friendly window (RFC 8312 §4.2)."""
+        cc = CubicCongestionControl(initial_cwnd=100)
+        cc.cwnd = 100.0
+        cc.ssthresh = 99.0
+        cc.on_loss(now=0)
+        rtt = MILLISECOND
+        now = 0
+        for _ in range(500):
+            now += rtt // 10
+            cc.on_ack(1, now=now, srtt_ps=rtt)
+        t_s = now / 1e12
+        w_est = 0.7 * 100 + (3 * 0.3 / 1.7) * (t_s / (rtt / 1e12))
+        assert cc.cwnd >= min(w_est, cc.max_cwnd) - 1.0

@@ -1,0 +1,248 @@
+"""Unit tests for the TCP model: RTT estimation, CUBIC/Reno, endpoints."""
+
+import random
+
+import pytest
+
+from repro.net import FiveTuple
+from repro.nic.link import Link
+from repro.sim import MICROSECOND, MILLISECOND, SECOND, Simulator
+from repro.tcpstack import (
+    CubicCongestionControl,
+    RenoCongestionControl,
+    RttEstimator,
+    TcpFlow,
+    TcpReceiverEndpoint,
+    TcpSenderEndpoint,
+)
+from repro.tcpstack.endpoint import TcpConfig
+
+FLOW = FiveTuple(0x0A000001, 0x0A010001, 40000, 5201, 6)
+
+
+class TestRttEstimator:
+    def test_first_sample_initializes(self):
+        est = RttEstimator()
+        est.on_sample(100 * MICROSECOND)
+        assert est.srtt == 100 * MICROSECOND
+        assert est.rttvar == 50 * MICROSECOND
+
+    def test_smoothing_converges(self):
+        est = RttEstimator()
+        for _ in range(100):
+            est.on_sample(200 * MICROSECOND)
+        assert est.srtt == pytest.approx(200 * MICROSECOND, rel=0.01)
+        assert est.rttvar < 10 * MICROSECOND
+
+    def test_rto_has_floor(self):
+        est = RttEstimator(min_rto=20 * MILLISECOND)
+        for _ in range(50):
+            est.on_sample(10 * MICROSECOND)
+        assert est.rto == 20 * MILLISECOND
+
+    def test_rto_tracks_variance(self):
+        est = RttEstimator(min_rto=1 * MICROSECOND)
+        samples = [100, 500, 100, 500, 100, 500]
+        for s in samples:
+            est.on_sample(s * MICROSECOND)
+        assert est.rto > est.srtt
+
+    def test_negative_sample_rejected(self):
+        with pytest.raises(ValueError):
+            RttEstimator().on_sample(-1)
+
+    def test_pre_sample_rto_is_conservative(self):
+        est = RttEstimator()
+        assert est.rto >= est.min_rto
+
+
+class TestCubic:
+    def test_slow_start_doubles_per_rtt_worth_of_acks(self):
+        cc = CubicCongestionControl(initial_cwnd=10)
+        cc.on_ack(10, now=0, srtt_ps=MILLISECOND)
+        assert cc.cwnd == 20
+
+    def test_loss_reduces_by_beta(self):
+        cc = CubicCongestionControl(initial_cwnd=100)
+        cc.ssthresh = 50  # out of slow start
+        cc.cwnd = 100
+        cc.on_loss(now=0)
+        assert cc.cwnd == pytest.approx(70)
+        assert cc.losses == 1
+
+    def test_cubic_growth_toward_w_max(self):
+        cc = CubicCongestionControl(initial_cwnd=100)
+        cc.cwnd = 100
+        cc.on_loss(now=0)
+        start = cc.cwnd
+        now = 0
+        for _ in range(200):
+            now += MILLISECOND
+            cc.on_ack(10, now=now, srtt_ps=MILLISECOND)
+        assert start < cc.cwnd
+
+    def test_timeout_collapses_to_one(self):
+        cc = CubicCongestionControl(initial_cwnd=64)
+        cc.on_timeout(now=0)
+        assert cc.cwnd == 1.0
+        assert cc.in_slow_start
+
+    def test_undo_restores_prior_window(self):
+        cc = CubicCongestionControl(initial_cwnd=100)
+        cc.ssthresh = 50
+        cc.cwnd = 100
+        prior_cwnd, prior_ssthresh = cc.cwnd, cc.ssthresh
+        cc.on_loss(now=0)
+        cc.undo(prior_cwnd, prior_ssthresh)
+        assert cc.cwnd == 100
+
+    def test_max_cwnd_cap(self):
+        cc = CubicCongestionControl(initial_cwnd=10, max_cwnd=32)
+        for _ in range(20):
+            cc.on_ack(10, now=0, srtt_ps=MILLISECOND)
+        assert cc.cwnd <= 32
+
+    def test_hystart_exits_slow_start_on_rtt_rise(self):
+        cc = CubicCongestionControl(initial_cwnd=32)
+        cc.on_rtt_sample(100 * MICROSECOND, now=0)
+        assert cc.in_slow_start
+        cc.on_rtt_sample(200 * MICROSECOND, now=MILLISECOND)
+        assert not cc.in_slow_start
+        assert cc.hystart_exits == 1
+
+    def test_hystart_quiet_below_threshold(self):
+        cc = CubicCongestionControl(initial_cwnd=32)
+        cc.on_rtt_sample(100 * MICROSECOND, now=0)
+        cc.on_rtt_sample(110 * MICROSECOND, now=MILLISECOND)
+        assert cc.in_slow_start
+
+    def test_hystart_can_be_disabled(self):
+        cc = CubicCongestionControl(initial_cwnd=32, hystart=False)
+        cc.on_rtt_sample(100 * MICROSECOND, now=0)
+        cc.on_rtt_sample(900 * MICROSECOND, now=MILLISECOND)
+        assert cc.in_slow_start
+
+
+class TestReno:
+    def test_additive_increase(self):
+        cc = RenoCongestionControl(initial_cwnd=10)
+        cc.ssthresh = 5  # congestion avoidance
+        before = cc.cwnd
+        cc.on_ack(10, now=0, srtt_ps=MILLISECOND)
+        assert cc.cwnd == pytest.approx(before + 10 / before)
+
+    def test_halving_on_loss(self):
+        cc = RenoCongestionControl(initial_cwnd=100)
+        cc.on_loss(now=0)
+        assert cc.cwnd == 50
+
+    def test_timeout(self):
+        cc = RenoCongestionControl(initial_cwnd=100)
+        cc.on_timeout(now=0)
+        assert cc.cwnd == 1.0
+
+
+class _Loopback:
+    """Sender and receiver joined by two clean links (no middlebox)."""
+
+    def __init__(self, total_segments=None, rate=10e9, config=None, loss_filter=None):
+        self.sim = Simulator()
+        rng = random.Random(6)
+        self.config = config or TcpConfig()
+        self.received = []
+        self.loss_filter = loss_filter
+
+        self.c2s = Link(self.sim, rate, 1 * MICROSECOND, sink=self._to_server)
+        self.s2c = Link(self.sim, rate, 1 * MICROSECOND, sink=self._to_client)
+        self.server = TcpReceiverEndpoint(self.sim, self.s2c, rng, self.config)
+        flow = TcpFlow(FLOW, total_segments=total_segments)
+        self.done = []
+        self.sender = TcpSenderEndpoint(
+            self.sim, flow, self.c2s,
+            CubicCongestionControl(self.config.initial_cwnd, self.config.max_cwnd),
+            rng, self.config, on_done=self.done.append,
+        )
+
+    def _to_server(self, packet, now):
+        if self.loss_filter is not None and self.loss_filter(packet):
+            return
+        self.server.receive(packet, now)
+
+    def _to_client(self, packet, now):
+        self.sender.receive(packet, now)
+
+    def run(self, duration=200 * MILLISECOND):
+        self.sender.start()
+        self.sim.run(until=duration)
+
+
+class TestEndpointsLoopback:
+    def test_handshake_establishes(self):
+        loop = _Loopback(total_segments=1)
+        loop.run(5 * MILLISECOND)
+        assert loop.sender.state in ("established", "closing", "done")
+        assert loop.server.syns_accepted == 1
+
+    def test_finite_transfer_completes(self):
+        loop = _Loopback(total_segments=500)
+        loop.run(100 * MILLISECOND)
+        assert loop.sender.state == "done"
+        assert loop.server.delivered_segments(FLOW) == 500
+        assert loop.done  # completion callback fired
+
+    def test_no_spurious_retransmissions_on_clean_path(self):
+        loop = _Loopback(total_segments=1000)
+        loop.run(200 * MILLISECOND)
+        assert loop.sender.retransmissions == 0
+        assert loop.sender.timeouts == 0
+
+    def test_throughput_approaches_line_rate(self):
+        loop = _Loopback()
+        loop.run(50 * MILLISECOND)
+        delivered_bits = loop.server.delivered_segments(FLOW) * loop.config.mss_payload * 8
+        gbps = delivered_bits / (50 * MILLISECOND / SECOND) / 1e9
+        assert gbps > 8.5  # ~9.42 max after overheads and ramp-up
+
+    def test_single_loss_recovers_by_fast_retransmit(self):
+        dropped = []
+
+        def drop_seq_100_once(packet):
+            if packet.payload_len > 0 and packet.seq == 100 and not dropped:
+                dropped.append(packet.seq)
+                return True
+            return False
+
+        loop = _Loopback(total_segments=400, loss_filter=drop_seq_100_once)
+        loop.run(200 * MILLISECOND)
+        assert loop.sender.state == "done"
+        assert loop.server.delivered_segments(FLOW) == 400
+        assert loop.sender.retransmissions == 1
+        assert loop.sender.timeouts == 0
+
+    def test_random_loss_still_completes(self):
+        rng = random.Random(8)
+
+        def lossy(packet):
+            return packet.payload_len > 0 and rng.random() < 0.02
+
+        loop = _Loopback(total_segments=300, loss_filter=lossy)
+        loop.run(400 * MILLISECOND)
+        assert loop.server.delivered_segments(FLOW) == 300
+
+    def test_delivered_segments_monotone_no_duplication(self):
+        loop = _Loopback(total_segments=200)
+        loop.run(100 * MILLISECOND)
+        assert loop.server.delivered_bytes(FLOW) == 200 * loop.config.mss_payload
+
+    def test_syn_loss_retried(self):
+        state = {"dropped": False}
+
+        def drop_first_syn(packet):
+            if packet.flags & 0x02 and not state["dropped"]:
+                state["dropped"] = True
+                return True
+            return False
+
+        loop = _Loopback(total_segments=10, loss_filter=drop_first_syn)
+        loop.run(3000 * MILLISECOND)
+        assert loop.server.delivered_segments(FLOW) == 10

@@ -1,0 +1,87 @@
+"""Tests for the §7 UDP/QUIC spraying extension."""
+
+import random
+
+import pytest
+
+from repro.core import MiddleboxConfig, MiddleboxEngine
+from repro.net import FiveTuple, make_udp_packet
+from repro.net.five_tuple import PROTO_UDP
+from repro.nfs import TrafficMonitorNf
+from repro.sim import MILLISECOND, Simulator
+
+QUIC_PORT = 443
+VOIP_PORT = 5060
+
+
+def udp_flow(dst_port: int, i: int = 1) -> FiveTuple:
+    return FiveTuple(0x0A000000 + i, 0x0A010000 + i, 30000 + i, dst_port, PROTO_UDP)
+
+
+def build(spray_udp_ports=()):
+    sim = Simulator()
+    engine = MiddleboxEngine(
+        sim,
+        TrafficMonitorNf(),
+        MiddleboxConfig(mode="sprayer", num_cores=8, spray_udp_ports=spray_udp_ports),
+    )
+    out = []
+    engine.set_egress(out.append)
+    return sim, engine, out
+
+
+def send_udp(sim, engine, flow, count=100, rng=None):
+    rng = rng or random.Random(4)
+    for _ in range(count):
+        packet = make_udp_packet(flow, payload_len=200, checksum=rng.getrandbits(16))
+        engine.receive(packet, sim.now)
+    sim.run(until=sim.now + 10 * MILLISECOND)
+
+
+class TestUdpSpraying:
+    def test_default_udp_stays_on_one_core(self):
+        """§7: by default Sprayer only sprays TCP."""
+        sim, engine, out = build()
+        send_udp(sim, engine, udp_flow(QUIC_PORT))
+        cores = {p.processed_core for p in out}
+        assert len(cores) == 1
+
+    def test_listed_udp_port_is_sprayed(self):
+        sim, engine, out = build(spray_udp_ports=(QUIC_PORT,))
+        send_udp(sim, engine, udp_flow(QUIC_PORT))
+        cores = {p.processed_core for p in out}
+        assert len(cores) == 8
+
+    def test_unlisted_udp_port_still_rss(self):
+        """VoIP-style UDP keeps per-flow steering even when QUIC sprays."""
+        sim, engine, out = build(spray_udp_ports=(QUIC_PORT,))
+        send_udp(sim, engine, udp_flow(VOIP_PORT))
+        cores = {p.processed_core for p in out}
+        assert len(cores) == 1
+
+    def test_reverse_direction_also_sprayed(self):
+        sim, engine, out = build(spray_udp_ports=(QUIC_PORT,))
+        send_udp(sim, engine, udp_flow(QUIC_PORT).reversed())
+        cores = {p.processed_core for p in out}
+        assert len(cores) == 8
+
+    def test_sprayed_udp_has_stable_designated_core(self):
+        sim, engine, out = build(spray_udp_ports=(QUIC_PORT,))
+        flow = udp_flow(QUIC_PORT)
+        assert engine.designated_core(flow) == engine.designated_core(flow.reversed())
+        assert 0 <= engine.designated_core(flow) < 8
+
+    def test_tcp_spraying_unaffected(self):
+        from repro.net import ACK, make_tcp_packet
+
+        sim, engine, out = build(spray_udp_ports=(QUIC_PORT,))
+        rng = random.Random(6)
+        tcp = FiveTuple(0x0A000001, 0x0A010001, 40000, 80, 6)
+        for seq in range(100):
+            engine.receive(
+                make_tcp_packet(tcp, flags=ACK, seq=seq, tcp_checksum=rng.getrandbits(16)),
+                sim.now,
+            )
+        sim.run(until=sim.now + 10 * MILLISECOND)
+        cores = {p.processed_core for p in out}
+        assert len(cores) == 8

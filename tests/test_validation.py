@@ -1,0 +1,124 @@
+"""Simulator validation against closed-form queueing theory.
+
+These tests pin the middlebox model to regimes where theory is exact:
+CBR traffic below capacity must see zero queueing; Poisson traffic onto
+one core must match the M/D/1 Pollaczek-Khinchine mean; spraying a
+Poisson stream must match the thinned-M/D/1 prediction. A cost-model or
+engine regression that distorts timing breaks these before it subtly
+skews the paper figures.
+"""
+
+import math
+import random
+
+import pytest
+
+from repro.analysis import (
+    md1_mean_sojourn,
+    md1_mean_wait,
+    mm1_mean_wait,
+    sprayed_mean_sojourn,
+    utilization,
+)
+from repro.experiments.harness import build_engine
+from repro.metrics.latency import LatencyRecorder
+from repro.net.packet import Packet
+from repro.nic.link import Link
+from repro.sim import MICROSECOND, MILLISECOND, SECOND, Simulator
+from repro.trafficgen.flows import random_tcp_flows
+from repro.trafficgen.moongen import OpenLoopGenerator
+
+
+class TestClosedForms:
+    def test_md1_known_value(self):
+        # rho = 0.5: W = 0.5*s/(2*0.5) = s/2.
+        assert md1_mean_wait(0.5, 1.0) == pytest.approx(0.5)
+
+    def test_md1_is_half_of_mm1(self):
+        # Deterministic service halves the M/M/1 wait.
+        assert md1_mean_wait(0.7, 1.0) == pytest.approx(mm1_mean_wait(0.7, 1.0) / 2)
+
+    def test_sojourn_adds_service(self):
+        assert md1_mean_sojourn(0.3, 2.0) == pytest.approx(md1_mean_wait(0.3, 2.0) + 2.0)
+
+    def test_validation_domain(self):
+        with pytest.raises(ValueError):
+            md1_mean_wait(1.0, 1.0)  # rho == 1
+        with pytest.raises(ValueError):
+            utilization(-1, 1)
+
+    def test_spraying_thins_poisson(self):
+        # Same rho per queue: same sojourn as one queue at lambda/n.
+        assert sprayed_mean_sojourn(8e5, 5e-6, 8) == pytest.approx(
+            md1_mean_sojourn(1e5, 5e-6)
+        )
+
+
+def _measure_mean_sojourn(mode, nf_cycles, offered_pps, arrival_process, seed=3,
+                          duration=40 * MILLISECOND, warmup=10 * MILLISECOND):
+    """Drive the engine directly (no wire legs) and time NIC->egress.
+
+    ``batch_size=1`` makes the core a textbook single server (batching
+    stamps all members of a batch with the batch's completion time,
+    which theory does not model); connections are opened so flow
+    lookups are warm local/shared reads in steady state.
+    """
+    sim = Simulator()
+    engine = build_engine(
+        mode, nf_cycles=nf_cycles, sim=sim, queue_capacity=4096, batch_size=1
+    )
+    latency = LatencyRecorder()
+    window = {"open": False}
+
+    def egress(packet: Packet) -> None:
+        if window["open"] and not packet.is_connection:
+            latency.record(packet.done_time - packet.created_at)
+
+    engine.set_egress(egress)
+    rng = random.Random(seed)
+    generator = OpenLoopGenerator(
+        sim,
+        lambda p, now: engine.receive(p, now),
+        random_tcp_flows(1, rng),
+        offered_pps,
+        rng,
+        arrival_process=arrival_process,
+        burst=1,
+    )
+    generator.start(at=0)
+    sim.run(until=warmup)
+    window["open"] = True
+    sim.run(until=duration)
+    assert len(latency.samples) > 1000
+    return sum(latency.samples) / len(latency.samples)
+
+
+class TestSimulatorAgainstTheory:
+    #: Per-packet service time at 10k busy cycles with batch_size=1:
+    #: rx_batch_fixed(50) + rx(55) + classify(10) + warm flow lookup(30)
+    #: + header(25) + busy(10000) + tx_batch_fixed(40) + tx(50)
+    #: = 10260 cycles at 2 GHz = 5.13 us.
+    SERVICE_PS = 10260 * 500
+
+    def test_cbr_below_capacity_sees_no_queueing(self):
+        """D/D/1 at rho=0.6: sojourn == service (+ nothing)."""
+        offered = 0.6 / (self.SERVICE_PS / SECOND)
+        mean = _measure_mean_sojourn("rss", 10000, offered, "cbr")
+        assert mean == pytest.approx(self.SERVICE_PS, rel=0.05)
+
+    @pytest.mark.parametrize("rho", [0.3, 0.6, 0.8])
+    def test_poisson_single_core_matches_md1(self, rho):
+        offered = rho / (self.SERVICE_PS / SECOND)
+        measured = _measure_mean_sojourn("rss", 10000, offered, "poisson")
+        predicted = md1_mean_sojourn(offered / SECOND, self.SERVICE_PS)
+        assert measured == pytest.approx(predicted, rel=0.12)
+
+    def test_sprayed_poisson_matches_thinned_md1(self):
+        # 8 cores at aggregate rho 0.6 per core.
+        per_core_rate = 0.6 / (self.SERVICE_PS / SECOND)
+        offered = 8 * per_core_rate
+        measured = _measure_mean_sojourn("sprayer", 10000, offered, "poisson")
+        predicted = sprayed_mean_sojourn(offered / SECOND, self.SERVICE_PS, 8)
+        # Spraying adds small extras (FD classification is free, but
+        # batching can coalesce); allow a slightly wider band.
+        assert measured == pytest.approx(predicted, rel=0.15)
