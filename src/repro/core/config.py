@@ -53,6 +53,16 @@ class MiddleboxConfig:
     state_backend: Optional[str] = None
     #: CPU cycles per remote-store access when state_backend="remote".
     remote_access_cycles: Optional[int] = None
+    #: Telemetry sampling interval in picoseconds (None or 0 disables
+    #: the periodic per-core/per-queue time series). The default, 500 us,
+    #: yields tens-to-hundreds of snapshots over the paper's millisecond-
+    #: scale runs at negligible cost.
+    telemetry_sample_interval: Optional[int] = 500_000_000
+    #: Record per-batch / transfer / drop events for Chrome trace export
+    #: (off by default: tracing every batch is memory-heavy).
+    telemetry_trace: bool = False
+    #: Hard cap on recorded trace events (excess is counted, not stored).
+    telemetry_trace_limit: int = 100_000
     costs: CostModel = field(default_factory=CostModel)
 
     def __post_init__(self) -> None:
@@ -68,4 +78,13 @@ class MiddleboxConfig:
         if not 1 <= self.subset_size <= self.num_cores:
             raise ValueError(
                 f"subset_size must be in [1, {self.num_cores}], got {self.subset_size}"
+            )
+        if self.telemetry_sample_interval is not None and self.telemetry_sample_interval < 0:
+            raise ValueError(
+                "telemetry_sample_interval must be None or >= 0, got "
+                f"{self.telemetry_sample_interval}"
+            )
+        if self.telemetry_trace_limit < 1:
+            raise ValueError(
+                f"telemetry_trace_limit must be >= 1, got {self.telemetry_trace_limit}"
             )

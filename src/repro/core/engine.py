@@ -38,6 +38,7 @@ from repro.net.packet import Packet
 from repro.sim.engine import Simulator
 from repro.steering import make_policy
 from repro.steering.base import SteeringPolicy
+from repro.telemetry import EngineTelemetry
 
 
 @dataclass
@@ -102,11 +103,14 @@ class MiddleboxEngine:
         for ctx in self.contexts:
             self.nf.init(ctx)
         self.policy.attach(self)
+        #: Telemetry hub: registry counters, periodic sampler, tracer.
+        self.telemetry = EngineTelemetry(self)
 
     # -- dataplane entry/exit ---------------------------------------------
 
     def receive(self, packet: Packet, now: int) -> bool:
         """Ingress: hand an arriving packet to the NIC."""
+        self.telemetry.notify_activity()
         return self.host.receive(packet, now)
 
     def set_egress(self, egress: Callable[[Packet], None]) -> None:
@@ -122,8 +126,17 @@ class MiddleboxEngine:
 
     def _transfer(self, dst_core: int, packet: Packet) -> None:
         self.stats.transfers += 1
+        tracer = self.telemetry.tracer
         if not self.rings[dst_core].push(packet):
+            # The descriptor is lost, exactly like a full rx queue: the
+            # packet leaves the dataplane here. ring_drops is its drop
+            # class, surfaced through telemetry and checked against the
+            # conservation invariant (rx == forwarded + all drop classes).
             self.stats.ring_drops += 1
+            if tracer is not None:
+                self.telemetry.trace_ring_drop(dst_core, packet, self.sim.now)
+        elif tracer is not None:
+            self.telemetry.trace_transfer(dst_core, packet, self.sim.now)
 
     def _make_processor(self, ctx: NfContext):
         """Build the per-core batch processor closure.
@@ -216,4 +229,33 @@ class MiddleboxEngine:
             "ring_drops": self.stats.ring_drops,
             "flow_entries": self.flow_state.total_entries(),
             "per_core_forwarded": self.host.per_core_forwarded(),
+            "per_core_busy_cycles": self.host.per_core_busy_cycles(),
+            "telemetry": self.telemetry.counters(),
+        }
+
+    def conservation(self) -> Dict[str, int]:
+        """Packet-conservation ledger: where every received packet went.
+
+        ``in_queues``/``in_rings`` cover packets still buffered; batches
+        in flight on a busy core are the remainder. Once the simulation
+        drains, ``rx_packets`` must equal ``accounted``.
+        """
+        nic = self.nic.stats
+        accounted = (
+            self.stats.packets_forwarded
+            + self.stats.packets_dropped_nf
+            + nic.rx_dropped_queue_full
+            + nic.rx_dropped_fd_cap
+            + self.stats.ring_drops
+        )
+        return {
+            "rx_packets": nic.rx_packets,
+            "forwarded": self.stats.packets_forwarded,
+            "nf_drops": self.stats.packets_dropped_nf,
+            "rx_dropped_queue_full": nic.rx_dropped_queue_full,
+            "rx_dropped_fd_cap": nic.rx_dropped_fd_cap,
+            "ring_drops": self.stats.ring_drops,
+            "in_queues": sum(len(q) for q in self.nic.queues),
+            "in_rings": sum(len(r) for r in self.rings),
+            "accounted": accounted,
         }

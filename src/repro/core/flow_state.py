@@ -166,6 +166,10 @@ class PartitionedFlowState:
     def total_entries(self) -> int:
         return sum(len(table) for table in self.tables)
 
+    def per_core_entries(self) -> List[int]:
+        """Flow-table population per core (telemetry)."""
+        return [len(table) for table in self.tables]
+
 
 class RemoteFlowState:
     """StatelessNF-style remote state (paper §6).
@@ -231,6 +235,10 @@ class RemoteFlowState:
     def total_entries(self) -> int:
         return len(self.table)
 
+    def per_core_entries(self) -> List[int]:
+        """Single remote store: one bucket, no per-core breakdown."""
+        return [len(self.table)]
+
 
 class SharedFlowState:
     """One global, locked flow table — the design Sprayer avoids.
@@ -295,3 +303,7 @@ class SharedFlowState:
 
     def total_entries(self) -> int:
         return len(self.table)
+
+    def per_core_entries(self) -> List[int]:
+        """Single shared table: one bucket, no per-core breakdown."""
+        return [len(self.table)]

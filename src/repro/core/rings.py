@@ -30,6 +30,8 @@ class TransferRing:
         self._descriptors: Deque[Packet] = deque()
         self.enqueued = 0
         self.dropped = 0
+        #: High-water mark of the ring occupancy (telemetry).
+        self.peak_depth = 0
         #: Called when the ring transitions empty -> non-empty.
         self.on_first_packet: Optional[Callable[[], None]] = None
 
@@ -48,6 +50,9 @@ class TransferRing:
         was_empty = not self._descriptors
         self._descriptors.append(packet)
         self.enqueued += 1
+        depth = len(self._descriptors)
+        if depth > self.peak_depth:
+            self.peak_depth = depth
         if was_empty and self.on_first_packet is not None:
             self.on_first_packet()
         return True

@@ -75,6 +75,12 @@ class Core:
         self.processor: Optional[Processor] = None
         self.on_output: Optional[Callable[[Packet], None]] = None
         self.on_transfer: Optional[Callable[[int, Packet], None]] = None
+        #: Optional telemetry histogram fed one observation per batch
+        #: (packets in the batch). A single None-check per batch.
+        self.batch_size_hist = None
+        #: Optional trace hook, called as ``trace_batch(core_id,
+        #: start_ps, duration_ps, n_foreign, n_local)`` per batch.
+        self.trace_batch: Optional[Callable[[int, int, int, int, int], None]] = None
         self._busy = False
 
     @property
@@ -111,6 +117,12 @@ class Core:
         self.stats.foreign_handled += len(foreign)
         self.stats.busy_time_ps += duration
         self.stats.busy_cycles += result.cycles
+        if self.batch_size_hist is not None:
+            self.batch_size_hist.observe(len(foreign) + len(local))
+        if self.trace_batch is not None:
+            self.trace_batch(
+                self.core_id, self.sim.now, duration, len(foreign), len(local)
+            )
         self.sim.after(duration, self._complete, result)
 
     def _complete(self, result: BatchResult) -> None:

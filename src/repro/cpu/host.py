@@ -65,3 +65,9 @@ class Host:
 
     def per_core_forwarded(self) -> List[int]:
         return [core.stats.packets_forwarded for core in self.cores]
+
+    def per_core_busy_cycles(self) -> List[float]:
+        return [core.stats.busy_cycles for core in self.cores]
+
+    def per_core_batches(self) -> List[int]:
+        return [core.stats.batches for core in self.cores]

@@ -2,16 +2,23 @@
 
 Usage::
 
-    python -m repro.experiments            # everything (minutes)
-    python -m repro.experiments fig6 fig8  # a subset
+    python -m repro.experiments                          # everything (minutes)
+    python -m repro.experiments fig6 fig8                # a subset
+    python -m repro.experiments fig7 --telemetry-out t.json
+
+``--telemetry-out PATH`` additionally writes the telemetry dump (the
+per-run counters, per-core time series, and any trace events) of every
+engine the selected experiments build, as one JSON document.
 """
 
 from __future__ import annotations
 
+import json
 import sys
 import time
+from typing import List, Optional, Tuple
 
-from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, table1
+from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, harness, table1
 
 RUNNERS = {
     "fig1": fig1.main,
@@ -24,17 +31,64 @@ RUNNERS = {
 }
 
 
+def parse_args(argv: List[str]) -> Tuple[List[str], Optional[str]]:
+    """Split experiment names from the ``--telemetry-out`` option."""
+    names: List[str] = []
+    telemetry_out: Optional[str] = None
+    index = 0
+    while index < len(argv):
+        arg = argv[index]
+        if arg == "--telemetry-out":
+            index += 1
+            if index >= len(argv):
+                raise ValueError("--telemetry-out requires a PATH argument")
+            telemetry_out = argv[index]
+        elif arg.startswith("--telemetry-out="):
+            telemetry_out = arg.split("=", 1)[1]
+        elif arg.startswith("--"):
+            raise ValueError(f"unknown option {arg!r}")
+        else:
+            names.append(arg)
+        index += 1
+    return names, telemetry_out
+
+
 def main(argv: list) -> int:
-    names = argv or list(RUNNERS)
+    try:
+        names, telemetry_out = parse_args(list(argv))
+    except ValueError as error:
+        print(error)
+        return 2
+    names = names or list(RUNNERS)
     unknown = [name for name in names if name not in RUNNERS]
     if unknown:
         print(f"unknown experiments: {unknown}; available: {sorted(RUNNERS)}")
         return 2
-    for name in names:
-        print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}")
-        started = time.time()
-        RUNNERS[name]()
-        print(f"-- {name} done in {time.time() - started:.1f}s")
+    if telemetry_out:
+        # Fail fast on an unwritable path: experiments can take minutes,
+        # and discovering the sink is broken afterwards wastes the run.
+        try:
+            with open(telemetry_out, "w"):
+                pass
+        except OSError as error:
+            print(f"cannot write --telemetry-out path: {error}")
+            return 2
+        harness.capture_telemetry(True)
+    try:
+        for name in names:
+            print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}")
+            started = time.time()
+            RUNNERS[name]()
+            print(f"-- {name} done in {time.time() - started:.1f}s")
+        if telemetry_out:
+            document = {"experiments": names, "runs": harness.captured_telemetry()}
+            with open(telemetry_out, "w") as out:
+                json.dump(document, out, sort_keys=True)
+            print(f"-- telemetry written to {telemetry_out} "
+                  f"({len(document['runs'])} runs)")
+    finally:
+        if telemetry_out:
+            harness.capture_telemetry(False)
     return 0
 
 

@@ -44,10 +44,49 @@ class OpenLoopResult:
     rate_gbps: float
     latency: LatencyRecorder
     engine_summary: Dict[str, object] = field(default_factory=dict)
+    #: Full telemetry export of the run's engine (counters + time series
+    #: + trace events); see :meth:`repro.telemetry.EngineTelemetry.dump`.
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     @property
     def p99_latency_us(self) -> float:
         return self.latency.percentile_us(0.99)
+
+
+# -- optional telemetry capture ------------------------------------------
+#
+# ``python -m repro.experiments ... --telemetry-out PATH`` needs the
+# telemetry of engines built deep inside the fig runners. Rather than
+# threading a sink through every experiment signature, the harness keeps
+# a module-level capture list that every run appends to when enabled.
+
+_telemetry_capture: Optional[List[Dict[str, object]]] = None
+
+
+def capture_telemetry(enabled: bool = True) -> None:
+    """Start (or stop) collecting telemetry dumps from every run."""
+    global _telemetry_capture
+    _telemetry_capture = [] if enabled else None
+
+
+def captured_telemetry() -> List[Dict[str, object]]:
+    """The telemetry dumps collected since :func:`capture_telemetry`."""
+    return list(_telemetry_capture) if _telemetry_capture is not None else []
+
+
+def _capture_run(
+    kind: str, mode: str, nf_cycles: int, num_flows: int, engine: MiddleboxEngine
+) -> None:
+    if _telemetry_capture is not None:
+        _telemetry_capture.append(
+            {
+                "experiment": kind,
+                "mode": mode,
+                "nf_cycles": nf_cycles,
+                "num_flows": num_flows,
+                "telemetry": engine.telemetry.dump(),
+            }
+        )
 
 
 def build_engine(
@@ -126,6 +165,7 @@ def run_open_loop(
     sim.run(until=duration)
     meter.close_window(sim.now)
     generator.stop()
+    _capture_run("open_loop", mode, nf_cycles, num_flows, engine)
     return OpenLoopResult(
         mode=mode,
         nf_cycles=nf_cycles,
@@ -135,6 +175,7 @@ def run_open_loop(
         rate_gbps=meter.rate_gbps,
         latency=latency,
         engine_summary=engine.summary(),
+        telemetry=engine.telemetry.dump(),
     )
 
 
@@ -192,4 +233,6 @@ def run_tcp(
     )
     if warmup is None:
         warmup = duration // 2
-    return testbed.run(duration=duration, warmup=warmup)
+    result = testbed.run(duration=duration, warmup=warmup)
+    _capture_run("tcp", mode, nf_cycles, num_flows, engine)
+    return result

@@ -73,6 +73,9 @@ class MultiQueueNic:
         #: the paper's §7 extensions (programmable NICs, flowlets,
         #: bounded-subset spraying).
         self.custom_classifier: Optional[Callable[[Packet], Optional[int]]] = None
+        #: Optional telemetry hook, called as ``on_drop(kind, packet,
+        #: now)`` with kind "fd_cap" or "queue_full" for every rx drop.
+        self.on_drop: Optional[Callable[[str, Packet, int], None]] = None
         self._fd_tokens = float(self.config.flow_director_burst)
         self._fd_last_refill = 0
 
@@ -103,12 +106,16 @@ class MultiQueueNic:
         self.stats.rx_packets += 1
         if self.config.flow_director_enabled and not self._consume_fd_token(now):
             self.stats.rx_dropped_fd_cap += 1
+            if self.on_drop is not None:
+                self.on_drop("fd_cap", packet, now)
             return False
         queue_id = self.classify(packet)
         packet.nic_rx_time = now
         packet.rx_queue = queue_id
         if not self.queues[queue_id].push(packet):
             self.stats.rx_dropped_queue_full += 1
+            if self.on_drop is not None:
+                self.on_drop("queue_full", packet, now)
             return False
         self.stats.per_queue_rx[queue_id] += 1
         return True
@@ -132,3 +139,11 @@ class MultiQueueNic:
     def queue_depths(self) -> List[int]:
         """Current occupancy of every rx queue (diagnostics)."""
         return [len(q) for q in self.queues]
+
+    def queue_peak_depths(self) -> List[int]:
+        """High-water mark of every rx queue (telemetry)."""
+        return [q.peak_depth for q in self.queues]
+
+    def per_queue_drops(self) -> List[int]:
+        """Tail drops per rx queue (telemetry)."""
+        return [q.dropped for q in self.queues]

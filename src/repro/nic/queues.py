@@ -24,6 +24,8 @@ class RxQueue:
         self._packets: Deque[Packet] = deque()
         self.enqueued = 0
         self.dropped = 0
+        #: High-water mark of the queue depth (telemetry).
+        self.peak_depth = 0
         #: Called when the queue transitions empty -> non-empty.
         self.on_first_packet: Optional[Callable[[], None]] = None
 
@@ -42,6 +44,9 @@ class RxQueue:
         was_empty = not self._packets
         self._packets.append(packet)
         self.enqueued += 1
+        depth = len(self._packets)
+        if depth > self.peak_depth:
+            self.peak_depth = depth
         if was_empty and self.on_first_packet is not None:
             self.on_first_packet()
         return True

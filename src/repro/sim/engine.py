@@ -69,6 +69,20 @@ class Simulator:
         """Number of heap entries, including lazily cancelled ones."""
         return len(self._queue)
 
+    def has_live_events(self) -> bool:
+        """Whether any non-cancelled event is pending.
+
+        Used by self-rescheduling timers (e.g. the telemetry sampler) to
+        detect quiescence: a timer that kept rescheduling itself against
+        an otherwise-empty heap would make drain-style ``run()`` calls
+        spin forever. The scan early-exits on the first live entry, so
+        it is O(1) in the common busy case.
+        """
+        for _time, _seq, handle in self._queue:
+            if not handle.cancelled:
+                return True
+        return False
+
     def at(self, time: int, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute time ``time``.
 

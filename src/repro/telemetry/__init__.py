@@ -1,0 +1,20 @@
+"""Zero-dependency telemetry: counters, histograms, sampling, tracing.
+
+See README.md § Telemetry for the registry name map and knobs.
+"""
+
+from repro.telemetry.hub import EngineTelemetry
+from repro.telemetry.registry import BoundMetric, Counter, Gauge, Histogram, Registry
+from repro.telemetry.sampler import EngineSampler
+from repro.telemetry.trace import EventTracer
+
+__all__ = [
+    "BoundMetric",
+    "Counter",
+    "EngineSampler",
+    "EngineTelemetry",
+    "EventTracer",
+    "Gauge",
+    "Histogram",
+    "Registry",
+]

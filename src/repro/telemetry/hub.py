@@ -1,0 +1,132 @@
+"""Engine-facing telemetry facade.
+
+:class:`EngineTelemetry` owns the three telemetry pieces — the metric
+:class:`~repro.telemetry.registry.Registry`, the periodic
+:class:`~repro.telemetry.sampler.EngineSampler`, and the optional
+:class:`~repro.telemetry.trace.EventTracer` — and does the wiring:
+pull-mode registry bindings over the dataplane's existing stat structs
+(zero hot-path cost), the per-batch size histogram, and the NIC/ring
+drop trace hooks.
+
+Registry names (documented in README.md § Telemetry):
+
+==========================  ===============================================
+``rx.packets``              packets presented to the NIC
+``rx.dropped.queue_full``   tail drops on full rx queues
+``rx.dropped.fd_cap``       drops from the Flow Director rate cap
+``nic.fd_matched``          packets classified by a Flow Director rule
+``nic.rss_fallback``        packets classified by RSS
+``tx.forwarded``            packets forwarded out of the middlebox
+``nf.drops``                packets dropped by the NF's verdict
+``engine.connection_packets`` connection packets seen by classification
+``ring.transfers``          descriptors moved to a designated core's ring
+``ring.drops``              descriptors lost to a full transfer ring
+``flow.entries``            current flow-table population (gauge)
+``core.batch_size``         per-batch packet count (histogram)
+==========================  ===============================================
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.net.packet import Packet
+from repro.telemetry.registry import Registry
+from repro.telemetry.sampler import EngineSampler
+from repro.telemetry.trace import EventTracer
+
+
+class EngineTelemetry:
+    """All telemetry for one :class:`~repro.core.engine.MiddleboxEngine`."""
+
+    def __init__(self, engine: Any):
+        config = engine.config
+        self.engine = engine
+        self.registry = Registry()
+        interval = config.telemetry_sample_interval
+        self.sampler: Optional[EngineSampler] = (
+            EngineSampler(engine, interval) if interval else None
+        )
+        self.tracer: Optional[EventTracer] = (
+            EventTracer(max_events=config.telemetry_trace_limit)
+            if config.telemetry_trace
+            else None
+        )
+        self._bind(engine)
+
+    def _bind(self, engine: Any) -> None:
+        registry = self.registry
+        nic_stats = engine.nic.stats
+        stats = engine.stats
+        registry.bind("rx.packets", lambda: nic_stats.rx_packets)
+        registry.bind("rx.dropped.queue_full", lambda: nic_stats.rx_dropped_queue_full)
+        registry.bind("rx.dropped.fd_cap", lambda: nic_stats.rx_dropped_fd_cap)
+        registry.bind("nic.fd_matched", lambda: nic_stats.fd_matched)
+        registry.bind("nic.rss_fallback", lambda: nic_stats.rss_fallback)
+        registry.bind("tx.forwarded", lambda: stats.packets_forwarded)
+        registry.bind("nf.drops", lambda: stats.packets_dropped_nf)
+        registry.bind("engine.connection_packets", lambda: stats.connection_packets)
+        registry.bind("ring.transfers", lambda: stats.transfers)
+        registry.bind("ring.drops", lambda: stats.ring_drops)
+        registry.bind("flow.entries", engine.flow_state.total_entries)
+
+        batch_hist = registry.histogram("core.batch_size")
+        tracer = self.tracer
+        for core in engine.host.cores:
+            core.batch_size_hist = batch_hist
+            if tracer is not None:
+                core.trace_batch = self._trace_batch
+                tracer.thread_name(core.core_id, f"core {core.core_id}")
+        if tracer is not None:
+            engine.nic.on_drop = self._trace_nic_drop
+
+    # -- hot-path hooks (only installed when tracing is on) ----------------
+
+    def _trace_batch(
+        self, core_id: int, start_ps: int, duration_ps: int, foreign: int, local: int
+    ) -> None:
+        self.tracer.complete(
+            "batch", core_id, start_ps, duration_ps, foreign=foreign, local=local
+        )
+
+    def _trace_nic_drop(self, kind: str, packet: Packet, now: int) -> None:
+        queue = getattr(packet, "rx_queue", None)
+        self.tracer.instant(f"rx_drop_{kind}", queue if queue is not None else -1, now)
+
+    def trace_transfer(self, dst_core: int, packet: Packet, now: int) -> None:
+        self.tracer.instant("ring_transfer", dst_core, now)
+
+    def trace_ring_drop(self, dst_core: int, packet: Packet, now: int) -> None:
+        self.tracer.instant("ring_drop", dst_core, now)
+
+    # -- lifecycle ---------------------------------------------------------
+
+    def notify_activity(self) -> None:
+        """Called by the engine on ingress; (re-)arms the sample timer."""
+        sampler = self.sampler
+        if sampler is not None:
+            sampler.notify_activity()
+
+    # -- export ------------------------------------------------------------
+
+    def counters(self) -> Dict[str, Any]:
+        """Flat name -> value dict of every registered metric."""
+        return self.registry.dump()
+
+    def dump(self) -> Dict[str, Any]:
+        """The plain dict export: counters, time series, and trace events."""
+        sampler = self.sampler
+        tracer = self.tracer
+        return {
+            "counters": self.registry.dump(),
+            "sample_interval_ps": sampler.interval_ps if sampler else 0,
+            "series": list(sampler.series) if sampler else [],
+            "trace": tracer.to_dicts() if tracer else [],
+            "trace_dropped_events": tracer.dropped_events if tracer else 0,
+        }
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """A Chrome ``trace_event`` JSON object (empty if tracing is off)."""
+        if self.tracer is None:
+            return {"traceEvents": [], "displayTimeUnit": "ms"}
+        return self.tracer.to_chrome_trace()

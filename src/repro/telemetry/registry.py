@@ -1,0 +1,172 @@
+"""Named metrics: counters, gauges, and log-bucketed histograms.
+
+The registry is the flat namespace every component publishes into.
+Two flavours of metric coexist:
+
+- *Push* metrics (:class:`Counter`, :class:`Gauge`, :class:`Histogram`)
+  are incremented/observed directly on the hot path. They are plain
+  attribute updates — cheap enough to stay on by default.
+- *Pull* metrics (:meth:`Registry.bind`) wrap a zero-argument callable
+  and read it lazily at dump time. The dataplane keeps its existing
+  ``@dataclass`` stat structs (``NicStats``, ``CoreStats``,
+  ``EngineStats``) as the hot-path storage, and the registry exposes
+  them under stable names without adding a single cycle per packet.
+
+Histograms use power-of-two buckets (``bit_length`` of the integer
+value), the classic scheme of DPDK/HdrHistogram-style telemetry: O(1)
+observation, bounded memory, and relative precision that matches how
+latency and batch-size distributions are actually read.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional, Union
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value that may go up or down."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def add(self, delta: float) -> None:
+        self.value += delta
+
+
+class BoundMetric:
+    """A pull-mode metric: its value is read from a callable at dump time."""
+
+    __slots__ = ("name", "fn")
+
+    def __init__(self, name: str, fn: Callable[[], Union[int, float]]):
+        self.name = name
+        self.fn = fn
+
+    @property
+    def value(self) -> Union[int, float]:
+        return self.fn()
+
+
+class Histogram:
+    """A log2-bucketed histogram of non-negative values.
+
+    Bucket ``i`` holds values whose integer part has ``bit_length == i``,
+    i.e. the range ``[2**(i-1), 2**i - 1]`` (bucket 0 holds exactly 0).
+    """
+
+    __slots__ = ("name", "count", "total", "min", "max", "buckets")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.count = 0
+        self.total = 0.0
+        self.min: Optional[float] = None
+        self.max: Optional[float] = None
+        self.buckets: List[int] = []
+
+    def observe(self, value: float) -> None:
+        if value < 0:
+            raise ValueError(f"histogram {self.name!r} observed negative {value}")
+        index = int(value).bit_length()
+        buckets = self.buckets
+        if index >= len(buckets):
+            buckets.extend([0] * (index + 1 - len(buckets)))
+        buckets[index] += 1
+        self.count += 1
+        self.total += value
+        if self.min is None or value < self.min:
+            self.min = value
+        if self.max is None or value > self.max:
+            self.max = value
+
+    def bucket_bounds(self) -> List[int]:
+        """Inclusive upper bound of each occupied bucket (0, 1, 3, 7, ...)."""
+        return [(1 << i) - 1 for i in range(len(self.buckets))]
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else 0.0
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "count": self.count,
+            "sum": self.total,
+            "min": self.min,
+            "max": self.max,
+            "buckets": [
+                [bound, count]
+                for bound, count in zip(self.bucket_bounds(), self.buckets)
+            ],
+        }
+
+
+class Registry:
+    """Get-or-create store of named metrics with a deterministic dump."""
+
+    def __init__(self) -> None:
+        self._metrics: Dict[str, Any] = {}
+
+    def _get_or_create(self, name: str, cls):
+        metric = self._metrics.get(name)
+        if metric is None:
+            metric = cls(name)
+            self._metrics[name] = metric
+        elif not isinstance(metric, cls):
+            raise TypeError(
+                f"metric {name!r} already registered as "
+                f"{type(metric).__name__}, not {cls.__name__}"
+            )
+        return metric
+
+    def counter(self, name: str) -> Counter:
+        return self._get_or_create(name, Counter)
+
+    def gauge(self, name: str) -> Gauge:
+        return self._get_or_create(name, Gauge)
+
+    def histogram(self, name: str) -> Histogram:
+        return self._get_or_create(name, Histogram)
+
+    def bind(self, name: str, fn: Callable[[], Union[int, float]]) -> BoundMetric:
+        """Register a pull-mode metric read from ``fn()`` at dump time."""
+        if name in self._metrics:
+            raise ValueError(f"metric {name!r} already registered")
+        metric = BoundMetric(name, fn)
+        self._metrics[name] = metric
+        return metric
+
+    def get(self, name: str) -> Optional[Any]:
+        return self._metrics.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._metrics)
+
+    def dump(self) -> Dict[str, Any]:
+        """All metric values keyed by name, sorted for determinism."""
+        out: Dict[str, Any] = {}
+        for name in sorted(self._metrics):
+            metric = self._metrics[name]
+            if isinstance(metric, Histogram):
+                out[name] = metric.to_dict()
+            else:
+                out[name] = metric.value
+        return out

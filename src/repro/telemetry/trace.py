@@ -1,0 +1,98 @@
+"""Event tracing in Chrome ``trace_event`` format.
+
+The tracer records core-batch, transfer, and drop events as plain dicts
+that already follow the Chrome trace-event schema (``name``/``ph``/
+``ts``/``pid``/``tid``), so the same list serves as both the "plain
+dict dump" and the payload of a ``chrome://tracing`` /
+https://ui.perfetto.dev file. Timestamps are converted from simulator
+picoseconds to the microseconds the format expects.
+
+Tracing every batch is too heavy to be on by default; the engine only
+wires the tracer when ``MiddleboxConfig.telemetry_trace`` is set. A
+hard event cap bounds memory on long runs — once hit, further events
+are counted, not stored.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.sim.timeunits import MICROSECOND
+
+
+def _ps_to_us(time_ps: int) -> float:
+    return time_ps / MICROSECOND
+
+
+class EventTracer:
+    """Bounded recorder of Chrome trace events."""
+
+    def __init__(self, pid: int = 0, max_events: int = 100_000):
+        if max_events < 1:
+            raise ValueError(f"max_events must be >= 1, got {max_events}")
+        self.pid = pid
+        self.max_events = max_events
+        self.events: List[Dict[str, Any]] = []
+        #: Events not recorded because the cap was reached.
+        self.dropped_events = 0
+
+    def _record(self, event: Dict[str, Any]) -> None:
+        if len(self.events) >= self.max_events:
+            self.dropped_events += 1
+            return
+        self.events.append(event)
+
+    def complete(
+        self, name: str, tid: int, start_ps: int, duration_ps: int, **args: Any
+    ) -> None:
+        """A duration ("X") event, e.g. one core batch."""
+        event = {
+            "name": name,
+            "ph": "X",
+            "ts": _ps_to_us(start_ps),
+            "dur": _ps_to_us(duration_ps),
+            "pid": self.pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._record(event)
+
+    def instant(self, name: str, tid: int, ts_ps: int, **args: Any) -> None:
+        """A point-in-time ("i") event, e.g. a drop or a ring transfer."""
+        event = {
+            "name": name,
+            "ph": "i",
+            "s": "t",
+            "ts": _ps_to_us(ts_ps),
+            "pid": self.pid,
+            "tid": tid,
+        }
+        if args:
+            event["args"] = args
+        self._record(event)
+
+    def thread_name(self, tid: int, name: str) -> None:
+        """Metadata ("M") event labelling a tid in trace viewers."""
+        self._record(
+            {
+                "name": "thread_name",
+                "ph": "M",
+                "ts": 0,
+                "pid": self.pid,
+                "tid": tid,
+                "args": {"name": name},
+            }
+        )
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """The plain dict dump: a copy of the recorded event list."""
+        return list(self.events)
+
+    def to_chrome_trace(self) -> Dict[str, Any]:
+        """A loadable Chrome ``trace_event`` JSON object."""
+        return {
+            "traceEvents": self.to_dicts(),
+            "displayTimeUnit": "ms",
+            "otherData": {"dropped_events": self.dropped_events},
+        }

@@ -1,0 +1,288 @@
+"""Telemetry subsystem tests: registry, histograms, sampler, tracer, CLI."""
+
+import json
+import random
+
+import pytest
+
+from repro.core import MiddleboxConfig, MiddleboxEngine
+from repro.experiments import __main__ as experiments_cli
+from repro.experiments import harness
+from repro.net import ACK, SYN, FiveTuple, make_tcp_packet
+from repro.nfs import SyntheticNf
+from repro.sim import MICROSECOND, MILLISECOND, Simulator
+from repro.telemetry import Counter, EventTracer, Gauge, Histogram, Registry
+
+
+def tcp_flow(i: int = 1) -> FiveTuple:
+    return FiveTuple(0x0A000000 + i, 0x0A010000 + i, 10000 + i, 80, 6)
+
+
+def build_engine(**config_kwargs):
+    sim = Simulator()
+    config = MiddleboxConfig(mode="sprayer", num_cores=4, **config_kwargs)
+    engine = MiddleboxEngine(sim, SyntheticNf(busy_cycles=500), config)
+    engine.set_egress(lambda p: None)
+    return sim, engine
+
+
+def inject_flow(sim, engine, flow, packets, rng):
+    engine.receive(
+        make_tcp_packet(flow, flags=SYN, tcp_checksum=rng.getrandbits(16)), sim.now
+    )
+    for seq in range(packets):
+        engine.receive(
+            make_tcp_packet(flow, flags=ACK, seq=seq, tcp_checksum=rng.getrandbits(16)),
+            sim.now,
+        )
+
+
+class TestCountersAndGauges:
+    def test_counter_increments(self):
+        counter = Counter("c")
+        counter.inc()
+        counter.inc(5)
+        assert counter.value == 6
+
+    def test_gauge_set_and_add(self):
+        gauge = Gauge("g")
+        gauge.set(10.0)
+        gauge.add(-2.5)
+        assert gauge.value == 7.5
+
+    def test_registry_get_or_create_returns_same_object(self):
+        registry = Registry()
+        assert registry.counter("x") is registry.counter("x")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_registry_rejects_type_conflicts(self):
+        registry = Registry()
+        registry.counter("x")
+        with pytest.raises(TypeError):
+            registry.gauge("x")
+
+    def test_bound_metric_is_read_at_dump_time(self):
+        registry = Registry()
+        source = {"value": 1}
+        registry.bind("pull", lambda: source["value"])
+        assert registry.dump()["pull"] == 1
+        source["value"] = 42
+        assert registry.dump()["pull"] == 42
+
+    def test_bind_rejects_duplicates(self):
+        registry = Registry()
+        registry.bind("pull", lambda: 0)
+        with pytest.raises(ValueError):
+            registry.bind("pull", lambda: 1)
+
+    def test_dump_is_sorted_by_name(self):
+        registry = Registry()
+        registry.counter("zeta")
+        registry.counter("alpha")
+        assert list(registry.dump()) == ["alpha", "zeta"]
+
+
+class TestHistogramBucketing:
+    def test_power_of_two_buckets(self):
+        hist = Histogram("h")
+        # bucket index is bit_length: 0 -> 0, 1 -> 1, {2,3} -> 2, {4..7} -> 3
+        for value in (0, 1, 2, 3, 4, 7):
+            hist.observe(value)
+        assert hist.buckets == [1, 1, 2, 2]
+        assert hist.bucket_bounds() == [0, 1, 3, 7]
+
+    def test_boundary_values_split_buckets(self):
+        hist = Histogram("h")
+        hist.observe(8)  # 2**3 -> bucket 4
+        hist.observe(7)  # 2**3 - 1 -> bucket 3
+        assert hist.buckets[3] == 1
+        assert hist.buckets[4] == 1
+
+    def test_statistics(self):
+        hist = Histogram("h")
+        for value in (1, 2, 9):
+            hist.observe(value)
+        assert hist.count == 3
+        assert hist.total == 12
+        assert hist.min == 1
+        assert hist.max == 9
+        assert hist.mean == 4.0
+
+    def test_negative_observation_rejected(self):
+        hist = Histogram("h")
+        with pytest.raises(ValueError):
+            hist.observe(-1)
+
+    def test_to_dict_shape(self):
+        hist = Histogram("h")
+        hist.observe(5)
+        dumped = hist.to_dict()
+        assert dumped["count"] == 1
+        assert dumped["sum"] == 5
+        assert [7, 1] in dumped["buckets"]
+
+
+class TestSamplerCadence:
+    def test_snapshots_arrive_on_the_interval(self):
+        interval = 100 * MICROSECOND
+        sim, engine = build_engine(telemetry_sample_interval=interval)
+        rng = random.Random(3)
+        # Keep the simulation alive for ~1 ms by spacing injections out.
+        for step in range(50):
+            flow = tcp_flow(step % 5)
+            sim.at(
+                step * 20 * MICROSECOND,
+                lambda f=flow: inject_flow(sim, engine, f, 4, rng),
+            )
+        sim.run(max_events=200_000)
+        assert not sim.has_live_events()
+        series = engine.telemetry.sampler.series
+        assert len(series) >= 5
+        times = [snap["t_ps"] for snap in series]
+        assert all(t % interval == 0 for t in times)
+        assert all(b - a == interval for a, b in zip(times, times[1:]))
+
+    def test_sampler_disarms_on_quiescence(self):
+        """A drain-style run() must terminate with sampling enabled."""
+        sim, engine = build_engine(telemetry_sample_interval=50 * MICROSECOND)
+        inject_flow(sim, engine, tcp_flow(), 16, random.Random(1))
+        processed = sim.run(max_events=100_000)
+        assert processed < 100_000  # terminated by drain, not the backstop
+        assert not sim.has_live_events()
+
+    def test_snapshots_carry_per_core_queue_and_ring_state(self):
+        sim, engine = build_engine(telemetry_sample_interval=50 * MICROSECOND)
+        rng = random.Random(7)
+        for i in range(8):
+            sim.at(
+                i * 30 * MICROSECOND,
+                lambda f=tcp_flow(i): inject_flow(sim, engine, f, 8, rng),
+            )
+        sim.run(max_events=200_000)
+        series = engine.telemetry.sampler.series
+        assert series
+        snap = series[-1]
+        assert len(snap["cores"]) == 4
+        for entry in snap["cores"]:
+            for key in (
+                "batches", "handled", "forwarded", "busy_cycles",
+                "rx_depth", "rx_enqueued", "rx_dropped", "rx_peak_depth",
+                "ring_depth", "ring_enqueued", "ring_dropped",
+            ):
+                assert key in entry
+        assert snap["flow_entries"] == engine.flow_state.total_entries()
+        assert sum(e["forwarded"] for e in snap["cores"]) > 0
+
+    def test_sampling_disabled_with_none_interval(self):
+        sim, engine = build_engine(telemetry_sample_interval=None)
+        inject_flow(sim, engine, tcp_flow(), 16, random.Random(1))
+        sim.run(max_events=100_000)
+        assert engine.telemetry.sampler is None
+        assert engine.telemetry.dump()["series"] == []
+
+
+class TestEventTracer:
+    def run_traced_engine(self):
+        sim, engine = build_engine(telemetry_trace=True)
+        rng = random.Random(11)
+        for i in range(6):
+            inject_flow(sim, engine, tcp_flow(i), 12, rng)
+        sim.run(max_events=200_000)
+        return engine
+
+    def test_chrome_trace_schema_round_trips_through_json(self):
+        engine = self.run_traced_engine()
+        document = json.loads(json.dumps(engine.telemetry.chrome_trace()))
+        events = document["traceEvents"]
+        assert events
+        for event in events:
+            assert event["ph"] in ("X", "i", "M")
+            assert isinstance(event["ts"], (int, float))
+            assert isinstance(event["pid"], int)
+            assert isinstance(event["tid"], int)
+            assert isinstance(event["name"], str)
+            if event["ph"] == "X":
+                assert event["dur"] >= 0
+
+    def test_batch_events_are_recorded(self):
+        engine = self.run_traced_engine()
+        batches = [
+            e for e in engine.telemetry.tracer.events if e["name"] == "batch"
+        ]
+        assert len(batches) == sum(c.stats.batches for c in engine.host.cores)
+        assert all("args" in e for e in batches)
+
+    def test_tracer_cap_counts_dropped_events(self):
+        tracer = EventTracer(max_events=2)
+        for i in range(5):
+            tracer.instant("e", 0, i)
+        assert len(tracer.events) == 2
+        assert tracer.dropped_events == 3
+
+    def test_tracing_off_by_default(self):
+        sim, engine = build_engine()
+        assert engine.telemetry.tracer is None
+        assert engine.telemetry.chrome_trace()["traceEvents"] == []
+
+
+class TestSummaryExport:
+    def test_summary_gains_telemetry_counters(self):
+        sim, engine = build_engine()
+        inject_flow(sim, engine, tcp_flow(), 16, random.Random(5))
+        sim.run(max_events=100_000)
+        summary = engine.summary()
+        telemetry = summary["telemetry"]
+        assert telemetry["rx.packets"] == summary["rx_packets"]
+        assert telemetry["tx.forwarded"] == summary["forwarded"]
+        assert telemetry["ring.transfers"] == summary["transfers"]
+        assert telemetry["ring.drops"] == summary["ring_drops"]
+        assert telemetry["core.batch_size"]["count"] > 0
+
+
+class TestTelemetryOutFlag:
+    def test_parse_args_variants(self):
+        assert experiments_cli.parse_args(["fig7"]) == (["fig7"], None)
+        assert experiments_cli.parse_args(
+            ["fig7", "--telemetry-out", "/tmp/x.json"]
+        ) == (["fig7"], "/tmp/x.json")
+        assert experiments_cli.parse_args(
+            ["--telemetry-out=/tmp/x.json", "fig6"]
+        ) == (["fig6"], "/tmp/x.json")
+
+    def test_parse_args_rejects_missing_path_and_unknown_options(self):
+        with pytest.raises(ValueError):
+            experiments_cli.parse_args(["fig7", "--telemetry-out"])
+        with pytest.raises(ValueError):
+            experiments_cli.parse_args(["--frobnicate"])
+
+    def test_main_writes_telemetry_json(self, tmp_path, monkeypatch):
+        def stub_experiment():
+            harness.run_open_loop(
+                "sprayer",
+                1000,
+                num_flows=4,
+                duration=3 * MILLISECOND,
+                warmup=1 * MILLISECOND,
+            )
+
+        monkeypatch.setitem(experiments_cli.RUNNERS, "stub", stub_experiment)
+        out = tmp_path / "telemetry.json"
+        assert experiments_cli.main(["stub", "--telemetry-out", str(out)]) == 0
+        document = json.loads(out.read_text())
+        assert document["experiments"] == ["stub"]
+        (run,) = document["runs"]
+        telemetry = run["telemetry"]
+        counters = telemetry["counters"]
+        # Every drop class plus rx/tx/ring transfer counters must be there.
+        for name in (
+            "rx.packets",
+            "tx.forwarded",
+            "ring.transfers",
+            "rx.dropped.queue_full",
+            "rx.dropped.fd_cap",
+            "nf.drops",
+            "ring.drops",
+        ):
+            assert name in counters
+        assert telemetry["series"], "expected per-core time series"
+        assert len(telemetry["series"][0]["cores"]) == 8
