@@ -4,6 +4,10 @@ Every benchmark regenerates one of the paper's tables or figures (at
 reduced but shape-preserving parameters), prints the resulting rows in
 the same layout the paper reports, and stores them in pytest-benchmark's
 ``extra_info`` so they land in any saved benchmark JSON.
+
+Persistence goes through :class:`repro.perf.io.TableLog`, the same io
+module the ``python -m repro.perf`` harness uses, so every benchmark
+artifact the repo produces is written by one code path.
 """
 
 from __future__ import annotations
@@ -13,12 +17,14 @@ import sys
 from typing import Dict, List, Sequence
 
 from repro.experiments.format import format_table
+from repro.perf.io import TableLog
 
 #: Every record_rows call appends its table here (pytest's fd-level
 #: capture swallows stdout for passing tests, and the tables should
-#: survive a plain `pytest benchmarks/ --benchmark-only` run).
+#: survive a plain `pytest benchmarks/ --benchmark-only` run). The
+#: TableLog truncates on the session's first write.
 TABLES_PATH = pathlib.Path(__file__).with_name("latest_tables.txt")
-_session_tables: List[str] = []
+_table_log = TableLog(TABLES_PATH)
 
 
 def record_rows(benchmark, rows: List[Dict], title: str, columns: Sequence[str] = None):
@@ -28,7 +34,4 @@ def record_rows(benchmark, rows: List[Dict], title: str, columns: Sequence[str] 
     benchmark.extra_info["rows"] = rows
     text = format_table(rows, columns=columns, title=title)
     sys.stdout.write("\n" + text + "\n")  # visible with `pytest -s`
-    mode = "w" if not _session_tables else "a"
-    _session_tables.append(title)
-    with open(TABLES_PATH, mode) as handle:
-        handle.write(text + "\n\n")
+    _table_log.add(text, title=title)

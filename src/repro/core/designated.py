@@ -10,7 +10,9 @@ from one SYN.
 We use the same Toeplitz function as RSS with the symmetric key, so the
 designated-core map is implementable on today's NICs (and in the
 "programmable NIC" extension the NIC itself steers connection packets
-with exactly this map).
+with exactly this map). The hot path uses the shared table-driven
+Toeplitz expansion plus a bounded per-flow memo, so a connection packet
+costs one dict probe once its flow has been seen.
 """
 
 from __future__ import annotations
@@ -18,18 +20,31 @@ from __future__ import annotations
 from typing import Dict
 
 from repro.net.five_tuple import FiveTuple
-from repro.nic.rss import DEFAULT_RSS_KEY, SYMMETRIC_RSS_KEY, rss_input_bytes, toeplitz_hash
+from repro.nic.rss import (
+    DEFAULT_RSS_KEY,
+    FLOW_CACHE_LIMIT,
+    SYMMETRIC_RSS_KEY,
+    rss_input_bytes,
+    toeplitz_table_for,
+)
 
 
 class DesignatedCoreMap:
     """flow -> designated core, cached per flow."""
 
-    def __init__(self, num_cores: int, symmetric: bool = True):
+    def __init__(
+        self,
+        num_cores: int,
+        symmetric: bool = True,
+        cache_limit: int = FLOW_CACHE_LIMIT,
+    ):
         if num_cores < 1:
             raise ValueError(f"num_cores must be >= 1, got {num_cores}")
         self.num_cores = num_cores
         self.symmetric = symmetric
         self.key = SYMMETRIC_RSS_KEY if symmetric else DEFAULT_RSS_KEY
+        self._toeplitz = toeplitz_table_for(self.key)
+        self._cache_limit = cache_limit
         self._cache: Dict[FiveTuple, int] = {}
 
     def core_for(self, flow: FiveTuple) -> int:
@@ -38,10 +53,13 @@ class DesignatedCoreMap:
         With the symmetric key this is identical for both directions of
         a connection; tests assert that property.
         """
-        core = self._cache.get(flow)
+        cache = self._cache
+        core = cache.get(flow)
         if core is None:
-            core = toeplitz_hash(self.key, rss_input_bytes(flow)) % self.num_cores
-            self._cache[flow] = core
+            core = self._toeplitz.hash(rss_input_bytes(flow)) % self.num_cores
+            if len(cache) >= self._cache_limit:
+                cache.clear()
+            cache[flow] = core
         return core
 
     def cache_size(self) -> int:

@@ -33,8 +33,10 @@ from repro.core.rings import TransferRing
 from repro.cpu.cache import CoherenceModel
 from repro.cpu.core import BatchResult, Core
 from repro.cpu.host import Host
-from repro.net.five_tuple import FiveTuple
+from repro.net.five_tuple import PROTO_TCP, FiveTuple
 from repro.net.packet import Packet
+from repro.net.tcp_flags import FIN, RST, SYN
+from repro.nic.rss import FLOW_CACHE_LIMIT
 from repro.sim.engine import Simulator
 from repro.steering import make_policy
 from repro.steering.base import SteeringPolicy
@@ -68,6 +70,12 @@ class MiddleboxEngine:
         self.costs = self.config.costs
         self.policy = policy or make_policy(self.config.mode, self.config)
         self.nic = self.policy.build_nic()
+        #: Steering decision memo: canonical per-policy ``designated_core``
+        #: results, one dict probe per connection packet in the classify
+        #: loop. Only populated while the policy declares its mapping
+        #: stable; see :meth:`invalidate_steering_cache`.
+        self._designated_cache: Dict[FiveTuple, int] = {}
+        self._designated_cacheable = self.policy.designated_core_is_stable
         self.host = Host(sim, self.nic, self.costs, batch_size=self.config.batch_size)
         self.coherence = CoherenceModel(self.costs)
         backend = self.config.state_backend
@@ -105,13 +113,20 @@ class MiddleboxEngine:
         self.policy.attach(self)
         #: Telemetry hub: registry counters, periodic sampler, tracer.
         self.telemetry = EngineTelemetry(self)
+        # Ingress fast path: bind the sampler re-arm hook (if any) once
+        # instead of walking telemetry.notify_activity per packet.
+        sampler = self.telemetry.sampler
+        self._notify_activity = sampler.notify_activity if sampler else None
 
     # -- dataplane entry/exit ---------------------------------------------
 
     def receive(self, packet: Packet, now: int) -> bool:
         """Ingress: hand an arriving packet to the NIC."""
-        self.telemetry.notify_activity()
-        return self.host.receive(packet, now)
+        notify = self._notify_activity
+        if notify is not None:
+            notify()
+        self.host.packets_in += 1
+        return self.nic.receive(packet, now)
 
     def set_egress(self, egress: Callable[[Packet], None]) -> None:
         """Install the hook that receives every forwarded packet."""
@@ -120,7 +135,29 @@ class MiddleboxEngine:
     # -- policy facade -------------------------------------------------------
 
     def designated_core(self, flow: FiveTuple) -> int:
-        return self.policy.designated_core(flow)
+        if not self._designated_cacheable:
+            return self.policy.designated_core(flow)
+        cache = self._designated_cache
+        core = cache.get(flow)
+        if core is None:
+            core = self.policy.designated_core(flow)
+            if len(cache) >= FLOW_CACHE_LIMIT:
+                cache.clear()
+            cache[flow] = core
+        return core
+
+    def invalidate_steering_cache(self, flow: Optional[FiveTuple] = None) -> None:
+        """Drop memoized designated-core decisions.
+
+        Must be called after anything that changes the flow→core mapping
+        out from under the policy — e.g. installing a new RSS
+        indirection table on a live engine. With ``flow`` given, only
+        that flow's entry is dropped.
+        """
+        if flow is None:
+            self._designated_cache.clear()
+        else:
+            self._designated_cache.pop(flow, None)
 
     # -- core processors ----------------------------------------------------
 
@@ -149,6 +186,11 @@ class MiddleboxEngine:
         stats = self.stats
         redirect = self.policy.redirect_connection_packets and not nf.stateless
         classify_needed = not nf.stateless
+        # The paper's connection-packet predicate (SYN/FIN/RST on TCP),
+        # inlined as one protocol compare + one mask test per packet.
+        conn_mask = SYN | FIN | RST
+        designated_cache = self._designated_cache
+        designated_core = self.designated_core
 
         def process(core: Core, foreign: List[Packet], local: List[Packet]) -> BatchResult:
             cycles = 0.0
@@ -159,29 +201,50 @@ class MiddleboxEngine:
                 cycles += costs.rx_batch_fixed
                 cycles += costs.rx_per_packet * len(local)
 
-            connection_batch: List[Packet] = list(foreign)
-            regular_batch: List[Packet] = []
             transfers: List = []
             if classify_needed:
                 cycles += costs.classify_per_packet * len(local)
-                core_id = core.core_id
-                designated_core = self.designated_core
-                for packet in local:
-                    if packet.is_connection:
-                        stats.connection_packets += 1
-                        if redirect:
-                            dst = designated_core(packet.five_tuple)
-                            if dst != core_id:
-                                transfers.append((dst, packet))
-                                continue
-                        connection_batch.append(packet)
-                    else:
-                        regular_batch.append(packet)
-                if transfers:
-                    destination_count = len({dst for dst, _pkt in transfers})
-                    cycles += costs.ring_enqueue_fixed * destination_count
-                    cycles += costs.ring_transfer_per_packet * len(transfers)
+                # First pass: find the first connection packet, if any.
+                # Batches of pure data packets (the overwhelming common
+                # case at line rate) then reuse ``local`` as the regular
+                # batch with no per-packet appends at all.
+                split = -1
+                for i, packet in enumerate(local):
+                    if packet.five_tuple.protocol == PROTO_TCP and packet.flags & conn_mask:
+                        split = i
+                        break
+                if split < 0 and not foreign:
+                    connection_batch: List[Packet] = []
+                    regular_batch = local
+                else:
+                    connection_batch = list(foreign)
+                    regular_batch = local[:split] if split >= 0 else list(local)
+                    if split >= 0:
+                        core_id = core.core_id
+                        cache_get = designated_cache.get
+                        connection_count = 0
+                        destinations = set()
+                        for packet in local[split:]:
+                            flow = packet.five_tuple
+                            if flow.protocol == PROTO_TCP and packet.flags & conn_mask:
+                                connection_count += 1
+                                if redirect:
+                                    dst = cache_get(flow)
+                                    if dst is None:
+                                        dst = designated_core(flow)
+                                    if dst != core_id:
+                                        transfers.append((dst, packet))
+                                        destinations.add(dst)
+                                        continue
+                                connection_batch.append(packet)
+                            else:
+                                regular_batch.append(packet)
+                        stats.connection_packets += connection_count
+                        if transfers:
+                            cycles += costs.ring_enqueue_fixed * len(destinations)
+                            cycles += costs.ring_transfer_per_packet * len(transfers)
             else:
+                connection_batch = []
                 regular_batch = local
 
             ctx.begin_batch()
@@ -191,19 +254,26 @@ class MiddleboxEngine:
                 nf.regular_packets(regular_batch, ctx)
             cycles += ctx.end_batch()
 
-            outputs: List[Packet] = []
-            dropped = 0
-            for packet in connection_batch:
-                if ctx.is_dropped(packet):
-                    dropped += 1
-                else:
-                    outputs.append(packet)
-            for packet in regular_batch:
-                if ctx.is_dropped(packet):
-                    dropped += 1
-                else:
-                    outputs.append(packet)
-            stats.packets_dropped_nf += dropped
+            if ctx._dropped:
+                outputs: List[Packet] = []
+                dropped = 0
+                is_dropped = ctx.is_dropped
+                for packet in connection_batch:
+                    if is_dropped(packet):
+                        dropped += 1
+                    else:
+                        outputs.append(packet)
+                for packet in regular_batch:
+                    if is_dropped(packet):
+                        dropped += 1
+                    else:
+                        outputs.append(packet)
+                stats.packets_dropped_nf += dropped
+            elif connection_batch:
+                connection_batch.extend(regular_batch)
+                outputs = connection_batch
+            else:
+                outputs = regular_batch
             stats.packets_forwarded += len(outputs)
             if outputs:
                 cycles += costs.tx_batch_fixed

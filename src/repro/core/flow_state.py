@@ -150,17 +150,41 @@ class PartitionedFlowState:
         half price: the batch overlaps the cross-core transfers the way
         software prefetching overlaps cache misses.
         """
+        # Inlined self.get(): the designated lookup would otherwise run
+        # twice per flow, and this is the hottest flow-state path.
         results: List[Optional[Any]] = []
         total = 0
         seen_cores: set = set()
+        seen = seen_cores.__contains__
+        seen_add = seen_cores.add
+        append = results.append
+        tables = self.tables
+        designated_fn = self.designated_fn
+        cost_local = self.costs.flow_lookup_local
+        cost_remote = self.costs.flow_lookup_remote
+        coherence_read = self.coherence.read
+        local_reads = 0
+        remote_reads = 0
         for flow_id in flow_ids:
-            designated = self.designated_fn(flow_id)
-            entry, cycles = self.get(core_id, flow_id)
-            if designated != core_id and designated in seen_cores:
-                cycles = max(self.costs.flow_lookup_local, cycles // 2)
-            seen_cores.add(designated)
-            results.append(entry)
+            designated = designated_fn(flow_id)
+            entry = tables[designated].get(flow_id)
+            if designated == core_id:
+                local_reads += 1
+                cycles = cost_local
+            else:
+                remote_reads += 1
+                cycles = (
+                    coherence_read(core_id, flow_id)
+                    if entry is not None
+                    else cost_remote
+                )
+                if seen(designated):
+                    cycles = max(cost_local, cycles // 2)
+            seen_add(designated)
+            append(entry)
             total += cycles
+        self.local_reads += local_reads
+        self.remote_reads += remote_reads
         return results, total
 
     def total_entries(self) -> int:

@@ -44,16 +44,17 @@ class TransferRing:
 
     def push(self, packet: Packet) -> bool:
         """Enqueue a descriptor; False (and a drop) when full."""
-        if len(self._descriptors) >= self.capacity:
+        descriptors = self._descriptors
+        depth = len(descriptors)
+        if depth >= self.capacity:
             self.dropped += 1
             return False
-        was_empty = not self._descriptors
-        self._descriptors.append(packet)
+        descriptors.append(packet)
         self.enqueued += 1
-        depth = len(self._descriptors)
+        depth += 1
         if depth > self.peak_depth:
             self.peak_depth = depth
-        if was_empty and self.on_first_packet is not None:
+        if depth == 1 and self.on_first_packet is not None:
             self.on_first_packet()
         return True
 
@@ -73,5 +74,9 @@ class TransferRing:
         if max_batch < 1:
             raise ValueError(f"max_batch must be >= 1, got {max_batch}")
         descriptors = self._descriptors
-        count = min(max_batch, len(descriptors))
-        return [descriptors.popleft() for _ in range(count)]
+        if len(descriptors) <= max_batch:
+            out = list(descriptors)
+            descriptors.clear()
+            return out
+        popleft = descriptors.popleft
+        return [popleft() for _ in range(max_batch)]

@@ -57,9 +57,13 @@ class CoherenceModel:
 
     def read(self, core_id: int, key: Hashable) -> int:
         """Cost in cycles of ``core_id`` reading ``key``."""
-        owner = self._owner.get(key)
-        sharers = self._sharers.setdefault(key, set())
-        if owner == core_id or core_id in sharers:
+        sharers = self._sharers.get(key)
+        if sharers is None:
+            # get-then-insert rather than setdefault: setdefault would
+            # allocate a throwaway set() on every repeat read.
+            sharers = set()
+            self._sharers[key] = sharers
+        if core_id in sharers or self._owner.get(key) == core_id:
             self.stats.local_reads += 1
             sharers.add(core_id)
             return self.costs.flow_lookup_local

@@ -68,6 +68,7 @@ class Core:
         self.sim = sim
         self.core_id = core_id
         self.costs = costs
+        self._cycles_to_ps = costs.cycles_to_ps
         self.batch_size = batch_size
         self.stats = CoreStats()
         self.rx_queue = None  # set by Host wiring
@@ -94,58 +95,74 @@ class Core:
 
     def wake(self) -> None:
         """Notify the core that work may be available."""
-        if not self._busy and self.has_work():
+        # _start_batch re-checks for work itself; a second check here
+        # would double the queue probes on the (common) productive wake.
+        if not self._busy:
             self._start_batch()
 
     def _start_batch(self) -> None:
-        if self.processor is None:
+        processor = self.processor
+        if processor is None:
             raise RuntimeError(f"core {self.core_id} has no processor installed")
-        foreign: List[Packet] = []
-        if self.ring is not None and not self.ring.is_empty:
-            foreign = self.ring.pop_batch(self.batch_size)
-        room = self.batch_size - len(foreign)
-        local: List[Packet] = []
-        if room > 0 and self.rx_queue is not None and not self.rx_queue.is_empty:
-            local = self.rx_queue.pop_batch(room)
-        if not foreign and not local:
+        batch_size = self.batch_size
+        ring = self.ring
+        if ring is not None and not ring.is_empty:
+            foreign = ring.pop_batch(batch_size)
+            room = batch_size - len(foreign)
+        else:
+            foreign = []
+            room = batch_size
+        rx_queue = self.rx_queue
+        if room > 0 and rx_queue is not None and not rx_queue.is_empty:
+            local = rx_queue.pop_batch(room)
+        elif foreign:
+            local = []
+        else:
             return
         self._busy = True
-        result = self.processor(self, foreign, local)
-        duration = self.costs.cycles_to_ps(result.cycles)
-        self.stats.batches += 1
-        self.stats.packets_handled += len(foreign) + len(local)
-        self.stats.foreign_handled += len(foreign)
-        self.stats.busy_time_ps += duration
-        self.stats.busy_cycles += result.cycles
+        result = processor(self, foreign, local)
+        cycles = result.cycles
+        duration = self._cycles_to_ps(cycles)
+        n_foreign = len(foreign)
+        n_total = n_foreign + len(local)
+        stats = self.stats
+        stats.batches += 1
+        stats.packets_handled += n_total
+        stats.foreign_handled += n_foreign
+        stats.busy_time_ps += duration
+        stats.busy_cycles += cycles
         if self.batch_size_hist is not None:
-            self.batch_size_hist.observe(len(foreign) + len(local))
+            self.batch_size_hist.observe(n_total)
         if self.trace_batch is not None:
             self.trace_batch(
-                self.core_id, self.sim.now, duration, len(foreign), len(local)
+                self.core_id, self.sim._now, duration, n_foreign, len(local)
             )
-        self.sim.after(duration, self._complete, result)
+        self.sim.post_after(duration, self._complete, result)
 
     def _complete(self, result: BatchResult) -> None:
-        if result.outputs:
-            self.stats.packets_forwarded += len(result.outputs)
+        outputs = result.outputs
+        if outputs:
+            self.stats.packets_forwarded += len(outputs)
             emit = self.on_output
             if emit is not None:
-                for packet in result.outputs:
-                    packet.done_time = self.sim.now
-                    packet.processed_core = self.core_id
+                now = self.sim._now
+                core_id = self.core_id
+                for packet in outputs:
+                    packet.done_time = now
+                    packet.processed_core = core_id
                     emit(packet)
-        if result.transfers:
-            self.stats.packets_transferred += len(result.transfers)
+        transfers = result.transfers
+        if transfers:
+            self.stats.packets_transferred += len(transfers)
             transfer = self.on_transfer
             if transfer is None:
                 raise RuntimeError(
                     f"core {self.core_id} produced transfers but has no transfer hook"
                 )
-            for dst_core, packet in result.transfers:
+            for dst_core, packet in transfers:
                 transfer(dst_core, packet)
         self._busy = False
-        if self.has_work():
-            self._start_batch()
+        self._start_batch()
 
     def utilization(self, elapsed_ps: int) -> float:
         """Fraction of ``elapsed_ps`` this core spent processing."""

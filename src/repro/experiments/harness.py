@@ -142,7 +142,7 @@ def run_open_loop(
             latency.record(now - packet.created_at)
 
     ingress = Link(sim, 10e9, 1 * MICROSECOND, name="gen->mb", queue_limit=1000)
-    ingress.sink = lambda p, now: engine.receive(p, now)
+    ingress.sink = engine.receive  # matches the sink signature directly
     egress = Link(sim, 10e9, 1 * MICROSECOND, sink=collector, name="mb->gen")
     engine.set_egress(egress.send)
 
@@ -152,7 +152,7 @@ def run_open_loop(
     flows = random_tcp_flows(num_flows, rng)
     generator = OpenLoopGenerator(
         sim,
-        lambda p, now: ingress.send(p),
+        ingress.send,
         flows,
         offered,
         rng,

@@ -30,13 +30,10 @@ TCP_FRAME_HEADERS = 58
 #: Ethernet(14) + IPv4(20) + UDP(8) + FCS(4).
 UDP_FRAME_HEADERS = 46
 
-_next_packet_id = 0
+from itertools import count as _count
 
-
-def _allocate_packet_id() -> int:
-    global _next_packet_id
-    _next_packet_id += 1
-    return _next_packet_id
+#: Process-wide packet id stream (itertools.count: one C call per id).
+_packet_ids = _count(1)
 
 
 class Packet:
@@ -82,7 +79,7 @@ class Packet:
         created_at: int = 0,
         window: int = 65535,
     ):
-        self.packet_id = _allocate_packet_id()
+        self.packet_id = next(_packet_ids)
         self.five_tuple = five_tuple
         self.flags = flags
         self.seq = seq

@@ -21,7 +21,7 @@ Non-TCP packets match no spray rule and fall back to RSS.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.net.five_tuple import PROTO_TCP
 from repro.net.packet import Packet
@@ -77,6 +77,10 @@ class FlowDirectorTable:
             raise ValueError(f"capacity must be >= 1, got {capacity}")
         self.capacity = capacity
         self._groups: Dict[Tuple[str, int, int], Dict[int, int]] = {}
+        #: Per-group (getter, mask, protocol, value→queue) tuples in
+        #: insertion order — the per-packet match walks this flat list
+        #: instead of re-resolving field getters from the group keys.
+        self._compiled: List[Tuple[Callable[[Packet], int], int, int, Dict[int, int]]] = []
         self._rule_count = 0
 
     def __len__(self) -> int:
@@ -93,7 +97,13 @@ class FlowDirectorTable:
         queue without consuming extra capacity (hardware semantics).
         """
         group_key = (rule.field, rule.mask, rule.protocol)
-        group = self._groups.setdefault(group_key, {})
+        group = self._groups.get(group_key)
+        if group is None:
+            group = {}
+            self._groups[group_key] = group
+            self._compiled.append(
+                (_FIELD_GETTERS[rule.field], rule.mask, rule.protocol, group)
+            )
         if rule.value not in group:
             if self._rule_count >= self.capacity:
                 raise OverflowError(
@@ -108,16 +118,16 @@ class FlowDirectorTable:
 
     def clear(self) -> None:
         self._groups.clear()
+        self._compiled.clear()
         self._rule_count = 0
 
     def match(self, packet: Packet) -> Optional[int]:
         """Return the target queue of the first matching rule, or None."""
         protocol = packet.five_tuple.protocol
-        for (field, mask, rule_protocol), group in self._groups.items():
+        for getter, mask, rule_protocol, group in self._compiled:
             if rule_protocol != protocol:
                 continue
-            value = _FIELD_GETTERS[field](packet) & mask
-            queue = group.get(value)
+            queue = group.get(getter(packet) & mask)
             if queue is not None:
                 return queue
         return None

@@ -9,9 +9,11 @@ delay.
 
 from __future__ import annotations
 
-from typing import Callable, Optional
+from collections import deque
+from heapq import heappush
+from typing import Callable, Deque, Dict, Optional
 
-from repro.net.packet import Packet
+from repro.net.packet import ETHERNET_OVERHEAD, Packet
 from repro.sim.engine import Simulator
 from repro.sim.timeunits import MICROSECOND, SECOND
 
@@ -48,7 +50,13 @@ class Link:
         #: Max packets queued at the transmitter (None = unbounded).
         #: Models the sending host's qdisc (Linux pfifo txqueuelen).
         self.queue_limit = queue_limit
-        self._queued = 0
+        #: Finish times of frames still occupying the transmit queue.
+        #: Expired entries are popped lazily on the next send, so queue
+        #: accounting costs no simulator events at all.
+        self._pending_finish: Deque[int] = deque()
+        #: Serialization time per wire size — frames come in a handful
+        #: of sizes, so the division+round runs once per size.
+        self._ser_cache: Dict[int, int] = {}
         self._transmitter_free_at = 0
         self.packets_sent = 0
         self.bytes_sent = 0
@@ -56,34 +64,58 @@ class Link:
 
     def serialization_time(self, packet: Packet) -> int:
         """Picoseconds to clock the frame (incl. preamble + IFG) out."""
-        return round(packet.wire_bytes * 8 * SECOND / self.rate_bps)
+        wire_bytes = packet.wire_bytes
+        cached = self._ser_cache.get(wire_bytes)
+        if cached is None:
+            cached = round(wire_bytes * 8 * SECOND / self.rate_bps)
+            self._ser_cache[wire_bytes] = cached
+        return cached
 
-    def send(self, packet: Packet) -> int:
+    def send(self, packet: Packet, now: Optional[int] = None) -> int:
         """Enqueue a packet for transmission.
 
         Returns the far-end arrival time, or -1 if the transmit queue
         is full (the packet is dropped, as a host qdisc would).
+
+        ``now`` is accepted (and ignored — the link reads simulator
+        time itself) so ``link.send`` can be plugged directly into any
+        ``sink(packet, now)`` slot without an adapter lambda.
         """
-        if self.sink is None:
+        sink = self.sink
+        if sink is None:
             raise RuntimeError(f"link {self.name!r} has no sink attached")
-        now = self.sim.now
-        if self.queue_limit is not None and self._queued >= self.queue_limit:
-            self.packets_dropped += 1
-            return -1
-        start = max(now, self._transmitter_free_at)
-        finish = start + self.serialization_time(packet)
+        sim = self.sim
+        now = sim._now
+        pending = None
+        if self.queue_limit is not None:
+            pending = self._pending_finish
+            while pending and pending[0] <= now:
+                pending.popleft()
+            if len(pending) >= self.queue_limit:
+                self.packets_dropped += 1
+                return -1
+        free_at = self._transmitter_free_at
+        start = free_at if free_at > now else now
+        # packet.wire_bytes, inlined (the property call is measurable at
+        # millions of sends).
+        frame_len = packet.frame_len
+        wire_bytes = frame_len + ETHERNET_OVERHEAD
+        ser = self._ser_cache.get(wire_bytes)
+        if ser is None:
+            ser = round(wire_bytes * 8 * SECOND / self.rate_bps)
+            self._ser_cache[wire_bytes] = ser
+        finish = start + ser
         self._transmitter_free_at = finish
         arrival = finish + self.propagation_delay
         self.packets_sent += 1
-        self.bytes_sent += packet.frame_len
-        if self.queue_limit is not None:
-            self._queued += 1
-            self.sim.at(finish, self._on_serialized)
-        self.sim.at(arrival, self.sink, packet, arrival)
+        self.bytes_sent += frame_len
+        if pending is not None:
+            pending.append(finish)
+        # Arrival events are never cancelled: post() skips the handle.
+        sim._sequence += 1
+        sim._live += 1
+        heappush(sim._queue, (arrival, sim._sequence, None, sink, (packet, arrival)))
         return arrival
-
-    def _on_serialized(self) -> None:
-        self._queued -= 1
 
     @property
     def backlog(self) -> int:

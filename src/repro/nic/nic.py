@@ -78,6 +78,11 @@ class MultiQueueNic:
         self.on_drop: Optional[Callable[[str, Packet, int], None]] = None
         self._fd_tokens = float(self.config.flow_director_burst)
         self._fd_last_refill = 0
+        # Config is static after construction (see NicConfig docstring);
+        # the receive path caches what it reads per packet.
+        self._fd_enabled = self.config.flow_director_enabled
+        self._fd_burst_tokens = float(self.config.flow_director_burst)
+        self._fd_cap = self.config.flow_director_pps_cap
 
     @property
     def num_queues(self) -> int:
@@ -89,7 +94,7 @@ class MultiQueueNic:
             queue = self.custom_classifier(packet)
             if queue is not None:
                 return queue
-        if self.config.flow_director_enabled:
+        if self._fd_enabled:
             queue = self.flow_director.match(packet)
             if queue is not None:
                 self.stats.fd_matched += 1
@@ -103,9 +108,10 @@ class MultiQueueNic:
         Returns False when the packet is dropped (classification cap or
         queue overflow).
         """
-        self.stats.rx_packets += 1
-        if self.config.flow_director_enabled and not self._consume_fd_token(now):
-            self.stats.rx_dropped_fd_cap += 1
+        stats = self.stats
+        stats.rx_packets += 1
+        if self._fd_enabled and not self._consume_fd_token(now):
+            stats.rx_dropped_fd_cap += 1
             if self.on_drop is not None:
                 self.on_drop("fd_cap", packet, now)
             return False
@@ -113,23 +119,25 @@ class MultiQueueNic:
         packet.nic_rx_time = now
         packet.rx_queue = queue_id
         if not self.queues[queue_id].push(packet):
-            self.stats.rx_dropped_queue_full += 1
+            stats.rx_dropped_queue_full += 1
             if self.on_drop is not None:
                 self.on_drop("queue_full", packet, now)
             return False
-        self.stats.per_queue_rx[queue_id] += 1
+        stats.per_queue_rx[queue_id] += 1
         return True
 
     def _consume_fd_token(self, now: int) -> bool:
-        cap = self.config.flow_director_pps_cap
+        cap = self._fd_cap
         if cap is None:
             return True
         elapsed = now - self._fd_last_refill
         if elapsed > 0:
-            self._fd_tokens = min(
-                float(self.config.flow_director_burst),
-                self._fd_tokens + elapsed * cap / SECOND,
-            )
+            # NB: keep the exact expression `elapsed * cap / SECOND` —
+            # refactoring the float arithmetic changes rounding, and
+            # with it which packets the cap drops.
+            tokens = self._fd_tokens + elapsed * cap / SECOND
+            burst = self._fd_burst_tokens
+            self._fd_tokens = burst if tokens > burst else tokens
             self._fd_last_refill = now
         if self._fd_tokens >= 1.0:
             self._fd_tokens -= 1.0

@@ -15,11 +15,20 @@ Two standard keys are provided:
   invariant under swapping (src ip, src port) with (dst ip, dst port);
   the paper configures this (citing Woo et al. [44]) so that upstream and
   downstream packets of a connection reach the same core.
+
+Performance: :func:`toeplitz_hash` is the bit-serial reference — exactly
+the shift-and-XOR a NIC implements in silicon. The hot path instead uses
+:class:`ToeplitzTable`, which precomputes, once per key, the 32-bit
+partial hash contributed by every (byte position, byte value) pair; a
+12-byte RSS input then hashes in 12 table lookups and XORs. The table is
+mathematically identical to the bit-serial function (the Toeplitz hash
+is linear over GF(2), so per-byte contributions XOR independently) and
+the property tests assert equality on random inputs.
 """
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from repro.net.five_tuple import FiveTuple
 
@@ -40,9 +49,16 @@ SYMMETRIC_RSS_KEY = bytes([0x6D, 0x5A] * 20)
 #: 82599 RSS indirection table size.
 INDIRECTION_TABLE_SIZE = 128
 
+#: Entries kept in each per-flow memo before it is reset. Real traffic
+#: repeats flows heavily, so hit rates stay near 1; the bound only
+#: protects pathological all-distinct-flow workloads from unbounded
+#: growth. Resetting (rather than evicting) keeps the memo a pure
+#: function of the call sequence, so runs stay deterministic.
+FLOW_CACHE_LIMIT = 1 << 16
+
 
 def toeplitz_hash(key: bytes, data: bytes) -> int:
-    """The Toeplitz hash exactly as NICs compute it.
+    """The Toeplitz hash exactly as NICs compute it (bit-serial reference).
 
     For each input bit (MSB first), if the bit is set, XOR the current
     leftmost 32 bits of the (left-shifting) key into the result.
@@ -62,6 +78,76 @@ def toeplitz_hash(key: bytes, data: bytes) -> int:
     return result & 0xFFFFFFFF
 
 
+class ToeplitzTable:
+    """Table-driven Toeplitz: per-(byte position, byte value) partials.
+
+    The Toeplitz hash is GF(2)-linear in its input, so the contribution
+    of byte ``b`` at position ``p`` is independent of every other byte:
+    ``hash(data) = XOR_p table[p][data[p]]``. Building the table costs
+    ``positions × 256`` XOR folds once per key; hashing then costs one
+    list index, one byte index and one XOR per input byte — no bit loop.
+    """
+
+    def __init__(self, key: bytes, data_len: int):
+        if len(key) * 8 < data_len * 8 + 32:
+            raise ValueError(
+                f"key too short: {len(key)} bytes for {data_len} bytes of input"
+            )
+        self.key = key
+        self.data_len = data_len
+        key_int = int.from_bytes(key, "big")
+        key_bits = len(key) * 8
+        # windows[i]: the 32 key bits aligned with overall input bit i.
+        windows = [
+            (key_int >> (key_bits - 32 - i)) & 0xFFFFFFFF
+            for i in range(data_len * 8)
+        ]
+        tables: List[List[int]] = []
+        for pos in range(data_len):
+            bit_windows = windows[pos * 8 : pos * 8 + 8]
+            table = [0] * 256
+            for value in range(256):
+                partial = 0
+                for bit in range(8):
+                    if value >> (7 - bit) & 1:
+                        partial ^= bit_windows[bit]
+                table[value] = partial
+            tables.append(table)
+        self.tables = tables
+
+    def hash(self, data: bytes) -> int:
+        """32-bit Toeplitz hash of ``data`` (must be ``data_len`` bytes)."""
+        if len(data) != self.data_len:
+            raise ValueError(
+                f"expected {self.data_len} bytes of input, got {len(data)}"
+            )
+        result = 0
+        for table, byte in zip(self.tables, data):
+            result ^= table[byte]
+        return result
+
+
+#: RSS hashes 12 input bytes for IPv4 TCP/UDP (2×IP + 2×port).
+RSS_INPUT_LEN = 12
+
+_table_cache: Dict[Tuple[bytes, int], ToeplitzTable] = {}
+
+
+def toeplitz_table_for(key: bytes, data_len: int = RSS_INPUT_LEN) -> ToeplitzTable:
+    """The (process-wide, memoized) expanded table for ``key``.
+
+    Keys are few (two standard ones) and tables are pure functions of
+    the key, so sharing them across every hasher instance is safe and
+    keeps the one-time expansion cost truly one-time.
+    """
+    cache_key = (bytes(key), data_len)
+    table = _table_cache.get(cache_key)
+    if table is None:
+        table = ToeplitzTable(cache_key[0], data_len)
+        _table_cache[cache_key] = table
+    return table
+
+
 def rss_input_bytes(flow: FiveTuple) -> bytes:
     """The RSS hash input for IPv4 TCP/UDP: src ip, dst ip, src port, dst port."""
     return (
@@ -73,11 +159,16 @@ def rss_input_bytes(flow: FiveTuple) -> bytes:
 
 
 class RssHasher:
-    """RSS hash + indirection table, with a per-flow result cache.
+    """RSS hash + indirection table, with per-flow result memos.
 
-    The cache mirrors what happens in hardware (the hash is a pure
-    function of the flow) while keeping the pure-Python bit loop off the
-    per-packet path.
+    Two layers keep the per-packet path to one dict probe, mirroring
+    what hardware does (the hash is a pure function of the flow):
+
+    - the table-driven Toeplitz (:class:`ToeplitzTable`) replaces the
+      bit loop for memo misses;
+    - bounded per-:class:`FiveTuple` memos of the 32-bit hash and of the
+      final queue id serve repeats. ``set_indirection`` invalidates the
+      queue memo (the hash memo stays valid — only the table changed).
     """
 
     def __init__(
@@ -85,6 +176,7 @@ class RssHasher:
         num_queues: int,
         key: bytes = DEFAULT_RSS_KEY,
         table_size: int = INDIRECTION_TABLE_SIZE,
+        cache_limit: int = FLOW_CACHE_LIMIT,
     ):
         if num_queues < 1:
             raise ValueError(f"num_queues must be >= 1, got {num_queues}")
@@ -92,20 +184,33 @@ class RssHasher:
         self.num_queues = num_queues
         #: queue id per indirection-table slot, default round-robin fill.
         self.indirection_table: List[int] = [i % num_queues for i in range(table_size)]
-        self._cache: dict = {}
+        self._toeplitz = toeplitz_table_for(key)
+        self._cache_limit = cache_limit
+        self._cache: Dict[FiveTuple, int] = {}
+        self._queue_cache: Dict[FiveTuple, int] = {}
 
     def hash(self, flow: FiveTuple) -> int:
         """32-bit Toeplitz hash of the flow's RSS input."""
-        cached = self._cache.get(flow)
+        cache = self._cache
+        cached = cache.get(flow)
         if cached is None:
-            cached = toeplitz_hash(self.key, rss_input_bytes(flow))
-            self._cache[flow] = cached
+            cached = self._toeplitz.hash(rss_input_bytes(flow))
+            if len(cache) >= self._cache_limit:
+                cache.clear()
+            cache[flow] = cached
         return cached
 
     def queue_for(self, flow: FiveTuple) -> int:
         """The rx queue RSS steers this flow to."""
-        index = self.hash(flow) % len(self.indirection_table)
-        return self.indirection_table[index]
+        cache = self._queue_cache
+        queue = cache.get(flow)
+        if queue is None:
+            table = self.indirection_table
+            queue = table[self.hash(flow) % len(table)]
+            if len(cache) >= self._cache_limit:
+                cache.clear()
+            cache[flow] = queue
+        return queue
 
     def set_indirection(self, table: Sequence[int]) -> None:
         """Install a custom indirection table (lengths must match)."""
@@ -117,6 +222,8 @@ class RssHasher:
         if bad:
             raise ValueError(f"queue ids out of range: {bad}")
         self.indirection_table = list(table)
+        # Flow→queue results derived from the old table are stale.
+        self._queue_cache.clear()
 
     def is_symmetric(self) -> bool:
         """True if the configured key hashes both directions identically."""

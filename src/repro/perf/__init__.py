@@ -1,0 +1,39 @@
+"""Performance-regression harness for the simulator itself.
+
+The experiments in this repo are CPU-bound pure Python; a careless
+change to a hot path (the event loop, the NIC receive chain, the
+Toeplitz caches) silently turns a 5-second figure sweep into a
+50-second one. This package pins a small suite of micro and macro
+workloads, times them, and compares against the last committed
+baseline:
+
+- ``python -m repro.perf`` runs the full suite and writes
+  ``BENCH_<date>.json`` at the repo root;
+- ``python -m repro.perf --quick`` runs the CI-sized variant (writes
+  ``BENCH_<date>-quick.json``) and is wired into the ``perf-smoke``
+  CI job;
+- each workload also reports a deterministic *fingerprint* of its
+  simulated results, so a perf run doubles as a check that an
+  optimization did not change what the simulator computes.
+
+Timing comparisons are tolerance-gated (wall clocks are noisy);
+fingerprint comparisons are exact.
+"""
+
+from repro.perf.runner import (
+    REPO_ROOT,
+    compare_results,
+    find_baseline,
+    run_suite,
+    write_bench,
+)
+from repro.perf.workloads import WORKLOADS
+
+__all__ = [
+    "REPO_ROOT",
+    "WORKLOADS",
+    "compare_results",
+    "find_baseline",
+    "run_suite",
+    "write_bench",
+]

@@ -1,0 +1,104 @@
+"""``python -m repro.perf`` — run the perf suite and gate regressions.
+
+Examples::
+
+    python -m repro.perf                  # full suite, BENCH_<date>.json
+    python -m repro.perf --quick          # CI-sized, BENCH_<date>-quick.json
+    python -m repro.perf --workloads fig6a,hash
+    python -m repro.perf --baseline BENCH_2026-08-06.json --tolerance 0.2
+    python -m repro.perf --profile        # cProfile per workload (no write)
+
+Exit status 1 means a workload regressed beyond the tolerance or
+computed different results than the baseline (fingerprint mismatch).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+from repro.perf.runner import (
+    DEFAULT_TOLERANCE,
+    REPO_ROOT,
+    compare_results,
+    find_baseline,
+    format_report,
+    load_baseline,
+    run_suite,
+    write_bench,
+)
+from repro.perf.workloads import WORKLOADS
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf",
+        description="Run the pinned perf workloads and compare against a baseline.",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="CI-sized parameters (seconds, not tens of seconds)",
+    )
+    parser.add_argument(
+        "--workloads", metavar="NAMES",
+        help=f"comma-separated subset of: {', '.join(WORKLOADS)}",
+    )
+    parser.add_argument(
+        "--out", metavar="DIR", type=Path, default=None,
+        help="directory for BENCH_<date>.json (default: repo root)",
+    )
+    parser.add_argument(
+        "--baseline", metavar="PATH", type=Path, default=None,
+        help="explicit baseline JSON (default: newest same-mode BENCH file)",
+    )
+    parser.add_argument(
+        "--tolerance", type=float, default=DEFAULT_TOLERANCE, metavar="FRAC",
+        help="allowed wall-time growth before failing (default %(default)s)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="run each workload under cProfile (implies --no-write)",
+    )
+    parser.add_argument(
+        "--no-write", action="store_true",
+        help="do not write a BENCH file (compare only)",
+    )
+    args = parser.parse_args(argv)
+
+    names = args.workloads.split(",") if args.workloads else None
+    out_dir = args.out or REPO_ROOT
+
+    # Resolve the baseline BEFORE writing this run's file, so a re-run
+    # on the same day never compares against itself.
+    baseline_path = args.baseline
+    if baseline_path is None:
+        baseline_path = find_baseline(args.quick, out_dir)
+
+    result = run_suite(quick=args.quick, workload_names=names, profile=args.profile)
+    print(format_report(result))
+
+    wrote = None
+    if not args.no_write and not args.profile:
+        wrote = write_bench(result, out_dir)
+        print(f"\nwrote {wrote}")
+
+    if baseline_path is None:
+        print("no baseline found — this run is the first baseline")
+        return 0
+
+    baseline = load_baseline(baseline_path)
+    failures, notes = compare_results(result, baseline, tolerance=args.tolerance)
+    print(f"\nbaseline: {baseline_path}")
+    for note in notes:
+        print(f"  note: {note}")
+    for failure in failures:
+        print(f"  FAIL: {failure}")
+    if failures:
+        return 1
+    print("  OK: within tolerance, fingerprints match")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

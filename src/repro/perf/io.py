@@ -1,0 +1,64 @@
+"""Result serialization shared by the perf CLI and the pytest benchmarks.
+
+One code path writes every benchmark artifact the repo produces:
+
+- ``BENCH_<date>.json`` / ``BENCH_<date>-quick.json`` files at the repo
+  root (:func:`bench_filename`, :func:`write_json`, :func:`find_bench_files`);
+- the human-readable table log (``benchmarks/latest_tables.txt``)
+  appended to by the pytest-benchmark suite (:class:`TableLog`).
+"""
+
+from __future__ import annotations
+
+import json
+import re
+from pathlib import Path
+from typing import Dict, List, Optional
+
+#: BENCH file name pattern: date stamp, optional -quick marker.
+_BENCH_RE = re.compile(r"^BENCH_(\d{4}-\d{2}-\d{2})(-quick)?\.json$")
+
+
+def bench_filename(date: str, quick: bool) -> str:
+    """``BENCH_<date>.json``, with a ``-quick`` marker for CI-sized runs."""
+    suffix = "-quick" if quick else ""
+    return f"BENCH_{date}{suffix}.json"
+
+
+def write_json(path: Path, payload: Dict) -> Path:
+    """Write ``payload`` as stable, human-diffable JSON."""
+    path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n")
+    return path
+
+
+def read_json(path: Path) -> Dict:
+    return json.loads(path.read_text())
+
+
+def find_bench_files(root: Path, quick: bool) -> List[Path]:
+    """All baseline files of the given mode under ``root``, oldest first.
+
+    Quick and full baselines never compare against each other — the
+    workload parameters differ, so the timings are incommensurable.
+    The ISO date stamp makes lexical order chronological.
+    """
+    matches = []
+    for path in root.iterdir() if root.is_dir() else []:
+        m = _BENCH_RE.match(path.name)
+        if m and bool(m.group(2)) == quick:
+            matches.append(path)
+    return sorted(matches, key=lambda p: p.name)
+
+
+class TableLog:
+    """Append-per-session table log (first write truncates the file)."""
+
+    def __init__(self, path: Path):
+        self.path = Path(path)
+        self._titles: List[str] = []
+
+    def add(self, text: str, title: Optional[str] = None) -> None:
+        mode = "w" if not self._titles else "a"
+        self._titles.append(title or "")
+        with open(self.path, mode) as handle:
+            handle.write(text + "\n\n")

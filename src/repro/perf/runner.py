@@ -1,0 +1,184 @@
+"""Timing, baseline discovery, and regression comparison.
+
+The runner executes the registered workloads, times each with
+``perf_counter``, and assembles a result document::
+
+    {
+      "schema": 1,
+      "date": "2026-08-06",
+      "mode": "full" | "quick",
+      "python": "3.12.3",
+      "workloads": {
+        "fig6a": {"wall_s": 4.83, "ops": 6, "ops_per_s": ...,
+                   "fingerprint": "9f3a0c11"},
+        ...
+      }
+    }
+
+Comparison against a baseline flags two kinds of failure:
+
+- a **timing regression**: wall time grew by more than the tolerance
+  (wall clocks are noisy, so this is a ratio gate, default +30 %);
+- a **fingerprint mismatch**: the workload computed different simulated
+  results than the baseline — an exact gate, because the workloads are
+  pure functions of pinned seeds. Speed changes are negotiable;
+  behaviour changes are not.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import datetime
+import io as _io
+import platform
+import pstats
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.perf.io import bench_filename, find_bench_files, read_json, write_json
+from repro.perf.workloads import WORKLOADS
+
+#: Repo root (this file lives at src/repro/perf/runner.py).
+REPO_ROOT = Path(__file__).resolve().parents[3]
+
+#: Default allowed wall-time growth before a workload counts as regressed.
+DEFAULT_TOLERANCE = 0.30
+
+
+def run_suite(
+    quick: bool = False,
+    workload_names: Optional[Iterable[str]] = None,
+    profile: bool = False,
+    date: Optional[str] = None,
+) -> Dict:
+    """Run the (selected) workloads once and return the result document.
+
+    With ``profile=True`` each workload runs under ``cProfile`` and its
+    top functions by cumulative time are printed to stderr — wall times
+    are then inflated and not comparable, so profiled runs should not
+    be written as baselines.
+    """
+    names = list(workload_names) if workload_names else list(WORKLOADS)
+    unknown = [n for n in names if n not in WORKLOADS]
+    if unknown:
+        raise KeyError(f"unknown workloads: {unknown}; have {list(WORKLOADS)}")
+    results: Dict[str, Dict] = {}
+    for name in names:
+        fn = WORKLOADS[name]
+        if profile:
+            profiler = cProfile.Profile()
+            start = time.perf_counter()
+            profiler.enable()
+            ops, fingerprint = fn(quick)
+            profiler.disable()
+            wall = time.perf_counter() - start
+            stream = _io.StringIO()
+            pstats.Stats(profiler, stream=stream).sort_stats("cumulative").print_stats(15)
+            print(f"--- profile: {name} ---\n{stream.getvalue()}", file=sys.stderr)
+        else:
+            start = time.perf_counter()
+            ops, fingerprint = fn(quick)
+            wall = time.perf_counter() - start
+        results[name] = {
+            "wall_s": round(wall, 4),
+            "ops": ops,
+            "ops_per_s": round(ops / wall, 1) if wall > 0 else None,
+            "fingerprint": fingerprint,
+        }
+    return {
+        "schema": 1,
+        "date": date or datetime.date.today().isoformat(),
+        "mode": "quick" if quick else "full",
+        "python": platform.python_version(),
+        "platform": platform.platform(),
+        "profiled": profile,
+        "workloads": results,
+    }
+
+
+def write_bench(result: Dict, out_dir: Optional[Path] = None) -> Path:
+    """Write the result as ``BENCH_<date>[-quick].json`` in ``out_dir``."""
+    out_dir = Path(out_dir) if out_dir else REPO_ROOT
+    name = bench_filename(result["date"], result["mode"] == "quick")
+    return write_json(out_dir / name, result)
+
+
+def find_baseline(
+    quick: bool, out_dir: Optional[Path] = None, today: Optional[str] = None
+) -> Optional[Path]:
+    """The most recent committed baseline of the same mode, if any.
+
+    A file stamped with today's date is skipped — it is this run's own
+    output (or a leftover from a few minutes ago), not a baseline.
+    """
+    out_dir = Path(out_dir) if out_dir else REPO_ROOT
+    today = today or datetime.date.today().isoformat()
+    own_name = bench_filename(today, quick)
+    candidates = [p for p in find_bench_files(out_dir, quick) if p.name != own_name]
+    return candidates[-1] if candidates else None
+
+
+def load_baseline(path: Path) -> Dict:
+    return read_json(Path(path))
+
+
+def compare_results(
+    current: Dict, baseline: Dict, tolerance: float = DEFAULT_TOLERANCE
+) -> Tuple[List[str], List[str]]:
+    """Compare a run against a baseline.
+
+    Returns ``(failures, notes)``: failures are timing regressions
+    beyond ``tolerance`` and fingerprint mismatches; notes are
+    informational lines (improvements, workloads without a baseline
+    entry, mode mismatches).
+    """
+    failures: List[str] = []
+    notes: List[str] = []
+    if current.get("mode") != baseline.get("mode"):
+        notes.append(
+            f"baseline mode {baseline.get('mode')!r} != current "
+            f"{current.get('mode')!r}; timing comparison skipped"
+        )
+        return failures, notes
+    if baseline.get("profiled"):
+        notes.append("baseline was recorded under cProfile; timings skipped")
+        return failures, notes
+    base_workloads = baseline.get("workloads", {})
+    for name, cur in current.get("workloads", {}).items():
+        base = base_workloads.get(name)
+        if base is None:
+            notes.append(f"{name}: no baseline entry (new workload)")
+            continue
+        if cur["fingerprint"] != base["fingerprint"]:
+            failures.append(
+                f"{name}: fingerprint {cur['fingerprint']} != baseline "
+                f"{base['fingerprint']} — simulated results changed"
+            )
+        base_wall = base.get("wall_s") or 0.0
+        cur_wall = cur.get("wall_s") or 0.0
+        if base_wall > 0 and cur_wall > base_wall * (1.0 + tolerance):
+            failures.append(
+                f"{name}: {cur_wall:.3f}s vs baseline {base_wall:.3f}s "
+                f"(+{(cur_wall / base_wall - 1) * 100:.0f}% > +{tolerance * 100:.0f}%)"
+            )
+        elif base_wall > 0 and cur_wall < base_wall * (1.0 - tolerance):
+            notes.append(
+                f"{name}: {cur_wall:.3f}s vs baseline {base_wall:.3f}s "
+                f"({(1 - cur_wall / base_wall) * 100:.0f}% faster)"
+            )
+    return failures, notes
+
+
+def format_report(result: Dict) -> str:
+    """A small human-readable table of the run."""
+    lines = [f"perf suite ({result['mode']}) — {result['date']}"]
+    lines.append(f"{'workload':<12} {'wall_s':>9} {'ops':>9} {'ops/s':>12}  fingerprint")
+    for name, entry in result["workloads"].items():
+        ops_per_s = entry["ops_per_s"]
+        lines.append(
+            f"{name:<12} {entry['wall_s']:>9.3f} {entry['ops']:>9} "
+            f"{(f'{ops_per_s:,.0f}' if ops_per_s else '-'):>12}  {entry['fingerprint']}"
+        )
+    return "\n".join(lines)

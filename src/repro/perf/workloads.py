@@ -1,0 +1,143 @@
+"""The pinned benchmark workloads.
+
+Each workload is a plain callable ``fn(quick: bool) -> (ops, fingerprint)``
+registered in :data:`WORKLOADS`. The runner times the call; the workload
+returns how many "operations" it performed (for ops/s reporting — what
+an operation is varies per workload and only needs to be stable) and a
+deterministic fingerprint of its computed results. Fingerprints are
+pure functions of the pinned seeds, so they must match across runs and
+machines; a mismatch against the baseline means a change altered
+simulated behaviour, not just its speed.
+
+Micro workloads isolate one hot subsystem (Toeplitz hashing, steering
+decisions, the event loop); macro workloads run the real Figure 6a/7a
+experiment code at pinned parameters.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import zlib
+from typing import Callable, Dict, Tuple
+
+from repro.core.designated import DesignatedCoreMap
+from repro.nic.rss import DEFAULT_RSS_KEY, SYMMETRIC_RSS_KEY, RssHasher
+from repro.sim.engine import Simulator
+from repro.trafficgen.flows import random_tcp_flows
+
+Workload = Callable[[bool], Tuple[int, str]]
+
+
+def _fingerprint(value) -> str:
+    """Stable hex digest of any JSON-serializable value."""
+    payload = json.dumps(value, sort_keys=True, default=str).encode()
+    return f"{zlib.crc32(payload):08x}"
+
+
+# -- micro -----------------------------------------------------------------
+
+
+def micro_hash(quick: bool) -> Tuple[int, str]:
+    """Toeplitz hashing: cold (table-driven) plus memoized repeats."""
+    n_flows = 2_000 if quick else 20_000
+    passes = 3 if quick else 10
+    rng = random.Random(42)
+    flows = random_tcp_flows(n_flows, rng)
+    acc = 0
+    ops = 0
+    for key in (DEFAULT_RSS_KEY, SYMMETRIC_RSS_KEY):
+        hasher = RssHasher(num_queues=8, key=key)
+        hash_fn = hasher.hash
+        for _ in range(passes):
+            for flow in flows:
+                acc ^= hash_fn(flow)
+                ops += 1
+    return ops, _fingerprint(acc)
+
+
+def micro_steer(quick: bool) -> Tuple[int, str]:
+    """Designated-core decisions over a flow set, both directions."""
+    n_flows = 2_000 if quick else 20_000
+    passes = 3 if quick else 10
+    rng = random.Random(43)
+    flows = random_tcp_flows(n_flows, rng)
+    dmap = DesignatedCoreMap(num_cores=8)
+    core_for = dmap.core_for
+    acc = 0
+    ops = 0
+    for _ in range(passes):
+        for flow in flows:
+            acc = (acc * 31 + core_for(flow)) & 0xFFFFFFFF
+            acc = (acc * 31 + core_for(flow.reversed())) & 0xFFFFFFFF
+            ops += 2
+    return ops, _fingerprint(acc)
+
+
+def micro_event_loop(quick: bool) -> Tuple[int, str]:
+    """Event-loop churn: schedule/fire plus heavy timer cancellation."""
+    n_events = 20_000 if quick else 200_000
+    sim = Simulator()
+    state = {"fired": 0}
+
+    def tick() -> None:
+        state["fired"] += 1
+
+    # Fire-and-forget events at distinct times.
+    for i in range(n_events):
+        sim.post(i * 10, tick)
+    # A cancelled timer for every 4 live events, exercising the lazy
+    # cancellation and auto-compaction paths.
+    for i in range(n_events // 4):
+        sim.at(i * 40 + 1, tick).cancel()
+    sim.run()
+    fired = state["fired"]
+    return fired, _fingerprint([fired, sim.now, sim.has_live_events()])
+
+
+# -- macro -----------------------------------------------------------------
+
+
+def macro_fig6a(quick: bool) -> Tuple[int, str]:
+    """The Figure 6a sweep (processing rate vs NF cycles), pinned."""
+    from repro.experiments.fig6 import run_fig6a
+    from repro.sim.timeunits import MILLISECOND
+
+    if quick:
+        rows = run_fig6a(
+            cycles_sweep=(0, 10000),
+            duration=4 * MILLISECOND,
+            warmup=1 * MILLISECOND,
+            seed=1,
+        )
+    else:
+        rows = run_fig6a(seed=1)
+    return len(rows), _fingerprint(rows)
+
+
+def macro_fig7a(quick: bool) -> Tuple[int, str]:
+    """The Figure 7a sweep (processing rate vs flow count), pinned."""
+    from repro.experiments.fig7 import run_fig7a
+    from repro.sim.timeunits import MILLISECOND
+
+    if quick:
+        rows = run_fig7a(
+            flow_sweep=(1, 16, 128),
+            duration=4 * MILLISECOND,
+            warmup=1 * MILLISECOND,
+            seed=1,
+        )
+    else:
+        rows = run_fig7a(seed=1)
+    return len(rows), _fingerprint(rows)
+
+
+#: Registration order is execution order: micro first (fast feedback),
+#: then the macro sweeps.
+WORKLOADS: Dict[str, Workload] = {
+    "hash": micro_hash,
+    "steer": micro_steer,
+    "event_loop": micro_event_loop,
+    "fig6a": macro_fig6a,
+    "fig7a": macro_fig7a,
+}

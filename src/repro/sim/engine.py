@@ -1,13 +1,25 @@
 """The discrete-event simulator.
 
-A minimal, fast event loop: a binary heap of ``(time, sequence, handle)``
-entries. Components schedule plain callables; there is no coroutine
-machinery, which keeps per-event overhead low enough to push hundreds of
-thousands of packet batches through pure Python.
+A minimal, fast event loop: a binary heap of ``(time, sequence, handle,
+callback, args)`` entries. Components schedule plain callables; there is
+no coroutine machinery, which keeps per-event overhead low enough to
+push hundreds of thousands of packet batches through pure Python.
+
+Two scheduling tiers share the heap: ``at``/``after`` return an
+:class:`EventHandle` for cancellation, while ``post``/``post_after``
+store ``None`` in the handle slot and return nothing — the right choice
+for fire-and-forget events (packet arrivals, batch completions), which
+dominate event counts and then skip a per-event object allocation.
 
 Determinism: events scheduled for the same timestamp fire in scheduling
 order (the monotonically increasing sequence number breaks ties), so a
 run is a pure function of the RNG seeds.
+
+Cancellation is lazy (the heap entry stays until popped), but the
+simulator keeps an exact live-event counter so ``has_live_events`` is
+O(1), and compacts the heap automatically once cancelled entries
+dominate it — long runs with heavy timer churn (TCP retransmission
+timers) stay bounded without any heap surgery on the cancel path.
 """
 
 from __future__ import annotations
@@ -15,26 +27,48 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional, Tuple
 
+#: Compact the heap when more than this many cancelled entries have
+#: accumulated *and* they outnumber the live ones (so compaction work is
+#: amortized against the pops it saves).
+COMPACT_THRESHOLD = 1024
+
 
 class EventHandle:
     """A scheduled event; ``cancel()`` prevents it from firing.
 
     Cancellation is lazy: the heap entry stays in place and is skipped
     when popped, which is far cheaper than heap surgery for the common
-    timer-reset pattern (e.g. TCP retransmission timers).
+    timer-reset pattern (e.g. TCP retransmission timers). The owning
+    simulator's live/cancelled counters are kept exact so quiescence
+    checks never scan the heap.
     """
 
-    __slots__ = ("callback", "args", "time", "cancelled")
+    __slots__ = ("callback", "args", "time", "cancelled", "_sim", "_in_heap")
 
-    def __init__(self, callback: Callable[..., None], args: Tuple[Any, ...], time: int):
+    def __init__(
+        self,
+        callback: Callable[..., None],
+        args: Tuple[Any, ...],
+        time: int,
+        sim: "Optional[Simulator]" = None,
+    ):
         self.callback = callback
         self.args = args
         self.time = time
         self.cancelled = False
+        self._sim = sim
+        self._in_heap = sim is not None
 
     def cancel(self) -> None:
         """Prevent this event from firing; safe to call more than once."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._in_heap:
+            sim = self._sim
+            sim._live -= 1
+            sim._cancelled += 1
+            sim._maybe_compact()
 
 
 class Simulator:
@@ -49,10 +83,14 @@ class Simulator:
 
     def __init__(self) -> None:
         self._now: int = 0
-        self._queue: List[Tuple[int, int, EventHandle]] = []
+        self._queue: List[Tuple[Any, ...]] = []
         self._sequence: int = 0
         self._running = False
         self._events_processed: int = 0
+        #: Non-cancelled entries currently in the heap (exact).
+        self._live: int = 0
+        #: Cancelled entries still occupying heap slots (exact).
+        self._cancelled: int = 0
 
     @property
     def now(self) -> int:
@@ -75,13 +113,11 @@ class Simulator:
         Used by self-rescheduling timers (e.g. the telemetry sampler) to
         detect quiescence: a timer that kept rescheduling itself against
         an otherwise-empty heap would make drain-style ``run()`` calls
-        spin forever. The scan early-exits on the first live entry, so
-        it is O(1) in the common busy case.
+        spin forever. The simulator counts live entries as they are
+        pushed, cancelled, and popped, so this is O(1) always — not just
+        in the busy case.
         """
-        for _time, _seq, handle in self._queue:
-            if not handle.cancelled:
-                return True
-        return False
+        return self._live > 0
 
     def at(self, time: int, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` at absolute time ``time``.
@@ -93,16 +129,47 @@ class Simulator:
             raise ValueError(
                 f"cannot schedule event at {time} ps; current time is {self._now} ps"
             )
-        handle = EventHandle(callback, args, time)
+        handle = EventHandle(callback, args, time, self)
         self._sequence += 1
-        heapq.heappush(self._queue, (time, self._sequence, handle))
+        self._live += 1
+        heapq.heappush(self._queue, (time, self._sequence, handle, callback, args))
         return handle
 
     def after(self, delay: int, callback: Callable[..., None], *args: Any) -> EventHandle:
         """Schedule ``callback(*args)`` after ``delay`` picoseconds."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self.at(self._now + delay, callback, *args)
+        time = self._now + delay
+        handle = EventHandle(callback, args, time, self)
+        self._sequence += 1
+        self._live += 1
+        heapq.heappush(self._queue, (time, self._sequence, handle, callback, args))
+        return handle
+
+    def post(self, time: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule a non-cancellable ``callback(*args)`` at ``time``.
+
+        Identical semantics to :meth:`at` minus the handle: nothing is
+        allocated per event, so this is the hot-path scheduler for
+        fire-and-forget work (link arrivals, batch completions).
+        """
+        if time < self._now:
+            raise ValueError(
+                f"cannot schedule event at {time} ps; current time is {self._now} ps"
+            )
+        self._sequence += 1
+        self._live += 1
+        heapq.heappush(self._queue, (time, self._sequence, None, callback, args))
+
+    def post_after(self, delay: int, callback: Callable[..., None], *args: Any) -> None:
+        """Schedule a non-cancellable ``callback(*args)`` after ``delay``."""
+        if delay < 0:
+            raise ValueError(f"delay must be non-negative, got {delay}")
+        self._sequence += 1
+        self._live += 1
+        heapq.heappush(
+            self._queue, (self._now + delay, self._sequence, None, callback, args)
+        )
 
     def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
         """Run the event loop.
@@ -115,23 +182,42 @@ class Simulator:
         """
         processed = 0
         queue = self._queue
+        pop = heapq.heappop
+        push = heapq.heappush
+        limit = float("inf") if until is None else until
+        budget = float("inf") if max_events is None else max_events
         self._running = True
         try:
-            while queue and self._running:
-                time, _seq, handle = queue[0]
-                if until is not None and time > until:
+            # Pop-first (pushing back the rare over-limit entry) avoids
+            # touching queue[0] twice per event; ``stop()`` can only be
+            # called from inside a callback, so checking _running after
+            # the callback is equivalent to checking it in the guard.
+            while queue:
+                entry = pop(queue)
+                time = entry[0]
+                if time > limit:
+                    push(queue, entry)
                     break
-                heapq.heappop(queue)
-                if handle.cancelled:
-                    continue
+                handle = entry[2]
+                if handle is not None:
+                    if handle.cancelled:
+                        self._cancelled -= 1
+                        if (
+                            self._cancelled > COMPACT_THRESHOLD
+                            and self._cancelled > self._live
+                        ):
+                            self._compact()
+                        continue
+                    handle._in_heap = False
+                self._live -= 1
                 self._now = time
-                handle.callback(*handle.args)
+                entry[3](*entry[4])
                 processed += 1
-                self._events_processed += 1
-                if max_events is not None and processed >= max_events:
+                if processed >= budget or not self._running:
                     break
         finally:
             self._running = False
+            self._events_processed += processed
         if until is not None and self._now < until:
             has_earlier = bool(queue) and queue[0][0] <= until
             if not has_earlier:
@@ -146,11 +232,30 @@ class Simulator:
         """Compact the heap by dropping cancelled entries; returns count.
 
         Long simulations with many timer resets can accumulate dead
-        entries; calling this occasionally bounds heap growth.
+        entries; the simulator calls this automatically once cancelled
+        entries dominate the heap, and callers may still invoke it
+        directly. The queue list is compacted in place so an active
+        ``run()`` loop keeps operating on the same object.
         """
-        alive = [entry for entry in self._queue if not entry[2].cancelled]
-        dropped = len(self._queue) - len(alive)
+        return self._compact()
+
+    def _compact(self) -> int:
+        queue = self._queue
+        alive = [
+            entry for entry in queue if entry[2] is None or not entry[2].cancelled
+        ]
+        dropped = len(queue) - len(alive)
         if dropped:
             heapq.heapify(alive)
-            self._queue = alive
+            queue[:] = alive
+            self._cancelled = 0
         return dropped
+
+    def _maybe_compact(self) -> None:
+        """Auto-compaction check on the cancel path (cheap int compares)."""
+        if (
+            not self._running
+            and self._cancelled > COMPACT_THRESHOLD
+            and self._cancelled > self._live
+        ):
+            self._compact()

@@ -22,6 +22,12 @@ class SteeringPolicy:
     #: If True, the engine uses a single shared, locked flow table
     #: instead of partitioned per-core tables (the naive ablation).
     uses_shared_state: bool = False
+    #: If True (every shipped policy), ``designated_core`` is a pure
+    #: function of the flow for the lifetime of the engine, so the
+    #: engine may memoize it. A policy whose mapping can shift at
+    #: runtime must set this False (or call
+    #: ``engine.invalidate_steering_cache`` when it changes).
+    designated_core_is_stable: bool = True
 
     def __init__(self, config):
         self.config = config

@@ -13,7 +13,14 @@ from repro.net.checksum import internet_checksum, tcp_checksum, verify_checksum
 from repro.net.tcp_flags import is_connection_packet
 from repro.nfs.dpi import AhoCorasick
 from repro.nic.flow_director import FlowDirectorTable, build_checksum_spray_rules
-from repro.nic.rss import SYMMETRIC_RSS_KEY, rss_input_bytes, toeplitz_hash
+from repro.nic.rss import (
+    DEFAULT_RSS_KEY,
+    SYMMETRIC_RSS_KEY,
+    RssHasher,
+    ToeplitzTable,
+    rss_input_bytes,
+    toeplitz_hash,
+)
 
 ips = st.integers(min_value=0, max_value=0xFFFFFFFF)
 ports = st.integers(min_value=0, max_value=0xFFFF)
@@ -76,6 +83,57 @@ class TestHashProperties:
     def test_canonical_form_is_stable(self, flow):
         assert flow.canonical() == flow.canonical().canonical()
         assert flow.canonical() == flow.reversed().canonical()
+
+
+class TestHashCacheEquivalence:
+    """The table-driven/memoized fast paths equal the bit-serial reference.
+
+    The hot path never calls :func:`toeplitz_hash` — it goes through
+    :class:`ToeplitzTable` partials and per-flow memos. These properties
+    pin the whole stack to the reference implementation, for both
+    standard keys, including memo hits and forced memo resets.
+    """
+
+    @given(st.sampled_from([DEFAULT_RSS_KEY, SYMMETRIC_RSS_KEY]),
+           st.binary(min_size=0, max_size=30))
+    @settings(max_examples=80, deadline=None)
+    def test_table_driven_equals_bit_serial(self, key, data):
+        table = ToeplitzTable(key, len(data))
+        assert table.hash(data) == toeplitz_hash(key, data)
+
+    @given(st.sampled_from([DEFAULT_RSS_KEY, SYMMETRIC_RSS_KEY]), five_tuples())
+    @settings(max_examples=80, deadline=None)
+    def test_cached_rss_hash_equals_reference(self, key, flow):
+        hasher = RssHasher(num_queues=8, key=key)
+        reference = toeplitz_hash(key, rss_input_bytes(flow))
+        assert hasher.hash(flow) == reference  # cold: table-driven path
+        assert hasher.hash(flow) == reference  # warm: memo hit
+
+    @given(st.sampled_from([DEFAULT_RSS_KEY, SYMMETRIC_RSS_KEY]),
+           st.lists(five_tuples(), min_size=1, max_size=12))
+    @settings(max_examples=50, deadline=None)
+    def test_memo_reset_does_not_change_hashes(self, key, flows):
+        # A cache_limit of 2 forces constant clear-on-overflow resets;
+        # results must still match an unbounded hasher's.
+        tiny = RssHasher(num_queues=8, key=key, cache_limit=2)
+        unbounded = RssHasher(num_queues=8, key=key)
+        for flow in flows + flows:
+            assert tiny.hash(flow) == unbounded.hash(flow)
+            assert tiny.queue_for(flow) == unbounded.queue_for(flow)
+
+    @given(five_tuples(), st.integers(min_value=1, max_value=16),
+           st.booleans())
+    @settings(max_examples=80, deadline=None)
+    def test_cached_designated_core_equals_reference(self, flow, num_cores, symmetric):
+        dmap = DesignatedCoreMap(num_cores, symmetric=symmetric)
+        key = SYMMETRIC_RSS_KEY if symmetric else DEFAULT_RSS_KEY
+        reference = toeplitz_hash(key, rss_input_bytes(flow)) % num_cores
+        assert dmap.core_for(flow) == reference  # cold
+        assert dmap.core_for(flow) == reference  # memo hit
+        tiny = DesignatedCoreMap(num_cores, symmetric=symmetric, cache_limit=1)
+        assert tiny.core_for(flow) == reference  # forced-reset path
+        if symmetric:
+            assert tiny.core_for(flow.reversed()) == reference
 
 
 class TestSprayRuleProperties:

@@ -3,6 +3,7 @@
 import pytest
 
 from repro.sim import MICROSECOND, MILLISECOND, Simulator
+from repro.sim.engine import COMPACT_THRESHOLD
 from repro.sim.timeunits import (
     SECOND,
     cycles_to_time,
@@ -136,6 +137,164 @@ class TestCancellation:
         dropped = sim.drain_cancelled()
         assert dropped == 60
         assert sim.pending_events == 40
+
+
+class TestPostScheduling:
+    """The handle-free fire-and-forget tier (``post``/``post_after``)."""
+
+    def test_post_fires_in_time_order_with_at_events(self):
+        sim = Simulator()
+        order = []
+        sim.at(20, order.append, "at-20")
+        sim.post(10, order.append, "post-10")
+        sim.post(30, order.append, "post-30")
+        sim.run()
+        assert order == ["post-10", "at-20", "post-30"]
+
+    def test_same_time_post_and_at_fire_in_scheduling_order(self):
+        sim = Simulator()
+        order = []
+        sim.post(100, order.append, "first")
+        sim.at(100, order.append, "second")
+        sim.post(100, order.append, "third")
+        sim.run()
+        assert order == ["first", "second", "third"]
+
+    def test_post_after_is_relative_to_now(self):
+        sim = Simulator()
+        times = []
+        sim.at(50, lambda: sim.post_after(25, lambda: times.append(sim.now)))
+        sim.run()
+        assert times == [75]
+
+    def test_post_in_the_past_raises(self):
+        sim = Simulator()
+        sim.at(100, lambda: None)
+        sim.run()
+        with pytest.raises(ValueError):
+            sim.post(50, lambda: None)
+
+    def test_post_after_negative_delay_raises(self):
+        sim = Simulator()
+        with pytest.raises(ValueError):
+            sim.post_after(-1, lambda: None)
+
+    def test_post_returns_nothing(self):
+        sim = Simulator()
+        assert sim.post(1, lambda: None) is None
+        assert sim.post_after(1, lambda: None) is None
+
+    def test_post_callbacks_receive_arguments(self):
+        sim = Simulator()
+        seen = []
+        sim.post(1, lambda a, b: seen.append((a, b)), 1, "x")
+        sim.run()
+        assert seen == [(1, "x")]
+
+    def test_post_events_count_as_live(self):
+        sim = Simulator()
+        sim.post(10, lambda: None)
+        assert sim.has_live_events()
+        sim.run()
+        assert not sim.has_live_events()
+
+    def test_post_events_survive_compaction(self):
+        sim = Simulator()
+        fired = []
+        sim.post(10, fired.append, "keep")
+        handles = [sim.at(20 + i, lambda: None) for i in range(10)]
+        for handle in handles:
+            handle.cancel()
+        assert sim.drain_cancelled() == 10
+        assert sim.pending_events == 1
+        sim.run()
+        assert fired == ["keep"]
+
+
+class TestLiveEventTracking:
+    """``has_live_events`` stays O(1) and exact under heavy cancellation."""
+
+    def test_has_live_events_false_with_only_cancelled_entries(self):
+        sim = Simulator()
+        handles = [sim.at(10 + i, lambda: None) for i in range(10)]
+        assert sim.has_live_events()
+        for handle in handles:
+            handle.cancel()
+        # The heap may still hold (lazily cancelled) entries, but no
+        # live event is pending.
+        assert not sim.has_live_events()
+
+    def test_ten_thousand_cancelled_timers(self):
+        """Regression: 10k cancelled timers must not look like live work.
+
+        The original implementation answered ``has_live_events`` by
+        peeking at the heap, so a heap full of dead timers reported
+        live work (and drain-style callers spun). The counter-based
+        implementation must report quiescence exactly, and the
+        auto-compaction triggered on the cancel path must shrink the
+        heap once cancelled entries dominate it.
+        """
+        sim = Simulator()
+        keeper_fired = []
+        sim.at(1_000_000, keeper_fired.append, "keeper")
+        handles = [sim.at(10 + i, lambda: None) for i in range(10_000)]
+        for handle in handles:
+            handle.cancel()
+        # All 10k are dead; only the keeper is live.
+        assert sim.has_live_events()
+        # Auto-compaction fired on the cancel path (cancelled entries
+        # crossed COMPACT_THRESHOLD while outnumbering live ones), so
+        # the heap no longer holds the bulk of the dead timers — at
+        # most a sub-threshold residue plus the keeper.
+        assert sim.pending_events <= COMPACT_THRESHOLD + 1
+        sim.drain_cancelled()
+        assert sim.pending_events == 1
+        assert sim.run() == 1
+        assert keeper_fired == ["keeper"]
+        assert not sim.has_live_events()
+        assert sim.pending_events == 0
+
+    def test_all_timers_cancelled_is_quiescent(self):
+        sim = Simulator()
+        handles = [sim.at(10 + i, lambda: None) for i in range(10_000)]
+        for handle in handles:
+            handle.cancel()
+        assert not sim.has_live_events()
+        assert sim.pending_events <= COMPACT_THRESHOLD  # auto-compacted
+        assert sim.run() == 0
+        assert sim.now == 0  # no live event ever fired
+
+    def test_cancelling_during_run_keeps_counter_exact(self):
+        sim = Simulator()
+        fired = []
+        later = [sim.at(100 + i, fired.append, i) for i in range(100)]
+
+        def cancel_most():
+            for handle in later[:90]:
+                handle.cancel()
+            assert sim.has_live_events()
+
+        sim.at(1, cancel_most)
+        sim.run()
+        assert fired == list(range(90, 100))
+        assert not sim.has_live_events()
+
+    def test_popping_cancelled_entries_compacts_mid_run(self):
+        """Cancelled entries popped during run() also trigger compaction."""
+        sim = Simulator()
+        fired = []
+        handles = [sim.at(10 + i, lambda: None) for i in range(2000)]
+        sim.at(5000, fired.append, "tail")
+
+        def cancel_all():
+            for handle in handles:
+                handle.cancel()
+
+        sim.at(1, cancel_all)
+        sim.run()
+        assert fired == ["tail"]
+        assert sim.pending_events == 0
+        assert not sim.has_live_events()
 
 
 class TestTimeUnits:
