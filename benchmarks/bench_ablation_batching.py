@@ -9,37 +9,28 @@ insensitive.
 
 from conftest import record_rows
 
-from repro.experiments.harness import run_open_loop
+from repro.experiments.runner import SweepRunner
+from repro.experiments.spec import Series, Sweep
 from repro.sim.timeunits import MILLISECOND
 
-BATCHES = (1, 4, 32)
-
-
-def run_point(batch_size: int, nf_cycles: int):
-    result = run_open_loop(
-        "rss",
-        nf_cycles,
-        duration=4 * MILLISECOND,
-        warmup=1 * MILLISECOND,
-        batch_size=batch_size,
-    )
-    return result.rate_mpps
+#: batch_size is an engine config kwarg, so the axis lands in the
+#: scenario's params; the two curves are NF-cost series on RSS.
+SWEEP = Sweep(
+    name="ablation_batching",
+    kind="open_loop",
+    axis="batch_size",
+    values=(1, 4, 32),
+    series=(
+        Series.make("mpps_trivial_nf", nf_cycles=0),
+        Series.make("mpps_10k_nf", nf_cycles=10000),
+    ),
+    metric="rate_mpps",
+    base=dict(mode="rss", duration=4 * MILLISECOND, warmup=1 * MILLISECOND),
+)
 
 
 def test_batching_amortizes_fixed_costs(benchmark):
-    def sweep():
-        rows = []
-        for batch in BATCHES:
-            rows.append(
-                {
-                    "batch_size": batch,
-                    "mpps_trivial_nf": run_point(batch, 0),
-                    "mpps_10k_nf": run_point(batch, 10000),
-                }
-            )
-        return rows
-
-    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    rows = benchmark.pedantic(lambda: SWEEP.run(SweepRunner()), rounds=1, iterations=1)
     record_rows(benchmark, rows, "Ablation: batch size vs single-core forwarding rate")
     trivial = [row["mpps_trivial_nf"] for row in rows]
     heavy = [row["mpps_10k_nf"] for row in rows]

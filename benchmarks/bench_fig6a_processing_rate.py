@@ -8,16 +8,17 @@ throughout; at 10,000 cycles Sprayer ~8x RSS (~1.6 vs ~0.2 Mpps).
 import pytest
 from conftest import record_rows
 
-from repro.experiments.fig6 import run_fig6a
+from repro.experiments.fig6 import fig6a_sweep
+from repro.experiments.runner import SweepRunner
 from repro.sim.timeunits import MILLISECOND
 
-SWEEP = (0, 2500, 5000, 10000)
+SWEEP = fig6a_sweep(cycles_sweep=(0, 2500, 5000, 10000),
+                    duration=6 * MILLISECOND, warmup=2 * MILLISECOND)
 
 
 def test_fig6a_processing_rate(benchmark):
     rows = benchmark.pedantic(
-        lambda: run_fig6a(cycles_sweep=SWEEP, duration=6 * MILLISECOND,
-                          warmup=2 * MILLISECOND),
+        lambda: SWEEP.run(SweepRunner()),
         rounds=1,
         iterations=1,
     )

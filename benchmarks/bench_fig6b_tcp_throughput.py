@@ -9,15 +9,16 @@ the right edge).
 import pytest
 from conftest import record_rows
 
-from repro.experiments.fig6 import run_fig6b
+from repro.experiments.fig6 import fig6b_sweep
+from repro.experiments.runner import SweepRunner
 from repro.sim.timeunits import MILLISECOND
 
-SWEEP = (0, 5000, 10000)
+SWEEP = fig6b_sweep(cycles_sweep=(0, 5000, 10000), duration=80 * MILLISECOND)
 
 
 def test_fig6b_tcp_throughput(benchmark):
     rows = benchmark.pedantic(
-        lambda: run_fig6b(cycles_sweep=SWEEP, duration=80 * MILLISECOND),
+        lambda: SWEEP.run(SweepRunner()),
         rounds=1,
         iterations=1,
     )

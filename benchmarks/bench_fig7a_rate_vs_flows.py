@@ -7,16 +7,17 @@ scales roughly linearly with flows until all cores are covered.
 import pytest
 from conftest import record_rows
 
-from repro.experiments.fig7 import run_fig7a
+from repro.experiments.fig7 import fig7a_sweep
+from repro.experiments.runner import SweepRunner
 from repro.sim.timeunits import MILLISECOND
 
-FLOWS = (1, 4, 16, 64)
+SWEEP = fig7a_sweep(flow_sweep=(1, 4, 16, 64), duration=6 * MILLISECOND,
+                    warmup=2 * MILLISECOND)
 
 
 def test_fig7a_rate_vs_flows(benchmark):
     rows = benchmark.pedantic(
-        lambda: run_fig7a(flow_sweep=FLOWS, duration=6 * MILLISECOND,
-                          warmup=2 * MILLISECOND),
+        lambda: SWEEP.run(SweepRunner()),
         rounds=1,
         iterations=1,
     )

@@ -7,15 +7,16 @@ for a sufficiently large number of flows" — i.e. the curves cross.
 
 from conftest import record_rows
 
-from repro.experiments.fig7 import run_fig7b
+from repro.experiments.fig7 import fig7b_sweep
+from repro.experiments.runner import SweepRunner
 from repro.sim.timeunits import MILLISECOND
 
-FLOWS = (1, 4, 16)
+SWEEP = fig7b_sweep(flow_sweep=(1, 4, 16), duration=100 * MILLISECOND)
 
 
 def test_fig7b_tput_vs_flows(benchmark):
     rows = benchmark.pedantic(
-        lambda: run_fig7b(flow_sweep=FLOWS, duration=100 * MILLISECOND),
+        lambda: SWEEP.run(SweepRunner()),
         rounds=1,
         iterations=1,
     )

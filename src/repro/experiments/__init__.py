@@ -8,5 +8,27 @@ same runners with reduced parameters and record timings.
 """
 
 from repro.experiments.format import format_table
+from repro.experiments.runner import SweepRunner
+from repro.experiments.spec import (
+    PointResult,
+    Scenario,
+    Series,
+    Sweep,
+    aggregate_samples,
+    mode_series,
+    register_kind,
+    run_scenario,
+)
 
-__all__ = ["format_table"]
+__all__ = [
+    "PointResult",
+    "Scenario",
+    "Series",
+    "Sweep",
+    "SweepRunner",
+    "aggregate_samples",
+    "format_table",
+    "mode_series",
+    "register_kind",
+    "run_scenario",
+]

@@ -4,21 +4,31 @@ Usage::
 
     python -m repro.experiments                          # everything (minutes)
     python -m repro.experiments fig6 fig8                # a subset
-    python -m repro.experiments fig7 --telemetry-out t.json
+    python -m repro.experiments --jobs 4                 # process-parallel sweeps
+    python -m repro.experiments fig6 --quick --jobs 2 --telemetry-out t.json
+    python -m repro.experiments fig9 --seeds 1,2,3,4
 
-``--telemetry-out PATH`` additionally writes the telemetry dump (the
-per-run counters, per-core time series, and any trace events) of every
-engine the selected experiments build, as one JSON document.
+``--jobs N`` runs each sweep's measurement points on N worker
+processes; rows and aggregates are byte-identical to a serial run
+because per-point seeds are derived from (base seed, axis value), never
+from execution order. ``--telemetry-out PATH`` additionally writes the
+telemetry dump of every engine the selected experiments build, as one
+JSON document; the dumps travel back from the workers inside each
+point's result. ``--seeds`` takes a comma-separated list (or a single
+count N, meaning seeds 1..N) to aggregate each point over; ``--quick``
+selects reduced, CI-sized parameters.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import sys
 import time
-from typing import List, Optional, Tuple
+from typing import List, Optional, Sequence
 
-from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, harness, table1
+from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, table1
+from repro.experiments.runner import SweepRunner
 
 RUNNERS = {
     "fig1": fig1.main,
@@ -31,64 +41,87 @@ RUNNERS = {
 }
 
 
-def parse_args(argv: List[str]) -> Tuple[List[str], Optional[str]]:
-    """Split experiment names from the ``--telemetry-out`` option."""
-    names: List[str] = []
-    telemetry_out: Optional[str] = None
-    index = 0
-    while index < len(argv):
-        arg = argv[index]
-        if arg == "--telemetry-out":
-            index += 1
-            if index >= len(argv):
-                raise ValueError("--telemetry-out requires a PATH argument")
-            telemetry_out = argv[index]
-        elif arg.startswith("--telemetry-out="):
-            telemetry_out = arg.split("=", 1)[1]
-        elif arg.startswith("--"):
-            raise ValueError(f"unknown option {arg!r}")
-        else:
-            names.append(arg)
-        index += 1
-    return names, telemetry_out
+def parse_seeds(text: Optional[str]) -> Optional[Sequence[int]]:
+    """``"1,2,3"`` -> (1, 2, 3); a bare count ``"4"`` -> (1, 2, 3, 4)."""
+    if not text:
+        return None
+    parts = [int(part) for part in text.split(",") if part.strip()]
+    if not parts:
+        raise ValueError("--seeds needs at least one integer")
+    if len(parts) == 1:
+        count = parts[0]
+        if count < 1:
+            raise ValueError(f"--seeds count must be >= 1, got {count}")
+        return tuple(range(1, count + 1))
+    return tuple(parts)
 
 
-def main(argv: list) -> int:
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.experiments",
+        description="Regenerate the paper's figures/tables from scratch.",
+    )
+    parser.add_argument(
+        "names", nargs="*", metavar="EXPERIMENT",
+        help=f"subset of: {', '.join(RUNNERS)} (default: all)",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes per sweep (default 1 = serial)",
+    )
+    parser.add_argument(
+        "--seeds", metavar="LIST",
+        help="comma-separated seeds to aggregate over, or a bare count N "
+             "meaning 1..N",
+    )
+    parser.add_argument(
+        "--quick", action="store_true",
+        help="reduced, CI-sized parameters (seconds, not minutes)",
+    )
+    parser.add_argument(
+        "--telemetry-out", metavar="PATH",
+        help="write every engine's telemetry dump as one JSON document",
+    )
+    return parser
+
+
+def main(argv: List[str]) -> int:
     try:
-        names, telemetry_out = parse_args(list(argv))
+        args = build_parser().parse_args(list(argv))
+        seeds = parse_seeds(args.seeds)
+        if args.jobs < 1:
+            raise ValueError(f"--jobs must be >= 1, got {args.jobs}")
     except ValueError as error:
         print(error)
         return 2
-    names = names or list(RUNNERS)
+    except SystemExit as error:
+        return int(error.code or 0)
+    names = args.names or list(RUNNERS)
     unknown = [name for name in names if name not in RUNNERS]
     if unknown:
         print(f"unknown experiments: {unknown}; available: {sorted(RUNNERS)}")
         return 2
-    if telemetry_out:
+    if args.telemetry_out:
         # Fail fast on an unwritable path: experiments can take minutes,
         # and discovering the sink is broken afterwards wastes the run.
         try:
-            with open(telemetry_out, "w"):
+            with open(args.telemetry_out, "w"):
                 pass
         except OSError as error:
             print(f"cannot write --telemetry-out path: {error}")
             return 2
-        harness.capture_telemetry(True)
-    try:
-        for name in names:
-            print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}")
-            started = time.time()
-            RUNNERS[name]()
-            print(f"-- {name} done in {time.time() - started:.1f}s")
-        if telemetry_out:
-            document = {"experiments": names, "runs": harness.captured_telemetry()}
-            with open(telemetry_out, "w") as out:
-                json.dump(document, out, sort_keys=True)
-            print(f"-- telemetry written to {telemetry_out} "
-                  f"({len(document['runs'])} runs)")
-    finally:
-        if telemetry_out:
-            harness.capture_telemetry(False)
+    runner = SweepRunner(jobs=args.jobs, capture_telemetry=bool(args.telemetry_out))
+    for name in names:
+        print(f"\n{'=' * 72}\n== {name}\n{'=' * 72}")
+        started = time.time()
+        RUNNERS[name](runner=runner, seeds=seeds, quick=args.quick)
+        print(f"-- {name} done in {time.time() - started:.1f}s")
+    if args.telemetry_out:
+        document = {"experiments": names, "runs": runner.telemetry}
+        with open(args.telemetry_out, "w") as out:
+            json.dump(document, out, sort_keys=True)
+        print(f"-- telemetry written to {args.telemetry_out} "
+              f"({len(document['runs'])} runs)")
     return 0
 
 

@@ -5,14 +5,21 @@ two curves from the calibrated synthetic trace (see
 :mod:`repro.trafficgen.trace` for the substitution rationale). The
 headline number to hit: flows larger than 10 MB carry >75 % of bytes
 while being a tiny fraction of flows ("elephants and mice").
+
+The trace analysis is one ``flow_size_cdf`` scenario: :func:`compute`
+builds the trace once and derives both the CDF rows and the headline,
+so a report run pays the trace construction a single time (and can
+overlap it with other figures under ``--jobs``).
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.format import format_table
+from repro.experiments.runner import SweepRunner, default_runner
+from repro.experiments.spec import Scenario
 from repro.trafficgen.trace import SyntheticBackboneTrace
 
 #: Size points (bytes) at which the CDFs are reported, log-spaced like
@@ -20,8 +27,12 @@ from repro.trafficgen.trace import SyntheticBackboneTrace
 REPORT_SIZES = (1e3, 1e4, 1e5, 1e6, 1e7, 1e8, 1e9)
 
 
-def run_fig1(seed: int = 1, duration_s: float = 3.0) -> List[Dict[str, float]]:
-    """CDF of flows and of bytes at the report sizes, plus the headline."""
+def compute(
+    seed: int = 1,
+    duration_s: float = 3.0,
+    report_sizes: Sequence[float] = REPORT_SIZES,
+) -> Dict[str, object]:
+    """Build the trace once; return the CDF rows and the headline."""
     trace = SyntheticBackboneTrace(random.Random(seed), duration_s=duration_s)
     sizes = sorted(trace.flow_sizes())
     total_flows = len(sizes)
@@ -29,7 +40,7 @@ def run_fig1(seed: int = 1, duration_s: float = 3.0) -> List[Dict[str, float]]:
     rows: List[Dict[str, float]] = []
     cumulative_bytes = 0.0
     index = 0
-    for report in REPORT_SIZES:
+    for report in report_sizes:
         while index < total_flows and sizes[index] <= report:
             cumulative_bytes += sizes[index]
             index += 1
@@ -40,26 +51,54 @@ def run_fig1(seed: int = 1, duration_s: float = 3.0) -> List[Dict[str, float]]:
                 "bytes_cdf": cumulative_bytes / total_bytes if total_bytes else 0.0,
             }
         )
-    return rows
-
-
-def headline(seed: int = 1, duration_s: float = 3.0) -> Dict[str, float]:
-    """The paper's headline: share of bytes in >10 MB flows."""
-    trace = SyntheticBackboneTrace(random.Random(seed), duration_s=duration_s)
-    sizes = trace.flow_sizes()
     big_flows = sum(1 for s in sizes if s >= 10e6)
-    return {
-        "flows_total": len(sizes),
+    headline = {
+        "flows_total": total_flows,
         "flows_over_10MB": big_flows,
-        "flow_fraction_over_10MB": big_flows / len(sizes) if sizes else 0.0,
+        "flow_fraction_over_10MB": big_flows / total_flows if total_flows else 0.0,
         "bytes_fraction_over_10MB": trace.bytes_fraction_above(10e6),
     }
+    return {"rows": rows, "headline": headline}
 
 
-def main() -> None:
-    print(format_table(run_fig1(), title="Figure 1: CDF of flow sizes and of bytes (synthetic backbone trace)"))
+def scenario(seed: int = 1, duration_s: float = 3.0) -> Scenario:
+    return Scenario.make("flow_size_cdf", label="fig1", mode="", seed=seed,
+                         duration_s=duration_s)
+
+
+def run_fig1(
+    seed: int = 1,
+    duration_s: float = 3.0,
+    runner: Optional[SweepRunner] = None,
+) -> List[Dict[str, float]]:
+    """CDF of flows and of bytes at the report sizes."""
+    (result,) = default_runner(runner).run([scenario(seed, duration_s)])
+    return result.values["rows"]
+
+
+def headline(
+    seed: int = 1,
+    duration_s: float = 3.0,
+    runner: Optional[SweepRunner] = None,
+) -> Dict[str, float]:
+    """The paper's headline: share of bytes in >10 MB flows."""
+    (result,) = default_runner(runner).run([scenario(seed, duration_s)])
+    return result.values["headline"]
+
+
+def main(
+    runner: Optional[SweepRunner] = None,
+    seeds: Optional[Sequence[int]] = None,
+    quick: bool = False,
+) -> None:
+    runner = default_runner(runner)
+    seed = seeds[0] if seeds else 1
+    duration_s = 2.0 if quick else 3.0
+    (result,) = runner.run([scenario(seed, duration_s)])
+    print(format_table(result.values["rows"],
+                       title="Figure 1: CDF of flow sizes and of bytes (synthetic backbone trace)"))
     print()
-    stats = headline()
+    stats = result.values["headline"]
     print(
         f"Headline: {stats['flows_over_10MB']}/{stats['flows_total']} flows >10MB "
         f"({100 * stats['flow_fraction_over_10MB']:.2f}% of flows) carry "

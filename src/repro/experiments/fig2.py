@@ -5,17 +5,64 @@ spends inside a middlebox, how many distinct flows have a packet in
 flight? (Median 4, p99 14 considering all flows; median 1, p99 6 for
 flows >10 MB — even though >1M connections are simultaneously *open*.)
 Small concurrency is what makes per-flow RSS waste cores.
+
+Each population ("all flows", "> 10 MB") is one ``concurrency``
+scenario, so the two trace scans run as independent points through the
+shared runner.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.format import format_table
+from repro.experiments.runner import SweepRunner, default_runner
+from repro.experiments.spec import Scenario
 from repro.metrics.cdf import quantile
 from repro.sim.timeunits import MICROSECOND
 from repro.trafficgen.trace import SyntheticBackboneTrace
+
+#: The two populations the paper reports: label -> minimum flow size.
+POPULATIONS = (("all flows", 0.0), ("> 10 MB", 10e6))
+
+
+def compute(
+    seed: int = 1,
+    duration_s: float = 3.0,
+    window: int = 150 * MICROSECOND,
+    samples: int = 2000,
+    min_size_bytes: float = 0.0,
+    population: str = "",
+) -> Dict[str, object]:
+    """Concurrency quantiles for one population."""
+    trace = SyntheticBackboneTrace(random.Random(seed), duration_s=duration_s)
+    counts = sorted(
+        trace.concurrent_flows(window=window, samples=samples, min_size_bytes=min_size_bytes)
+    )
+    return {
+        "row": {
+            "population": population or f">= {min_size_bytes:g} B",
+            "median": quantile(counts, 0.50),
+            "p90": quantile(counts, 0.90),
+            "p99": quantile(counts, 0.99),
+            "max": counts[-1],
+        }
+    }
+
+
+def scenarios(
+    seed: int = 1,
+    duration_s: float = 3.0,
+    window: int = 150 * MICROSECOND,
+    samples: int = 2000,
+) -> List[Scenario]:
+    return [
+        Scenario.make("concurrency", label="fig2", mode="", seed=seed,
+                      duration_s=duration_s, window=window, samples=samples,
+                      min_size_bytes=min_size, population=label)
+        for label, min_size in POPULATIONS
+    ]
 
 
 def run_fig2(
@@ -23,24 +70,11 @@ def run_fig2(
     duration_s: float = 3.0,
     window: int = 150 * MICROSECOND,
     samples: int = 2000,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
     """Concurrency quantiles for all flows and for >10 MB flows."""
-    trace = SyntheticBackboneTrace(random.Random(seed), duration_s=duration_s)
-    rows: List[Dict[str, float]] = []
-    for label, min_size in (("all flows", 0.0), ("> 10 MB", 10e6)):
-        counts = sorted(
-            trace.concurrent_flows(window=window, samples=samples, min_size_bytes=min_size)
-        )
-        rows.append(
-            {
-                "population": label,
-                "median": quantile(counts, 0.50),
-                "p90": quantile(counts, 0.90),
-                "p99": quantile(counts, 0.99),
-                "max": counts[-1],
-            }
-        )
-    return rows
+    results = default_runner(runner).run(scenarios(seed, duration_s, window, samples))
+    return [result.values["row"] for result in results]
 
 
 def cdf_points(
@@ -67,9 +101,17 @@ def cdf_points(
     return curve
 
 
-def main() -> None:
+def main(
+    runner: Optional[SweepRunner] = None,
+    seeds: Optional[Sequence[int]] = None,
+    quick: bool = False,
+) -> None:
+    runner = default_runner(runner)
+    kwargs = dict(duration_s=2.0, samples=800) if quick else {}
+    if seeds:
+        kwargs["seed"] = seeds[0]
     print(format_table(
-        run_fig2(),
+        run_fig2(runner=runner, **kwargs),
         title="Figure 2: concurrent flows per 150 us window (paper: median 4 / p99 14 all; median 1 / p99 6 for >10MB)",
     ))
 

@@ -14,24 +14,63 @@ once one core can no longer carry the connection.
 
 from __future__ import annotations
 
-import statistics
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.format import format_table
-from repro.experiments.harness import run_open_loop, run_tcp
+from repro.experiments.runner import SweepRunner, default_runner
+from repro.experiments.spec import Sweep
 from repro.sim.timeunits import MILLISECOND
 
 #: The sweep of per-packet busy-loop budgets (paper: 0..10,000).
 DEFAULT_CYCLES = (0, 1000, 2500, 5000, 7500, 10000)
+QUICK_CYCLES = (0, 10000)
 MODES = ("rss", "sprayer")
 
 
-def aggregate_seeds(row: Dict[str, float], mode: str, unit: str, samples: List[float]) -> None:
-    """Fold per-seed samples into mean (+ stddev when multi-seed) —
-    the paper's 'error bars represent one standard deviation'."""
-    row[f"{mode}_{unit}"] = statistics.fmean(samples)
-    if len(samples) > 1:
-        row[f"{mode}_std"] = statistics.stdev(samples)
+def fig6a_sweep(
+    cycles_sweep: Sequence[int] = DEFAULT_CYCLES,
+    duration: int = 8 * MILLISECOND,
+    warmup: int = 2 * MILLISECOND,
+    seed: int = 1,
+    num_cores: int = 8,
+    seeds: Optional[Sequence[int]] = None,
+) -> Sweep:
+    """Processing rate (Mpps) vs. cycles, single flow, 64 B packets."""
+    return Sweep(
+        name="fig6a",
+        kind="open_loop",
+        axis="cycles",
+        axis_field="nf_cycles",
+        values=cycles_sweep,
+        modes=MODES,
+        seeds=tuple(seeds) if seeds else (seed,),
+        metric="rate_mpps",
+        unit="mpps",
+        base=dict(num_flows=1, duration=duration, warmup=warmup, num_cores=num_cores),
+    )
+
+
+def fig6b_sweep(
+    cycles_sweep: Sequence[int] = DEFAULT_CYCLES,
+    duration: int = 120 * MILLISECOND,
+    warmup: Optional[int] = None,
+    seed: int = 1,
+    num_cores: int = 8,
+    seeds: Optional[Sequence[int]] = None,
+) -> Sweep:
+    """TCP goodput (Gbps) vs. cycles, single connection."""
+    return Sweep(
+        name="fig6b",
+        kind="tcp",
+        axis="cycles",
+        axis_field="nf_cycles",
+        values=cycles_sweep,
+        modes=MODES,
+        seeds=tuple(seeds) if seeds else (seed,),
+        metric="total_goodput_gbps",
+        unit="gbps",
+        base=dict(num_flows=1, duration=duration, warmup=warmup, num_cores=num_cores),
+    )
 
 
 def run_fig6a(
@@ -41,28 +80,9 @@ def run_fig6a(
     seed: int = 1,
     num_cores: int = 8,
     seeds: Optional[Sequence[int]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
-    """Processing rate (Mpps) vs. cycles, single flow, 64 B packets."""
-    seeds = list(seeds) if seeds else [seed]
-    rows = []
-    for cycles in cycles_sweep:
-        row: Dict[str, float] = {"cycles": cycles}
-        for mode in MODES:
-            samples = [
-                run_open_loop(
-                    mode,
-                    cycles,
-                    num_flows=1,
-                    duration=duration,
-                    warmup=warmup,
-                    seed=s,
-                    num_cores=num_cores,
-                ).rate_mpps
-                for s in seeds
-            ]
-            aggregate_seeds(row, mode, "mpps", samples)
-        rows.append(row)
-    return rows
+    return fig6a_sweep(cycles_sweep, duration, warmup, seed, num_cores, seeds).run(runner)
 
 
 def run_fig6b(
@@ -72,34 +92,25 @@ def run_fig6b(
     seed: int = 1,
     num_cores: int = 8,
     seeds: Optional[Sequence[int]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
-    """TCP goodput (Gbps) vs. cycles, single connection."""
-    seeds = list(seeds) if seeds else [seed]
-    rows = []
-    for cycles in cycles_sweep:
-        row: Dict[str, float] = {"cycles": cycles}
-        for mode in MODES:
-            samples = [
-                run_tcp(
-                    mode,
-                    cycles,
-                    num_flows=1,
-                    duration=duration,
-                    warmup=warmup,
-                    seed=s,
-                    num_cores=num_cores,
-                ).total_goodput_gbps
-                for s in seeds
-            ]
-            aggregate_seeds(row, mode, "gbps", samples)
-        rows.append(row)
-    return rows
+    return fig6b_sweep(cycles_sweep, duration, warmup, seed, num_cores, seeds).run(runner)
 
 
-def main() -> None:
-    print(format_table(run_fig6a(), title="Figure 6(a): processing rate vs cycles/packet (single flow, 64 B)"))
+def main(
+    runner: Optional[SweepRunner] = None,
+    seeds: Optional[Sequence[int]] = None,
+    quick: bool = False,
+) -> None:
+    runner = default_runner(runner)
+    a_kwargs = dict(cycles_sweep=QUICK_CYCLES, duration=4 * MILLISECOND,
+                    warmup=1 * MILLISECOND) if quick else {}
+    b_kwargs = dict(cycles_sweep=QUICK_CYCLES, duration=40 * MILLISECOND) if quick else {}
+    print(format_table(run_fig6a(runner=runner, seeds=seeds, **a_kwargs),
+                       title="Figure 6(a): processing rate vs cycles/packet (single flow, 64 B)"))
     print()
-    print(format_table(run_fig6b(), title="Figure 6(b): TCP throughput vs cycles/packet (single flow)"))
+    print(format_table(run_fig6b(runner=runner, seeds=seeds, **b_kwargs),
+                       title="Figure 6(b): TCP throughput vs cycles/packet (single flow)"))
 
 
 if __name__ == "__main__":

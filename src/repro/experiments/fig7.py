@@ -14,14 +14,72 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.fig6 import aggregate_seeds
 from repro.experiments.format import format_table
-from repro.experiments.harness import run_open_loop, run_tcp
+from repro.experiments.runner import SweepRunner, default_runner
+from repro.experiments.spec import Sweep
 from repro.sim.timeunits import MILLISECOND
 
 DEFAULT_FLOWS = (1, 2, 4, 8, 16, 32, 64, 128)
+QUICK_FLOWS = (1, 16, 128)
 DEFAULT_CYCLES = 10000
 MODES = ("rss", "sprayer")
+
+
+def _fresh_endpoints(seed: int, flows: int) -> int:
+    """Fresh random endpoints per flow-count point (position-free)."""
+    return seed + flows
+
+
+def fig7a_sweep(
+    flow_sweep: Sequence[int] = DEFAULT_FLOWS,
+    nf_cycles: int = DEFAULT_CYCLES,
+    duration: int = 10 * MILLISECOND,
+    warmup: int = 3 * MILLISECOND,
+    seed: int = 1,
+    num_cores: int = 8,
+    seeds: Optional[Sequence[int]] = None,
+) -> Sweep:
+    """Processing rate (Mpps) vs. flow count, 64 B packets."""
+    return Sweep(
+        name="fig7a",
+        kind="open_loop",
+        axis="flows",
+        axis_field="num_flows",
+        values=flow_sweep,
+        modes=MODES,
+        seeds=tuple(seeds) if seeds else (seed,),
+        seed_fn=_fresh_endpoints,
+        metric="rate_mpps",
+        unit="mpps",
+        base=dict(nf_cycles=nf_cycles, duration=duration, warmup=warmup,
+                  num_cores=num_cores),
+    )
+
+
+def fig7b_sweep(
+    flow_sweep: Sequence[int] = DEFAULT_FLOWS,
+    nf_cycles: int = DEFAULT_CYCLES,
+    duration: int = 150 * MILLISECOND,
+    warmup: Optional[int] = None,
+    seed: int = 1,
+    num_cores: int = 8,
+    seeds: Optional[Sequence[int]] = None,
+) -> Sweep:
+    """TCP goodput (Gbps) vs. flow count."""
+    return Sweep(
+        name="fig7b",
+        kind="tcp",
+        axis="flows",
+        axis_field="num_flows",
+        values=flow_sweep,
+        modes=MODES,
+        seeds=tuple(seeds) if seeds else (seed,),
+        seed_fn=_fresh_endpoints,
+        metric="total_goodput_gbps",
+        unit="gbps",
+        base=dict(nf_cycles=nf_cycles, duration=duration, warmup=warmup,
+                  num_cores=num_cores),
+    )
 
 
 def run_fig7a(
@@ -32,28 +90,11 @@ def run_fig7a(
     seed: int = 1,
     num_cores: int = 8,
     seeds: Optional[Sequence[int]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
-    """Processing rate (Mpps) vs. flow count, 64 B packets."""
-    seeds = list(seeds) if seeds else [seed]
-    rows = []
-    for flows in flow_sweep:
-        row: Dict[str, float] = {"flows": flows}
-        for mode in MODES:
-            samples = [
-                run_open_loop(
-                    mode,
-                    nf_cycles,
-                    num_flows=flows,
-                    duration=duration,
-                    warmup=warmup,
-                    seed=s + flows,  # fresh random endpoints per point
-                    num_cores=num_cores,
-                ).rate_mpps
-                for s in seeds
-            ]
-            aggregate_seeds(row, mode, "mpps", samples)
-        rows.append(row)
-    return rows
+    return fig7a_sweep(
+        flow_sweep, nf_cycles, duration, warmup, seed, num_cores, seeds
+    ).run(runner)
 
 
 def run_fig7b(
@@ -64,34 +105,27 @@ def run_fig7b(
     seed: int = 1,
     num_cores: int = 8,
     seeds: Optional[Sequence[int]] = None,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
-    """TCP goodput (Gbps) vs. flow count."""
-    seeds = list(seeds) if seeds else [seed]
-    rows = []
-    for flows in flow_sweep:
-        row: Dict[str, float] = {"flows": flows}
-        for mode in MODES:
-            samples = [
-                run_tcp(
-                    mode,
-                    nf_cycles,
-                    num_flows=flows,
-                    duration=duration,
-                    warmup=warmup,
-                    seed=s + flows,
-                    num_cores=num_cores,
-                ).total_goodput_gbps
-                for s in seeds
-            ]
-            aggregate_seeds(row, mode, "gbps", samples)
-        rows.append(row)
-    return rows
+    return fig7b_sweep(
+        flow_sweep, nf_cycles, duration, warmup, seed, num_cores, seeds
+    ).run(runner)
 
 
-def main() -> None:
-    print(format_table(run_fig7a(), title="Figure 7(a): processing rate vs #flows (10,000 cycles/packet)"))
+def main(
+    runner: Optional[SweepRunner] = None,
+    seeds: Optional[Sequence[int]] = None,
+    quick: bool = False,
+) -> None:
+    runner = default_runner(runner)
+    a_kwargs = dict(flow_sweep=QUICK_FLOWS, duration=4 * MILLISECOND,
+                    warmup=1 * MILLISECOND) if quick else {}
+    b_kwargs = dict(flow_sweep=(1, 8), duration=60 * MILLISECOND) if quick else {}
+    print(format_table(run_fig7a(runner=runner, seeds=seeds, **a_kwargs),
+                       title="Figure 7(a): processing rate vs #flows (10,000 cycles/packet)"))
     print()
-    print(format_table(run_fig7b(), title="Figure 7(b): TCP throughput vs #flows (10,000 cycles/packet)"))
+    print(format_table(run_fig7b(runner=runner, seeds=seeds, **b_kwargs),
+                       title="Figure 7(b): TCP throughput vs #flows (10,000 cycles/packet)"))
 
 
 if __name__ == "__main__":

@@ -5,6 +5,12 @@ For each NF cost, both systems are offered the same rate — 70 % of the
 cost, so neither saturates) — and the p99 of per-packet round-trip
 latency is measured, wire legs included.
 
+Two scenario stages through the shared runner: a capacity sweep
+(cycles x modes) establishes each point's offered rate, then the
+latency scenarios run at 70 % of the per-cycle minimum. Each stage is
+embarrassingly parallel; only the offered-rate computation sits between
+them.
+
 Paper shape: Sprayer's p99 latency is consistently *below* RSS's,
 because a sprayed flow's packets are processed in parallel across
 cores instead of queueing behind each other on one core; the gap grows
@@ -13,10 +19,11 @@ with the NF cost.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.format import format_table
-from repro.experiments.harness import measure_capacity, run_open_loop
+from repro.experiments.runner import SweepRunner, default_runner
+from repro.experiments.spec import Scenario
 from repro.sim.timeunits import MILLISECOND
 
 DEFAULT_CYCLES = (0, 1000, 2500, 5000, 7500, 10000)
@@ -34,36 +41,60 @@ def run_fig8(
     warmup: int = 3 * MILLISECOND,
     seed: int = 1,
     num_cores: int = 8,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
     """p99 RTT (us) vs. cycles at 70 % of the minimal processing rate."""
+    runner = default_runner(runner)
+    cycles_sweep = tuple(cycles_sweep)
+
+    capacity_points = [
+        Scenario.make("capacity", label="fig8", mode=mode, nf_cycles=cycles,
+                      seed=seed, num_cores=num_cores)
+        for cycles in cycles_sweep
+        for mode in MODES
+    ]
+    capacity = {
+        (r.scenario.nf_cycles, r.scenario.mode): r.values["pps"]
+        for r in runner.run(capacity_points)
+    }
+    offered = {
+        cycles: LOAD_FACTOR * min(capacity[(cycles, mode)] for mode in MODES)
+        for cycles in cycles_sweep
+    }
+
+    latency_points = [
+        Scenario.make("open_loop", label="fig8", mode=mode, nf_cycles=cycles,
+                      num_flows=1, offered_pps=offered[cycles], duration=duration,
+                      warmup=warmup, seed=seed, num_cores=num_cores, burst=TX_BURST)
+        for cycles in cycles_sweep
+        for mode in MODES
+    ]
+    p99 = {
+        (r.scenario.nf_cycles, r.scenario.mode): r.values["p99_latency_us"]
+        for r in runner.run(latency_points)
+    }
+
     rows = []
     for cycles in cycles_sweep:
-        capacities = {
-            mode: measure_capacity(mode, cycles, seed=seed, num_cores=num_cores)
-            for mode in MODES
-        }
-        offered = LOAD_FACTOR * min(capacities.values())
-        row: Dict[str, float] = {"cycles": cycles, "offered_mpps": offered / 1e6}
+        row: Dict[str, float] = {"cycles": cycles, "offered_mpps": offered[cycles] / 1e6}
         for mode in MODES:
-            result = run_open_loop(
-                mode,
-                cycles,
-                num_flows=1,
-                offered_pps=offered,
-                duration=duration,
-                warmup=warmup,
-                seed=seed,
-                num_cores=num_cores,
-                burst=TX_BURST,
-            )
-            row[f"{mode}_p99_us"] = result.p99_latency_us
+            row[f"{mode}_p99_us"] = p99[(cycles, mode)]
         rows.append(row)
     return rows
 
 
-def main() -> None:
+def main(
+    runner: Optional[SweepRunner] = None,
+    seeds: Optional[Sequence[int]] = None,
+    quick: bool = False,
+) -> None:
+    runner = default_runner(runner)
+    kwargs = dict(cycles_sweep=(0, 5000, 10000), duration=6 * MILLISECOND,
+                  warmup=2 * MILLISECOND) if quick else {}
+    if seeds:
+        kwargs["seed"] = seeds[0]
     print(format_table(
-        run_fig8(),
+        run_fig8(runner=runner, **kwargs),
         title="Figure 8: p99 RTT at 70% load (single flow, 64 B packets)",
     ))
 

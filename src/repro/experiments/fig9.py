@@ -14,13 +14,44 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.format import format_table
-from repro.experiments.harness import run_tcp
-from repro.metrics.fairness import jain_index
+from repro.experiments.runner import SweepRunner, default_runner
+from repro.experiments.spec import Sweep
 from repro.sim.timeunits import MILLISECOND
 
 DEFAULT_FLOWS = (2, 4, 8, 16, 32, 64, 128)
 DEFAULT_CYCLES = 10000
 MODES = ("rss", "sprayer")
+
+
+def _fresh_endpoints(seed: int, flows: int) -> int:
+    """Fresh random endpoints per (seed, flow-count) point."""
+    return seed * 1000 + flows
+
+
+def fig9_sweep(
+    flow_sweep: Sequence[int] = DEFAULT_FLOWS,
+    nf_cycles: int = DEFAULT_CYCLES,
+    duration: int = 150 * MILLISECOND,
+    warmup: Optional[int] = None,
+    seeds: Sequence[int] = (1, 2, 3),
+    num_cores: int = 8,
+) -> Sweep:
+    """Mean/min/max Jain's index per flow count and mode."""
+    return Sweep(
+        name="fig9",
+        kind="tcp",
+        axis="flows",
+        axis_field="num_flows",
+        values=flow_sweep,
+        modes=MODES,
+        seeds=tuple(seeds),
+        seed_fn=_fresh_endpoints,
+        metric="jain",
+        unit="jain",
+        agg="mean_min_max",
+        base=dict(nf_cycles=nf_cycles, duration=duration, warmup=warmup,
+                  num_cores=num_cores),
+    )
 
 
 def run_fig9(
@@ -30,34 +61,24 @@ def run_fig9(
     warmup: Optional[int] = None,
     seeds: Sequence[int] = (1, 2, 3),
     num_cores: int = 8,
+    runner: Optional[SweepRunner] = None,
 ) -> List[Dict[str, float]]:
-    """Mean/min/max Jain's index per flow count and mode."""
-    rows = []
-    for flows in flow_sweep:
-        row: Dict[str, float] = {"flows": flows}
-        for mode in MODES:
-            indices = []
-            for seed in seeds:
-                result = run_tcp(
-                    mode,
-                    nf_cycles,
-                    num_flows=flows,
-                    duration=duration,
-                    warmup=warmup,
-                    seed=seed * 1000 + flows,
-                    num_cores=num_cores,
-                )
-                indices.append(jain_index(list(result.per_flow_goodput_bps.values())))
-            row[f"{mode}_jain"] = sum(indices) / len(indices)
-            row[f"{mode}_min"] = min(indices)
-            row[f"{mode}_max"] = max(indices)
-        rows.append(row)
-    return rows
+    return fig9_sweep(flow_sweep, nf_cycles, duration, warmup, seeds, num_cores).run(runner)
 
 
-def main() -> None:
+def main(
+    runner: Optional[SweepRunner] = None,
+    seeds: Optional[Sequence[int]] = None,
+    quick: bool = False,
+) -> None:
+    runner = default_runner(runner)
+    kwargs = dict(flow_sweep=(4, 8, 16), duration=80 * MILLISECOND) if quick else {}
+    if seeds:
+        kwargs["seeds"] = seeds
+    elif quick:
+        kwargs["seeds"] = (1, 2)
     print(format_table(
-        run_fig9(),
+        run_fig9(runner=runner, **kwargs),
         title="Figure 9: Jain's fairness index vs #flows (10,000 cycles/packet)",
     ))
 

@@ -53,40 +53,11 @@ class OpenLoopResult:
         return self.latency.percentile_us(0.99)
 
 
-# -- optional telemetry capture ------------------------------------------
-#
-# ``python -m repro.experiments ... --telemetry-out PATH`` needs the
-# telemetry of engines built deep inside the fig runners. Rather than
-# threading a sink through every experiment signature, the harness keeps
-# a module-level capture list that every run appends to when enabled.
-
-_telemetry_capture: Optional[List[Dict[str, object]]] = None
-
-
-def capture_telemetry(enabled: bool = True) -> None:
-    """Start (or stop) collecting telemetry dumps from every run."""
-    global _telemetry_capture
-    _telemetry_capture = [] if enabled else None
-
-
-def captured_telemetry() -> List[Dict[str, object]]:
-    """The telemetry dumps collected since :func:`capture_telemetry`."""
-    return list(_telemetry_capture) if _telemetry_capture is not None else []
-
-
-def _capture_run(
-    kind: str, mode: str, nf_cycles: int, num_flows: int, engine: MiddleboxEngine
-) -> None:
-    if _telemetry_capture is not None:
-        _telemetry_capture.append(
-            {
-                "experiment": kind,
-                "mode": mode,
-                "nf_cycles": nf_cycles,
-                "num_flows": num_flows,
-                "telemetry": engine.telemetry.dump(),
-            }
-        )
+# Telemetry capture note: there is deliberately no module-global capture
+# list here. ``--telemetry-out`` collection happens in the scenario
+# layer (:mod:`repro.experiments.spec`), which carries each run's dump
+# inside the point result — the only channel that survives a process
+# boundary when sweeps run under ``--jobs N``.
 
 
 def build_engine(
@@ -165,7 +136,6 @@ def run_open_loop(
     sim.run(until=duration)
     meter.close_window(sim.now)
     generator.stop()
-    _capture_run("open_loop", mode, nf_cycles, num_flows, engine)
     return OpenLoopResult(
         mode=mode,
         nf_cycles=nf_cycles,
@@ -189,19 +159,22 @@ def measure_capacity(
 ) -> float:
     """Saturation processing rate (pps) for a mode/NF-cost point.
 
-    Used by Figure 8 to compute "70 % of the minimal processing rate".
+    A thin wrapper over the capacity-kind :class:`Scenario`, so direct
+    callers and Figure 8's sweep share one code path (same pinned
+    duration/warmup, same plumbing).
     """
-    result = run_open_loop(
-        mode,
-        nf_cycles,
+    from repro.experiments.spec import Scenario, run_scenario
+
+    scenario = Scenario.make(
+        "capacity",
+        mode=mode,
+        nf_cycles=nf_cycles,
         num_flows=num_flows,
-        duration=6 * MILLISECOND,
-        warmup=2 * MILLISECOND,
         seed=seed,
         num_cores=num_cores,
         **config_kwargs,
     )
-    return result.rate_mpps * 1e6
+    return run_scenario(scenario).values["pps"]
 
 
 def run_tcp(
@@ -218,6 +191,10 @@ def run_tcp(
     **config_kwargs,
 ) -> TcpTestbedResult:
     """One iperf3-style measurement point."""
+    if warmup is None:
+        warmup = duration // 2
+    if not 0 <= warmup < duration:
+        raise ValueError(f"need 0 <= warmup < duration, got {warmup}, {duration}")
     sim = Simulator()
     rng = random.Random(seed)
     engine = build_engine(
@@ -231,8 +208,6 @@ def run_tcp(
         cc_factory=cc_factory,
         tcp_config=tcp_config,
     )
-    if warmup is None:
-        warmup = duration // 2
     result = testbed.run(duration=duration, warmup=warmup)
-    _capture_run("tcp", mode, nf_cycles, num_flows, engine)
+    result.telemetry = engine.telemetry.dump()
     return result

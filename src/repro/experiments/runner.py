@@ -1,0 +1,62 @@
+"""Sweep execution: serial and process-parallel backends.
+
+Every scenario is an independent single-threaded simulation, so a sweep
+is embarrassingly parallel. :class:`SweepRunner` executes a scenario
+list either in-process (``jobs=1``) or on a
+:class:`~concurrent.futures.ProcessPoolExecutor` (``jobs>1``), and in
+both cases returns results **in canonical sweep order** — futures are
+collected in submission order, not completion order — so rows and
+aggregates are byte-identical across backends and job counts.
+
+Telemetry rides inside each :class:`~repro.experiments.spec.PointResult`
+rather than in any module-global list: a worker process's engines are
+invisible to the parent, so the dump must travel back through the
+future. The runner then appends the records to :attr:`telemetry` in the
+same canonical order.
+"""
+
+from __future__ import annotations
+
+from concurrent.futures import ProcessPoolExecutor
+from typing import Any, Dict, Iterable, List, Optional
+
+from repro.experiments.spec import PointResult, Scenario, Sweep, run_scenario
+
+
+class SweepRunner:
+    """Executes scenarios; owns the run's collected telemetry records."""
+
+    def __init__(self, jobs: int = 1, capture_telemetry: bool = False):
+        if jobs < 1:
+            raise ValueError(f"jobs must be >= 1, got {jobs}")
+        self.jobs = jobs
+        self.capture = capture_telemetry
+        #: Telemetry records of every captured run, in canonical order.
+        self.telemetry: List[Dict[str, Any]] = []
+
+    def run(self, scenarios: Iterable[Scenario]) -> List[PointResult]:
+        """Execute scenarios, returning results in input order."""
+        scenarios = list(scenarios)
+        if self.jobs == 1 or len(scenarios) <= 1:
+            results = [run_scenario(s, capture=self.capture) for s in scenarios]
+        else:
+            workers = min(self.jobs, len(scenarios))
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                futures = [
+                    pool.submit(run_scenario, s, self.capture) for s in scenarios
+                ]
+                results = [f.result() for f in futures]
+        if self.capture:
+            self.telemetry.extend(
+                r.telemetry for r in results if r.telemetry is not None
+            )
+        return results
+
+    def run_sweep(self, sweep: Sweep) -> List[Dict[str, Any]]:
+        """Execute a declared sweep and fold results into figure rows."""
+        return sweep.rows(self.run(sweep.scenarios()))
+
+
+def default_runner(runner: Optional[SweepRunner]) -> SweepRunner:
+    """The serial fallback figure runners use when none is passed."""
+    return runner if runner is not None else SweepRunner()

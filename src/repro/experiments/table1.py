@@ -111,28 +111,46 @@ def verify_nf(key: str) -> Dict[str, object]:
         checks["creates_flow_state"] = evidence["flow_entries"] > 0
     if key == "dpi":
         checks["needs_shared_state_when_sprayed"] = bool(nf._shared_states)
-    return {"nf": profile.nf, "ok": all(checks.values()), "checks": checks}
+    return {
+        "nf": profile.nf,
+        "ok": all(checks.values()),
+        "checks": checks,
+        "telemetry": evidence["engine"].telemetry.dump(),
+    }
 
 
-def run_table1(verify: bool = True) -> List[Dict[str, str]]:
-    """The Table 1 rows, with a runtime-verification column."""
+def run_table1(verify: bool = True, runner=None) -> List[Dict[str, str]]:
+    """The Table 1 rows, with a runtime-verification column.
+
+    Verification drives each implemented NF as an independent
+    ``nf_verify`` scenario through the shared runner, so the six NF
+    drives parallelize like any other sweep.
+    """
+    from repro.experiments.runner import default_runner
+    from repro.experiments.spec import Scenario
+
     rows = table1_rows()
     if not verify:
         return rows
-    verdicts = {}
-    for key, profile in NF_PROFILES.items():
-        if profile.implementation is None:
-            continue
-        result = verify_nf(key)
-        verdicts[profile.nf] = "ok" if result["ok"] else "FAILED"
+    keys = [key for key, profile in NF_PROFILES.items()
+            if profile.implementation is not None]
+    scenarios = [
+        Scenario.make("nf_verify", label="table1", mode="sprayer", nf_key=key)
+        for key in keys
+    ]
+    results = default_runner(runner).run(scenarios)
+    verdicts = {
+        result.values["nf"]: "ok" if result.values["ok"] else "FAILED"
+        for result in results
+    }
     for row in rows:
         row["verified"] = verdicts.get(row["NF"], "-")
     return rows
 
 
-def main() -> None:
+def main(runner=None, seeds=None, quick: bool = False) -> None:
     print(format_table(
-        run_table1(),
+        run_table1(runner=runner),
         title="Table 1: state scope and access pattern of popular stateful NFs",
     ))
 

@@ -41,6 +41,11 @@ def main(argv=None) -> int:
         help="CI-sized parameters (seconds, not tens of seconds)",
     )
     parser.add_argument(
+        "--jobs", type=int, default=1, metavar="N",
+        help="worker processes for the macro sweeps (default 1 = serial; "
+             "fingerprints are identical at any job count)",
+    )
+    parser.add_argument(
         "--workloads", metavar="NAMES",
         help=f"comma-separated subset of: {', '.join(WORKLOADS)}",
     )
@@ -75,7 +80,9 @@ def main(argv=None) -> int:
     if baseline_path is None:
         baseline_path = find_baseline(args.quick, out_dir)
 
-    result = run_suite(quick=args.quick, workload_names=names, profile=args.profile)
+    result = run_suite(
+        quick=args.quick, workload_names=names, profile=args.profile, jobs=args.jobs
+    )
     print(format_report(result))
 
     wrote = None

@@ -52,13 +52,17 @@ def run_suite(
     workload_names: Optional[Iterable[str]] = None,
     profile: bool = False,
     date: Optional[str] = None,
+    jobs: int = 1,
 ) -> Dict:
     """Run the (selected) workloads once and return the result document.
 
-    With ``profile=True`` each workload runs under ``cProfile`` and its
-    top functions by cumulative time are printed to stderr — wall times
-    are then inflated and not comparable, so profiled runs should not
-    be written as baselines.
+    ``jobs`` fans the macro sweeps out over worker processes; their
+    fingerprints are identical at any job count (rows are returned in
+    canonical sweep order with execution-order-independent seeds), so
+    only the wall times change. With ``profile=True`` each workload runs
+    under ``cProfile`` and its top functions by cumulative time are
+    printed to stderr — wall times are then inflated and not
+    comparable, so profiled runs should not be written as baselines.
     """
     names = list(workload_names) if workload_names else list(WORKLOADS)
     unknown = [n for n in names if n not in WORKLOADS]
@@ -71,7 +75,7 @@ def run_suite(
             profiler = cProfile.Profile()
             start = time.perf_counter()
             profiler.enable()
-            ops, fingerprint = fn(quick)
+            ops, fingerprint = fn(quick, jobs)
             profiler.disable()
             wall = time.perf_counter() - start
             stream = _io.StringIO()
@@ -79,7 +83,7 @@ def run_suite(
             print(f"--- profile: {name} ---\n{stream.getvalue()}", file=sys.stderr)
         else:
             start = time.perf_counter()
-            ops, fingerprint = fn(quick)
+            ops, fingerprint = fn(quick, jobs)
             wall = time.perf_counter() - start
         results[name] = {
             "wall_s": round(wall, 4),
@@ -94,6 +98,7 @@ def run_suite(
         "python": platform.python_version(),
         "platform": platform.platform(),
         "profiled": profile,
+        "jobs": jobs,
         "workloads": results,
     }
 
@@ -145,6 +150,14 @@ def compare_results(
     if baseline.get("profiled"):
         notes.append("baseline was recorded under cProfile; timings skipped")
         return failures, notes
+    compare_walls = current.get("jobs", 1) == baseline.get("jobs", 1)
+    if not compare_walls:
+        # Fingerprints must still match across job counts (canonical
+        # sweep order), but wall clocks are apples-to-oranges.
+        notes.append(
+            f"baseline jobs={baseline.get('jobs', 1)} != current "
+            f"jobs={current.get('jobs', 1)}; timing comparison skipped"
+        )
     base_workloads = baseline.get("workloads", {})
     for name, cur in current.get("workloads", {}).items():
         base = base_workloads.get(name)
@@ -156,6 +169,8 @@ def compare_results(
                 f"{name}: fingerprint {cur['fingerprint']} != baseline "
                 f"{base['fingerprint']} — simulated results changed"
             )
+        if not compare_walls:
+            continue
         base_wall = base.get("wall_s") or 0.0
         cur_wall = cur.get("wall_s") or 0.0
         if base_wall > 0 and cur_wall > base_wall * (1.0 + tolerance):

@@ -1,17 +1,22 @@
 """The pinned benchmark workloads.
 
-Each workload is a plain callable ``fn(quick: bool) -> (ops, fingerprint)``
-registered in :data:`WORKLOADS`. The runner times the call; the workload
-returns how many "operations" it performed (for ops/s reporting — what
-an operation is varies per workload and only needs to be stable) and a
-deterministic fingerprint of its computed results. Fingerprints are
-pure functions of the pinned seeds, so they must match across runs and
-machines; a mismatch against the baseline means a change altered
-simulated behaviour, not just its speed.
+Each workload is a plain callable
+``fn(quick: bool, jobs: int = 1) -> (ops, fingerprint)`` registered in
+:data:`WORKLOADS`. The runner times the call; the workload returns how
+many "operations" it performed (for ops/s reporting — what an operation
+is varies per workload and only needs to be stable) and a deterministic
+fingerprint of its computed results. Fingerprints are pure functions of
+the pinned seeds, so they must match across runs and machines — and
+across ``jobs`` settings: the macro sweeps return rows in canonical
+order with per-point seeds independent of execution order, so a
+parallel run fingerprints identically to a serial one. A mismatch
+against the baseline means a change altered simulated behaviour, not
+just its speed.
 
 Micro workloads isolate one hot subsystem (Toeplitz hashing, steering
-decisions, the event loop); macro workloads run the real Figure 6a/7a
-experiment code at pinned parameters.
+decisions, the event loop) and ignore ``jobs``; macro workloads run the
+real Figure 6a/7a experiment code at pinned parameters through the
+shared sweep runner.
 """
 
 from __future__ import annotations
@@ -26,7 +31,7 @@ from repro.nic.rss import DEFAULT_RSS_KEY, SYMMETRIC_RSS_KEY, RssHasher
 from repro.sim.engine import Simulator
 from repro.trafficgen.flows import random_tcp_flows
 
-Workload = Callable[[bool], Tuple[int, str]]
+Workload = Callable[..., Tuple[int, str]]
 
 
 def _fingerprint(value) -> str:
@@ -38,7 +43,7 @@ def _fingerprint(value) -> str:
 # -- micro -----------------------------------------------------------------
 
 
-def micro_hash(quick: bool) -> Tuple[int, str]:
+def micro_hash(quick: bool, jobs: int = 1) -> Tuple[int, str]:
     """Toeplitz hashing: cold (table-driven) plus memoized repeats."""
     n_flows = 2_000 if quick else 20_000
     passes = 3 if quick else 10
@@ -56,7 +61,7 @@ def micro_hash(quick: bool) -> Tuple[int, str]:
     return ops, _fingerprint(acc)
 
 
-def micro_steer(quick: bool) -> Tuple[int, str]:
+def micro_steer(quick: bool, jobs: int = 1) -> Tuple[int, str]:
     """Designated-core decisions over a flow set, both directions."""
     n_flows = 2_000 if quick else 20_000
     passes = 3 if quick else 10
@@ -74,7 +79,7 @@ def micro_steer(quick: bool) -> Tuple[int, str]:
     return ops, _fingerprint(acc)
 
 
-def micro_event_loop(quick: bool) -> Tuple[int, str]:
+def micro_event_loop(quick: bool, jobs: int = 1) -> Tuple[int, str]:
     """Event-loop churn: schedule/fire plus heavy timer cancellation."""
     n_events = 20_000 if quick else 200_000
     sim = Simulator()
@@ -98,37 +103,43 @@ def micro_event_loop(quick: bool) -> Tuple[int, str]:
 # -- macro -----------------------------------------------------------------
 
 
-def macro_fig6a(quick: bool) -> Tuple[int, str]:
+def macro_fig6a(quick: bool, jobs: int = 1) -> Tuple[int, str]:
     """The Figure 6a sweep (processing rate vs NF cycles), pinned."""
     from repro.experiments.fig6 import run_fig6a
+    from repro.experiments.runner import SweepRunner
     from repro.sim.timeunits import MILLISECOND
 
+    runner = SweepRunner(jobs=jobs)
     if quick:
         rows = run_fig6a(
             cycles_sweep=(0, 10000),
             duration=4 * MILLISECOND,
             warmup=1 * MILLISECOND,
             seed=1,
+            runner=runner,
         )
     else:
-        rows = run_fig6a(seed=1)
+        rows = run_fig6a(seed=1, runner=runner)
     return len(rows), _fingerprint(rows)
 
 
-def macro_fig7a(quick: bool) -> Tuple[int, str]:
+def macro_fig7a(quick: bool, jobs: int = 1) -> Tuple[int, str]:
     """The Figure 7a sweep (processing rate vs flow count), pinned."""
     from repro.experiments.fig7 import run_fig7a
+    from repro.experiments.runner import SweepRunner
     from repro.sim.timeunits import MILLISECOND
 
+    runner = SweepRunner(jobs=jobs)
     if quick:
         rows = run_fig7a(
             flow_sweep=(1, 16, 128),
             duration=4 * MILLISECOND,
             warmup=1 * MILLISECOND,
             seed=1,
+            runner=runner,
         )
     else:
-        rows = run_fig7a(seed=1)
+        rows = run_fig7a(seed=1, runner=runner)
     return len(rows), _fingerprint(rows)
 
 

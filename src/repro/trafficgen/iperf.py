@@ -55,6 +55,10 @@ class TcpTestbedResult:
     #: (RFC 4737-style, measured by the testbed, not the endpoints).
     egress_reordering_rate: float = 0.0
     egress_reordering_extent: int = 0
+    #: Full telemetry export of the middlebox engine, filled in by
+    #: :func:`repro.experiments.harness.run_tcp` (empty when the testbed
+    #: is driven directly).
+    telemetry: Dict[str, object] = field(default_factory=dict)
 
     @property
     def total_goodput_bps(self) -> float:

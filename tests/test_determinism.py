@@ -1,17 +1,23 @@
 """Determinism regressions: same seed, byte-identical results.
 
-Two guarantees future perf refactors must not break:
+Three guarantees future perf refactors must not break:
 
 1. A run is a pure function of (seed, config): rebuilding the engine
    and replaying produces byte-identical ``summary()`` and telemetry
    dumps.
 2. Telemetry is a pure observer: turning sampling/tracing on or off
    changes no experiment result values.
+3. The executor backend is invisible: a sweep produces byte-identical
+   rows and telemetry whether it runs serially or on a process pool,
+   at any job count.
 """
 
 import json
 
+from repro.experiments.fig6 import fig6a_sweep
+from repro.experiments.fig7 import fig7a_sweep
 from repro.experiments.harness import run_open_loop
+from repro.experiments.runner import SweepRunner
 from repro.sim import MILLISECOND
 
 RUN_KWARGS = dict(
@@ -48,6 +54,43 @@ class TestSameSeedByteIdentical:
         kwargs["seed"] = 6
         second = run_open_loop("sprayer", **kwargs)
         assert canonical(first.telemetry) != canonical(second.telemetry)
+
+
+class TestBackendsAreEquivalent:
+    """Serial vs ``jobs=2`` runs of the same sweep: byte-identical."""
+
+    def _sweeps(self):
+        yield fig6a_sweep(cycles_sweep=(0, 2500), duration=3 * MILLISECOND,
+                          warmup=1 * MILLISECOND, seeds=(1, 2))
+        yield fig7a_sweep(flow_sweep=(1, 8), duration=3 * MILLISECOND,
+                          warmup=1 * MILLISECOND)
+
+    def test_rows_byte_identical_across_backends(self):
+        for sweep in self._sweeps():
+            serial = sweep.run(SweepRunner(jobs=1))
+            parallel = sweep.run(SweepRunner(jobs=2))
+            assert canonical(serial) == canonical(parallel), sweep.name
+
+    def test_telemetry_travels_through_futures(self):
+        """Both backends capture one record per point, in canonical
+        order, with identical dumps — the process pool ships them back
+        inside each future's result."""
+        for sweep in self._sweeps():
+            serial_runner = SweepRunner(jobs=1, capture_telemetry=True)
+            parallel_runner = SweepRunner(jobs=2, capture_telemetry=True)
+            sweep.run(serial_runner)
+            sweep.run(parallel_runner)
+            assert len(serial_runner.telemetry) == len(sweep)
+            assert len(parallel_runner.telemetry) == len(sweep)
+            assert canonical(serial_runner.telemetry) == canonical(
+                parallel_runner.telemetry
+            ), sweep.name
+
+    def test_capture_off_collects_nothing(self):
+        sweep = next(iter(self._sweeps()))
+        runner = SweepRunner(jobs=1)
+        sweep.run(runner)
+        assert runner.telemetry == []
 
 
 class TestTelemetryIsAPureObserver:

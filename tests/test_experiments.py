@@ -36,6 +36,16 @@ class TestHarness:
     def test_run_tcp_returns_result(self):
         result = run_tcp("sprayer", 0, duration=20 * MILLISECOND)
         assert result.total_goodput_gbps > 8.0
+        assert result.telemetry["counters"] is not None
+
+    def test_run_tcp_validates_window(self):
+        """Same contract as run_open_loop: 0 <= warmup < duration."""
+        with pytest.raises(ValueError, match="warmup < duration"):
+            run_tcp("rss", 0, duration=MILLISECOND, warmup=MILLISECOND)
+        with pytest.raises(ValueError, match="warmup < duration"):
+            run_tcp("rss", 0, duration=MILLISECOND, warmup=-1)
+        with pytest.raises(ValueError, match="warmup < duration"):
+            run_tcp("rss", 0, duration=0)
 
 
 class TestFig1:

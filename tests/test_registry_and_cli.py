@@ -1,8 +1,10 @@
 """Tests for the NF registry (Table 1 data) and the experiments CLI."""
 
+import json
+
 import pytest
 
-from repro.experiments.__main__ import RUNNERS, main
+from repro.experiments.__main__ import RUNNERS, main, parse_seeds
 from repro.nfs.registry import (
     NF_PROFILES,
     NfProfile,
@@ -63,3 +65,23 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Figure 2" in out
         assert "fig2 done" in out
+
+    def test_jobs_must_be_positive(self, capsys):
+        assert main(["fig2", "--jobs", "0"]) == 2
+
+    def test_seeds_parsing(self):
+        assert parse_seeds(None) is None
+        assert parse_seeds("1,2,3") == (1, 2, 3)
+        assert parse_seeds("4") == (1, 2, 3, 4)
+        with pytest.raises(ValueError):
+            parse_seeds("0")
+
+    def test_quick_parallel_run_writes_telemetry(self, capsys, tmp_path):
+        """The CI smoke invocation: parallel sweep + telemetry out."""
+        out_path = tmp_path / "t.json"
+        assert main(["fig2", "fig1", "--quick", "--jobs", "2",
+                     "--telemetry-out", str(out_path)]) == 0
+        document = json.loads(out_path.read_text())
+        assert document["experiments"] == ["fig2", "fig1"]
+        assert len(document["runs"]) == 3  # two fig2 populations + fig1
+        assert "telemetry written" in capsys.readouterr().out

@@ -241,29 +241,35 @@ class TestSummaryExport:
 
 class TestTelemetryOutFlag:
     def test_parse_args_variants(self):
-        assert experiments_cli.parse_args(["fig7"]) == (["fig7"], None)
-        assert experiments_cli.parse_args(
-            ["fig7", "--telemetry-out", "/tmp/x.json"]
-        ) == (["fig7"], "/tmp/x.json")
-        assert experiments_cli.parse_args(
-            ["--telemetry-out=/tmp/x.json", "fig6"]
-        ) == (["fig6"], "/tmp/x.json")
+        parser = experiments_cli.build_parser()
+        args = parser.parse_args(["fig7"])
+        assert args.names == ["fig7"] and args.telemetry_out is None
+        args = parser.parse_args(["fig7", "--telemetry-out", "/tmp/x.json"])
+        assert args.telemetry_out == "/tmp/x.json"
+        args = parser.parse_args(["--telemetry-out=/tmp/x.json", "fig6"])
+        assert (args.names, args.telemetry_out) == (["fig6"], "/tmp/x.json")
 
-    def test_parse_args_rejects_missing_path_and_unknown_options(self):
-        with pytest.raises(ValueError):
-            experiments_cli.parse_args(["fig7", "--telemetry-out"])
-        with pytest.raises(ValueError):
-            experiments_cli.parse_args(["--frobnicate"])
+    def test_parse_args_rejects_missing_path_and_unknown_options(self, capsys):
+        # argparse exits with status 2; main() converts that to a return.
+        assert experiments_cli.main(["fig7", "--telemetry-out"]) == 2
+        assert experiments_cli.main(["--frobnicate"]) == 2
+        capsys.readouterr()
 
     def test_main_writes_telemetry_json(self, tmp_path, monkeypatch):
-        def stub_experiment():
-            harness.run_open_loop(
-                "sprayer",
-                1000,
-                num_flows=4,
-                duration=3 * MILLISECOND,
-                warmup=1 * MILLISECOND,
-            )
+        from repro.experiments.spec import Scenario
+
+        def stub_experiment(runner, seeds=None, quick=False):
+            runner.run([
+                Scenario.make(
+                    "open_loop",
+                    label="stub",
+                    mode="sprayer",
+                    nf_cycles=1000,
+                    num_flows=4,
+                    duration=3 * MILLISECOND,
+                    warmup=1 * MILLISECOND,
+                )
+            ])
 
         monkeypatch.setitem(experiments_cli.RUNNERS, "stub", stub_experiment)
         out = tmp_path / "telemetry.json"
