@@ -1,0 +1,32 @@
+"""Figure R bench: resilience under a mid-run 10x core slowdown.
+
+Paper shape asserted (§7's resilience argument): when one core
+degrades, Sprayer re-sprays data packets over the healthy cores with a
+single Flow Director reprogram, so it keeps strictly more throughput
+AND a strictly lower p99 than RSS, whose hashed-to-the-sick-core flows
+queue up and tail-drop for the whole fault window.
+"""
+
+from conftest import record_rows
+
+from repro.experiments.figr import run_figr
+from repro.sim.timeunits import MILLISECOND
+
+
+def test_figr_resilience(benchmark):
+    rows, timeline = benchmark.pedantic(
+        lambda: run_figr(duration=8 * MILLISECOND, warmup=2 * MILLISECOND,
+                         fault_at=3 * MILLISECOND, fault_until=6 * MILLISECOND),
+        rounds=1,
+        iterations=1,
+    )
+    record_rows(benchmark, rows, "Figure R: mid-run 10x core slowdown")
+    by_mode = {row["mode"]: row for row in rows}
+    sprayer, rss = by_mode["sprayer"], by_mode["rss"]
+    assert sprayer["fwd_mpps"] > rss["fwd_mpps"]
+    assert sprayer["p99_us"] < rss["p99_us"]
+    assert rss["p99_us"] > 10 * sprayer["p99_us"]
+    assert rss["queue_drops"] > 0 and sprayer["queue_drops"] == 0
+    # Flowlet's gap-based spraying cannot move in-flight flowlets, so
+    # under constant per-flow load it degrades like RSS.
+    assert by_mode["flowlet"]["p99_us"] > 10 * sprayer["p99_us"]

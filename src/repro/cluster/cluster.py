@@ -36,6 +36,10 @@ class ClusterStats:
     per_host_dispatched: Dict[str, int] = field(default_factory=dict)
     migrations: int = 0
     migrated_entries: int = 0
+    host_failures: int = 0
+    #: Flow-table entries lost to host failures (unlike scale_in, a
+    #: crash migrates nothing).
+    lost_entries: int = 0
 
 
 class ClusterMiddlebox:
@@ -57,6 +61,7 @@ class ClusterMiddlebox:
         self.config_factory = config_factory or (lambda host: MiddleboxConfig(mode="sprayer"))
         self._host_counter = 0
         self.engines: Dict[str, MiddleboxEngine] = {}
+        self._failed: set = set()
         self.stats = ClusterStats()
         self._egress: Optional[Callable[[Packet], None]] = None
         host_names = [self._next_host_name() for _ in range(num_hosts)]
@@ -82,6 +87,11 @@ class ClusterMiddlebox:
     @property
     def hosts(self) -> List[str]:
         return sorted(self.engines)
+
+    @property
+    def live_hosts(self) -> List[str]:
+        """Hosts still dispatchable (excludes crashed ones)."""
+        return sorted(host for host in self.engines if host not in self._failed)
 
     def set_egress(self, egress: Callable[[Packet], None]) -> None:
         self._egress = egress
@@ -129,6 +139,35 @@ class ClusterMiddlebox:
         self._migrate(old_assignment, removing=host)
         del self.engines[host]
 
+    # -- fault injection ---------------------------------------------------------
+
+    def fail_host(self, host: str) -> int:
+        """Crash ``host``: flows re-dispatch to survivors, state is LOST.
+
+        Unlike :meth:`scale_in` (a planned drain that migrates flow
+        state), a failure gives no chance to migrate: every flow-table
+        entry on the host is counted in ``stats.lost_entries`` and
+        dropped, all cores are crashed (flushing queued packets), and
+        the dispatcher stops sending traffic there. Returns the number
+        of in-flight packets flushed from the host's queues and rings.
+        """
+        if host not in self.engines:
+            raise ValueError(f"unknown host {host!r}")
+        if host in self._failed:
+            raise ValueError(f"host {host!r} has already failed")
+        if len(self.live_hosts) == 1:
+            raise ValueError("cannot fail the last live host")
+        engine = self.engines[host]
+        lost = engine.flow_state.total_entries()
+        flushed = 0
+        for core in engine.host.cores:
+            flushed += engine.crash_core(core.core_id, resteer=False)
+        self._failed.add(host)
+        self.dispatcher.remove_host(host)
+        self.stats.host_failures += 1
+        self.stats.lost_entries += lost
+        return flushed
+
     def _current_assignment(self) -> Dict[FiveTuple, str]:
         """Which host currently owns each flow that has state."""
         assignment: Dict[FiveTuple, str] = {}
@@ -147,6 +186,11 @@ class ClusterMiddlebox:
         """Move entries whose dispatch target changed (state re-homing)."""
         moved_flows = set()
         for host, engine in list(self.engines.items()):
+            if host in self._failed:
+                # A failed host's state is lost, not migrated; skipping
+                # it also keeps a later scale_out from resurrecting
+                # ghost entries.
+                continue
             tables = getattr(engine.flow_state, "tables", [])
             for table in tables:
                 for key in list(table.entries):
@@ -169,9 +213,12 @@ class ClusterMiddlebox:
         per_host = {host: engine.summary() for host, engine in self.engines.items()}
         return {
             "hosts": self.hosts,
+            "failed_hosts": sorted(self._failed),
             "dispatched": self.stats.dispatched,
             "per_host_dispatched": dict(self.stats.per_host_dispatched),
             "migrated_entries": self.stats.migrated_entries,
+            "host_failures": self.stats.host_failures,
+            "lost_entries": self.stats.lost_entries,
             "total_forwarded": sum(s["forwarded"] for s in per_host.values()),
             "per_host": per_host,
         }

@@ -52,6 +52,9 @@ class EngineStats:
     connection_packets: int = 0
     transfers: int = 0
     ring_drops: int = 0
+    #: Packets lost to injected faults inside the engine: flushed from a
+    #: crashed core's queue/ring, or transferred toward a dead core.
+    fault_drops: int = 0
 
 
 class MiddleboxEngine:
@@ -76,6 +79,12 @@ class MiddleboxEngine:
         #: stable; see :meth:`invalidate_steering_cache`.
         self._designated_cache: Dict[FiveTuple, int] = {}
         self._designated_cacheable = self.policy.designated_core_is_stable
+        #: Fault injection: permanently dead cores, and the remap that
+        #: re-homes their designated flows onto live cores. Empty/None
+        #: on a healthy engine — one set probe / None check on the paths
+        #: that consult them.
+        self._dead_cores: set = set()
+        self._designated_remap: Optional[Dict[int, int]] = None
         self.host = Host(sim, self.nic, self.costs, batch_size=self.config.batch_size)
         self.coherence = CoherenceModel(self.costs)
         backend = self.config.state_backend
@@ -136,11 +145,18 @@ class MiddleboxEngine:
 
     def designated_core(self, flow: FiveTuple) -> int:
         if not self._designated_cacheable:
-            return self.policy.designated_core(flow)
+            core = self.policy.designated_core(flow)
+            remap = self._designated_remap
+            if remap is not None:
+                return remap.get(core, core)
+            return core
         cache = self._designated_cache
         core = cache.get(flow)
         if core is None:
             core = self.policy.designated_core(flow)
+            remap = self._designated_remap
+            if remap is not None:
+                core = remap.get(core, core)
             if len(cache) >= FLOW_CACHE_LIMIT:
                 cache.clear()
             cache[flow] = core
@@ -161,8 +177,48 @@ class MiddleboxEngine:
 
     # -- core processors ----------------------------------------------------
 
+    def crash_core(self, core_id: int, resteer: bool = True) -> int:
+        """Kill a core permanently (fault injection); returns flushed packets.
+
+        The core's queued work is flushed and counted as ``fault_drops``;
+        its NIC queue drops all future arrivals (kind "core_dead"); its
+        designated flows are re-homed onto live cores deterministically
+        (any state they had on the dead core is lost — new state grows
+        on the new home). With ``resteer`` the policy is also offered
+        :meth:`~repro.steering.base.SteeringPolicy.resteer_around` so
+        data traffic avoids the corpse — Sprayer reprograms its spray
+        rules; RSS declines, stranding the flows hashed there.
+        """
+        if core_id in self._dead_cores:
+            return 0
+        if not 0 <= core_id < self.config.num_cores:
+            raise ValueError(
+                f"core_id {core_id} out of range [0, {self.config.num_cores})"
+            )
+        flushed = self.host.cores[core_id].crash()
+        self.stats.fault_drops += flushed
+        self._dead_cores.add(core_id)
+        self.nic.disable_queue(core_id, kind="core_dead")
+        live = [c for c in range(self.config.num_cores) if c not in self._dead_cores]
+        if live:
+            self._designated_remap = {
+                dead: live[dead % len(live)] for dead in self._dead_cores
+            }
+        if resteer:
+            self.policy.resteer_around(self, frozenset(self._dead_cores))
+        self.invalidate_steering_cache()
+        return flushed
+
     def _transfer(self, dst_core: int, packet: Packet) -> None:
         self.stats.transfers += 1
+        dead = self._dead_cores
+        if dead and dst_core in dead:
+            # A descriptor aimed at a corpse: nobody will ever drain
+            # that ring, so the packet leaves the dataplane here.
+            self.stats.fault_drops += 1
+            if self.telemetry.tracer is not None:
+                self.telemetry.tracer.instant("fault_ring_dead", dst_core, self.sim.now)
+            return
         tracer = self.telemetry.tracer
         if not self.rings[dst_core].push(packet):
             # The descriptor is lost, exactly like a full rx queue: the
@@ -292,11 +348,13 @@ class MiddleboxEngine:
             "rx_packets": nic.rx_packets,
             "rx_dropped_queue_full": nic.rx_dropped_queue_full,
             "rx_dropped_fd_cap": nic.rx_dropped_fd_cap,
+            "rx_dropped_fault": nic.rx_dropped_fault,
             "forwarded": self.stats.packets_forwarded,
             "nf_drops": self.stats.packets_dropped_nf,
             "connection_packets": self.stats.connection_packets,
             "transfers": self.stats.transfers,
             "ring_drops": self.stats.ring_drops,
+            "fault_drops": self.stats.fault_drops,
             "flow_entries": self.flow_state.total_entries(),
             "per_core_forwarded": self.host.per_core_forwarded(),
             "per_core_busy_cycles": self.host.per_core_busy_cycles(),
@@ -316,7 +374,9 @@ class MiddleboxEngine:
             + self.stats.packets_dropped_nf
             + nic.rx_dropped_queue_full
             + nic.rx_dropped_fd_cap
+            + nic.rx_dropped_fault
             + self.stats.ring_drops
+            + self.stats.fault_drops
         )
         return {
             "rx_packets": nic.rx_packets,
@@ -324,7 +384,9 @@ class MiddleboxEngine:
             "nf_drops": self.stats.packets_dropped_nf,
             "rx_dropped_queue_full": nic.rx_dropped_queue_full,
             "rx_dropped_fd_cap": nic.rx_dropped_fd_cap,
+            "rx_dropped_fault": nic.rx_dropped_fault,
             "ring_drops": self.stats.ring_drops,
+            "fault_drops": self.stats.fault_drops,
             "in_queues": sum(len(q) for q in self.nic.queues),
             "in_rings": sum(len(r) for r in self.rings),
             "accounted": accounted,

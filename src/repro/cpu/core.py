@@ -83,10 +83,19 @@ class Core:
         #: start_ps, duration_ps, n_foreign, n_local)`` per batch.
         self.trace_batch: Optional[Callable[[int, int, int, int, int], None]] = None
         self._busy = False
+        #: Fault injection: batch durations are multiplied by this (a
+        #: thermally-throttled core takes longer per cycle). 1.0 = healthy.
+        self.cycle_factor: float = 1.0
+        self._halted = False
+        self.crashed = False
 
     @property
     def busy(self) -> bool:
         return self._busy
+
+    @property
+    def halted(self) -> bool:
+        return self._halted
 
     def has_work(self) -> bool:
         rx_pending = self.rx_queue is not None and not self.rx_queue.is_empty
@@ -97,8 +106,48 @@ class Core:
         """Notify the core that work may be available."""
         # _start_batch re-checks for work itself; a second check here
         # would double the queue probes on the (common) productive wake.
-        if not self._busy:
+        if not self._busy and not self._halted:
             self._start_batch()
+
+    # -- fault injection ---------------------------------------------------
+
+    def stall(self) -> None:
+        """Pause the core at the next batch boundary.
+
+        An in-flight batch completes normally (a preempted thread
+        finishes its current burst); no further batch starts until
+        :meth:`resume`. Queued work stays queued — upstream overflow
+        becomes ordinary queue_full/ring drops.
+        """
+        self._halted = True
+
+    def resume(self) -> None:
+        """Undo :meth:`stall` and pick work back up. No-op if crashed."""
+        if self.crashed:
+            return
+        self._halted = False
+        self.wake()
+
+    def crash(self) -> int:
+        """Kill the core permanently; flush queued work.
+
+        Returns the number of packets flushed from the rx queue and the
+        transfer ring — the caller accounts them as fault drops so the
+        conservation ledger stays exact. An in-flight batch completes
+        (its packets were already in the pipeline).
+        """
+        self.crashed = True
+        self._halted = True
+        flushed = 0
+        queue = self.rx_queue
+        if queue is not None:
+            while not queue.is_empty:
+                flushed += len(queue.pop_batch(self.batch_size))
+        ring = self.ring
+        if ring is not None:
+            while not ring.is_empty:
+                flushed += len(ring.pop_batch(self.batch_size))
+        return flushed
 
     def _start_batch(self) -> None:
         processor = self.processor
@@ -123,6 +172,11 @@ class Core:
         result = processor(self, foreign, local)
         cycles = result.cycles
         duration = self._cycles_to_ps(cycles)
+        factor = self.cycle_factor
+        if factor != 1.0:
+            # Slowdown fault: same work, slower clock. busy_cycles stays
+            # the true cycle charge; busy_time_ps reflects the wall cost.
+            duration = int(duration * factor)
         n_foreign = len(foreign)
         n_total = n_foreign + len(local)
         stats = self.stats
@@ -162,7 +216,8 @@ class Core:
             for dst_core, packet in transfers:
                 transfer(dst_core, packet)
         self._busy = False
-        self._start_batch()
+        if not self._halted:
+            self._start_batch()
 
     def utilization(self, elapsed_ps: int) -> float:
         """Fraction of ``elapsed_ps`` this core spent processing."""

@@ -27,7 +27,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
-from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, table1
+from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, figr, table1
 from repro.experiments.runner import SweepRunner
 
 RUNNERS = {
@@ -38,6 +38,7 @@ RUNNERS = {
     "fig7": fig7.main,
     "fig8": fig8.main,
     "fig9": fig9.main,
+    "figR": figr.main,
 }
 
 
@@ -82,6 +83,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--telemetry-out", metavar="PATH",
         help="write every engine's telemetry dump as one JSON document",
     )
+    parser.add_argument(
+        "--list", action="store_true",
+        help="list experiment runners and scenario kinds, then exit",
+    )
     return parser
 
 
@@ -96,6 +101,16 @@ def main(argv: List[str]) -> int:
         return 2
     except SystemExit as error:
         return int(error.code or 0)
+    if args.list:
+        from repro.experiments.spec import KIND_RUNNERS
+
+        print("experiments:")
+        for name in RUNNERS:
+            print(f"  {name}")
+        print("scenario kinds:")
+        for kind in sorted(KIND_RUNNERS):
+            print(f"  {kind}")
+        return 0
     names = args.names or list(RUNNERS)
     unknown = [name for name in names if name not in RUNNERS]
     if unknown:

@@ -195,6 +195,12 @@ def _run_concurrency(scenario: Scenario):
     return values, {}
 
 
+def _run_resilience(scenario: Scenario):
+    from repro.faults import study
+
+    return study.run_resilience_scenario(scenario)
+
+
 KIND_RUNNERS: Dict[str, Callable[[Scenario], Tuple[Dict[str, Any], Dict[str, Any]]]] = {
     "open_loop": _run_open_loop,
     "capacity": _run_capacity,
@@ -202,11 +208,22 @@ KIND_RUNNERS: Dict[str, Callable[[Scenario], Tuple[Dict[str, Any], Dict[str, Any
     "nf_verify": _run_nf_verify,
     "flow_size_cdf": _run_flow_size_cdf,
     "concurrency": _run_concurrency,
+    "resilience": _run_resilience,
 }
 
 
-def register_kind(name: str, fn: Callable) -> None:
-    """Register a custom scenario kind (benchmarks, examples)."""
+def register_kind(name: str, fn: Callable, replace: bool = False) -> None:
+    """Register a custom scenario kind (benchmarks, examples).
+
+    Raises ``ValueError`` on a name that is already registered unless
+    ``replace=True`` — a silent overwrite of a built-in kind would make
+    every sweep using that kind quietly measure something else.
+    """
+    if not replace and name in KIND_RUNNERS:
+        raise ValueError(
+            f"scenario kind {name!r} is already registered; pass replace=True "
+            "to overwrite it deliberately"
+        )
     KIND_RUNNERS[name] = fn
 
 

@@ -1,0 +1,46 @@
+"""Fault injection & resilience (see DESIGN.md § Fault model).
+
+Declarative :class:`FaultPlan` schedules applied deterministically at
+the sim-event seam by :class:`FaultInjector` (engine-scoped faults) or
+:class:`ClusterFaultInjector` (``host_down``). The study harness lives
+in :mod:`repro.faults.study` (imported lazily — it pulls in the
+experiment stack).
+"""
+
+from repro.faults.injector import ClusterFaultInjector, FaultInjector, FaultRecord
+from repro.faults.plan import (
+    FAULT_KINDS,
+    FaultEvent,
+    FaultPlan,
+    PERMANENT_KINDS,
+    WINDOWED_KINDS,
+    core_crash,
+    core_slow,
+    core_stall,
+    fd_evict,
+    host_down,
+    link_dup,
+    link_jitter,
+    link_loss,
+    queue_pause,
+)
+
+__all__ = [
+    "FAULT_KINDS",
+    "PERMANENT_KINDS",
+    "WINDOWED_KINDS",
+    "FaultEvent",
+    "FaultPlan",
+    "FaultInjector",
+    "ClusterFaultInjector",
+    "FaultRecord",
+    "core_crash",
+    "core_slow",
+    "core_stall",
+    "fd_evict",
+    "host_down",
+    "link_dup",
+    "link_jitter",
+    "link_loss",
+    "queue_pause",
+]

@@ -1,0 +1,300 @@
+"""Fault injectors: apply a :class:`~repro.faults.plan.FaultPlan` to a
+running engine (or cluster) through the simulator's event queue.
+
+Injection happens exclusively at the sim-event seam: every apply/clear
+is a scheduled callback, so a faulted run is still a pure function of
+(workload seed, plan) — the injector draws randomness only from its own
+``random.Random(plan.seed)``, never from the workload's RNG, and an
+empty plan schedules nothing, binds nothing, and perturbs nothing.
+
+The injector reuses existing dataplane seams rather than adding new
+per-packet branches:
+
+- ``core_slow``/``core_stall``/``core_crash`` drive the
+  :class:`~repro.cpu.core.Core` fault hooks (``cycle_factor``,
+  ``stall``/``resume``) and :meth:`MiddleboxEngine.crash_core`;
+- ``link_*`` installs a :class:`~repro.nic.link.LinkFault` on the
+  attached ingress link;
+- ``queue_pause`` uses :meth:`MultiQueueNic.disable_queue`, so the drop
+  is reported through the NIC ``on_drop`` channel like any other;
+- ``fd_evict`` calls :meth:`FlowDirectorTable.evict`;
+- after any core degradation change the policy is offered
+  ``resteer_around`` — Sprayer rebuilds its spray rules over the live
+  cores (any core can process any packet, so no state moves), while
+  RSS declines (its indirection table would strand per-flow state).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.faults.plan import FaultEvent, FaultPlan
+from repro.nic.link import Link, LinkFault
+
+
+@dataclass
+class FaultRecord:
+    """MTTR-style accounting for one applied fault."""
+
+    kind: str
+    target: int
+    applied_at: int
+    cleared_at: Optional[int] = None
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "target": self.target,
+            "applied_at": self.applied_at,
+            "cleared_at": self.cleared_at,
+        }
+
+
+@dataclass
+class InjectorStats:
+    """Counters the injector binds into the engine's registry."""
+
+    applied: int = 0
+    cleared: int = 0
+    flushed_packets: int = 0
+    resteers: int = 0
+    fd_evicted: int = 0
+
+
+class FaultInjector:
+    """Applies an engine-scoped fault plan via scheduled sim events.
+
+    ``link`` (optional) is the link the ``link_*`` kinds impair —
+    normally the ingress link in front of the engine. ``resteer``
+    controls whether the steering policy is offered the chance to
+    rebuild around degraded cores (the Sprayer advantage under test;
+    set False for the no-reaction ablation).
+    """
+
+    def __init__(
+        self,
+        engine: Any,
+        plan: FaultPlan,
+        link: Optional[Link] = None,
+        resteer: bool = True,
+    ):
+        self.engine = engine
+        self.plan = plan
+        self.link = link
+        self.resteer = resteer
+        self.stats = InjectorStats()
+        self.records: List[FaultRecord] = []
+        self._open_records: Dict[FaultEvent, FaultRecord] = {}
+        self._degraded: set = set()
+        #: Active link impairments, summed into one LinkFault.
+        self._link_loss = 0.0
+        self._link_dup = 0.0
+        self._link_jitter = 0
+        if plan.is_empty:
+            # The empty plan is the identity: schedule nothing, bind
+            # nothing, allocate no RNG — byte-identical to no injector.
+            self._rng = None
+            return
+        for event in plan.events:
+            self._validate(event)
+        self._rng = random.Random(plan.seed)
+        self._bind()
+        for event in plan.events:
+            engine.sim.at(event.at, self._apply, event)
+            if event.until is not None:
+                engine.sim.at(event.until, self._clear, event)
+
+    # -- setup -------------------------------------------------------------
+
+    def _validate(self, event: FaultEvent) -> None:
+        num_cores = self.engine.config.num_cores
+        if event.kind == "host_down":
+            raise ValueError(
+                "host_down faults need a ClusterFaultInjector, not an "
+                "engine-scoped FaultInjector"
+            )
+        if event.kind.startswith("link_") and self.link is None:
+            raise ValueError(f"{event.kind} fault needs a link attached")
+        if event.kind.startswith("core_") and not 0 <= event.target < num_cores:
+            raise ValueError(
+                f"{event.kind} target {event.target} out of range "
+                f"[0, {num_cores})"
+            )
+        if event.kind == "queue_pause" and not (
+            0 <= event.target < self.engine.nic.num_queues
+        ):
+            raise ValueError(
+                f"queue_pause target {event.target} out of range "
+                f"[0, {self.engine.nic.num_queues})"
+            )
+
+    def _bind(self) -> None:
+        registry = self.engine.telemetry.registry
+        stats = self.stats
+        plan = self.plan
+        registry.bind("faults.scheduled", lambda: len(plan.events))
+        registry.bind("faults.applied", lambda: stats.applied)
+        registry.bind("faults.cleared", lambda: stats.cleared)
+        registry.bind("faults.flushed_packets", lambda: stats.flushed_packets)
+        registry.bind("faults.resteers", lambda: stats.resteers)
+        registry.bind("faults.fd_evicted", lambda: stats.fd_evicted)
+        link = self.link
+        if link is not None:
+            registry.bind("faults.link_lost", lambda: link.fault_lost)
+            registry.bind("faults.link_duplicated", lambda: link.fault_duplicated)
+            registry.bind("faults.link_jittered", lambda: link.fault_jittered)
+            # Fault-induced link drops report through the same on_drop
+            # trace channel as NIC drops (distinct kinds).
+            tracer = self.engine.telemetry.tracer
+            if tracer is not None and link.on_drop is None:
+                link.on_drop = self.engine.telemetry._trace_nic_drop
+
+    # -- apply/clear callbacks ---------------------------------------------
+
+    def _apply(self, event: FaultEvent) -> None:
+        engine = self.engine
+        now = engine.sim.now
+        self.stats.applied += 1
+        record = FaultRecord(event.kind, event.target, applied_at=now)
+        self.records.append(record)
+        if event.until is not None:
+            self._open_records[event] = record
+        kind = event.kind
+        if kind == "core_slow":
+            engine.host.cores[event.target].cycle_factor = event.magnitude
+            self._degrade(event.target)
+        elif kind == "core_stall":
+            engine.host.cores[event.target].stall()
+            self._degrade(event.target)
+        elif kind == "core_crash":
+            self.stats.flushed_packets += engine.crash_core(
+                event.target, resteer=self.resteer
+            )
+            self._degraded.add(event.target)
+            if self.resteer:
+                self.stats.resteers += 1
+        elif kind == "link_loss":
+            self._link_loss = event.magnitude
+            self._update_link()
+        elif kind == "link_dup":
+            self._link_dup = event.magnitude
+            self._update_link()
+        elif kind == "link_jitter":
+            self._link_jitter = int(event.magnitude)
+            self._update_link()
+        elif kind == "queue_pause":
+            engine.nic.disable_queue(event.target, kind="queue_paused")
+        elif kind == "fd_evict":
+            self.stats.fd_evicted += engine.nic.flow_director.evict(
+                event.magnitude, self._rng
+            )
+        tracer = engine.telemetry.tracer
+        if tracer is not None:
+            tracer.instant(
+                f"fault_{kind}", event.target, now, magnitude=event.magnitude
+            )
+
+    def _clear(self, event: FaultEvent) -> None:
+        engine = self.engine
+        now = engine.sim.now
+        self.stats.cleared += 1
+        record = self._open_records.pop(event, None)
+        if record is not None:
+            record.cleared_at = now
+        kind = event.kind
+        if kind == "core_slow":
+            engine.host.cores[event.target].cycle_factor = 1.0
+            self._recover(event.target)
+        elif kind == "core_stall":
+            engine.host.cores[event.target].resume()
+            self._recover(event.target)
+        elif kind == "link_loss":
+            self._link_loss = 0.0
+            self._update_link()
+        elif kind == "link_dup":
+            self._link_dup = 0.0
+            self._update_link()
+        elif kind == "link_jitter":
+            self._link_jitter = 0
+            self._update_link()
+        elif kind == "queue_pause":
+            engine.nic.enable_queue(event.target)
+        tracer = engine.telemetry.tracer
+        if tracer is not None:
+            tracer.instant(f"fault_clear_{kind}", event.target, now)
+
+    # -- helpers -----------------------------------------------------------
+
+    def _degrade(self, core_id: int) -> None:
+        self._degraded.add(core_id)
+        self._offer_resteer()
+
+    def _recover(self, core_id: int) -> None:
+        self._degraded.discard(core_id)
+        self._offer_resteer()
+
+    def _offer_resteer(self) -> None:
+        if not self.resteer:
+            return
+        engine = self.engine
+        if engine.policy.resteer_around(engine, frozenset(self._degraded)):
+            self.stats.resteers += 1
+            engine.invalidate_steering_cache()
+
+    def _update_link(self) -> None:
+        link = self.link
+        if self._link_loss or self._link_dup or self._link_jitter:
+            link.set_fault(
+                LinkFault(
+                    loss_p=self._link_loss,
+                    dup_p=self._link_dup,
+                    jitter_ps=self._link_jitter,
+                    rng=self._rng,
+                )
+            )
+        else:
+            link.set_fault(None)
+
+    def to_dicts(self) -> List[Dict[str, Any]]:
+        """The fault records as plain dicts (JSON-serializable)."""
+        return [record.to_dict() for record in self.records]
+
+
+class ClusterFaultInjector:
+    """Applies ``host_down`` faults to a :class:`ClusterMiddlebox`.
+
+    ``target`` indexes the *sorted live host list at apply time*, so a
+    plan stays meaningful regardless of host naming. Other fault kinds
+    are rejected — build per-engine :class:`FaultInjector`\\ s for those.
+    """
+
+    def __init__(self, cluster: Any, plan: FaultPlan):
+        self.cluster = cluster
+        self.plan = plan
+        self.records: List[FaultRecord] = []
+        self.hosts_failed: List[str] = []
+        if plan.is_empty:
+            return
+        for event in plan.events:
+            if event.kind != "host_down":
+                raise ValueError(
+                    f"ClusterFaultInjector only handles host_down, got {event.kind!r}"
+                )
+        for event in plan.events:
+            cluster.sim.at(event.at, self._apply, event)
+
+    def _apply(self, event: FaultEvent) -> None:
+        live = self.cluster.live_hosts
+        if not 0 <= event.target < len(live):
+            raise ValueError(
+                f"host_down target {event.target} out of range: "
+                f"{len(live)} live hosts"
+            )
+        host = live[event.target]
+        self.cluster.fail_host(host)
+        self.hosts_failed.append(host)
+        self.records.append(
+            FaultRecord("host_down", event.target, applied_at=self.cluster.sim.now)
+        )

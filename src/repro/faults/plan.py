@@ -1,0 +1,194 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is a frozen, picklable schedule of timed fault
+events — the *description* of an adverse operating regime, separated
+from the machinery that applies it (:mod:`repro.faults.injector`).
+Keeping plans as plain frozen data means they can ride inside a
+:class:`~repro.experiments.spec.Scenario`'s ``params`` tuple, cross a
+process-pool boundary, and key a cache, exactly like every other
+scenario knob.
+
+Event taxonomy (see DESIGN.md § Fault model):
+
+==============  ==========================================================
+``core_slow``   cycle-cost multiplier on one core (``magnitude`` = factor)
+``core_stall``  core pauses at the next batch boundary, resumes at ``until``
+``core_crash``  core dies permanently; queued work is flushed and counted
+``link_loss``   Bernoulli packet loss on the attached link (``magnitude``)
+``link_dup``    Bernoulli packet duplication on the link (``magnitude``)
+``link_jitter`` uniform extra delivery delay in [0, ``magnitude``] ps
+``queue_pause`` one NIC rx queue drops every arrival (flow-control stuck)
+``fd_evict``    evict a fraction of installed Flow Director rules
+``host_down``   a cluster host fails; its flow state is lost (no migration)
+==============  ==========================================================
+
+Windowed kinds carry ``until`` (the clear time); permanent kinds
+(``core_crash``, ``fd_evict``, ``host_down``) must not.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+#: Fault kinds that apply and later clear (``until`` required).
+WINDOWED_KINDS = frozenset(
+    {"core_slow", "core_stall", "link_loss", "link_dup", "link_jitter", "queue_pause"}
+)
+#: Fault kinds that never clear (``until`` must be None).
+PERMANENT_KINDS = frozenset({"core_crash", "fd_evict", "host_down"})
+FAULT_KINDS = WINDOWED_KINDS | PERMANENT_KINDS
+
+#: Kinds whose ``magnitude`` is a probability in (0, 1].
+_PROBABILITY_KINDS = frozenset({"link_loss", "link_dup", "fd_evict"})
+
+
+@dataclass(frozen=True)
+class FaultEvent:
+    """One scheduled fault.
+
+    ``at``/``until`` are simulator picoseconds; ``target`` names the
+    core, queue, or host index the fault hits (ignored by link kinds);
+    ``magnitude`` is kind-specific (slowdown factor, probability, or
+    jitter picoseconds).
+    """
+
+    kind: str
+    at: int
+    until: Optional[int] = None
+    target: int = 0
+    magnitude: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.kind not in FAULT_KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r}; expected one of {sorted(FAULT_KINDS)}"
+            )
+        if self.at < 0:
+            raise ValueError(f"fault time must be >= 0, got {self.at}")
+        if self.kind in PERMANENT_KINDS:
+            if self.until is not None:
+                raise ValueError(f"{self.kind} is permanent; until must be None")
+        else:
+            if self.until is None:
+                raise ValueError(f"{self.kind} needs an until (clear) time")
+            if self.until <= self.at:
+                raise ValueError(
+                    f"until must be after at, got [{self.at}, {self.until}]"
+                )
+        if self.kind in _PROBABILITY_KINDS and not 0.0 < self.magnitude <= 1.0:
+            raise ValueError(
+                f"{self.kind} magnitude must be a probability in (0, 1], "
+                f"got {self.magnitude}"
+            )
+        if self.kind == "core_slow" and self.magnitude <= 0.0:
+            raise ValueError(
+                f"core_slow magnitude is a cycle-cost factor and must be > 0, "
+                f"got {self.magnitude}"
+            )
+        if self.kind == "link_jitter" and self.magnitude < 1:
+            raise ValueError(
+                f"link_jitter magnitude is a picosecond bound and must be >= 1, "
+                f"got {self.magnitude}"
+            )
+
+    @property
+    def end(self) -> int:
+        """When the fault stops changing things (= ``at`` if permanent)."""
+        return self.until if self.until is not None else self.at
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable schedule of fault events plus the fault RNG seed.
+
+    ``seed`` feeds the injector's private RNG (link loss/dup draws, FD
+    eviction sampling) so a plan's randomness is independent of the
+    workload's. The empty plan is the identity: attaching it to a run
+    is a strict no-op (nothing scheduled, nothing bound), so results
+    are byte-identical to a run with no injector at all.
+    """
+
+    events: Tuple[FaultEvent, ...] = ()
+    seed: int = 1
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "events", tuple(self.events))
+        for event in self.events:
+            if not isinstance(event, FaultEvent):
+                raise TypeError(f"expected FaultEvent, got {type(event).__name__}")
+
+    @classmethod
+    def of(cls, *events: FaultEvent, seed: int = 1) -> "FaultPlan":
+        """Build a plan with events in deterministic (time, kind) order."""
+        return cls(
+            events=tuple(sorted(events, key=lambda e: (e.at, e.end, e.kind, e.target))),
+            seed=seed,
+        )
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.events
+
+    def window(self) -> Optional[Tuple[int, int]]:
+        """(first apply time, last clear/apply time), or None if empty."""
+        if not self.events:
+            return None
+        return (
+            min(e.at for e in self.events),
+            max(e.end for e in self.events),
+        )
+
+
+# -- builder helpers -------------------------------------------------------
+#
+# Thin named constructors so experiment code reads as a schedule, not a
+# pile of positional dataclass calls.
+
+
+def core_slow(core: int, at: int, until: int, factor: float) -> FaultEvent:
+    """Core ``core`` pays ``factor``x time per cycle in [at, until)."""
+    return FaultEvent("core_slow", at=at, until=until, target=core, magnitude=factor)
+
+
+def core_stall(core: int, at: int, until: int) -> FaultEvent:
+    """Core ``core`` stops picking up batches in [at, until)."""
+    return FaultEvent("core_stall", at=at, until=until, target=core)
+
+
+def core_crash(core: int, at: int) -> FaultEvent:
+    """Core ``core`` dies permanently at ``at``."""
+    return FaultEvent("core_crash", at=at, target=core)
+
+
+def link_loss(at: int, until: int, probability: float) -> FaultEvent:
+    """The attached link loses each packet with ``probability``."""
+    return FaultEvent("link_loss", at=at, until=until, magnitude=probability)
+
+
+def link_dup(at: int, until: int, probability: float) -> FaultEvent:
+    """The attached link duplicates each packet with ``probability``."""
+    return FaultEvent("link_dup", at=at, until=until, magnitude=probability)
+
+
+def link_jitter(at: int, until: int, jitter_ps: int) -> FaultEvent:
+    """Deliveries gain a uniform extra delay in [0, jitter_ps]."""
+    return FaultEvent("link_jitter", at=at, until=until, magnitude=float(jitter_ps))
+
+
+def queue_pause(queue: int, at: int, until: int) -> FaultEvent:
+    """NIC rx queue ``queue`` drops every arrival in [at, until)."""
+    return FaultEvent("queue_pause", at=at, until=until, target=queue)
+
+
+def fd_evict(at: int, fraction: float) -> FaultEvent:
+    """Evict ``fraction`` of installed Flow Director rules at ``at``."""
+    return FaultEvent("fd_evict", at=at, magnitude=fraction)
+
+
+def host_down(host_index: int, at: int) -> FaultEvent:
+    """Cluster host at sorted index ``host_index`` fails at ``at``."""
+    return FaultEvent("host_down", at=at, target=host_index)

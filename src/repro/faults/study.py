@@ -1,0 +1,218 @@
+"""Resilience measurements: an open-loop run with a fault plan attached.
+
+:func:`run_resilience` mirrors :func:`repro.experiments.harness.run_open_loop`
+— same wiring, same generator — plus a :class:`FaultInjector` driving the
+plan and a bucketed timeline (throughput + p99 per time bucket) so the
+degradation and recovery around the fault window are visible, not
+averaged away. :func:`run_resilience_scenario` is the scenario-kind
+adapter registered as ``"resilience"`` in
+:data:`repro.experiments.spec.KIND_RUNNERS`.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from repro.experiments.harness import build_engine
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import FaultPlan
+from repro.metrics.latency import LatencyRecorder
+from repro.metrics.throughput import RateMeter
+from repro.net.packet import Packet
+from repro.nic.link import Link
+from repro.sim.engine import Simulator
+from repro.sim.timeunits import MICROSECOND, MILLISECOND
+from repro.trafficgen.flows import random_tcp_flows
+from repro.trafficgen.moongen import LINE_RATE_64B_PPS, OpenLoopGenerator
+
+
+@dataclass
+class ResilienceResult:
+    """One faulted open-loop run: aggregates plus the bucketed timeline."""
+
+    mode: str
+    nf_cycles: int
+    num_flows: int
+    offered_pps: float
+    rate_mpps: float
+    rate_gbps: float
+    p99_latency_us: float
+    #: One row per time bucket: ``{"t_ms", "fwd_mpps", "p99_us"}``.
+    timeline: List[Dict[str, float]] = field(default_factory=list)
+    #: Applied faults with apply/clear times (MTTR accounting).
+    fault_records: List[Dict[str, Any]] = field(default_factory=list)
+    #: Buckets after the fault window until throughput recovered to 90%
+    #: of the pre-fault mean, in ms (None = no fault window, or never).
+    recovery_ms: Optional[float] = None
+    engine_summary: Dict[str, object] = field(default_factory=dict)
+    telemetry: Dict[str, object] = field(default_factory=dict)
+
+
+def _bucket_p99_us(samples: List[int]) -> float:
+    if not samples:
+        return 0.0
+    ordered = sorted(samples)
+    return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))] / MICROSECOND
+
+
+def _recovery_ms(
+    timeline: List[Dict[str, float]],
+    plan: Optional[FaultPlan],
+    bucket: int,
+) -> Optional[float]:
+    """Buckets between the last fault clear and 90%-of-baseline recovery."""
+    window = plan.window() if plan is not None else None
+    if window is None:
+        return None
+    fault_start, fault_end = window
+    pre = [r["fwd_mpps"] for r in timeline if (r["t_ms"] * MILLISECOND) < fault_start]
+    if not pre:
+        return None
+    threshold = 0.9 * (sum(pre) / len(pre))
+    post = [r for r in timeline if (r["t_ms"] * MILLISECOND) >= fault_end]
+    for i, row in enumerate(post):
+        if row["fwd_mpps"] >= threshold:
+            return i * bucket / MILLISECOND
+    return None
+
+
+def run_resilience(
+    mode: str,
+    nf_cycles: int,
+    num_flows: int = 32,
+    offered_pps: float = LINE_RATE_64B_PPS,
+    duration: int = 30 * MILLISECOND,
+    warmup: int = 5 * MILLISECOND,
+    seed: int = 1,
+    num_cores: int = 8,
+    frame_len: int = 64,
+    burst: Optional[int] = None,
+    plan: Optional[FaultPlan] = None,
+    bucket: int = MILLISECOND,
+    resteer: bool = True,
+    nf=None,
+    **config_kwargs,
+) -> ResilienceResult:
+    """One open-loop measurement under ``plan``'s faults.
+
+    The aggregate window (``warmup`` to ``duration``) spans the fault,
+    so ``rate_mpps``/``p99_latency_us`` price the whole episode; the
+    ``timeline`` (bucket width ``bucket`` ps, covering the full run)
+    shows where the damage lands and how fast it heals.
+    """
+    if not 0 <= warmup < duration:
+        raise ValueError(f"need 0 <= warmup < duration, got {warmup}, {duration}")
+    if bucket < 1:
+        raise ValueError(f"bucket must be >= 1 ps, got {bucket}")
+    sim = Simulator()
+    rng = random.Random(seed)
+    engine = build_engine(
+        mode, nf=nf, nf_cycles=nf_cycles, num_cores=num_cores, sim=sim, **config_kwargs
+    )
+
+    meter = RateMeter()
+    latency = LatencyRecorder()
+    n_buckets = (duration + bucket - 1) // bucket
+    bucket_counts = [0] * n_buckets
+    bucket_samples: List[List[int]] = [[] for _ in range(n_buckets)]
+
+    def collector(packet: Packet, now: int) -> None:
+        meter.record(packet.frame_len)
+        b = min(n_buckets - 1, now // bucket)
+        bucket_counts[b] += 1
+        bucket_samples[b].append(now - packet.created_at)
+        if meter.measuring:
+            latency.record(now - packet.created_at)
+
+    ingress = Link(sim, 10e9, 1 * MICROSECOND, name="gen->mb", queue_limit=1000)
+    ingress.sink = engine.receive
+    egress = Link(sim, 10e9, 1 * MICROSECOND, sink=collector, name="mb->gen")
+    engine.set_egress(egress.send)
+
+    injector = FaultInjector(
+        engine, plan if plan is not None else FaultPlan(), link=ingress, resteer=resteer
+    )
+
+    line_rate = 10e9 / ((frame_len + 20) * 8)
+    offered = min(offered_pps, line_rate)
+    flows = random_tcp_flows(num_flows, rng)
+    generator = OpenLoopGenerator(
+        sim, ingress.send, flows, offered, rng, frame_len=frame_len, burst=burst
+    )
+    generator.start(at=0)
+    sim.run(until=warmup)
+    meter.open_window(sim.now)
+    sim.run(until=duration)
+    meter.close_window(sim.now)
+    generator.stop()
+
+    timeline = [
+        {
+            "t_ms": i * bucket / MILLISECOND,
+            "fwd_mpps": bucket_counts[i] / (bucket / 1e12) / 1e6,
+            "p99_us": _bucket_p99_us(bucket_samples[i]),
+        }
+        for i in range(n_buckets)
+    ]
+    return ResilienceResult(
+        mode=mode,
+        nf_cycles=nf_cycles,
+        num_flows=num_flows,
+        offered_pps=offered,
+        rate_mpps=meter.rate_mpps,
+        rate_gbps=meter.rate_gbps,
+        p99_latency_us=latency.percentile_us(0.99),
+        timeline=timeline,
+        fault_records=injector.to_dicts(),
+        recovery_ms=_recovery_ms(timeline, plan, bucket),
+        engine_summary=engine.summary(),
+        telemetry=engine.telemetry.dump(),
+    )
+
+
+def run_resilience_scenario(scenario) -> tuple:
+    """The ``"resilience"`` kind runner: Scenario -> (values, dump).
+
+    Kind-specific extras (ride in ``scenario.params``): ``fault_plan``
+    (a :class:`FaultPlan` — frozen/hashable, so it fits the params
+    tuple), ``bucket_ps``, ``resteer``. Everything else is engine
+    config.
+    """
+    kwargs = dict(scenario.extras)
+    plan = kwargs.pop("fault_plan", None)
+    bucket = kwargs.pop("bucket_ps", MILLISECOND)
+    resteer = kwargs.pop("resteer", True)
+    if scenario.duration is not None:
+        kwargs["duration"] = scenario.duration
+    if scenario.warmup is not None:
+        kwargs["warmup"] = scenario.warmup
+    if scenario.offered_pps is not None:
+        kwargs["offered_pps"] = scenario.offered_pps
+    result = run_resilience(
+        scenario.mode,
+        scenario.nf_cycles,
+        num_flows=scenario.num_flows,
+        seed=scenario.seed,
+        num_cores=scenario.num_cores,
+        frame_len=scenario.frame_len,
+        burst=scenario.burst,
+        plan=plan,
+        bucket=bucket,
+        resteer=resteer,
+        **kwargs,
+    )
+    summary = result.engine_summary
+    values = {
+        "rate_mpps": result.rate_mpps,
+        "rate_gbps": result.rate_gbps,
+        "p99_latency_us": result.p99_latency_us,
+        "rx_dropped_queue_full": summary.get("rx_dropped_queue_full", 0),
+        "rx_dropped_fault": summary.get("rx_dropped_fault", 0),
+        "fault_drops": summary.get("fault_drops", 0),
+        "recovery_ms": result.recovery_ms,
+        "timeline": result.timeline,
+        "fault_records": result.fault_records,
+    }
+    return values, result.telemetry

@@ -188,6 +188,25 @@ class Packet:
         )
         return packet
 
+    def clone(self) -> "Packet":
+        """A fresh copy with its own packet id (fault-injected duplicate).
+
+        Pipeline-written fields (``nic_rx_time`` etc.) reset to their
+        defaults — the duplicate traverses the middlebox independently.
+        """
+        return Packet(
+            self.five_tuple,
+            flags=self.flags,
+            seq=self.seq,
+            ack=self.ack,
+            payload_len=self.payload_len,
+            payload=self.payload,
+            tcp_checksum=self.tcp_checksum,
+            frame_len=self.frame_len,
+            created_at=self.created_at,
+            window=self.window,
+        )
+
     def __repr__(self) -> str:
         return (
             f"<Packet #{self.packet_id} {self.five_tuple} flags={flags_to_str(self.flags)}"

@@ -121,6 +121,32 @@ class FlowDirectorTable:
         self._compiled.clear()
         self._rule_count = 0
 
+    def evict(self, fraction: float, rng) -> int:
+        """Evict ``fraction`` of installed rules (fault injection).
+
+        Victims are sampled by ``rng`` from the deterministic
+        (insertion-ordered groups, sorted values) rule enumeration, so
+        the same seed evicts the same rules. Returns how many were
+        removed. Evicted spray values fall back to RSS — the partial
+        failure mode of a reprogrammed/reset Flow Director table.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"fraction must be in (0, 1], got {fraction}")
+        entries = [
+            (group_key, value)
+            for group_key, group in self._groups.items()
+            for value in sorted(group)
+        ]
+        if not entries:
+            return 0
+        count = max(1, int(len(entries) * fraction))
+        for group_key, value in rng.sample(entries, count):
+            # _compiled shares the group dicts, so deletion is visible
+            # to the per-packet match immediately.
+            del self._groups[group_key][value]
+        self._rule_count -= count
+        return count
+
     def match(self, packet: Packet) -> Optional[int]:
         """Return the target queue of the first matching rule, or None."""
         protocol = packet.five_tuple.protocol
@@ -148,7 +174,9 @@ def spray_bits_for(num_queues: int, extra_bits: int = 5, max_bits: int = 13) -> 
 
 
 def build_checksum_spray_rules(
-    num_queues: int, bits: Optional[int] = None
+    num_queues: int,
+    bits: Optional[int] = None,
+    queues: Optional[List[int]] = None,
 ) -> List[FlowDirectorRule]:
     """The paper's spraying configuration: one rule per checksum-LSB value.
 
@@ -156,6 +184,11 @@ def build_checksum_spray_rules(
     ``v % num_queues``. Together the rules exhaust every possible value
     of the masked field, so **every** TCP packet matches some rule — the
     "rules that exhaust all possible matches" of §4.
+
+    ``queues`` restricts the spray targets to a subset (in the given
+    order: value ``v`` maps to ``queues[v % len(queues)]``) — how the
+    fault path re-steers around dead or degraded cores by reprogramming
+    the same table.
     """
     if bits is None:
         bits = spray_bits_for(num_queues)
@@ -166,14 +199,21 @@ def build_checksum_spray_rules(
             f"2^{bits} rules exceed the Flow Director capacity "
             f"({FLOW_DIRECTOR_CAPACITY})"
         )
-    if 2**bits < num_queues:
+    targets = list(queues) if queues is not None else list(range(num_queues))
+    if not targets:
+        raise ValueError("queues must name at least one spray target")
+    for queue in targets:
+        if not 0 <= queue < num_queues:
+            raise ValueError(f"queue {queue} out of range [0, {num_queues})")
+    if 2**bits < len(targets):
         raise ValueError(
-            f"2^{bits} rule values cannot cover {num_queues} queues"
+            f"2^{bits} rule values cannot cover {len(targets)} queues"
         )
     mask = (1 << bits) - 1
+    n_targets = len(targets)
     return [
         FlowDirectorRule(
-            field="tcp_checksum", mask=mask, value=value, queue=value % num_queues
+            field="tcp_checksum", mask=mask, value=value, queue=targets[value % n_targets]
         )
         for value in range(1 << bits)
     ]

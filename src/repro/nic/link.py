@@ -9,13 +9,32 @@ delay.
 
 from __future__ import annotations
 
+import random
 from collections import deque
+from dataclasses import dataclass
 from heapq import heappush
 from typing import Callable, Deque, Dict, Optional
 
 from repro.net.packet import ETHERNET_OVERHEAD, Packet
 from repro.sim.engine import Simulator
 from repro.sim.timeunits import MICROSECOND, SECOND
+
+
+@dataclass
+class LinkFault:
+    """An active impairment window on a link (fault injection).
+
+    ``loss_p``/``dup_p`` are per-packet Bernoulli probabilities drawn
+    from ``rng`` (the fault plan's private RNG — workload randomness is
+    untouched); ``jitter_ps`` adds a uniform extra delivery delay in
+    [0, jitter_ps]. Loss happens *after* serialization: the transmitter
+    still pays the wire time, the far end just never sees the frame.
+    """
+
+    loss_p: float = 0.0
+    dup_p: float = 0.0
+    jitter_ps: int = 0
+    rng: Optional[random.Random] = None
 
 
 class Link:
@@ -61,6 +80,24 @@ class Link:
         self.packets_sent = 0
         self.bytes_sent = 0
         self.packets_dropped = 0
+        #: Optional telemetry hook, ``on_drop(kind, packet, now)`` —
+        #: the same channel the NIC uses, with distinct kinds
+        #: ("tx_queue_full", "link_loss").
+        self.on_drop: Optional[Callable[[str, Packet, int], None]] = None
+        #: Active fault-injection impairment (None = healthy link; the
+        #: hot path then pays one attribute load).
+        self._fault: Optional[LinkFault] = None
+        self.fault_lost = 0
+        self.fault_duplicated = 0
+        self.fault_jittered = 0
+
+    def set_fault(self, fault: Optional[LinkFault]) -> None:
+        """Install (or clear, with None) an impairment window."""
+        if fault is not None and (fault.loss_p or fault.dup_p) and fault.rng is None:
+            raise ValueError("a lossy/duplicating LinkFault needs an rng")
+        if fault is not None and fault.jitter_ps and fault.rng is None:
+            raise ValueError("a jittering LinkFault needs an rng")
+        self._fault = fault
 
     def serialization_time(self, packet: Packet) -> int:
         """Picoseconds to clock the frame (incl. preamble + IFG) out."""
@@ -93,6 +130,8 @@ class Link:
                 pending.popleft()
             if len(pending) >= self.queue_limit:
                 self.packets_dropped += 1
+                if self.on_drop is not None:
+                    self.on_drop("tx_queue_full", packet, now)
                 return -1
         free_at = self._transmitter_free_at
         start = free_at if free_at > now else now
@@ -111,6 +150,27 @@ class Link:
         self.bytes_sent += frame_len
         if pending is not None:
             pending.append(finish)
+        fault = self._fault
+        if fault is not None:
+            rng = fault.rng
+            if fault.loss_p and rng.random() < fault.loss_p:
+                # Wire loss: serialization was paid, delivery never happens.
+                self.fault_lost += 1
+                if self.on_drop is not None:
+                    self.on_drop("link_loss", packet, now)
+                return -1
+            if fault.jitter_ps:
+                arrival += rng.randrange(fault.jitter_ps + 1)
+                self.fault_jittered += 1
+            if fault.dup_p and rng.random() < fault.dup_p:
+                self.fault_duplicated += 1
+                duplicate = packet.clone()
+                sim._sequence += 1
+                sim._live += 1
+                heappush(
+                    sim._queue,
+                    (arrival, sim._sequence, None, sink, (duplicate, arrival)),
+                )
         # Arrival events are never cancelled: post() skips the handle.
         sim._sequence += 1
         sim._live += 1

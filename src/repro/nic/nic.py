@@ -50,6 +50,9 @@ class NicStats:
     rx_packets: int = 0
     rx_dropped_queue_full: int = 0
     rx_dropped_fd_cap: int = 0
+    #: Arrivals dropped because their rx queue was disabled by a fault
+    #: (dead core, paused queue) — see :meth:`MultiQueueNic.disable_queue`.
+    rx_dropped_fault: int = 0
     fd_matched: int = 0
     rss_fallback: int = 0
     per_queue_rx: List[int] = field(default_factory=list)
@@ -74,8 +77,14 @@ class MultiQueueNic:
         #: bounded-subset spraying).
         self.custom_classifier: Optional[Callable[[Packet], Optional[int]]] = None
         #: Optional telemetry hook, called as ``on_drop(kind, packet,
-        #: now)`` with kind "fd_cap" or "queue_full" for every rx drop.
+        #: now)`` for every rx drop. Every drop path reports a distinct
+        #: kind: "fd_cap", "queue_full", or the fault kind a disabled
+        #: queue was tagged with ("core_dead", "queue_paused").
         self.on_drop: Optional[Callable[[str, Packet, int], None]] = None
+        #: Fault injection: queue id -> drop kind for queues that accept
+        #: no arrivals (dead core, paused queue). None = all healthy;
+        #: the receive path then pays a single attribute load.
+        self._blocked_queues: Optional[dict] = None
         self._fd_tokens = float(self.config.flow_director_burst)
         self._fd_last_refill = 0
         # Config is static after construction (see NicConfig docstring);
@@ -118,6 +127,14 @@ class MultiQueueNic:
         queue_id = self.classify(packet)
         packet.nic_rx_time = now
         packet.rx_queue = queue_id
+        blocked = self._blocked_queues
+        if blocked is not None:
+            kind = blocked.get(queue_id)
+            if kind is not None:
+                stats.rx_dropped_fault += 1
+                if self.on_drop is not None:
+                    self.on_drop(kind, packet, now)
+                return False
         if not self.queues[queue_id].push(packet):
             stats.rx_dropped_queue_full += 1
             if self.on_drop is not None:
@@ -143,6 +160,29 @@ class MultiQueueNic:
             self._fd_tokens -= 1.0
             return True
         return False
+
+    def disable_queue(self, queue_id: int, kind: str = "queue_disabled") -> None:
+        """Drop every future arrival to ``queue_id``, reported as ``kind``.
+
+        Models a dead core's descriptor ring (nobody posts buffers) or
+        a flow-control-stuck queue; the drop is counted in
+        ``rx_dropped_fault`` and reported through ``on_drop``.
+        """
+        if not 0 <= queue_id < self.config.num_queues:
+            raise ValueError(
+                f"queue_id {queue_id} out of range [0, {self.config.num_queues})"
+            )
+        if self._blocked_queues is None:
+            self._blocked_queues = {}
+        self._blocked_queues[queue_id] = kind
+
+    def enable_queue(self, queue_id: int) -> None:
+        """Undo :meth:`disable_queue` (no-op if not disabled)."""
+        blocked = self._blocked_queues
+        if blocked is not None:
+            blocked.pop(queue_id, None)
+            if not blocked:
+                self._blocked_queues = None
 
     def queue_depths(self) -> List[int]:
         """Current occupancy of every rx queue (diagnostics)."""

@@ -143,6 +143,27 @@ def macro_fig7a(quick: bool, jobs: int = 1) -> Tuple[int, str]:
     return len(rows), _fingerprint(rows)
 
 
+def macro_figr(quick: bool, jobs: int = 1) -> Tuple[int, str]:
+    """The Figure R resilience study (core slowdown, 3 modes), pinned."""
+    from repro.experiments.figr import run_figr
+    from repro.experiments.runner import SweepRunner
+    from repro.sim.timeunits import MILLISECOND
+
+    runner = SweepRunner(jobs=jobs)
+    if quick:
+        rows, timeline = run_figr(
+            duration=6 * MILLISECOND,
+            warmup=1 * MILLISECOND,
+            fault_at=2 * MILLISECOND,
+            fault_until=4 * MILLISECOND,
+            seed=1,
+            runner=runner,
+        )
+    else:
+        rows, timeline = run_figr(seed=1, runner=runner)
+    return len(rows) + len(timeline), _fingerprint([rows, timeline])
+
+
 #: Registration order is execution order: micro first (fast feedback),
 #: then the macro sweeps.
 WORKLOADS: Dict[str, Workload] = {
@@ -151,4 +172,5 @@ WORKLOADS: Dict[str, Workload] = {
     "event_loop": micro_event_loop,
     "fig6a": macro_fig6a,
     "fig7a": macro_fig7a,
+    "figr": macro_figr,
 }

@@ -43,3 +43,19 @@ class SteeringPolicy:
 
     def attach(self, engine: "MiddleboxEngine") -> None:
         """Post-wiring hook; policies that need the clock/RNG grab it here."""
+
+    def resteer_around(self, engine: "MiddleboxEngine", degraded: frozenset) -> bool:
+        """Re-aim *data* traffic away from ``degraded`` cores, if possible.
+
+        Called by the fault injector whenever the degraded-core set
+        changes (an empty set means "all healthy again — restore").
+        Returns True when the steering actually changed, in which case
+        the caller invalidates the engine's designated-core cache.
+
+        The default declines: an RSS indirection table *could* be
+        rewritten, but every flow hashed to the degraded core has its
+        state pinned there, so commodity deployments don't — which is
+        exactly the fragility the paper's design escapes (any core can
+        process any packet; Sprayer just reprograms its spray rules).
+        """
+        return False

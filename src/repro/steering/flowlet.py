@@ -41,6 +41,12 @@ class FlowletPolicy(SteeringPolicy):
         self._engine = None
         self._next_queue = 0
         self.flowlets_started = 0
+        #: Queues new flowlets may start on after a fault re-steer
+        #: (None = all). Flowlets already in flight keep their queue
+        #: until their gap expires — re-steering only helps flows that
+        #: pause, which is the policy's documented fragility under
+        #: continuous load.
+        self._live_queues = None
 
     def build_nic(self) -> MultiQueueNic:
         self.nic = MultiQueueNic(
@@ -70,13 +76,32 @@ class FlowletPolicy(SteeringPolicy):
             # New flowlet: pick the next queue round-robin. Real designs
             # pick the least-loaded queue; round-robin keeps the model
             # deterministic and uniform in the long run.
-            queue = self._next_queue
-            self._next_queue = (self._next_queue + 1) % self.config.num_cores
+            live = self._live_queues
+            if live is None:
+                queue = self._next_queue
+                self._next_queue = (self._next_queue + 1) % self.config.num_cores
+            else:
+                queue = live[self._next_queue]
+                self._next_queue = (self._next_queue + 1) % len(live)
             self.flowlets_started += 1
         else:
             queue = state[1]
         self._flowlets[flow] = (now, queue)
         return queue
+
+    def resteer_around(self, engine, degraded: frozenset) -> bool:
+        """Start *new* flowlets only on non-degraded queues."""
+        num_cores = self.config.num_cores
+        live = [q for q in range(num_cores) if q not in degraded]
+        if not live:
+            return False
+        if len(live) == num_cores:
+            self._live_queues = None
+            self._next_queue %= num_cores
+        else:
+            self._live_queues = live
+            self._next_queue %= len(live)
+        return True
 
     def designated_core(self, flow: FiveTuple) -> int:
         if flow.is_tcp:

@@ -11,7 +11,7 @@ from __future__ import annotations
 
 from repro.core.designated import DesignatedCoreMap
 from repro.net.five_tuple import FiveTuple
-from repro.nic.flow_director import build_checksum_spray_rules
+from repro.nic.flow_director import build_checksum_spray_rules, spray_bits_for
 from repro.nic.nic import MultiQueueNic, NicConfig
 from repro.nic.rss import SYMMETRIC_RSS_KEY
 from repro.steering.base import SteeringPolicy
@@ -31,6 +31,9 @@ class SprayerPolicy(SteeringPolicy):
         #: §7 extension: UDP ports (e.g. QUIC's 443) whose flows are
         #: sprayed like TCP; everything else UDP stays on RSS.
         self.spray_udp_ports = frozenset(getattr(config, "spray_udp_ports", ()))
+        #: Spray targets after a fault re-steer (None = all queues).
+        self._live_queues = None
+        self._spray_bits: int = 0  # pinned in build_nic
 
     def build_nic(self) -> MultiQueueNic:
         self.nic = MultiQueueNic(
@@ -42,9 +45,11 @@ class SprayerPolicy(SteeringPolicy):
                 flow_director_pps_cap=self.config.flow_director_pps_cap,
             )
         )
-        rules = build_checksum_spray_rules(
-            self.config.num_cores, bits=self.config.spray_bits
-        )
+        bits = self.config.spray_bits
+        if bits is None:
+            bits = spray_bits_for(self.config.num_cores)
+        self._spray_bits = bits
+        rules = build_checksum_spray_rules(self.config.num_cores, bits=bits)
         self.nic.flow_director.add_rules(rules)
         if self.spray_udp_ports:
             # Flow Director perfect filters can match ports together
@@ -61,8 +66,33 @@ class SprayerPolicy(SteeringPolicy):
 
     def _classify_udp(self, packet) -> "int | None":
         if self._sprayed_udp(packet.five_tuple):
-            return packet.tcp_checksum % self.config.num_cores
+            live = self._live_queues
+            if live is None:
+                return packet.tcp_checksum % self.config.num_cores
+            return live[packet.tcp_checksum % len(live)]
         return None  # TCP falls through to Flow Director; other UDP to RSS
+
+    def resteer_around(self, engine, degraded: frozenset) -> bool:
+        """Reprogram the spray rules over the non-degraded queues.
+
+        This is the paper's resilience argument made operational: data
+        packets carry no core affinity, so avoiding a sick core is one
+        Flow Director reprogram — no state migrates, no flow strands.
+        Connection packets keep flowing to their designated cores via
+        the rings (a crashed core's designated flows are re-homed by
+        the engine separately).
+        """
+        num_cores = self.config.num_cores
+        live = [q for q in range(num_cores) if q not in degraded]
+        if not live:
+            return False
+        table = self.nic.flow_director
+        table.clear()
+        table.add_rules(
+            build_checksum_spray_rules(num_cores, bits=self._spray_bits, queues=live)
+        )
+        self._live_queues = None if len(live) == num_cores else live
+        return True
 
     def designated_core(self, flow: FiveTuple) -> int:
         # Non-TCP flows are (normally) never sprayed — they arrive via

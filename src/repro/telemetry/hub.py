@@ -14,6 +14,7 @@ Registry names (documented in README.md § Telemetry):
 ``rx.packets``              packets presented to the NIC
 ``rx.dropped.queue_full``   tail drops on full rx queues
 ``rx.dropped.fd_cap``       drops from the Flow Director rate cap
+``rx.dropped.fault``        drops on fault-disabled queues (dead/paused)
 ``nic.fd_matched``          packets classified by a Flow Director rule
 ``nic.rss_fallback``        packets classified by RSS
 ``tx.forwarded``            packets forwarded out of the middlebox
@@ -21,6 +22,7 @@ Registry names (documented in README.md § Telemetry):
 ``engine.connection_packets`` connection packets seen by classification
 ``ring.transfers``          descriptors moved to a designated core's ring
 ``ring.drops``              descriptors lost to a full transfer ring
+``engine.fault_drops``      packets flushed/lost to core crashes
 ``flow.entries``            current flow-table population (gauge)
 ``core.batch_size``         per-batch packet count (histogram)
 ==========================  ===============================================
@@ -61,6 +63,7 @@ class EngineTelemetry:
         registry.bind("rx.packets", lambda: nic_stats.rx_packets)
         registry.bind("rx.dropped.queue_full", lambda: nic_stats.rx_dropped_queue_full)
         registry.bind("rx.dropped.fd_cap", lambda: nic_stats.rx_dropped_fd_cap)
+        registry.bind("rx.dropped.fault", lambda: nic_stats.rx_dropped_fault)
         registry.bind("nic.fd_matched", lambda: nic_stats.fd_matched)
         registry.bind("nic.rss_fallback", lambda: nic_stats.rss_fallback)
         registry.bind("tx.forwarded", lambda: stats.packets_forwarded)
@@ -68,6 +71,7 @@ class EngineTelemetry:
         registry.bind("engine.connection_packets", lambda: stats.connection_packets)
         registry.bind("ring.transfers", lambda: stats.transfers)
         registry.bind("ring.drops", lambda: stats.ring_drops)
+        registry.bind("engine.fault_drops", lambda: stats.fault_drops)
         registry.bind("flow.entries", engine.flow_state.total_entries)
 
         batch_hist = registry.histogram("core.batch_size")

@@ -14,10 +14,16 @@ Three guarantees future perf refactors must not break:
 
 import json
 
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
 from repro.experiments.fig6 import fig6a_sweep
 from repro.experiments.fig7 import fig7a_sweep
 from repro.experiments.harness import run_open_loop
 from repro.experiments.runner import SweepRunner
+from repro.experiments.spec import Scenario
+from repro.faults import FaultPlan, core_slow
+from repro.faults.study import run_resilience
 from repro.sim import MILLISECOND
 
 RUN_KWARGS = dict(
@@ -91,6 +97,76 @@ class TestBackendsAreEquivalent:
         runner = SweepRunner(jobs=1)
         sweep.run(runner)
         assert runner.telemetry == []
+
+
+class TestEmptyFaultPlanIsIdentity:
+    """An empty FaultPlan attached to a run is a strict no-op: the
+    injector schedules nothing, binds nothing, draws no randomness —
+    results are byte-identical to a run with no injector at all."""
+
+    @settings(max_examples=6, deadline=None)
+    @given(
+        mode=st.sampled_from(("rss", "sprayer", "flowlet")),
+        seed=st.integers(min_value=1, max_value=1000),
+    )
+    def test_empty_plan_matches_no_injector_run(self, mode, seed):
+        kwargs = dict(
+            nf_cycles=2000, num_flows=8, duration=2 * MILLISECOND,
+            warmup=1 * MILLISECOND, seed=seed,
+        )
+        plain = run_open_loop(mode, **kwargs)
+        faultless = run_resilience(mode, plan=FaultPlan(), **kwargs)
+        assert faultless.rate_mpps == plain.rate_mpps
+        assert faultless.p99_latency_us == plain.p99_latency_us
+        assert canonical(faultless.engine_summary) == canonical(plain.engine_summary)
+        assert canonical(faultless.telemetry) == canonical(plain.telemetry)
+
+    def _resilience_points(self, plan):
+        return [
+            Scenario.make(
+                "resilience", label="det", mode=mode, nf_cycles=2000,
+                num_flows=8, duration=3 * MILLISECOND, warmup=1 * MILLISECOND,
+                seed=5, fault_plan=plan,
+            )
+            for mode in ("rss", "sprayer")
+        ]
+
+    def test_resilience_points_identical_at_any_jobs_count(self):
+        """Serial vs --jobs 2, with both an empty and a non-empty plan:
+        the plan pickles into the scenario params and the worker
+        reproduces the parent's run byte for byte."""
+        plans = (
+            FaultPlan(),
+            FaultPlan.of(
+                core_slow(0, 1 * MILLISECOND, 2 * MILLISECOND, factor=8.0), seed=5
+            ),
+        )
+        for plan in plans:
+            serial_runner = SweepRunner(jobs=1, capture_telemetry=True)
+            parallel_runner = SweepRunner(jobs=2, capture_telemetry=True)
+            serial = serial_runner.run(self._resilience_points(plan))
+            parallel = parallel_runner.run(self._resilience_points(plan))
+            assert canonical([r.values for r in serial]) == canonical(
+                [r.values for r in parallel]
+            )
+            assert canonical(serial_runner.telemetry) == canonical(
+                parallel_runner.telemetry
+            )
+
+    def test_faulted_run_differs_from_faultless(self):
+        """Sanity: the identity comparison is not vacuous."""
+        kwargs = dict(
+            nf_cycles=2000, num_flows=8, duration=3 * MILLISECOND,
+            warmup=1 * MILLISECOND, seed=5,
+        )
+        plan = FaultPlan.of(
+            core_slow(0, 1 * MILLISECOND, 2 * MILLISECOND, factor=8.0)
+        )
+        faultless = run_resilience("rss", plan=FaultPlan(), **kwargs)
+        faulted = run_resilience("rss", plan=plan, **kwargs)
+        assert canonical(faulted.engine_summary) != canonical(
+            faultless.engine_summary
+        )
 
 
 class TestTelemetryIsAPureObserver:

@@ -1,0 +1,406 @@
+"""The fault-injection subsystem: plans, injectors, and the figR study.
+
+Covers the three layers:
+
+- :mod:`repro.faults.plan` — validation and ordering of the frozen,
+  picklable fault schedules;
+- :mod:`repro.faults.injector` — each fault kind lands on its seam,
+  conservation holds through every one, and the empty plan is a strict
+  no-op;
+- :mod:`repro.faults.study` / figR — the degradation study's headline
+  claim: under a mid-run core fault, Sprayer keeps both throughput and
+  tail latency where RSS loses both.
+"""
+
+import pickle
+import random
+
+import pytest
+
+from repro.cluster.cluster import ClusterMiddlebox
+from repro.faults import (
+    ClusterFaultInjector,
+    FaultEvent,
+    FaultInjector,
+    FaultPlan,
+    core_crash,
+    core_slow,
+    core_stall,
+    fd_evict,
+    host_down,
+    link_dup,
+    link_jitter,
+    link_loss,
+    queue_pause,
+)
+from repro.faults.study import run_resilience
+from repro.net import SYN, make_tcp_packet
+from repro.nfs import SyntheticNf
+from repro.sim import MILLISECOND, Simulator
+from repro.trafficgen.flows import random_tcp_flows
+
+MS = MILLISECOND
+#: Short, loaded run: 50 % of the 4-core aggregate for nf_cycles=3000
+#: (capacity/core = 2e9 / 3170 cycles ~ 631 kpps).
+STUDY_KWARGS = dict(
+    nf_cycles=3000,
+    num_flows=16,
+    num_cores=4,
+    offered_pps=1.26e6,
+    duration=6 * MS,
+    warmup=1 * MS,
+    seed=3,
+)
+
+
+def run_study(mode, plan, **overrides):
+    kwargs = dict(STUDY_KWARGS)
+    kwargs.update(overrides)
+    return run_resilience(mode, plan=plan, **kwargs)
+
+
+class TestFaultPlanValidation:
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultEvent("meteor_strike", at=0, until=1)
+
+    def test_windowed_kind_needs_until(self):
+        with pytest.raises(ValueError, match="needs an until"):
+            FaultEvent("core_slow", at=5, magnitude=2.0)
+        with pytest.raises(ValueError, match="after at"):
+            FaultEvent("core_slow", at=5, until=5, magnitude=2.0)
+
+    def test_permanent_kind_forbids_until(self):
+        with pytest.raises(ValueError, match="permanent"):
+            FaultEvent("core_crash", at=5, until=9)
+
+    def test_probability_magnitudes_bounded(self):
+        with pytest.raises(ValueError, match="probability"):
+            link_loss(0, 10, probability=1.5)
+        with pytest.raises(ValueError, match="probability"):
+            link_dup(0, 10, probability=0.0)
+        with pytest.raises(ValueError, match="probability"):
+            fd_evict(0, fraction=-0.2)
+
+    def test_slow_factor_and_jitter_bounds(self):
+        with pytest.raises(ValueError, match="factor"):
+            core_slow(0, 0, 10, factor=0.0)
+        with pytest.raises(ValueError, match="picosecond"):
+            link_jitter(0, 10, jitter_ps=0)
+
+    def test_negative_time_rejected(self):
+        with pytest.raises(ValueError, match=">= 0"):
+            core_crash(0, at=-1)
+
+    def test_of_sorts_events_and_window_spans_them(self):
+        plan = FaultPlan.of(
+            core_stall(1, at=30, until=40),
+            core_slow(0, at=10, until=20, factor=2.0),
+            core_crash(2, at=25),
+        )
+        assert [e.kind for e in plan.events] == ["core_slow", "core_crash", "core_stall"]
+        assert plan.window() == (10, 40)
+        assert len(plan) == 3 and not plan.is_empty
+
+    def test_plan_is_hashable_and_picklable(self):
+        plan = FaultPlan.of(core_slow(1, at=10, until=20, factor=4.0), seed=7)
+        assert hash(plan) == hash(pickle.loads(pickle.dumps(plan)))
+        assert pickle.loads(pickle.dumps(plan)) == plan
+        assert FaultPlan().is_empty and FaultPlan().window() is None
+
+
+class TestInjectorValidation:
+    def build(self, mode="rss", num_cores=4):
+        from repro.core import MiddleboxConfig, MiddleboxEngine
+
+        sim = Simulator()
+        engine = MiddleboxEngine(
+            sim, SyntheticNf(0), MiddleboxConfig(mode=mode, num_cores=num_cores)
+        )
+        engine.set_egress(lambda p: None)
+        return engine
+
+    def test_core_target_out_of_range(self):
+        engine = self.build(num_cores=4)
+        with pytest.raises(ValueError, match="out of range"):
+            FaultInjector(engine, FaultPlan.of(core_crash(4, at=0)))
+
+    def test_link_fault_needs_link(self):
+        engine = self.build()
+        with pytest.raises(ValueError, match="needs a link"):
+            FaultInjector(engine, FaultPlan.of(link_loss(0, 10, 0.5)))
+
+    def test_host_down_rejected_by_engine_injector(self):
+        engine = self.build()
+        with pytest.raises(ValueError, match="ClusterFaultInjector"):
+            FaultInjector(engine, FaultPlan.of(host_down(0, at=0)))
+
+    def test_empty_plan_is_inert(self):
+        """No events scheduled, no counters bound, no RNG created."""
+        engine = self.build()
+        before = engine.sim._live
+        injector = FaultInjector(engine, FaultPlan())
+        assert engine.sim._live == before
+        assert injector._rng is None
+        assert not any(
+            name.startswith("faults.") for name in engine.telemetry.counters()
+        )
+
+
+class TestCoreFaults:
+    def test_slowdown_degrades_rss_throughput(self):
+        plan = FaultPlan.of(core_slow(0, 2 * MS, 5 * MS, factor=10.0))
+        healthy = run_study("rss", plan=None)
+        faulted = run_study("rss", plan=plan)
+        assert faulted.rate_mpps < healthy.rate_mpps
+        assert faulted.p99_latency_us > 10 * healthy.p99_latency_us
+        summary = faulted.engine_summary
+        assert summary["rx_dropped_queue_full"] > 0
+
+    def test_stall_and_resume_conserve_packets(self):
+        from repro.core import MiddleboxConfig, MiddleboxEngine
+        from repro.net import ACK
+
+        sim = Simulator()
+        engine = MiddleboxEngine(
+            sim, SyntheticNf(2000),
+            MiddleboxConfig(mode="rss", num_cores=4, queue_capacity=16),
+        )
+        engine.set_egress(lambda p: None)
+        rng = random.Random(3)
+        flows = random_tcp_flows(8, rng)
+        # Stall the core RSS feeds with the first flow, so its 16-deep
+        # queue provably sees arrivals while stalled.
+        target = engine.nic.rss.queue_for(flows[0])
+        injector = FaultInjector(
+            engine, FaultPlan.of(core_stall(target, at=1 * MS, until=5 * MS))
+        )
+        # Steady arrivals across the stall window; the stalled core's
+        # queue overflows, then drains after resume.
+        for seq in range(80):
+            t = seq * (MS // 10)
+            for flow in flows:
+                sim.at(
+                    t, engine.receive,
+                    make_tcp_packet(flow, flags=ACK, seq=seq,
+                                    tcp_checksum=rng.getrandbits(16)),
+                    t,
+                )
+        sim.run(until=20 * MS)
+        assert not sim.has_live_events()
+        ledger = engine.conservation()
+        assert ledger["rx_dropped_queue_full"] > 0
+        assert ledger["rx_packets"] == ledger["accounted"], ledger
+        records = injector.to_dicts()
+        assert [r["kind"] for r in records] == ["core_stall"]
+        assert records[0]["cleared_at"] == 5 * MS
+
+    def test_crash_flushes_and_disables_queue(self):
+        plan = FaultPlan.of(core_crash(0, at=2 * MS))
+        result = run_study("rss", plan=plan)
+        summary = result.engine_summary
+        counters = result.telemetry["counters"]
+        # RSS cannot re-steer: arrivals keep hashing to the dead queue.
+        assert summary["rx_dropped_fault"] > 0
+        assert counters["faults.applied"] == 1
+        assert summary["rx_packets"] == (
+            summary["forwarded"] + summary["nf_drops"]
+            + summary["rx_dropped_queue_full"] + summary["rx_dropped_fd_cap"]
+            + summary["rx_dropped_fault"] + summary["ring_drops"]
+            + summary["fault_drops"]
+        )
+
+    def test_sprayer_resteers_around_crash(self):
+        plan = FaultPlan.of(core_crash(0, at=2 * MS))
+        rss = run_study("rss", plan=plan)
+        sprayer = run_study("sprayer", plan=plan)
+        assert sprayer.rate_mpps > rss.rate_mpps
+        counters = sprayer.telemetry["counters"]
+        assert counters["faults.resteers"] >= 1
+        # After the re-steer no data lands on the dead queue; only
+        # packets already queued there at crash time are lost.
+        assert sprayer.engine_summary["rx_dropped_fault"] == 0
+
+    def test_resteer_false_removes_sprayer_advantage(self):
+        plan = FaultPlan.of(core_crash(0, at=2 * MS))
+        reacting = run_study("sprayer", plan=plan, resteer=True)
+        frozen = run_study("sprayer", plan=plan, resteer=False)
+        assert frozen.engine_summary["rx_dropped_fault"] > 0
+        assert reacting.rate_mpps > frozen.rate_mpps
+
+
+class TestLinkFaults:
+    def test_loss_window_drops_upstream_of_nic(self):
+        plan = FaultPlan.of(link_loss(2 * MS, 4 * MS, probability=0.5), seed=11)
+        result = run_study("sprayer", plan=plan)
+        baseline = run_study("sprayer", plan=None)
+        counters = result.telemetry["counters"]
+        assert counters["faults.link_lost"] > 0
+        # Lost packets never reach the NIC, so rx sees fewer packets and
+        # the engine ledger still balances.
+        assert result.engine_summary["rx_packets"] == (
+            baseline.engine_summary["rx_packets"] - counters["faults.link_lost"]
+        )
+
+    def test_duplication_adds_rx_packets(self):
+        plan = FaultPlan.of(link_dup(2 * MS, 4 * MS, probability=0.3), seed=11)
+        result = run_study("sprayer", plan=plan)
+        baseline = run_study("sprayer", plan=None)
+        counters = result.telemetry["counters"]
+        assert counters["faults.link_duplicated"] > 0
+        assert result.engine_summary["rx_packets"] == (
+            baseline.engine_summary["rx_packets"]
+            + counters["faults.link_duplicated"]
+        )
+
+    def test_jitter_window_counts_and_conserves(self):
+        plan = FaultPlan.of(link_jitter(2 * MS, 4 * MS, jitter_ps=5_000_000), seed=11)
+        result = run_study("sprayer", plan=plan)
+        counters = result.telemetry["counters"]
+        assert counters["faults.link_jittered"] > 0
+        summary = result.engine_summary
+        assert summary["rx_packets"] == (
+            summary["forwarded"] + summary["nf_drops"]
+            + summary["rx_dropped_queue_full"] + summary["rx_dropped_fd_cap"]
+            + summary["rx_dropped_fault"] + summary["ring_drops"]
+            + summary["fault_drops"]
+        )
+
+
+class TestNicFaults:
+    def test_queue_pause_drops_only_inside_window(self):
+        plan = FaultPlan.of(queue_pause(0, 2 * MS, 4 * MS))
+        result = run_study("rss", plan=plan)
+        summary = result.engine_summary
+        assert summary["rx_dropped_fault"] > 0
+        records = result.fault_records
+        assert records[0]["kind"] == "queue_pause"
+        assert records[0]["cleared_at"] == 4 * MS
+        # After the window the queue takes traffic again: the run still
+        # forwards most of the offered load.
+        assert summary["forwarded"] > 0.5 * summary["rx_packets"]
+
+    def test_fd_evict_shrinks_table_and_falls_back_to_rss(self):
+        plan = FaultPlan.of(fd_evict(2 * MS, fraction=0.5), seed=13)
+        result = run_study("sprayer", plan=plan)
+        counters = result.telemetry["counters"]
+        assert counters["faults.fd_evicted"] > 0
+        # Evicted checksum values fall back to RSS classification.
+        assert counters["nic.rss_fallback"] > 0
+
+
+class TestClusterFaults:
+    def _loaded_cluster(self):
+        sim = Simulator()
+        cluster = ClusterMiddlebox(
+            sim, lambda host: SyntheticNf(0), num_hosts=3
+        )
+        cluster.set_egress(lambda p: None)
+        rng = random.Random(5)
+        for flow in random_tcp_flows(48, rng):
+            cluster.receive(
+                make_tcp_packet(flow, flags=SYN, tcp_checksum=rng.getrandbits(16)),
+                sim.now,
+            )
+        sim.run(until=1 * MS)
+        return sim, cluster
+
+    def test_host_down_loses_state_and_redirects_flows(self):
+        sim, cluster = self._loaded_cluster()
+        injector = ClusterFaultInjector(
+            cluster, FaultPlan.of(host_down(0, at=2 * MS))
+        )
+        sim.run(until=3 * MS)
+        assert injector.hosts_failed == ["host0"]
+        assert cluster.live_hosts == ["host1", "host2"]
+        assert cluster.stats.host_failures == 1
+        assert cluster.stats.lost_entries > 0
+        # New traffic dispatches to survivors only.
+        rng = random.Random(17)
+        for flow in random_tcp_flows(16, rng):
+            host = cluster.host_for(flow)
+            assert host in cluster.live_hosts
+        summary = cluster.summary()
+        assert summary["failed_hosts"] == ["host0"]
+
+    def test_failed_host_state_never_resurrects(self):
+        sim, cluster = self._loaded_cluster()
+        cluster.fail_host("host1")
+        before = cluster.stats.migrated_entries
+        cluster.scale_out()
+        # Migration after the failure must not move entries out of the
+        # dead host (its state is lost, not parked).
+        assert cluster.engines["host1"].flow_state.total_entries() > 0  # frozen corpse
+        assert all(
+            cluster.host_for(flow) != "host1"
+            for flow in random_tcp_flows(16, random.Random(23))
+        )
+        assert cluster.stats.migrated_entries >= before
+
+    def test_cannot_fail_last_live_host(self):
+        sim = Simulator()
+        cluster = ClusterMiddlebox(sim, lambda host: SyntheticNf(0), num_hosts=2)
+        cluster.fail_host("host0")
+        with pytest.raises(ValueError, match="last live host"):
+            cluster.fail_host("host1")
+        with pytest.raises(ValueError, match="already failed"):
+            cluster.fail_host("host0")
+
+    def test_cluster_injector_rejects_engine_kinds(self):
+        sim = Simulator()
+        cluster = ClusterMiddlebox(sim, lambda host: SyntheticNf(0), num_hosts=2)
+        with pytest.raises(ValueError, match="only handles host_down"):
+            ClusterFaultInjector(cluster, FaultPlan.of(core_crash(0, at=0)))
+
+
+class TestTelemetryAndTimeline:
+    def test_fault_trace_events_recorded(self):
+        plan = FaultPlan.of(core_slow(0, 2 * MS, 4 * MS, factor=8.0))
+        result = run_study("rss", plan=plan, telemetry_trace=True)
+        names = {event["name"] for event in result.telemetry["trace"]}
+        assert "fault_core_slow" in names
+        assert "fault_clear_core_slow" in names
+
+    def test_timeline_buckets_cover_run_and_show_damage(self):
+        plan = FaultPlan.of(core_slow(0, 2 * MS, 4 * MS, factor=10.0))
+        result = run_study("rss", plan=plan)
+        assert len(result.timeline) == 6  # 6 ms run, 1 ms buckets
+        during = [r for r in result.timeline if 2.0 <= r["t_ms"] < 4.0]
+        before = [r for r in result.timeline if r["t_ms"] < 2.0]
+        assert max(r["p99_us"] for r in during) > 10 * max(
+            r["p99_us"] for r in before
+        )
+
+    def test_injector_counters_exported(self):
+        plan = FaultPlan.of(
+            core_slow(0, 2 * MS, 4 * MS, factor=4.0),
+            core_crash(1, at=3 * MS),
+        )
+        result = run_study("rss", plan=plan)
+        counters = result.telemetry["counters"]
+        assert counters["faults.scheduled"] == 2
+        assert counters["faults.applied"] == 2
+        assert counters["faults.cleared"] == 1
+
+
+class TestFigRAcceptance:
+    def test_sprayer_beats_rss_during_core_slowdown(self):
+        """The PR's headline: quick-mode figR must show Sprayer strictly
+        ahead on throughput AND tail latency under the fault."""
+        from repro.experiments.figr import run_figr
+
+        rows, timeline = run_figr(
+            duration=8 * MS, warmup=2 * MS, fault_at=3 * MS, fault_until=6 * MS
+        )
+        by_mode = {row["mode"]: row for row in rows}
+        assert by_mode["sprayer"]["fwd_mpps"] > by_mode["rss"]["fwd_mpps"]
+        assert by_mode["sprayer"]["p99_us"] < by_mode["rss"]["p99_us"]
+        # The gap is the story: RSS tail latency explodes by orders of
+        # magnitude while Sprayer's stays flat.
+        assert by_mode["rss"]["p99_us"] > 10 * by_mode["sprayer"]["p99_us"]
+        assert by_mode["rss"]["queue_drops"] > 0
+        assert by_mode["sprayer"]["queue_drops"] == 0
+        assert timeline and set(timeline[0]) == {
+            "t_ms", "rss_mpps", "rss_p99_us", "flowlet_mpps",
+            "flowlet_p99_us", "sprayer_mpps", "sprayer_p99_us",
+        }

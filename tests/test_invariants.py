@@ -2,10 +2,12 @@
 
 Every packet presented to the NIC must be accounted for by exactly one
 of: forwarded, dropped by the NF, tail-dropped on a full rx queue,
-dropped by the Flow Director rate cap, or lost to a full transfer ring:
+dropped by the Flow Director rate cap, dropped on a fault-disabled
+queue, lost to a full transfer ring, or flushed by a core crash:
 
     rx_packets == forwarded + nf_drops + rx_dropped_queue_full
-                  + rx_dropped_fd_cap + ring_drops
+                  + rx_dropped_fd_cap + rx_dropped_fault
+                  + ring_drops + fault_drops
 
 once the simulation drains. The ring-drop term is the regression target:
 ``EngineStats.ring_drops`` used to be the only trace a vanished
@@ -89,7 +91,9 @@ def assert_conserved(engine):
     assert counters["nf.drops"] == ledger["nf_drops"]
     assert counters["rx.dropped.queue_full"] == ledger["rx_dropped_queue_full"]
     assert counters["rx.dropped.fd_cap"] == ledger["rx_dropped_fd_cap"]
+    assert counters["rx.dropped.fault"] == ledger["rx_dropped_fault"]
     assert counters["ring.drops"] == ledger["ring_drops"]
+    assert counters["engine.fault_drops"] == ledger["fault_drops"]
     return ledger
 
 
@@ -182,3 +186,29 @@ class TestRingDropConservation:
         assert sum(e["ring_dropped"] for e in final["cores"]) == (
             engine.stats.ring_drops
         )
+
+
+class TestFaultConservation:
+    """Crash a core mid-workload: every flushed, re-routed, or dead-queue
+    packet still lands in exactly one ledger slot."""
+
+    def test_crash_mid_workload_conserves_packets(self):
+        # RSS: no re-steer on crash, so post-crash arrivals keep hashing
+        # to the dead queue and must surface as rx_dropped_fault.
+        sim, engine = build_engine(
+            "rss", SyntheticNf(busy_cycles=20000), num_cores=4, queue_capacity=64
+        )
+        rng = random.Random(7)
+        inject_workload(sim, engine, 8, 30, rng)
+        # A core with a still-loaded queue, so the crash has work to flush.
+        target = next(
+            c.core_id for c in engine.host.cores if not c.rx_queue.is_empty
+        )
+        flushed = engine.crash_core(target)
+        assert flushed > 0
+        inject_workload(sim, engine, 8, 30, rng)
+        sim.run(max_events=2_000_000)
+        assert not sim.has_live_events()
+        ledger = assert_conserved(engine)
+        assert ledger["fault_drops"] >= flushed
+        assert ledger["rx_dropped_fault"] > 0

@@ -151,7 +151,9 @@ class TestRunSuite:
                     == second["workloads"][name]["fingerprint"])
 
     def test_all_workloads_registered(self):
-        assert set(WORKLOADS) == {"hash", "steer", "event_loop", "fig6a", "fig7a"}
+        assert set(WORKLOADS) == {
+            "hash", "steer", "event_loop", "fig6a", "fig7a", "figr",
+        }
 
 
 class TestTableLog:

@@ -55,10 +55,27 @@ class TestRegistry:
 
 class TestCli:
     def test_runner_names_cover_all_figures(self):
-        assert set(RUNNERS) == {"fig1", "fig2", "table1", "fig6", "fig7", "fig8", "fig9"}
+        assert set(RUNNERS) == {
+            "fig1", "fig2", "table1", "fig6", "fig7", "fig8", "fig9", "figR",
+        }
 
     def test_unknown_name_rejected(self):
         assert main(["nope"]) == 2
+
+    def test_list_flag_enumerates_runners_and_kinds(self, capsys):
+        assert main(["--list"]) == 0
+        out = capsys.readouterr().out
+        assert "experiments:" in out
+        assert "scenario kinds:" in out
+        for name in RUNNERS:
+            assert name in out
+        assert "resilience" in out
+        assert "open_loop" in out
+
+    def test_list_flag_ignores_names(self, capsys):
+        """--list answers immediately, even alongside experiment names."""
+        assert main(["--list", "fig2"]) == 0
+        assert "Figure 2" not in capsys.readouterr().out
 
     def test_single_fast_experiment_runs(self, capsys):
         assert main(["fig2"]) == 0

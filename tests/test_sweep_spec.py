@@ -189,6 +189,24 @@ class TestRunner:
 
             del spec.KIND_RUNNERS["echo_seed"]
 
+    def test_register_kind_rejects_duplicates(self):
+        """Silently overwriting a kind would make every sweep using it
+        quietly measure something else — refuse unless explicit."""
+        with pytest.raises(ValueError, match="already registered"):
+            register_kind("capacity", lambda sc: ({}, {}))
+
+        register_kind("dup_probe", lambda sc: ({"v": 1}, {}))
+        try:
+            with pytest.raises(ValueError, match="already registered"):
+                register_kind("dup_probe", lambda sc: ({"v": 2}, {}))
+            register_kind("dup_probe", lambda sc: ({"v": 3}, {}), replace=True)
+            result = run_scenario(Scenario.make("dup_probe"))
+            assert result.values == {"v": 3}
+        finally:
+            from repro.experiments import spec
+
+            del spec.KIND_RUNNERS["dup_probe"]
+
 
 class TestCapacityScenario:
     def test_measure_capacity_equals_capacity_scenario(self):
