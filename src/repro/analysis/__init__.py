@@ -1,10 +1,18 @@
-"""Analytic models used to validate the simulator.
+"""Analytic (queueing-theory) models used to validate the simulator.
 
 The cost model and event engine are only trustworthy if they reproduce
 what queueing theory predicts in the regimes where theory is exact.
 :mod:`repro.analysis.queueing` provides the closed forms (D/D/1, M/D/1,
-and the multi-queue spraying analogue); the validation test suite runs
-the simulator against them.
+M/M/1, and the multi-queue spraying analogue); the validation test
+suite runs the simulator against them.
+
+Not to be confused with :mod:`repro.lint`, the *static-analysis*
+package: ``repro.analysis`` is mathematics about queues,
+``repro.lint`` is AST checking of this repo's own source (writing
+partition, simulation purity). The two grew up under different PRs and
+the names stay as-is so existing imports remain stable — if this
+package is ever renamed (``repro.queueing`` would be the natural home),
+keep a shim module re-exporting these symbols.
 """
 
 from repro.analysis.queueing import (

@@ -1,0 +1,82 @@
+"""Runtime correctness checkers (the dynamic half of ``repro.lint``).
+
+Where :mod:`repro.lint` checks the writing partition and simulation
+purity *statically* (AST rules over the source), this package checks
+them *dynamically* on live engines:
+
+- :class:`OwnershipAuditor` shadows every flow-state access and raises
+  :class:`~repro.core.flow_state.OwnershipViolation` on any second
+  writer core per flow — including on the shared/remote backends whose
+  storage happily permits cross-core writes;
+- :class:`EventStreamRecorder` + :func:`audit_determinism` digest each
+  core's batch event stream so two same-seed runs can be compared
+  batch-by-batch, not just result-by-result.
+
+Both are armed with ``MiddleboxEngine(..., strict_checks=True)``, the
+``strict_checks=True`` config field, or fleet-wide via
+``python -m repro.experiments --strict-checks`` (environment variable
+``REPRO_STRICT_CHECKS=1``, which reaches pool workers). The checkers
+observe without perturbing: results are byte-identical with checks on
+or off, and the telemetry registry gains a ``checks.*`` counter family
+(``checks.ownership.reads/writes/flows/violations``,
+``checks.stream.batches``).
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional
+
+from repro.checks.determinism import (
+    DeterminismViolation,
+    EventStreamRecorder,
+    audit_determinism,
+)
+from repro.checks.ownership import OwnershipAuditor
+
+
+class EngineChecks:
+    """The (possibly disarmed) checker bundle attached to one engine.
+
+    Always present as ``engine.checks`` so callers never probe for
+    attribute existence; both members are ``None`` when the engine was
+    built without ``strict_checks``.
+    """
+
+    __slots__ = ("ownership", "streams")
+
+    def __init__(
+        self,
+        ownership: Optional[OwnershipAuditor] = None,
+        streams: Optional[EventStreamRecorder] = None,
+    ):
+        self.ownership = ownership
+        self.streams = streams
+
+    @property
+    def enabled(self) -> bool:
+        return self.ownership is not None or self.streams is not None
+
+    def digests(self) -> List[int]:
+        """Per-core event-stream digests ([] when checks are disarmed)."""
+        return self.streams.digests() if self.streams is not None else []
+
+    def bind(self, registry: Any) -> None:
+        """Publish the ``checks.*`` counter family into a telemetry registry."""
+        ownership = self.ownership
+        if ownership is not None:
+            registry.bind("checks.ownership.reads", lambda: ownership.reads)
+            registry.bind("checks.ownership.writes", lambda: ownership.writes)
+            registry.bind("checks.ownership.flows", lambda: ownership.flows_tracked)
+            registry.bind("checks.ownership.violations", lambda: ownership.violations)
+        streams = self.streams
+        if streams is not None:
+            registry.bind("checks.stream.batches", lambda: streams.batches)
+
+
+__all__ = [
+    "OwnershipAuditor",
+    "EventStreamRecorder",
+    "DeterminismViolation",
+    "audit_determinism",
+    "EngineChecks",
+]

@@ -1,0 +1,130 @@
+"""Determinism auditing: per-core event-stream digests.
+
+The reproduction's test suites rely on runs being byte-identical
+functions of the experiment seed. The existing determinism tests
+compare *end results* (rows, counters); this module compares the
+*order of execution itself*: :class:`EventStreamRecorder` folds every
+batch a core executes — ``(core, start time, duration, foreign count,
+local count)`` — into a per-core chained CRC. Two runs that merely end
+at the same totals by different paths (an off-by-one in the scheduler
+tie-break, say) produce different digests, so divergence is caught at
+the first differing batch boundary rather than laundered through
+aggregation.
+
+:func:`audit_determinism` is the harness: build-and-run the same
+simulation twice (or more) in-process and compare digests, raising
+:class:`DeterminismViolation` with the first differing core.
+"""
+
+from __future__ import annotations
+
+import zlib
+from typing import Any, Callable, List, Optional, Sequence, Union
+
+
+class DeterminismViolation(RuntimeError):
+    """Two supposedly identical runs produced different event streams."""
+
+    def __init__(self, run_index: int, core_id: int, expected: int, got: int):
+        super().__init__(run_index, core_id, expected, got)
+        self.run_index = run_index
+        self.core_id = core_id
+        self.expected = expected
+        self.got = got
+
+    def __str__(self) -> str:
+        return (
+            f"run {self.run_index} diverged on core {self.core_id}: "
+            f"event-stream digest {self.got:#010x} != baseline "
+            f"{self.expected:#010x} — the simulation is not a pure "
+            f"function of its seed"
+        )
+
+
+class EventStreamRecorder:
+    """Chained CRC32 digest of each core's batch event stream.
+
+    Installed by the engine (under ``strict_checks``) as a wrapper
+    around each core's per-batch trace hook; composes with the
+    telemetry tracer when both are on. Pure observation: nothing about
+    the run changes, the digest is just folded forward per batch.
+    """
+
+    def __init__(self, num_cores: int):
+        if num_cores < 1:
+            raise ValueError(f"num_cores must be >= 1, got {num_cores}")
+        self._digests: List[int] = [0] * num_cores
+        self.batches = 0
+
+    def hook(
+        self,
+        core_id: int,
+        prev: Optional[Callable[[int, int, int, int, int], None]] = None,
+    ) -> Callable[[int, int, int, int, int], None]:
+        """A ``trace_batch``-shaped hook updating ``core_id``'s digest.
+
+        ``prev`` (an already-installed hook, e.g. the telemetry
+        tracer's) keeps firing after the digest update.
+        """
+        digests = self._digests
+
+        def record(cid: int, start_ps: int, duration_ps: int, foreign: int, local: int) -> None:
+            digests[core_id] = zlib.crc32(
+                b"%d|%d|%d|%d|%d" % (cid, start_ps, duration_ps, foreign, local),
+                digests[core_id],
+            )
+            self.batches += 1
+            if prev is not None:
+                prev(cid, start_ps, duration_ps, foreign, local)
+
+        return record
+
+    def digests(self) -> List[int]:
+        """Per-core digest snapshot (CRC32 ints, core order)."""
+        return list(self._digests)
+
+
+def _digests_of(result: Union[Sequence[int], Any]) -> List[int]:
+    """Accept raw digest lists, engines, or anything with ``.checks``."""
+    if isinstance(result, (list, tuple)):
+        return list(result)
+    checks = getattr(result, "checks", result)
+    digests = getattr(checks, "digests", None)
+    if digests is None:
+        raise TypeError(
+            f"audit_determinism: run() must return per-core digests, an "
+            f"engine with strict checks, or an EngineChecks — got "
+            f"{type(result).__name__}"
+        )
+    return list(digests() if callable(digests) else digests)
+
+
+def audit_determinism(
+    run: Callable[[], Any], runs: int = 2
+) -> List[int]:
+    """Execute ``run()`` ``runs`` times and compare event-stream digests.
+
+    ``run`` must build and execute one complete simulation from scratch
+    (same seed each time) and return either the per-core digest list, a
+    :class:`~repro.core.engine.MiddleboxEngine` built with
+    ``strict_checks=True``, or its ``.checks``. Returns the agreed
+    digests; raises :class:`DeterminismViolation` on the first
+    divergence.
+    """
+    if runs < 2:
+        raise ValueError(f"runs must be >= 2 to compare anything, got {runs}")
+    baseline: Optional[List[int]] = None
+    for index in range(runs):
+        digests = _digests_of(run())
+        if baseline is None:
+            baseline = digests
+        elif digests != baseline:
+            for core_id, (expected, got) in enumerate(zip(baseline, digests)):
+                if expected != got:
+                    raise DeterminismViolation(index, core_id, expected, got)
+            # Same prefix but different core counts.
+            raise DeterminismViolation(
+                index, min(len(baseline), len(digests)), -1, -1
+            )
+    assert baseline is not None
+    return baseline

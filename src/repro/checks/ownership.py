@@ -1,0 +1,173 @@
+"""Dynamic enforcement of the writing partition.
+
+:class:`OwnershipAuditor` wraps any flow-state manager and shadows
+every access with ``(core_id, flow_id, op, sim_time)``. The invariant
+it enforces is the paper's single-writer discipline stated without
+reference to any particular hash: *each flow has at most one writer
+core at a time*. The first write claims the flow; any write from a
+different core raises :class:`~repro.core.flow_state.OwnershipViolation`
+(strict mode) or increments the violation counter (audit mode).
+
+Because the rule is hash-free, the auditor covers the backends that
+structurally *permit* cross-core writes — :class:`SharedFlowState`
+(one locked table, the naive-spraying ablation) and
+:class:`RemoteFlowState` (StatelessNF store) — where the static
+designated-core check in ``PartitionedFlowState`` never runs. Under
+the auditor, a naive-spraying run doesn't just pay lock costs: its
+violations of the discipline become *visible*, either as a raise or as
+a ``checks.ownership.violations`` count.
+
+The auditor observes and delegates; it never touches costs, cycles, or
+results, so an audited run is byte-identical to an unaudited one (a
+Hypothesis property in ``tests/test_checks.py`` pins this down).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Callable, Deque, Dict, Hashable, Iterable, List, Optional, Tuple
+
+from repro.core.flow_state import OwnershipViolation
+
+#: Bounded length of the shadow trail (the most recent accesses kept
+#: for post-mortem inspection after a violation).
+TRAIL_LIMIT = 4096
+
+
+class OwnershipAuditor:
+    """Proxy over a flow-state manager enforcing one writer core per flow.
+
+    Parameters
+    ----------
+    inner:
+        Any flow-state variant (partitioned, shared, remote) — anything
+        with the Table 2 ``(result, cycles)`` methods.
+    clock:
+        Zero-argument sim-clock getter; stamps the shadow trail and any
+        :class:`OwnershipViolation` with picosecond timestamps.
+    strict:
+        When True (the default), a second writer core raises; when
+        False the violation is only counted, which is how the shared-
+        and remote-state ablations are *measured* against the
+        discipline rather than killed by it.
+    """
+
+    def __init__(
+        self,
+        inner: Any,
+        clock: Optional[Callable[[], int]] = None,
+        strict: bool = True,
+    ):
+        self.inner = inner
+        self.clock = clock
+        self.strict = strict
+        #: flow_id -> the core that currently owns its writes.
+        self._writer: Dict[Hashable, int] = {}
+        #: The shadow log: (core_id, flow_id, op, sim_time), bounded.
+        self.trail: Deque[Tuple[int, Hashable, str, Optional[int]]] = deque(
+            maxlen=TRAIL_LIMIT
+        )
+        self.reads = 0
+        self.writes = 0
+        self.violations = 0
+
+    # -- auditing core -----------------------------------------------------
+
+    def _now(self) -> Optional[int]:
+        clock = self.clock
+        return clock() if clock is not None else None
+
+    def _audit_write(self, core_id: int, flow_id: Hashable, op: str) -> None:
+        self.writes += 1
+        now = self._now()
+        self.trail.append((core_id, flow_id, op, now))
+        owner = self._writer.get(flow_id)
+        if owner is None:
+            self._writer[flow_id] = core_id
+        elif owner != core_id:
+            self.violations += 1
+            if self.strict:
+                raise OwnershipViolation(op, flow_id, core_id, owner, now)
+
+    @property
+    def flows_tracked(self) -> int:
+        """Flows whose writer core is currently on record."""
+        return len(self._writer)
+
+    def release(self, flow_id: Hashable) -> None:
+        """Forget a flow's writer (its state is gone; a new writer may claim)."""
+        self._writer.pop(flow_id, None)
+
+    def release_writer_core(self, core_id: int) -> int:
+        """Forget every flow owned by ``core_id``; returns how many.
+
+        Called by the engine when a core crashes: the dead core's
+        designated flows are re-homed onto live cores and their state
+        restarts from scratch there, so the new home's first write is a
+        legitimate claim, not a violation.
+        """
+        doomed = [flow for flow, owner in self._writer.items() if owner == core_id]
+        for flow in doomed:
+            del self._writer[flow]
+        return len(doomed)
+
+    # -- Table 2 API (audited, then delegated verbatim) --------------------
+
+    def insert_local(self, core_id: int, flow_id: Hashable, entry: Any) -> Tuple[Any, int]:
+        self._audit_write(core_id, flow_id, "insert")
+        return self.inner.insert_local(core_id, flow_id, entry)
+
+    def remove_local(self, core_id: int, flow_id: Hashable) -> Tuple[bool, int]:
+        self._audit_write(core_id, flow_id, "remove")
+        result = self.inner.remove_local(core_id, flow_id)
+        removed = result[0]
+        if removed:
+            # The flow's state is gone; whoever writes it next starts a
+            # fresh single-writer epoch (e.g. designated-core re-homing).
+            self.release(flow_id)
+        return result
+
+    def get_local(self, core_id: int, flow_id: Hashable) -> Tuple[Optional[Any], int]:
+        # A modifiable access is a write under the paper's semantics.
+        self._audit_write(core_id, flow_id, "get_local (modifiable access)")
+        return self.inner.get_local(core_id, flow_id)
+
+    def get(self, core_id: int, flow_id: Hashable) -> Tuple[Optional[Any], int]:
+        self.reads += 1
+        self.trail.append((core_id, flow_id, "get", self._now()))
+        return self.inner.get(core_id, flow_id)
+
+    def get_many(
+        self, core_id: int, flow_ids: Iterable[Hashable]
+    ) -> Tuple[List[Optional[Any]], int]:
+        flow_ids = list(flow_ids)
+        self.reads += len(flow_ids)
+        now = self._now()
+        for flow_id in flow_ids:
+            self.trail.append((core_id, flow_id, "get_many", now))
+        return self.inner.get_many(core_id, flow_ids)
+
+    # -- reporting / control plane (delegated) ----------------------------
+
+    def total_entries(self) -> int:
+        return self.inner.total_entries()
+
+    def per_core_entries(self) -> List[int]:
+        return self.inner.per_core_entries()
+
+    def entries_snapshot(self) -> List[Tuple[Hashable, Any]]:
+        return self.inner.entries_snapshot()
+
+    def evict(self, flow_id: Hashable) -> Optional[Any]:
+        self.release(flow_id)
+        return self.inner.evict(flow_id)
+
+    def adopt(self, flow_id: Hashable, entry: Any) -> None:
+        # Migration re-homes the flow; its next dataplane write claims it.
+        self.release(flow_id)
+        self.inner.adopt(flow_id, entry)
+
+    def __getattr__(self, name: str) -> Any:
+        # Backend-specific attributes (lock_acquisitions, remote_accesses,
+        # tables for telemetry probes, ...) pass straight through.
+        return getattr(self.inner, name)

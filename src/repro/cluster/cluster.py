@@ -172,9 +172,8 @@ class ClusterMiddlebox:
         """Which host currently owns each flow that has state."""
         assignment: Dict[FiveTuple, str] = {}
         for host, engine in self.engines.items():
-            for table in getattr(engine.flow_state, "tables", []):
-                for key in table.entries:
-                    assignment[self._tuple_of(key)] = host
+            for key, _entry in engine.flow_state.entries_snapshot():
+                assignment[self._tuple_of(key)] = host
         return assignment
 
     @staticmethod
@@ -191,19 +190,19 @@ class ClusterMiddlebox:
                 # it also keeps a later scale_out from resurrecting
                 # ghost entries.
                 continue
-            tables = getattr(engine.flow_state, "tables", [])
-            for table in tables:
-                for key in list(table.entries):
-                    flow = self._tuple_of(key)
-                    new_host = self.dispatcher.host_for(flow)
-                    if new_host == host:
-                        continue
-                    entry = table.entries.pop(key)
-                    target = self.engines[new_host]
-                    designated = target.designated_core(key)
-                    target.flow_state.tables[designated].insert(key, entry)
-                    self.stats.migrated_entries += 1
-                    moved_flows.add(flow.canonical())
+            for key, entry in engine.flow_state.entries_snapshot():
+                flow = self._tuple_of(key)
+                new_host = self.dispatcher.host_for(flow)
+                if new_host == host:
+                    continue
+                engine.flow_state.evict(key)
+                # adopt() re-homes the entry onto the flow's designated
+                # core at the new host (control-plane write, so the
+                # single-writer check does not apply — the flow has a
+                # fresh writer after migration).
+                self.engines[new_host].flow_state.adopt(key, entry)
+                self.stats.migrated_entries += 1
+                moved_flows.add(flow.canonical())
         if moved_flows:
             self.stats.migrations += 1
 

@@ -17,6 +17,7 @@ from repro.core.flow_state import (
     FlowTable,
     RemoteFlowState,
     FlowTableFullError,
+    OwnershipViolation,
     PartitionedFlowState,
     SharedFlowState,
     WritingPartitionError,
@@ -40,6 +41,7 @@ __all__ = [
     "PartitionedFlowState",
     "SharedFlowState",
     "WritingPartitionError",
+    "OwnershipViolation",
     "FlowTableFullError",
     "TransferRing",
     "split_connection_packets",

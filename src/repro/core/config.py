@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Optional
 
@@ -9,6 +10,19 @@ from repro.cpu.costs import CostModel
 
 #: Steering modes understood by :func:`repro.steering.make_policy`.
 MODES = ("rss", "sprayer", "naive", "prognic", "flowlet", "subset")
+
+
+def _strict_checks_default() -> bool:
+    """Default for ``strict_checks``: the ``REPRO_STRICT_CHECKS`` env var.
+
+    An environment variable (rather than a parameter threaded through
+    every figure runner) is what lets ``python -m repro.experiments
+    --strict-checks`` arm the checkers in-process *and* inside every
+    ``--jobs N`` pool worker, which inherit the environment.
+    """
+    return os.environ.get("REPRO_STRICT_CHECKS", "").strip().lower() in (
+        "1", "true", "yes", "on",
+    )
 
 
 @dataclass
@@ -34,6 +48,15 @@ class MiddleboxConfig:
     flow_director_pps_cap: Optional[float] = 10.5e6
     #: Enforce the single-writer discipline (raises on violation).
     enforce_partition: bool = True
+    #: Arm the runtime checkers of :mod:`repro.checks`: wrap the flow
+    #: state in an :class:`~repro.checks.OwnershipAuditor` (any second
+    #: writer core per flow raises
+    #: :class:`~repro.core.flow_state.OwnershipViolation`, on every
+    #: backend) and digest per-core event streams for determinism
+    #: audits. Observation only — results are byte-identical either
+    #: way. Defaults to the ``REPRO_STRICT_CHECKS`` environment
+    #: variable so ``--strict-checks`` reaches pool workers.
+    strict_checks: bool = field(default_factory=_strict_checks_default)
     #: Use the symmetric designated-core hash (paper default). The
     #: asymmetric ablation shows why symmetry matters: both directions
     #: of a connection stop sharing a designated core.

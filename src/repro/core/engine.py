@@ -22,6 +22,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Optional
 
+from repro.checks import EngineChecks, EventStreamRecorder, OwnershipAuditor
 from repro.core.config import MiddleboxConfig
 from repro.core.flow_state import (
     PartitionedFlowState,
@@ -66,11 +67,18 @@ class MiddleboxEngine:
         nf: NetworkFunction,
         config: Optional[MiddleboxConfig] = None,
         policy: Optional[SteeringPolicy] = None,
+        strict_checks: Optional[bool] = None,
     ):
         self.sim = sim
         self.nf = nf
         self.config = config or MiddleboxConfig()
         self.costs = self.config.costs
+        #: Runtime checkers (repro.checks): the constructor argument
+        #: overrides the config field, which defaults to the
+        #: REPRO_STRICT_CHECKS environment variable.
+        self.strict_checks = (
+            self.config.strict_checks if strict_checks is None else bool(strict_checks)
+        )
         self.policy = policy or make_policy(self.config.mode, self.config)
         self.nic = self.policy.build_nic()
         #: Steering decision memo: canonical per-policy ``designated_core``
@@ -104,7 +112,17 @@ class MiddleboxEngine:
                 self.coherence,
                 capacity_per_core=self.config.flow_table_capacity,
                 enforce=self.config.enforce_partition,
+                clock=lambda: sim.now,
             )
+        if self.strict_checks:
+            auditor = OwnershipAuditor(self.flow_state, clock=lambda: sim.now)
+            self.flow_state = auditor
+            self.checks = EngineChecks(
+                ownership=auditor,
+                streams=EventStreamRecorder(self.config.num_cores),
+            )
+        else:
+            self.checks = EngineChecks()
         self.rings: List[TransferRing] = []
         self.contexts: List[NfContext] = []
         self.stats = EngineStats()
@@ -122,6 +140,13 @@ class MiddleboxEngine:
         self.policy.attach(self)
         #: Telemetry hub: registry counters, periodic sampler, tracer.
         self.telemetry = EngineTelemetry(self)
+        if self.checks.enabled:
+            # checks.* counter family, plus the per-core stream digests
+            # (chained onto any tracer hook the telemetry installed).
+            self.checks.bind(self.telemetry.registry)
+            recorder = self.checks.streams
+            for core in self.host.cores:
+                core.trace_batch = recorder.hook(core.core_id, core.trace_batch)
         # Ingress fast path: bind the sampler re-arm hook (if any) once
         # instead of walking telemetry.notify_activity per packet.
         sampler = self.telemetry.sampler
@@ -198,6 +223,12 @@ class MiddleboxEngine:
         flushed = self.host.cores[core_id].crash()
         self.stats.fault_drops += flushed
         self._dead_cores.add(core_id)
+        ownership = self.checks.ownership
+        if ownership is not None:
+            # The dead core's designated flows re-home onto live cores
+            # and their state restarts there — the new home's first
+            # write is a legitimate claim, not an ownership violation.
+            ownership.release_writer_core(core_id)
         self.nic.disable_queue(core_id, kind="core_dead")
         live = [c for c in range(self.config.num_cores) if c not in self._dead_cores]
         if live:

@@ -21,7 +21,7 @@ here too — tests exercise the discipline, not the physics.
 
 from __future__ import annotations
 
-from typing import Any, Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
 from repro.cpu.cache import CoherenceModel
 from repro.cpu.costs import CostModel
@@ -30,6 +30,46 @@ from repro.net.five_tuple import FiveTuple
 
 class WritingPartitionError(RuntimeError):
     """A core tried to modify flow state it does not own."""
+
+
+class OwnershipViolation(WritingPartitionError):
+    """A write from a core the writing partition does not assign the flow.
+
+    Raised by :meth:`PartitionedFlowState._check_owner` (static owner =
+    the designated-core hash) and by
+    :class:`repro.checks.OwnershipAuditor` (dynamic owner = the flow's
+    first writer core). Carries the full context as attributes and is
+    picklable — violations raised inside a ``--jobs N`` pool worker
+    travel back through the future intact.
+
+    ``sim_time`` is the simulation clock in picoseconds at the violating
+    access, or ``None`` when no clock was wired to the state manager.
+    """
+
+    def __init__(
+        self,
+        op: str,
+        flow_id: Any,
+        core_id: int,
+        owner_core: int,
+        sim_time: Optional[int] = None,
+    ):
+        # Positional args feed BaseException.args, which is what pickle
+        # replays through __init__ on load — keep the two in lockstep.
+        super().__init__(op, flow_id, core_id, owner_core, sim_time)
+        self.op = op
+        self.flow_id = flow_id
+        self.core_id = core_id
+        self.owner_core = owner_core
+        self.sim_time = sim_time
+
+    def __str__(self) -> str:
+        when = f" at sim time {self.sim_time} ps" if self.sim_time is not None else ""
+        return (
+            f"{self.op} of {self.flow_id} on core {self.core_id}, but the "
+            f"writing partition assigns it to core {self.owner_core}"
+            f"{when}: writing partition violated"
+        )
 
 
 class FlowTableFullError(RuntimeError):
@@ -86,6 +126,7 @@ class PartitionedFlowState:
         coherence: Optional[CoherenceModel] = None,
         capacity_per_core: int = 1 << 20,
         enforce: bool = True,
+        clock: Optional[Callable[[], int]] = None,
     ):
         self.tables: List[FlowTable] = [
             FlowTable(core_id, capacity_per_core) for core_id in range(num_cores)
@@ -94,15 +135,21 @@ class PartitionedFlowState:
         self.costs = costs
         self.coherence = coherence or CoherenceModel(costs)
         self.enforce = enforce
+        #: Optional sim-clock getter; stamps :class:`OwnershipViolation`
+        #: with the picosecond timestamp of the offending access.
+        self.clock = clock
         self.remote_reads = 0
         self.local_reads = 0
 
     def _check_owner(self, core_id: int, flow_id: FiveTuple, op: str) -> None:
         designated = self.designated_fn(flow_id)
         if designated != core_id and self.enforce:
-            raise WritingPartitionError(
-                f"{op} of {flow_id} on core {core_id}, but designated core is "
-                f"{designated}: writing partition violated"
+            raise OwnershipViolation(
+                op,
+                flow_id,
+                core_id,
+                designated,
+                self.clock() if self.clock is not None else None,
             )
 
     def insert_local(self, core_id: int, flow_id: FiveTuple, entry: Any) -> Tuple[Any, int]:
@@ -194,6 +241,37 @@ class PartitionedFlowState:
         """Flow-table population per core (telemetry)."""
         return [len(table) for table in self.tables]
 
+    # -- control plane (migration / rebalancing; not the dataplane) -------
+    #
+    # These are the only sanctioned ways to touch entries from outside
+    # the Table 2 API (the SPR001 lint rule flags everything else). They
+    # model management-plane operations — state migration on scale-out,
+    # re-homing after failures — which happen off the packet path, so no
+    # cycles are charged and the single-writer check does not apply.
+
+    def entries_snapshot(self) -> List[Tuple[Hashable, Any]]:
+        """Every (flow_id, entry) pair, in deterministic (core,
+        insertion) order."""
+        return [
+            (flow_id, entry)
+            for table in self.tables
+            for flow_id, entry in table.entries.items()
+        ]
+
+    def evict(self, flow_id: Hashable) -> Optional[Any]:
+        """Remove and return a flow's entry wherever it lives (or None)."""
+        for table in self.tables:
+            entry = table.entries.pop(flow_id, None)
+            if entry is not None:
+                table.removes += 1
+                self.coherence.forget(flow_id)
+                return entry
+        return None
+
+    def adopt(self, flow_id: Hashable, entry: Any) -> None:
+        """Install an entry on the flow's designated core's table."""
+        self.tables[self.designated_fn(flow_id)].insert(flow_id, entry)
+
 
 class RemoteFlowState:
     """StatelessNF-style remote state (paper §6).
@@ -263,6 +341,20 @@ class RemoteFlowState:
         """Single remote store: one bucket, no per-core breakdown."""
         return [len(self.table)]
 
+    # -- control plane (see PartitionedFlowState) -------------------------
+
+    def entries_snapshot(self) -> List[Tuple[Hashable, Any]]:
+        return list(self.table.entries.items())
+
+    def evict(self, flow_id: Hashable) -> Optional[Any]:
+        entry = self.table.entries.pop(flow_id, None)
+        if entry is not None:
+            self.table.removes += 1
+        return entry
+
+    def adopt(self, flow_id: Hashable, entry: Any) -> None:
+        self.table.insert(flow_id, entry)
+
 
 class SharedFlowState:
     """One global, locked flow table — the design Sprayer avoids.
@@ -331,3 +423,18 @@ class SharedFlowState:
     def per_core_entries(self) -> List[int]:
         """Single shared table: one bucket, no per-core breakdown."""
         return [len(self.table)]
+
+    # -- control plane (see PartitionedFlowState) -------------------------
+
+    def entries_snapshot(self) -> List[Tuple[Hashable, Any]]:
+        return list(self.table.entries.items())
+
+    def evict(self, flow_id: Hashable) -> Optional[Any]:
+        entry = self.table.entries.pop(flow_id, None)
+        if entry is not None:
+            self.table.removes += 1
+            self.coherence.forget(flow_id)
+        return entry
+
+    def adopt(self, flow_id: Hashable, entry: Any) -> None:
+        self.table.insert(flow_id, entry)

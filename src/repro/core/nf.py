@@ -61,7 +61,9 @@ class NfContext:
 
         Only legal on the flow's designated core (writing partition);
         violating that raises
-        :class:`repro.core.flow_state.WritingPartitionError`.
+        :class:`repro.core.flow_state.OwnershipViolation` (a
+        :class:`~repro.core.flow_state.WritingPartitionError`) carrying
+        the offending core, the designated core, and the sim timestamp.
         """
         entry, cycles = self.engine.flow_state.insert_local(self.core_id, flow_id, entry)
         self._cycles += cycles

@@ -1,0 +1,27 @@
+"""Static analysis for the Sprayer reproduction (``python -m repro.lint``).
+
+The paper's correctness argument — the *writing partition*, one writer
+core per flow (§3.2) — and the repo's byte-identical-determinism test
+suites are properties of the whole codebase, not of any one module.
+This package checks them statically: an AST lint engine
+(:mod:`repro.lint.engine`) runs Sprayer-specific rules
+(:mod:`repro.lint.rules`, SPR001-SPR005) over the tree, with per-line
+and per-file suppression via ``# repro-lint: disable=CODE``.
+
+The runtime half of the same story lives in :mod:`repro.checks`
+(ownership auditing and determinism digests on live engines); DESIGN.md
+"Static analysis and runtime checkers" documents both layers together.
+"""
+
+from repro.lint.base import RULES, FileContext, Rule, Suppressions, Violation
+from repro.lint.engine import LintEngine, iter_python_files
+
+__all__ = [
+    "RULES",
+    "FileContext",
+    "Rule",
+    "Suppressions",
+    "Violation",
+    "LintEngine",
+    "iter_python_files",
+]

@@ -1,0 +1,80 @@
+"""``python -m repro.lint`` — run the Sprayer lint rules over the tree.
+
+Usage::
+
+    python -m repro.lint                 # lints ./src and ./tests if present
+    python -m repro.lint src tests       # explicit paths (files or dirs)
+    python -m repro.lint src --json      # machine-readable output
+    python -m repro.lint --list-rules    # rule codes, titles, rationale
+    python -m repro.lint src --select SPR002,SPR005
+    python -m repro.lint src --ignore SPR003
+
+Exit status: 0 clean, 1 violations found, 2 usage error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from repro.lint.base import RULES
+from repro.lint.engine import LintEngine
+
+
+def _codes(text: Optional[str]) -> Optional[List[str]]:
+    if not text:
+        return None
+    return [part.strip() for part in text.split(",") if part.strip()]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static checks for the writing partition and simulation purity.",
+    )
+    parser.add_argument(
+        "paths", nargs="*", metavar="PATH",
+        help="files or directories to lint (default: ./src and ./tests)",
+    )
+    parser.add_argument("--json", action="store_true", help="JSON output")
+    parser.add_argument(
+        "--list-rules", action="store_true",
+        help="print every rule's code, title, and rationale, then exit",
+    )
+    parser.add_argument(
+        "--select", metavar="CODES",
+        help="comma-separated rule codes to run (default: all)",
+    )
+    parser.add_argument(
+        "--ignore", metavar="CODES",
+        help="comma-separated rule codes to skip",
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    try:
+        args = build_parser().parse_args(argv)
+    except SystemExit as error:
+        return int(error.code or 0)
+    if args.list_rules:
+        for code in sorted(RULES):
+            rule = RULES[code]
+            print(f"{code}: {rule.title}")
+            print(f"    {rule.rationale}")
+        return 0
+    paths = args.paths or [p for p in ("src", "tests") if Path(p).is_dir()] or ["."]
+    try:
+        engine = LintEngine(select=_codes(args.select), ignore=_codes(args.ignore))
+    except ValueError as error:
+        print(error, file=sys.stderr)
+        return 2
+    violations = engine.lint_paths(paths)
+    print(engine.report_json(violations) if args.json else engine.report_text(violations))
+    return 1 if violations else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,150 @@
+"""Lint-engine primitives: violations, suppressions, file context, rules.
+
+The engine (:mod:`repro.lint.engine`) parses each file once and hands
+every rule the same :class:`FileContext`; rules are stateless visitors
+that yield :class:`Violation` records. Rules register themselves into
+:data:`RULES` at import time (importing :mod:`repro.lint.rules` fills
+the registry), so ``python -m repro.lint`` and the test suite see the
+same rule set.
+
+Suppression syntax (documented in README.md § Static analysis):
+
+- ``# repro-lint: disable=SPR001`` trailing a code line suppresses the
+  named rule(s) on that line only;
+- the same comment on a line of its own suppresses the rule(s) for the
+  whole file;
+- ``disable=all`` matches every rule.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from pathlib import PurePath
+from typing import Dict, Iterator, List, Set, Tuple
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One finding: a rule fired at a source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+_SUPPRESS_RE = re.compile(r"#\s*repro-lint:\s*disable=([A-Za-z0-9_,\s]+)")
+
+
+class Suppressions:
+    """Parsed ``# repro-lint: disable=...`` comments of one file."""
+
+    def __init__(self, source: str):
+        #: Rule codes disabled for the whole file ("all" disables every rule).
+        self.file_level: Set[str] = set()
+        #: line number -> rule codes disabled on that line.
+        self.by_line: Dict[int, Set[str]] = {}
+        for lineno, text in enumerate(source.splitlines(), start=1):
+            match = _SUPPRESS_RE.search(text)
+            if match is None:
+                continue
+            codes = {
+                code.strip().upper() if code.strip().lower() != "all" else "all"
+                for code in match.group(1).split(",")
+                if code.strip()
+            }
+            if text[: match.start()].strip():
+                self.by_line.setdefault(lineno, set()).update(codes)
+            else:
+                self.file_level.update(codes)
+
+    def suppressed(self, rule: str, line: int) -> bool:
+        if "all" in self.file_level or rule in self.file_level:
+            return True
+        codes = self.by_line.get(line)
+        return codes is not None and ("all" in codes or rule in codes)
+
+
+class FileContext:
+    """Everything a rule needs about one parsed file."""
+
+    def __init__(self, path: str, source: str, tree: ast.AST):
+        self.path = path
+        self.source = source
+        self.tree = tree
+        parts: Tuple[str, ...] = PurePath(path).parts
+        #: Inside the ``repro`` package (i.e. simulator source, not tests).
+        self.in_repro = "repro" in parts
+        #: Inside ``repro/core`` — the one place allowed to touch
+        #: flow-state internals.
+        self.in_core = any(
+            parts[i] == "repro" and parts[i + 1] == "core"
+            for i in range(len(parts) - 1)
+        )
+
+    def violation(self, rule: "Rule", node: ast.AST, message: str) -> Violation:
+        return Violation(
+            rule=rule.code,
+            path=self.path,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0),
+            message=message,
+        )
+
+
+class Rule:
+    """Base class for lint rules; subclasses register via :func:`register`."""
+
+    #: Stable rule code ("SPR001", ...), used in output and suppressions.
+    code: str = "SPR000"
+    #: One-line summary shown by ``--list-rules``.
+    title: str = ""
+    #: Why the rule exists, tied to the paper's correctness argument.
+    rationale: str = ""
+
+    def applies(self, ctx: FileContext) -> bool:
+        """Whether this rule runs on ``ctx`` at all (path-based scoping)."""
+        return True
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        raise NotImplementedError
+
+
+#: code -> rule instance; filled by :func:`register` at import time.
+RULES: Dict[str, Rule] = {}
+
+
+def register(cls):
+    """Class decorator adding one instance of ``cls`` to :data:`RULES`."""
+    if cls.code in RULES:
+        raise ValueError(f"duplicate lint rule code {cls.code!r}")
+    RULES[cls.code] = cls()
+    return cls
+
+
+def unparse(node: ast.AST) -> str:
+    """Best-effort source text of ``node`` (empty string on failure)."""
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failures are exotic
+        return ""
+
+
+def sort_violations(violations: List[Violation]) -> List[Violation]:
+    """Canonical order: path, line, column, rule — deterministic output."""
+    return sorted(violations, key=lambda v: (v.path, v.line, v.col, v.rule))

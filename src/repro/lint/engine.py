@@ -1,0 +1,132 @@
+"""The lint engine: file discovery, parsing, rule dispatch, output.
+
+Deterministic by construction: files are visited in sorted order and
+violations are reported in (path, line, col, rule) order, so CI diffs
+and baselines are stable across machines.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence
+
+from repro.lint.base import (
+    RULES,
+    FileContext,
+    Rule,
+    Suppressions,
+    Violation,
+    sort_violations,
+)
+
+# Importing the rules module populates the RULES registry.
+import repro.lint.rules  # noqa: F401  (import for side effect)
+
+#: Rule code reported when a file cannot be parsed at all.
+PARSE_ERROR = "SPR000"
+
+
+def iter_python_files(paths: Sequence[str]) -> Iterator[Path]:
+    """Every ``.py`` file under ``paths`` (files and directories), sorted."""
+    seen = set()
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            candidates: Iterable[Path] = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+class LintEngine:
+    """Runs a rule set over sources; ``select``/``ignore`` filter by code."""
+
+    def __init__(
+        self,
+        rules: Optional[Dict[str, Rule]] = None,
+        select: Optional[Sequence[str]] = None,
+        ignore: Optional[Sequence[str]] = None,
+    ):
+        table = dict(RULES if rules is None else rules)
+        if select:
+            wanted = {code.upper() for code in select}
+            unknown = wanted - set(table)
+            if unknown:
+                raise ValueError(f"unknown rule codes in --select: {sorted(unknown)}")
+            table = {code: rule for code, rule in table.items() if code in wanted}
+        if ignore:
+            dropped = {code.upper() for code in ignore}
+            unknown = dropped - set(RULES)
+            if unknown:
+                raise ValueError(f"unknown rule codes in --ignore: {sorted(unknown)}")
+            table = {code: rule for code, rule in table.items() if code not in dropped}
+        self.rules: List[Rule] = [table[code] for code in sorted(table)]
+        self.files_checked = 0
+
+    # -- single-source entry point (used by tests and lint_paths) ---------
+
+    def lint_source(self, source: str, path: str) -> List[Violation]:
+        """Lint one in-memory source; ``path`` scopes path-based rules."""
+        try:
+            tree = ast.parse(source, filename=path)
+        except SyntaxError as error:
+            return [
+                Violation(
+                    rule=PARSE_ERROR,
+                    path=path,
+                    line=error.lineno or 1,
+                    col=(error.offset or 1) - 1,
+                    message=f"file does not parse: {error.msg}",
+                )
+            ]
+        ctx = FileContext(path, source, tree)
+        suppressions = Suppressions(source)
+        found: List[Violation] = []
+        for rule in self.rules:
+            if not rule.applies(ctx):
+                continue
+            for violation in rule.check(ctx):
+                if not suppressions.suppressed(violation.rule, violation.line):
+                    found.append(violation)
+        return sort_violations(found)
+
+    def lint_paths(self, paths: Sequence[str]) -> List[Violation]:
+        """Lint every ``.py`` file under ``paths``; unreadable files are
+        reported as parse errors rather than aborting the run."""
+        violations: List[Violation] = []
+        self.files_checked = 0
+        for path in iter_python_files(paths):
+            display = str(path)
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError as error:
+                violations.append(
+                    Violation(PARSE_ERROR, display, 1, 0, f"cannot read file: {error}")
+                )
+                continue
+            self.files_checked += 1
+            violations.extend(self.lint_source(source, display))
+        return sort_violations(violations)
+
+    # -- output -----------------------------------------------------------
+
+    def report_text(self, violations: List[Violation]) -> str:
+        lines = [violation.format() for violation in violations]
+        noun = "violation" if len(violations) == 1 else "violations"
+        lines.append(
+            f"{len(violations)} {noun} in {self.files_checked} files checked"
+        )
+        return "\n".join(lines)
+
+    def report_json(self, violations: List[Violation]) -> str:
+        document = {
+            "files_checked": self.files_checked,
+            "rules": [rule.code for rule in self.rules],
+            "violations": [violation.to_dict() for violation in violations],
+        }
+        return json.dumps(document, indent=2, sort_keys=True)

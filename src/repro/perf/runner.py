@@ -93,7 +93,9 @@ def run_suite(
         }
     return {
         "schema": 1,
-        "date": date or datetime.date.today().isoformat(),
+        # Host tooling: the bench file is stamped with the real date on
+        # purpose — it never feeds a simulated result.
+        "date": date or datetime.date.today().isoformat(),  # repro-lint: disable=SPR002
         "mode": "quick" if quick else "full",
         "python": platform.python_version(),
         "platform": platform.platform(),
@@ -119,7 +121,7 @@ def find_baseline(
     output (or a leftover from a few minutes ago), not a baseline.
     """
     out_dir = Path(out_dir) if out_dir else REPO_ROOT
-    today = today or datetime.date.today().isoformat()
+    today = today or datetime.date.today().isoformat()  # repro-lint: disable=SPR002
     own_name = bench_filename(today, quick)
     candidates = [p for p in find_bench_files(out_dir, quick) if p.name != own_name]
     return candidates[-1] if candidates else None

@@ -1,0 +1,390 @@
+"""Tests for the runtime checkers (``repro.checks``).
+
+Three claims are pinned down here:
+
+1. The :class:`OwnershipAuditor` enforces the paper's single-writer
+   discipline *dynamically* on every flow-state backend — including
+   the shared and remote variants whose storage structurally permits
+   cross-core writes — and raises a picklable
+   :class:`OwnershipViolation` carrying the offending core, the owner,
+   and the sim timestamp.
+2. The checkers are pure observers: a ``strict_checks=True`` run is
+   byte-identical to an unchecked run on violation-free traffic
+   (Hypothesis property), differing only by the ``checks.*`` counter
+   family in the telemetry dump.
+3. :func:`audit_determinism` compares per-core event-stream digests
+   across same-seed runs and flags the first divergent core.
+"""
+
+import json
+import pickle
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checks import (
+    DeterminismViolation,
+    EngineChecks,
+    EventStreamRecorder,
+    OwnershipAuditor,
+    audit_determinism,
+)
+from repro.core import MiddleboxConfig, MiddleboxEngine, OwnershipViolation
+from repro.core.flow_state import SharedFlowState
+from repro.cpu.costs import CostModel
+from repro.experiments.harness import run_open_loop
+from repro.net import ACK, SYN, FiveTuple, make_tcp_packet
+from repro.nfs import SyntheticNf
+from repro.sim import MILLISECOND, Simulator
+
+COSTS = CostModel()
+
+
+def flow(i: int = 1) -> FiveTuple:
+    return FiveTuple(0x0A000000 + i, 0x0A010000 + i, 10000 + i, 80, 6)
+
+
+def make_auditor(**kwargs) -> OwnershipAuditor:
+    return OwnershipAuditor(SharedFlowState(COSTS), **kwargs)
+
+
+def build_engine(strict=True, **config_kwargs):
+    sim = Simulator()
+    nf = SyntheticNf(busy_cycles=1000)
+    config = MiddleboxConfig(mode="sprayer", num_cores=8, **config_kwargs)
+    engine = MiddleboxEngine(sim, nf, config, strict_checks=strict)
+    engine.set_egress(lambda pkt: None)
+    return sim, engine
+
+
+class TestOwnershipAuditorUnit:
+    """The auditor over a bare SharedFlowState — no engine involved."""
+
+    def test_first_writer_claims_and_may_repeat(self):
+        auditor = make_auditor()
+        auditor.insert_local(3, flow(), {"v": 1})
+        auditor.insert_local(3, flow(), {"v": 2})  # same core: fine
+        assert auditor.violations == 0
+        assert auditor.flows_tracked == 1
+        assert auditor.writes == 2
+
+    def test_second_writer_core_raises(self):
+        auditor = make_auditor(clock=lambda: 42_000)
+        auditor.insert_local(3, flow(), {})
+        with pytest.raises(OwnershipViolation) as exc_info:
+            auditor.insert_local(5, flow(), {})
+        violation = exc_info.value
+        assert violation.core_id == 5
+        assert violation.owner_core == 3
+        assert violation.sim_time == 42_000
+        assert auditor.violations == 1
+
+    def test_get_local_is_a_write(self):
+        auditor = make_auditor()
+        auditor.insert_local(0, flow(), {})
+        with pytest.raises(OwnershipViolation):
+            auditor.get_local(1, flow())
+
+    def test_reads_never_raise(self):
+        auditor = make_auditor()
+        auditor.insert_local(0, flow(), {})
+        for core in range(8):
+            entry, _ = auditor.get(core, flow())
+            assert entry == {}
+        (entries, _) = auditor.get_many(7, [flow(), flow(2)])
+        assert entries == [{}, None]
+        assert auditor.violations == 0
+        assert auditor.reads == 10
+
+    def test_remove_releases_ownership(self):
+        auditor = make_auditor()
+        auditor.insert_local(0, flow(), {})
+        auditor.remove_local(0, flow())
+        # State is gone; a different core's write opens a new epoch.
+        auditor.insert_local(4, flow(), {})
+        assert auditor.violations == 0
+
+    def test_failed_remove_does_not_release(self):
+        auditor = make_auditor()
+        auditor.insert_local(0, flow(), {})
+        removed, _ = auditor.remove_local(0, flow(9))  # miss
+        assert not removed
+        with pytest.raises(OwnershipViolation):
+            auditor.insert_local(1, flow(), {})
+
+    def test_audit_mode_counts_instead_of_raising(self):
+        auditor = make_auditor(strict=False)
+        auditor.insert_local(0, flow(), {})
+        auditor.insert_local(1, flow(), {})
+        auditor.get_local(2, flow())
+        assert auditor.violations == 2
+
+    def test_release_writer_core(self):
+        auditor = make_auditor()
+        auditor.insert_local(0, flow(1), {})
+        auditor.insert_local(0, flow(2), {})
+        auditor.insert_local(3, flow(3), {})
+        assert auditor.release_writer_core(0) == 2
+        assert auditor.flows_tracked == 1
+        auditor.insert_local(5, flow(1), {})  # fresh claim, no violation
+        assert auditor.violations == 0
+
+    def test_evict_and_adopt_release_ownership(self):
+        auditor = make_auditor()
+        auditor.insert_local(0, flow(), {"v": 1})
+        entry = auditor.evict(flow())
+        assert entry == {"v": 1}
+        auditor.adopt(flow(), entry)
+        # Migration re-homed the flow: any core's next write claims it.
+        auditor.insert_local(6, flow(), {"v": 2})
+        assert auditor.violations == 0
+
+    def test_trail_records_accesses_with_sim_time(self):
+        auditor = make_auditor(clock=lambda: 7)
+        auditor.insert_local(2, flow(), {})
+        auditor.get(3, flow())
+        assert (2, flow(), "insert", 7) in auditor.trail
+        assert (3, flow(), "get", 7) in auditor.trail
+
+    def test_delegation_preserves_results_and_cycles(self):
+        plain = SharedFlowState(COSTS)
+        audited = OwnershipAuditor(SharedFlowState(COSTS))
+        assert plain.insert_local(0, flow(), {"v": 1}) == audited.insert_local(
+            0, flow(), {"v": 1}
+        )
+        assert plain.get(5, flow()) == audited.get(5, flow())
+        assert plain.total_entries() == audited.total_entries()
+
+    def test_getattr_passes_through_backend_attributes(self):
+        inner = SharedFlowState(COSTS)
+        auditor = OwnershipAuditor(inner)
+        assert auditor.table is inner.table
+
+
+class TestStrictEngineAllBackends:
+    """Off-designated writes raise on every flow-state variant."""
+
+    @pytest.mark.parametrize(
+        "config_kwargs",
+        [
+            # Partitioned storage with the static check disabled: only
+            # the dynamic auditor stands between a stray write and
+            # silent corruption.
+            dict(state_backend="partitioned", enforce_partition=False),
+            dict(state_backend="shared"),
+            dict(state_backend="remote"),
+        ],
+        ids=["partitioned-unenforced", "shared", "remote"],
+    )
+    def test_second_writer_raises_deterministically(self, config_kwargs):
+        for _ in range(2):  # deterministically: same outcome every build
+            sim, engine = build_engine(strict=True, **config_kwargs)
+            f = flow()
+            target = engine.designated_core(f)
+            engine.flow_state.insert_local(target, f, {"v": 1})
+            other = (target + 1) % engine.config.num_cores
+            with pytest.raises(OwnershipViolation) as exc_info:
+                engine.flow_state.insert_local(other, f, {"v": 2})
+            violation = exc_info.value
+            assert violation.core_id == other
+            assert violation.owner_core == target
+            assert violation.sim_time == sim.now
+
+    def test_partitioned_static_check_fires_before_dynamic_claim(self):
+        """With enforcement on, a first-ever write from the wrong core is
+        caught by the designated-core check inside PartitionedFlowState —
+        the auditor alone would have let the first writer claim it."""
+        sim, engine = build_engine(strict=True)  # enforce_partition=True
+        f = flow()
+        wrong = (engine.designated_core(f) + 1) % engine.config.num_cores
+        with pytest.raises(OwnershipViolation) as exc_info:
+            engine.flow_state.insert_local(wrong, f, {})
+        assert exc_info.value.owner_core == engine.designated_core(f)
+
+    def test_violation_message_names_cores_and_sim_time(self):
+        sim, engine = build_engine(strict=True, state_backend="shared")
+        sim._now = 123_456  # advance the clock so the stamp is visible
+        f = flow()
+        engine.flow_state.insert_local(0, f, {})
+        with pytest.raises(OwnershipViolation) as exc_info:
+            engine.flow_state.insert_local(1, f, {})
+        message = str(exc_info.value)
+        assert "core 1" in message
+        assert "assigns it to core 0" in message
+        assert "sim time 123456 ps" in message
+
+    def test_violation_pickle_roundtrip(self):
+        original = OwnershipViolation("insert", flow(), 5, 2, 99_000)
+        clone = pickle.loads(pickle.dumps(original))
+        assert clone.op == "insert"
+        assert clone.flow_id == flow()
+        assert clone.core_id == 5
+        assert clone.owner_core == 2
+        assert clone.sim_time == 99_000
+        assert str(clone) == str(original)
+
+    def test_crash_core_releases_dead_cores_flows(self):
+        sim, engine = build_engine(strict=True)
+        f = flow()
+        dead = engine.designated_core(f)
+        engine.flow_state.insert_local(dead, f, {})
+        assert engine.checks.ownership.flows_tracked == 1
+        engine.crash_core(dead)
+        # Re-homed: the new designated core's first write is a claim.
+        new_home = engine.designated_core(f)
+        assert new_home != dead
+        engine.flow_state.insert_local(new_home, f, {})
+        assert engine.checks.ownership.violations == 0
+
+    def test_disarmed_engine_has_empty_checks(self):
+        sim, engine = build_engine(strict=False)
+        assert isinstance(engine.checks, EngineChecks)
+        assert not engine.checks.enabled
+        assert engine.checks.ownership is None
+        assert engine.checks.digests() == []
+
+
+RUN_KWARGS = dict(
+    nf_cycles=1500,
+    num_flows=8,
+    offered_pps=2e6,
+    duration=2 * MILLISECOND,
+    warmup=500_000_000,  # 0.5 ms
+)
+
+
+def canonical(obj) -> str:
+    return json.dumps(obj, sort_keys=True)
+
+
+def strip_checks_family(counters):
+    return {
+        name: value
+        for name, value in counters.items()
+        if not name.startswith("checks.")
+    }
+
+
+def strip_checks_counters(telemetry):
+    """The telemetry dump minus the ``checks.*`` family the auditor adds."""
+    out = dict(telemetry)
+    out["counters"] = strip_checks_family(telemetry.get("counters", {}))
+    return out
+
+
+def strip_summary(summary):
+    """The engine summary with its embedded counter dump normalized too."""
+    out = dict(summary)
+    out["telemetry"] = strip_checks_family(summary.get("telemetry", {}))
+    return out
+
+
+class TestObserverPurity:
+    """Checks on vs. checks off: byte-identical results."""
+
+    @settings(max_examples=3, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**16),
+        mode=st.sampled_from(["sprayer", "rss", "naive"]),
+    )
+    def test_strict_checks_are_inert_on_clean_runs(self, seed, mode):
+        plain = run_open_loop(mode, seed=seed, **RUN_KWARGS)
+        strict = run_open_loop(mode, seed=seed, strict_checks=True, **RUN_KWARGS)
+        assert plain.rate_mpps == strict.rate_mpps
+        assert canonical(strip_summary(plain.engine_summary)) == canonical(
+            strip_summary(strict.engine_summary)
+        )
+        assert canonical(strip_checks_counters(plain.telemetry)) == canonical(
+            strip_checks_counters(strict.telemetry)
+        )
+        counters = strict.telemetry["counters"]
+        assert counters["checks.ownership.violations"] == 0
+        assert counters["checks.ownership.writes"] > 0
+        assert counters["checks.stream.batches"] > 0
+
+    def test_checks_counters_absent_without_strict(self):
+        plain = run_open_loop("sprayer", seed=3, **RUN_KWARGS)
+        assert not any(
+            name.startswith("checks.") for name in plain.telemetry["counters"]
+        )
+
+
+def drive(sim, engine, seed=11, flows=4, packets=48):
+    import random
+
+    rng = random.Random(seed)
+    for i in range(flows):
+        engine.receive(make_tcp_packet(flow(i), flags=SYN, tcp_checksum=rng.getrandbits(16)), sim.now)
+    sim.run(until=sim.now + MILLISECOND)
+    for seq in range(packets):
+        for i in range(flows):
+            pkt = make_tcp_packet(
+                flow(i), flags=ACK, seq=seq, tcp_checksum=rng.getrandbits(16)
+            )
+            engine.receive(pkt, sim.now)
+        if seq % 16 == 15:
+            sim.run(until=sim.now + MILLISECOND)
+    sim.run(until=sim.now + 5 * MILLISECOND)
+
+
+class TestDeterminismAuditing:
+    def test_recorder_digests_and_chains_previous_hook(self):
+        recorder = EventStreamRecorder(2)
+        seen = []
+        hook = recorder.hook(0, prev=lambda *args: seen.append(args))
+        hook(0, 1000, 500, 2, 30)
+        hook(0, 1500, 500, 0, 32)
+        assert recorder.batches == 2
+        assert seen == [(0, 1000, 500, 2, 30), (0, 1500, 500, 0, 32)]
+        digests = recorder.digests()
+        assert digests[0] != 0 and digests[1] == 0
+
+    def test_recorder_rejects_zero_cores(self):
+        with pytest.raises(ValueError):
+            EventStreamRecorder(0)
+
+    def test_audit_passes_on_identical_runs(self):
+        def run():
+            sim, engine = build_engine(strict=True)
+            drive(sim, engine)
+            return engine
+
+        digests = audit_determinism(run, runs=3)
+        assert any(digests), "expected at least one non-zero core digest"
+
+    def test_audit_accepts_digest_lists_and_checks(self):
+        assert audit_determinism(lambda: [1, 2, 3]) == [1, 2, 3]
+        recorder = EventStreamRecorder(1)
+        checks = EngineChecks(streams=recorder)
+        assert audit_determinism(lambda: checks) == [0]
+
+    def test_audit_flags_divergent_run(self):
+        streams = iter([[1, 2, 3], [1, 9, 3]])
+        with pytest.raises(DeterminismViolation) as exc_info:
+            audit_determinism(lambda: next(streams))
+        violation = exc_info.value
+        assert violation.run_index == 1
+        assert violation.core_id == 1
+        assert violation.expected == 2 and violation.got == 9
+        assert "not a pure function of its seed" in str(violation)
+
+    def test_audit_flags_core_count_mismatch(self):
+        streams = iter([[1, 2], [1, 2, 3]])
+        with pytest.raises(DeterminismViolation):
+            audit_determinism(lambda: next(streams))
+
+    def test_audit_rejects_single_run(self):
+        with pytest.raises(ValueError):
+            audit_determinism(lambda: [1], runs=1)
+
+    def test_audit_rejects_digestless_result(self):
+        with pytest.raises(TypeError):
+            audit_determinism(lambda: object())
+
+    def test_stream_digests_compose_with_telemetry_trace(self):
+        """Both the tracer hook and the digest hook see every batch."""
+        sim, engine = build_engine(strict=True, telemetry_trace=True)
+        drive(sim, engine, flows=2, packets=16)
+        assert engine.checks.streams.batches > 0
+        assert engine.telemetry.dump()["trace"], "tracer hook was displaced"

@@ -1,0 +1,421 @@
+"""Tests for the static lint engine (``repro.lint``).
+
+Every rule SPR001–SPR005 gets a fire-on-bad / quiet-on-good pair, the
+suppression comment grammar is exercised at line and file level, the
+CLI contract (exit codes, JSON shape) is pinned, and — the point of the
+whole exercise — the repo's own ``src`` tree must lint clean.
+"""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.lint import LintEngine, RULES, Violation, iter_python_files
+from repro.lint.__main__ import main
+from repro.lint.engine import PARSE_ERROR
+
+IN_REPRO = "src/repro/nfs/example.py"  # path-scoped rules treat this as repo source
+IN_CORE = "src/repro/core/example.py"  # ... except the flow-state home itself
+OUTSIDE = "tools/example.py"  # not under repro: purity rules don't apply
+
+
+def lint(source: str, path: str = IN_REPRO, **engine_kwargs):
+    return LintEngine(**engine_kwargs).lint_source(textwrap.dedent(source), path)
+
+
+def codes(violations):
+    return [violation.rule for violation in violations]
+
+
+class TestRegistry:
+    def test_all_five_rules_registered(self):
+        assert sorted(RULES) == ["SPR001", "SPR002", "SPR003", "SPR004", "SPR005"]
+
+    def test_rules_carry_title_and_rationale(self):
+        for rule in RULES.values():
+            assert rule.title and rule.rationale
+
+
+class TestSpr001FlowStateEncapsulation:
+    def test_fires_on_table_entries_access(self):
+        bad = """
+        def migrate(engine):
+            return engine.flow_state.tables[0]
+        """
+        assert codes(lint(bad)) == ["SPR001"]
+
+    def test_fires_on_entries_of_flow_table(self):
+        bad = """
+        def peek(table):
+            flow_table = table
+            return list(flow_table.entries)
+        """
+        assert codes(lint(bad)) == ["SPR001"]
+
+    def test_quiet_on_sanctioned_control_plane_api(self):
+        good = """
+        def migrate(engine, flow, target):
+            entry = engine.flow_state.evict(flow)
+            target.flow_state.adopt(flow, entry)
+            return engine.flow_state.entries_snapshot()
+        """
+        assert lint(good) == []
+
+    def test_exempt_inside_repro_core(self):
+        bad = """
+        def internals(flow_state):
+            return flow_state.tables
+        """
+        assert lint(bad, path=IN_CORE) == []
+
+    def test_unrelated_entries_attribute_is_fine(self):
+        good = """
+        def rows(report):
+            return report.entries
+        """
+        assert lint(good) == []
+
+
+class TestSpr002SimulationPurity:
+    @pytest.mark.parametrize(
+        "call",
+        [
+            "random.random()",
+            "random.randint(0, 9)",
+            "random.shuffle(items)",
+            "time.time()",
+            "time.monotonic()",
+            "time.time_ns()",
+            "datetime.datetime.now()",
+            "datetime.date.today()",
+            "os.urandom(16)",
+        ],
+    )
+    def test_fires_on_wall_clock_and_unseeded_entropy(self, call):
+        bad = f"""
+        import datetime
+        import os
+        import random
+        import time
+
+        def f(items):
+            return {call}
+        """
+        assert codes(lint(bad)) == ["SPR002"]
+
+    def test_fires_through_module_alias(self):
+        bad = """
+        import time as clock
+
+        def f():
+            return clock.time()
+        """
+        assert codes(lint(bad)) == ["SPR002"]
+
+    def test_fires_on_from_imports(self):
+        bad = """
+        from random import randint
+        from time import monotonic
+        """
+        assert codes(lint(bad)) == ["SPR002", "SPR002"]
+
+    @pytest.mark.parametrize(
+        "snippet",
+        [
+            "import random\nrng = random.Random(7)",  # the sanctioned class
+            "from random import Random",
+            "import time\nt0 = time.perf_counter()",  # host-side timing
+            "from repro.sim.rng import RngStreams",
+        ],
+    )
+    def test_quiet_on_sanctioned_primitives(self, snippet):
+        assert lint(snippet) == []
+
+    def test_does_not_apply_outside_repro(self):
+        assert lint("import time\nt = time.time()", path=OUTSIDE) == []
+
+    def test_method_named_like_banned_call_is_fine(self):
+        good = """
+        def f(recorder):
+            return recorder.time()
+        """
+        assert lint(good) == []
+
+
+class TestSpr003OrderedIteration:
+    @pytest.mark.parametrize(
+        "loop",
+        [
+            "for x in {1, 2, 3}: use(x)",
+            "for x in set(items): use(x)",
+            "for x in frozenset(items): use(x)",
+            "for k in mapping.keys(): use(k)",
+            "out = [use(x) for x in set(items)]",
+            "out = {use(k) for k in mapping.keys()}",
+        ],
+    )
+    def test_fires_on_unordered_iteration(self, loop):
+        assert codes(lint(loop)) == ["SPR003"]
+
+    @pytest.mark.parametrize(
+        "loop",
+        [
+            "for x in sorted({1, 2, 3}): use(x)",
+            "for x in sorted(set(items)): use(x)",
+            "for k in sorted(mapping): use(k)",
+            "for k in mapping: use(k)",  # dicts iterate in insertion order
+            "for x in items: use(x)",
+        ],
+    )
+    def test_quiet_on_ordered_iteration(self, loop):
+        assert lint(loop) == []
+
+
+class TestSpr004SteeringConsultsDesignated:
+    def test_fires_on_flag_handling_without_hash(self):
+        bad = """
+        class BrokenPolicy(SteeringPolicy):
+            def steer(self, packet):
+                if packet.flags & SYN:
+                    return 0  # SYNs pinned to core 0: not the designated core
+                return packet.checksum % self.num_cores
+        """
+        assert codes(lint(bad)) == ["SPR004"]
+
+    def test_quiet_when_hash_is_consulted(self):
+        good = """
+        class GoodPolicy(SteeringPolicy):
+            def steer(self, packet):
+                if packet.flags & SYN:
+                    return self.designated_core(packet.five_tuple)
+                return packet.checksum % self.num_cores
+        """
+        assert lint(good) == []
+
+    def test_quiet_on_flag_blind_policy(self):
+        good = """
+        class SprayPolicy(SteeringPolicy):
+            def steer(self, packet):
+                return packet.checksum % self.num_cores
+        """
+        assert lint(good) == []
+
+    def test_ignores_classes_that_are_not_policies(self):
+        good = """
+        class TcpParser:
+            def parse(self, packet):
+                return packet.flags & (SYN | FIN | RST)
+        """
+        assert lint(good) == []
+
+
+class TestSpr005SilentExceptionSwallow:
+    @pytest.mark.parametrize("body", ["pass", "..."])
+    def test_fires_on_swallowed_exception(self, body):
+        bad = f"""
+        def f(items):
+            try:
+                work()
+            except ValueError:
+                {body}
+        """
+        assert codes(lint(bad)) == ["SPR005"]
+
+    def test_fires_on_bare_continue_handler(self):
+        bad = """
+        def f(items):
+            for item in items:
+                try:
+                    work(item)
+                except ValueError:
+                    continue
+        """
+        assert codes(lint(bad)) == ["SPR005"]
+
+    def test_quiet_when_handled_or_counted(self):
+        good = """
+        def f(counters):
+            try:
+                work()
+            except ValueError:
+                counters.inc("nf.drops")
+        """
+        assert lint(good) == []
+
+    def test_quiet_on_reraise(self):
+        good = """
+        def f():
+            try:
+                work()
+            except ValueError:
+                raise RuntimeError("context")
+        """
+        assert lint(good) == []
+
+    def test_applies_outside_repro_too(self):
+        bad = """
+        try:
+            work()
+        except Exception:
+            pass
+        """
+        assert codes(lint(bad, path=OUTSIDE)) == ["SPR005"]
+
+
+class TestSuppressions:
+    def test_trailing_comment_suppresses_that_line_only(self):
+        source = """
+        import time
+
+        a = time.time()  # repro-lint: disable=SPR002
+        b = time.time()
+        """
+        violations = lint(source)
+        assert codes(violations) == ["SPR002"]
+        assert violations[0].line == 5  # only the unsuppressed call
+
+    def test_own_line_comment_suppresses_whole_file(self):
+        source = """
+        # repro-lint: disable=SPR002
+        import time
+
+        a = time.time()
+        b = time.monotonic()
+        """
+        assert lint(source) == []
+
+    def test_file_level_disable_all(self):
+        source = """
+        # repro-lint: disable=all
+        import time
+
+        a = time.time()
+
+        for x in set(items):
+            use(x)
+        """
+        assert lint(source) == []
+
+    def test_suppression_is_per_rule(self):
+        source = """
+        import time
+
+        a = time.time()  # repro-lint: disable=SPR003
+        """
+        assert codes(lint(source)) == ["SPR002"]
+
+    def test_multiple_codes_in_one_directive(self):
+        source = """
+        # repro-lint: disable=SPR002, SPR003
+        import time
+
+        a = time.time()
+        for x in set(items):
+            use(x)
+        """
+        assert lint(source) == []
+
+
+class TestEngine:
+    def test_parse_error_reported_not_raised(self):
+        violations = lint("def broken(:\n")
+        assert codes(violations) == [PARSE_ERROR]
+
+    def test_select_restricts_rules(self):
+        source = """
+        import time
+
+        a = time.time()
+        for x in set(items):
+            use(x)
+        """
+        assert codes(lint(source, select=["SPR003"])) == ["SPR003"]
+        assert codes(lint(source, ignore=["SPR003"])) == ["SPR002"]
+
+    def test_unknown_codes_rejected(self):
+        with pytest.raises(ValueError):
+            LintEngine(select=["SPR999"])
+        with pytest.raises(ValueError):
+            LintEngine(ignore=["NOPE"])
+
+    def test_violations_sorted_and_formatted(self):
+        source = """
+        import time
+
+        b = time.monotonic()
+        a = time.time()
+        """
+        violations = lint(source)
+        assert [violation.line for violation in violations] == [4, 5]
+        formatted = violations[0].format()
+        assert formatted.startswith(f"{IN_REPRO}:4:")
+        assert "SPR002" in formatted
+
+    def test_iter_python_files_deduplicates_and_sorts(self, tmp_path):
+        (tmp_path / "b.py").write_text("x = 1\n")
+        (tmp_path / "a.py").write_text("y = 2\n")
+        sub = tmp_path / "pkg"
+        sub.mkdir()
+        (sub / "c.py").write_text("z = 3\n")
+        files = list(iter_python_files([str(tmp_path), str(sub / "c.py")]))
+        assert [f.name for f in files] == ["a.py", "b.py", "c.py"]
+
+
+class TestCli:
+    def make_tree(self, tmp_path):
+        pkg = tmp_path / "src" / "repro" / "nfs"
+        pkg.mkdir(parents=True)
+        (pkg / "dirty.py").write_text("import time\nt = time.time()\n")
+        (pkg / "clean.py").write_text("x = 1\n")
+        return tmp_path
+
+    def test_exit_one_and_report_on_violations(self, tmp_path, capsys):
+        root = self.make_tree(tmp_path)
+        assert main([str(root / "src")]) == 1
+        out = capsys.readouterr().out
+        assert "SPR002" in out
+        assert "1 violation in 2 files checked" in out
+
+    def test_exit_zero_when_clean(self, tmp_path, capsys):
+        root = self.make_tree(tmp_path)
+        clean_only = root / "src" / "repro" / "nfs" / "clean.py"
+        assert main([str(clean_only)]) == 0
+        assert "0 violations in 1 files checked" in capsys.readouterr().out
+
+    def test_json_output_shape(self, tmp_path, capsys):
+        root = self.make_tree(tmp_path)
+        assert main([str(root / "src"), "--json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["files_checked"] == 2
+        assert document["rules"] == sorted(RULES)
+        (violation,) = [
+            v for v in document["violations"] if v["rule"] == "SPR002"
+        ]
+        assert violation["line"] == 2
+        assert violation["path"].endswith("dirty.py")
+
+    def test_select_ignore_flags_and_usage_errors(self, tmp_path, capsys):
+        root = self.make_tree(tmp_path)
+        assert main([str(root / "src"), "--ignore", "SPR002"]) == 0
+        assert main([str(root / "src"), "--select", "SPR002"]) == 1
+        capsys.readouterr()
+        assert main([str(root / "src"), "--select", "SPR999"]) == 2
+        assert "SPR999" in capsys.readouterr().err
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULES:
+            assert code in out
+
+
+class TestRepoIsClean:
+    """The flagship acceptance check: the repo lints clean, so the lint
+    gate in CI starts from a zero-violation baseline."""
+
+    def test_src_tree_has_zero_violations(self):
+        engine = LintEngine()
+        violations = engine.lint_paths(["src"])
+        assert violations == [], "\n" + engine.report_text(violations)
+        assert engine.files_checked > 100
