@@ -17,6 +17,13 @@ the auditor, a naive-spraying run doesn't just pay lock costs: its
 violations of the discipline become *visible*, either as a raise or as
 a ``checks.ownership.violations`` count.
 
+A *replicated* backend (``ScrFlowState``, marked ``replicated = True``)
+is sanctioned differently: state-compute replication makes every core a
+writer of its *own replica*, so the single-writer invariant holds per
+``(core, flow)`` pair rather than per flow. The auditor keys its writer
+map accordingly — replayed writes from every core are legitimate, while
+the bookkeeping (counters, trail, ``release_writer_core``) still works.
+
 The auditor observes and delegates; it never touches costs, cycles, or
 results, so an audited run is byte-identical to an unaudited one (a
 Hypothesis property in ``tests/test_checks.py`` pins this down).
@@ -61,7 +68,11 @@ class OwnershipAuditor:
         self.inner = inner
         self.clock = clock
         self.strict = strict
-        #: flow_id -> the core that currently owns its writes.
+        #: Replicated backends (SCR) are audited per (core, flow): each
+        #: core is the sole writer of its own replica, by construction.
+        self.replicated = bool(getattr(inner, "replicated", False))
+        #: flow_id -> the core that currently owns its writes (or, for
+        #: replicated backends, (core_id, flow_id) -> core_id).
         self._writer: Dict[Hashable, int] = {}
         #: The shadow log: (core_id, flow_id, op, sim_time), bounded.
         self.trail: Deque[Tuple[int, Hashable, str, Optional[int]]] = deque(
@@ -81,9 +92,10 @@ class OwnershipAuditor:
         self.writes += 1
         now = self._now()
         self.trail.append((core_id, flow_id, op, now))
-        owner = self._writer.get(flow_id)
+        key = (core_id, flow_id) if self.replicated else flow_id
+        owner = self._writer.get(key)
         if owner is None:
-            self._writer[flow_id] = core_id
+            self._writer[key] = core_id
         elif owner != core_id:
             self.violations += 1
             if self.strict:
@@ -91,12 +103,18 @@ class OwnershipAuditor:
 
     @property
     def flows_tracked(self) -> int:
-        """Flows whose writer core is currently on record."""
+        """Flows whose writer core is currently on record (for
+        replicated backends: (core, flow) replica pairs)."""
         return len(self._writer)
 
     def release(self, flow_id: Hashable) -> None:
         """Forget a flow's writer (its state is gone; a new writer may claim)."""
-        self._writer.pop(flow_id, None)
+        if self.replicated:
+            doomed = [key for key in self._writer if key[1] == flow_id]
+            for key in doomed:
+                del self._writer[key]
+        else:
+            self._writer.pop(flow_id, None)
 
     def release_writer_core(self, core_id: int) -> int:
         """Forget every flow owned by ``core_id``; returns how many.
@@ -124,7 +142,11 @@ class OwnershipAuditor:
         if removed:
             # The flow's state is gone; whoever writes it next starts a
             # fresh single-writer epoch (e.g. designated-core re-homing).
-            self.release(flow_id)
+            # Replicated backends only removed their own copy.
+            if self.replicated:
+                self._writer.pop((core_id, flow_id), None)
+            else:
+                self.release(flow_id)
         return result
 
     def get_local(self, core_id: int, flow_id: Hashable) -> Tuple[Optional[Any], int]:

@@ -9,7 +9,7 @@ from typing import Optional
 from repro.cpu.costs import CostModel
 
 #: Steering modes understood by :func:`repro.steering.make_policy`.
-MODES = ("rss", "sprayer", "naive", "prognic", "flowlet", "subset")
+MODES = ("rss", "sprayer", "naive", "prognic", "flowlet", "subset", "scr")
 
 
 def _strict_checks_default() -> bool:
@@ -35,7 +35,9 @@ class MiddleboxConfig:
 
     #: Steering mode: "rss" (baseline), "sprayer" (the paper), "naive"
     #: (spray without designated cores — ablation), "prognic" (NIC
-    #: steers connection packets directly — §7), "flowlet", "subset".
+    #: steers connection packets directly — §7), "flowlet", "subset",
+    #: "scr" (state-compute replication: spray everything, replay the
+    #: per-flow packet log on every core).
     mode: str = "sprayer"
     num_cores: int = 8
     batch_size: int = 32
@@ -71,8 +73,9 @@ class MiddleboxConfig:
     #: other UDP traffic keeps RSS steering.
     spray_udp_ports: tuple = ()
     #: Flow-state backend override: None (policy default: partitioned
-    #: per-core tables, or shared+locked for "naive"), "partitioned",
-    #: "shared", or "remote" (StatelessNF-style store — §6 ablation).
+    #: per-core tables, shared+locked for "naive", or replicated
+    #: per-core tables for "scr"), "partitioned", "shared", "remote"
+    #: (StatelessNF-style store — §6 ablation), or "replicated".
     state_backend: Optional[str] = None
     #: CPU cycles per remote-store access when state_backend="remote".
     remote_access_cycles: Optional[int] = None
@@ -91,10 +94,12 @@ class MiddleboxConfig:
     def __post_init__(self) -> None:
         if self.mode not in MODES:
             raise ValueError(f"unknown mode {self.mode!r}; expected one of {MODES}")
-        if self.state_backend not in (None, "partitioned", "shared", "remote"):
+        if self.state_backend not in (
+            None, "partitioned", "shared", "remote", "replicated",
+        ):
             raise ValueError(
                 f"unknown state_backend {self.state_backend!r}; expected "
-                "None, 'partitioned', 'shared', or 'remote'"
+                "None, 'partitioned', 'shared', 'remote', or 'replicated'"
             )
         if self.num_cores < 1:
             raise ValueError(f"num_cores must be >= 1, got {self.num_cores}")

@@ -27,6 +27,7 @@ from repro.core.config import MiddleboxConfig
 from repro.core.flow_state import (
     PartitionedFlowState,
     RemoteFlowState,
+    ScrFlowState,
     SharedFlowState,
 )
 from repro.core.nf import NetworkFunction, NfContext
@@ -81,6 +82,15 @@ class MiddleboxEngine:
         )
         self.policy = policy or make_policy(self.config.mode, self.config)
         self.nic = self.policy.build_nic()
+        #: State-compute replication machinery (the "scr" policy): the
+        #: per-flow packet-history log + replay engine. None everywhere
+        #: else — one None check on the ingress and processor paths. A
+        #: stateless NF has no state to replicate, so the log stays off.
+        self._scr = (
+            self.policy.replication
+            if getattr(self.policy, "replicates_state", False) and not nf.stateless
+            else None
+        )
         #: Steering decision memo: canonical per-policy ``designated_core``
         #: results, one dict probe per connection packet in the classify
         #: loop. Only populated while the policy declares its mapping
@@ -96,9 +106,26 @@ class MiddleboxEngine:
         self.host = Host(sim, self.nic, self.costs, batch_size=self.config.batch_size)
         self.coherence = CoherenceModel(self.costs)
         backend = self.config.state_backend
+        replicates = getattr(self.policy, "replicates_state", False)
         if backend is None:
-            backend = "shared" if self.policy.uses_shared_state else "partitioned"
-        if backend == "remote":
+            if replicates:
+                backend = "replicated"
+            else:
+                backend = "shared" if self.policy.uses_shared_state else "partitioned"
+        elif replicates and backend != "replicated":
+            # Replay writes every core's replica; pointing them at a
+            # single-writer backend would just violate it. Fail loudly.
+            raise ValueError(
+                f"policy {self.policy.name!r} replicates state; "
+                f"state_backend must be 'replicated' or None, got {backend!r}"
+            )
+        if backend == "replicated":
+            self.flow_state = ScrFlowState(
+                self.config.num_cores,
+                self.costs,
+                capacity_per_core=self.config.flow_table_capacity,
+            )
+        elif backend == "remote":
             self.flow_state = RemoteFlowState(
                 self.costs, self.config.remote_access_cycles
             )
@@ -155,12 +182,30 @@ class MiddleboxEngine:
     # -- dataplane entry/exit ---------------------------------------------
 
     def receive(self, packet: Packet, now: int) -> bool:
-        """Ingress: hand an arriving packet to the NIC."""
+        """Ingress: hand an arriving packet to the NIC.
+
+        Under state-compute replication this is the log-append seam:
+        every *accepted* connection packet enters its flow's history
+        log in NIC arrival order (packets the NIC dropped never existed
+        as far as replication is concerned).
+        """
         notify = self._notify_activity
         if notify is not None:
             notify()
         self.host.packets_in += 1
-        return self.nic.receive(packet, now)
+        scr = self._scr
+        if scr is None:
+            return self.nic.receive(packet, now)
+        # Append before the NIC call: a queue push can wake the arrival
+        # core and process the packet synchronously, and the replay
+        # engine must already know its log position by then. NIC
+        # rejections happen before any core runs, so retracting the
+        # freshly appended tail entry is always safe.
+        scr.observe(packet)
+        accepted = self.nic.receive(packet, now)
+        if not accepted:
+            scr.retract(packet)
+        return accepted
 
     def set_egress(self, egress: Callable[[Packet], None]) -> None:
         """Install the hook that receives every forwarded packet."""
@@ -230,6 +275,11 @@ class MiddleboxEngine:
             # write is a legitimate claim, not an ownership violation.
             ownership.release_writer_core(core_id)
         self.nic.disable_queue(core_id, kind="core_dead")
+        if self._scr is not None:
+            # Truncation quorums shrink to the survivors; their replicas
+            # already hold (or can replay) every flow, so no state is
+            # lost and no re-homing is needed.
+            self._scr.mark_dead(core_id)
         live = [c for c in range(self.config.num_cores) if c not in self._dead_cores]
         if live:
             self._designated_remap = {
@@ -268,6 +318,8 @@ class MiddleboxEngine:
         A closure (rather than per-packet virtual dispatch) keeps the
         hot path tight, the same way DPDK apps specialize their loops.
         """
+        if self._scr is not None:
+            return self._make_scr_processor(ctx)
         costs = self.costs
         nf = self.nf
         stats = self.stats
@@ -366,6 +418,86 @@ class MiddleboxEngine:
                 cycles += costs.tx_batch_fixed
                 cycles += costs.tx_per_packet * len(outputs)
             return BatchResult(cycles, outputs, transfers)
+
+        return process
+
+    def _make_scr_processor(self, ctx: NfContext):
+        """The no-ring fast path for state-compute replication.
+
+        Connection packets are processed wherever they land — the
+        replication log (:class:`repro.steering.scr.ScrReplication`)
+        replays whatever history this core has not yet applied, so its
+        replica is current before the NF runs. Nothing is ever pushed
+        to a transfer ring, and no designated-core lookup happens at
+        all: steering is the NIC's spray rules, full stop.
+        """
+        costs = self.costs
+        nf = self.nf
+        stats = self.stats
+        scr = self._scr
+        conn_mask = SYN | FIN | RST
+
+        def process(core: Core, foreign: List[Packet], local: List[Packet]) -> BatchResult:
+            cycles = 0.0
+            if foreign:
+                # Nothing transfers under SCR; drained defensively so an
+                # externally pushed descriptor is processed, not lost.
+                cycles += costs.ring_dequeue_fixed
+                cycles += costs.ring_receive_per_packet * len(foreign)
+                local = foreign + local
+            if local:
+                cycles += costs.rx_batch_fixed
+                cycles += costs.rx_per_packet * len(local)
+            cycles += costs.classify_per_packet * len(local)
+            connection_batch: List[Packet] = []
+            regular_batch: List[Packet] = []
+            for packet in local:
+                if packet.five_tuple.protocol == PROTO_TCP and packet.flags & conn_mask:
+                    connection_batch.append(packet)
+                else:
+                    regular_batch.append(packet)
+
+            core_id = core.core_id
+            ctx.begin_batch()
+            if connection_batch:
+                stats.connection_packets += len(connection_batch)
+                for packet in connection_batch:
+                    scr.deliver(core_id, packet, ctx, nf)
+            if regular_batch:
+                synced: set = set()
+                for packet in regular_batch:
+                    flow = packet.five_tuple
+                    if flow not in synced:
+                        synced.add(flow)
+                        scr.sync(core_id, flow, ctx, nf)
+                nf.regular_packets(regular_batch, ctx)
+            cycles += ctx.end_batch()
+
+            if ctx._dropped:
+                outputs: List[Packet] = []
+                dropped = 0
+                is_dropped = ctx.is_dropped
+                for packet in connection_batch:
+                    if is_dropped(packet):
+                        dropped += 1
+                    else:
+                        outputs.append(packet)
+                for packet in regular_batch:
+                    if is_dropped(packet):
+                        dropped += 1
+                    else:
+                        outputs.append(packet)
+                stats.packets_dropped_nf += dropped
+            elif connection_batch:
+                connection_batch.extend(regular_batch)
+                outputs = connection_batch
+            else:
+                outputs = regular_batch
+            stats.packets_forwarded += len(outputs)
+            if outputs:
+                cycles += costs.tx_batch_fixed
+                cycles += costs.tx_per_packet * len(outputs)
+            return BatchResult(cycles, outputs, [])
 
         return process
 

@@ -73,6 +73,16 @@ class CostModel:
     #: Read of a cache line recently written by another core.
     remote_read: int = 110
 
+    # --- state-compute replication (the "scr" policy) ---
+    #: Bookkeeping to process a connection packet against its log entry
+    #: on the arrival core (lookup + cursor advance); the NIC-seam
+    #: append itself is DMA-side and free of core cycles.
+    scr_log_append: int = 40
+    #: Replaying one logged connection packet on another core, on top
+    #: of the NF's own state-access/compute cycles (which are charged
+    #: through the context like first-run work).
+    scr_replay_per_packet: int = 30
+
     def cycles_to_ps(self, cycles: float) -> int:
         """Convert cycles at this clock into integer picoseconds."""
         return round(cycles * SECOND / self.clock_hz)

@@ -35,7 +35,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
-from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, figr, table1
+from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, figr, figs, table1
 from repro.experiments.runner import SweepRunner
 
 RUNNERS = {
@@ -47,6 +47,7 @@ RUNNERS = {
     "fig8": fig8.main,
     "fig9": fig9.main,
     "figR": figr.main,
+    "figS": figs.main,
 }
 
 

@@ -201,6 +201,12 @@ def _run_resilience(scenario: Scenario):
     return study.run_resilience_scenario(scenario)
 
 
+def _run_scr_head_to_head(scenario: Scenario):
+    from repro.experiments import figs
+
+    return figs.run_figs_scenario(scenario)
+
+
 KIND_RUNNERS: Dict[str, Callable[[Scenario], Tuple[Dict[str, Any], Dict[str, Any]]]] = {
     "open_loop": _run_open_loop,
     "capacity": _run_capacity,
@@ -209,6 +215,7 @@ KIND_RUNNERS: Dict[str, Callable[[Scenario], Tuple[Dict[str, Any], Dict[str, Any
     "flow_size_cdf": _run_flow_size_cdf,
     "concurrency": _run_concurrency,
     "resilience": _run_resilience,
+    "scr_head_to_head": _run_scr_head_to_head,
 }
 
 

@@ -93,6 +93,7 @@ def run_resilience(
     bucket: int = MILLISECOND,
     resteer: bool = True,
     nf=None,
+    extra_traffic=None,
     **config_kwargs,
 ) -> ResilienceResult:
     """One open-loop measurement under ``plan``'s faults.
@@ -101,6 +102,12 @@ def run_resilience(
     so ``rate_mpps``/``p99_latency_us`` price the whole episode; the
     ``timeline`` (bucket width ``bucket`` ps, covering the full run)
     shows where the damage lands and how fast it heals.
+
+    ``extra_traffic`` is an optional hook for adverse traffic riding on
+    top of the base workload (Figure S's targeted SYN flood): called as
+    ``extra_traffic(sim, ingress.send)`` once the wiring is up, and any
+    returned object with a ``stop()`` method is stopped with the main
+    generator.
     """
     if not 0 <= warmup < duration:
         raise ValueError(f"need 0 <= warmup < duration, got {warmup}, {duration}")
@@ -142,11 +149,14 @@ def run_resilience(
         sim, ingress.send, flows, offered, rng, frame_len=frame_len, burst=burst
     )
     generator.start(at=0)
+    extra = extra_traffic(sim, ingress.send) if extra_traffic is not None else None
     sim.run(until=warmup)
     meter.open_window(sim.now)
     sim.run(until=duration)
     meter.close_window(sim.now)
     generator.stop()
+    if extra is not None and hasattr(extra, "stop"):
+        extra.stop()
 
     timeline = [
         {

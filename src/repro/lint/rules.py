@@ -12,7 +12,7 @@ SPR001   flow-state encapsulation (writing partition, static half)
 SPR002   simulation purity: no wall clocks / unseeded entropy
 SPR003   no unordered-set iteration feeding deterministic outputs
 SPR004   steering policies that see SYN/FIN/RST must consult the
-         designated-core hash
+         designated-core hash (or route through a replication log)
 SPR005   no silently swallowed exceptions (sim events vanish)
 =======  ==========================================================
 
@@ -46,9 +46,12 @@ class FlowStateEncapsulation(Rule):
         "API in repro/core: every mutation goes through insert/remove/"
         "get_local, which check the designated core. Code that reaches "
         "into .entries or .tables bypasses the single-writer check and "
-        "can corrupt state the designated core believes it owns. "
-        "Control-plane code (migration, rebalancing) must use the "
-        "sanctioned entries_snapshot()/evict()/adopt() API instead."
+        "can corrupt state the designated core believes it owns; under "
+        "state-compute replication the same goes for the per-core "
+        ".replicas tables, whose only writer is the replay machinery. "
+        "Control-plane code (migration, rebalancing, oracles) must use "
+        "the sanctioned entries_snapshot()/evict()/adopt() API — or "
+        "replica_snapshot(core_id) for a replicated backend — instead."
     )
 
     def applies(self, ctx: FileContext) -> bool:
@@ -60,16 +63,18 @@ class FlowStateEncapsulation(Rule):
                 continue
             base = unparse(node.value)
             suspicious = (
-                node.attr in ("entries", "tables") and _FLOW_STATEY.search(base)
-            ) or (node.attr == "table" and base.endswith("flow_state"))
+                node.attr in ("entries", "tables", "replicas")
+                and _FLOW_STATEY.search(base)
+            ) or (node.attr in ("table", "replicas") and base.endswith("flow_state"))
             if suspicious:
                 yield ctx.violation(
                     self,
                     node,
                     f"direct access to flow-state internals "
                     f"({base}.{node.attr}) outside repro/core bypasses the "
-                    f"single-writer API — use the Table 2 methods or the "
-                    f"control-plane entries_snapshot()/evict()/adopt()",
+                    f"single-writer API — use the Table 2 methods, the "
+                    f"control-plane entries_snapshot()/evict()/adopt(), or "
+                    f"replica_snapshot(core_id) for replicated state",
                 )
 
 
@@ -247,6 +252,16 @@ _DESIGNATED_REFS = {
     "DesignatedCoreMap",
     "core_for",
 }
+#: The other sanctioned route: a policy that replicates state routes
+#: connection packets through its packet-history log instead of a
+#: designated core (state-compute replication, the ``scr`` policy).
+_REPLICATION_REFS = {
+    "replication",
+    "ScrReplication",
+    "replicates_state",
+    "replay",
+    "replay_log",
+}
 
 
 @register
@@ -261,7 +276,11 @@ class SteeringConsultsDesignated(Rule):
         "is_connection) must route them by the designated-core hash — "
         "anything else sends writes to a core that does not own the "
         "flow, violating the writing partition the moment state is "
-        "touched. Policies that never inspect flags (pure spraying, "
+        "touched. Two routes satisfy the rule: consulting the "
+        "designated-core hash (Sprayer and friends), or routing "
+        "connection packets through a replication log whose replay "
+        "keeps every per-core replica a single-writer copy (the scr "
+        "policy). Policies that never inspect flags (pure spraying, "
         "RSS) are exempt: the engine's redirect path consults the hash "
         "for them."
     )
@@ -280,15 +299,19 @@ class SteeringConsultsDesignated(Rule):
                 continue
             names, attrs = self._references(node)
             handles_flags = bool(_FLAG_NAMES & names) or bool(_FLAG_ATTRS & attrs)
-            consults = bool(_DESIGNATED_REFS & (names | attrs))
+            consults = bool(
+                (_DESIGNATED_REFS | _REPLICATION_REFS) & (names | attrs)
+            )
             if handles_flags and not consults:
                 yield ctx.violation(
                     self,
                     node,
                     f"steering policy {node.name!r} inspects connection "
                     f"flags (SYN/FIN/RST) but never consults the "
-                    f"designated-core hash — connection packets must reach "
-                    f"their designated core or the writing partition breaks",
+                    f"designated-core hash nor a replication log — "
+                    f"connection packets must reach their designated core "
+                    f"(or be replayed onto every replica) or the writing "
+                    f"partition breaks",
                 )
 
     @staticmethod

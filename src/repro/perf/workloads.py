@@ -164,6 +164,27 @@ def macro_figr(quick: bool, jobs: int = 1) -> Tuple[int, str]:
     return len(rows) + len(timeline), _fingerprint([rows, timeline])
 
 
+def macro_figs(quick: bool, jobs: int = 1) -> Tuple[int, str]:
+    """The Figure S head-to-head (SCR vs Sprayer, flood+crash), pinned."""
+    from repro.experiments.figs import run_figs
+    from repro.experiments.runner import SweepRunner
+    from repro.sim.timeunits import MILLISECOND
+
+    runner = SweepRunner(jobs=jobs)
+    if quick:
+        panels = run_figs(
+            duration=6 * MILLISECOND,
+            warmup=1 * MILLISECOND,
+            fault_at=3 * MILLISECOND,
+            seed=1,
+            runner=runner,
+        )
+    else:
+        panels = run_figs(seed=1, runner=runner)
+    rows = panels["flood"] + panels["crash"]
+    return len(rows), _fingerprint(panels)
+
+
 #: Registration order is execution order: micro first (fast feedback),
 #: then the macro sweeps.
 WORKLOADS: Dict[str, Workload] = {
@@ -173,4 +194,5 @@ WORKLOADS: Dict[str, Workload] = {
     "fig6a": macro_fig6a,
     "fig7a": macro_fig7a,
     "figr": macro_figr,
+    "figs": macro_figs,
 }

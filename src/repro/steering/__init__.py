@@ -19,6 +19,10 @@ Policies:
   trading utilization for less reordering.
 - ``subset`` — §7 extension: spray each flow over a bounded subset of
   cores (power-of-two-choices flavour).
+- ``scr`` — state-compute replication (arXiv 2309.14647): spray
+  *everything* like naive, but replicate state correctly by replaying
+  a per-flow packet-history log on every core — no designated cores,
+  no rings, no shared table.
 """
 
 from repro.steering.base import SteeringPolicy
@@ -26,6 +30,7 @@ from repro.steering.flowlet import FlowletPolicy
 from repro.steering.naive import NaiveSprayPolicy
 from repro.steering.prognic import ProgrammableNicPolicy
 from repro.steering.rss import RssPolicy
+from repro.steering.scr import ScrPolicy
 from repro.steering.sprayer import SprayerPolicy
 from repro.steering.subset import SubsetPolicy
 
@@ -36,6 +41,7 @@ _POLICIES = {
     "prognic": ProgrammableNicPolicy,
     "flowlet": FlowletPolicy,
     "subset": SubsetPolicy,
+    "scr": ScrPolicy,
 }
 
 
@@ -56,5 +62,6 @@ __all__ = [
     "ProgrammableNicPolicy",
     "FlowletPolicy",
     "SubsetPolicy",
+    "ScrPolicy",
     "make_policy",
 ]

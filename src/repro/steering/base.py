@@ -22,6 +22,12 @@ class SteeringPolicy:
     #: If True, the engine uses a single shared, locked flow table
     #: instead of partitioned per-core tables (the naive ablation).
     uses_shared_state: bool = False
+    #: If True, the engine uses per-core replica tables plus the
+    #: policy's packet-history log (``policy.replication``) so every
+    #: core reconstructs flow state by replay — state-compute
+    #: replication (the ``scr`` policy). No rings, no designated
+    #: writer; mutually exclusive with ``uses_shared_state``.
+    replicates_state: bool = False
     #: If True (every shipped policy), ``designated_core`` is a pure
     #: function of the flow for the lifetime of the engine, so the
     #: engine may memoize it. A policy whose mapping can shift at

@@ -1,0 +1,347 @@
+"""State-compute replication (SCR): spray everything, replay everywhere.
+
+"State-Compute Replication: Parallelizing High-Speed Stateful Packet
+Processing" (arXiv 2309.14647) dissolves the paper's writing partition
+instead of enforcing it. Every packet — connection packets included —
+is sprayed over all cores with the same checksum-LSB Flow Director
+rules Sprayer uses for data packets; no core is designated, and no
+packet ever crosses a transfer ring. Correctness comes from
+*replication*: the NIC seam appends every accepted connection packet to
+a compact per-flow packet-history log, and each core *replays* the
+entries it has not yet observed before touching a flow, reconstructing
+an identical private replica of the flow's state. A log prefix is
+truncated once every live core has both observed and consumed it.
+
+Three consequences the figS experiment measures:
+
+- SYN floods and designated-core hotspots cannot melt one core: there
+  is no single core that must see every connection packet of a flow
+  set, so connection-heavy load spreads exactly like data load.
+- ``core_crash`` faults lose no flow state: every surviving core holds
+  (or can replay) the full per-flow history, so recovery is a spray-
+  rule reprogram — no re-homing, no state migration, no fresh SYNs
+  needed.
+- The price is replayed compute: each connection packet costs NF work
+  on *every* core that observes its flow, plus log append/replay
+  overhead (``CostModel.scr_log_append`` / ``scr_replay_per_packet``)
+  and log memory until truncation catches up (the ``scr.log.depth``
+  gauge watches it grow under SYN floods).
+
+The replay discipline, spelled out (and relied on by the differential
+oracle in ``tests/test_scr.py``):
+
+1. The log keeps connection packets in NIC arrival order, per flow.
+   Entries store a pristine header *snapshot* (clone), because the NF
+   may rewrite the real packet's header in place.
+2. A core's per-flow cursor counts the entries it has applied. Before
+   an NF touches flow state, the owning context replays every
+   unapplied entry — fresh clones through the real
+   ``nf.connection_packets`` hook, so state writes and cycle charges
+   land on the replaying core's own replica and batch.
+3. The arrival core processes the *real* packet at its log position,
+   so NF verdicts (drops, header rewrites) reach the packet that is
+   actually forwarded. If the arrival core replayed the entry's clone
+   before the real packet surfaced from its queue (possible when a
+   data packet of the same flow triggered a sync first), the recorded
+   verdict — deterministically identical, since replay is a pure
+   function of (state prefix, snapshot) — is applied instead of
+   running the NF twice.
+4. Truncation drops a prefix once every live core's cursor has passed
+   it *and* its real packet has been consumed; crashed cores are
+   excluded so the log cannot wedge on a corpse.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.core.designated import DesignatedCoreMap
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+from repro.nic.flow_director import build_checksum_spray_rules, spray_bits_for
+from repro.nic.nic import MultiQueueNic, NicConfig
+from repro.nic.rss import SYMMETRIC_RSS_KEY
+from repro.steering.base import SteeringPolicy
+
+
+class _LogEntry:
+    """One connection packet in a flow's history log."""
+
+    __slots__ = ("snapshot", "replayed", "dropped", "final_flow", "consumed")
+
+    def __init__(self, snapshot: Packet):
+        #: Pristine pre-NF clone; every replay runs on a fresh copy.
+        self.snapshot = snapshot
+        #: True once any core has replayed it (verdict recorded).
+        self.replayed = False
+        #: Recorded verdict: the NF dropped the packet.
+        self.dropped = False
+        #: Recorded verdict: the packet's header after the NF ran.
+        self.final_flow: Optional[FiveTuple] = None
+        #: True once the real packet was processed (or verdict-applied)
+        #: on its arrival core — a truncation precondition.
+        self.consumed = False
+
+
+class _FlowLog:
+    """Append-only per-flow history with per-core replay cursors."""
+
+    __slots__ = ("entries", "base", "applied")
+
+    def __init__(self, num_cores: int):
+        self.entries: List[_LogEntry] = []
+        #: Absolute index of ``entries[0]`` (advances on truncation).
+        self.base = 0
+        #: Per-core absolute cursor: entries below it are applied.
+        self.applied = [0] * num_cores
+
+
+class ScrReplication:
+    """The packet-history log and replay engine behind :class:`ScrPolicy`.
+
+    The engine owns the seams: it calls :meth:`observe` for every
+    NIC-accepted packet, :meth:`deliver` when a core processes a
+    connection packet, :meth:`sync` before a core reads a flow's state,
+    and :meth:`mark_dead` when a core crashes. All state mutation runs
+    through the caller's :class:`~repro.core.nf.NfContext`, so replica
+    writes are audited (and cycle-charged) exactly like first-run work.
+    """
+
+    def __init__(self, num_cores: int, costs):
+        self.num_cores = num_cores
+        self.costs = costs
+        self._logs: Dict[FiveTuple, _FlowLog] = {}
+        #: packet_id -> (flow, absolute log position) for accepted
+        #: connection packets not yet processed on their arrival core.
+        self._pending: Dict[int, Tuple[FiveTuple, int]] = {}
+        self._dead: set = set()
+        # Counters (surfaced as the scr.* telemetry family).
+        self.log_appends = 0
+        self.replayed_packets = 0
+        self.verdicts_applied = 0
+        self.truncated_entries = 0
+
+    # -- gauges ------------------------------------------------------------
+
+    def log_depth(self) -> int:
+        """Entries currently retained across all flow logs."""
+        return sum(len(log.entries) for log in self._logs.values())
+
+    def log_flows(self) -> int:
+        """Flows with a history log (live or awaiting truncation)."""
+        return len(self._logs)
+
+    # -- NIC seam ----------------------------------------------------------
+
+    def observe(self, packet: Packet) -> None:
+        """Append an accepted connection packet to its flow's log.
+
+        Called at the engine's ingress seam for every packet the NIC
+        accepted — packets dropped at the NIC (queue full, dead queue,
+        FD cap) never existed as far as replication is concerned.
+        """
+        if not packet.is_connection:
+            return
+        flow = packet.five_tuple
+        log = self._logs.get(flow)
+        if log is None:
+            log = self._logs[flow] = _FlowLog(self.num_cores)
+        position = log.base + len(log.entries)
+        log.entries.append(_LogEntry(packet.clone()))
+        self._pending[packet.packet_id] = (flow, position)
+        self.log_appends += 1
+
+    def retract(self, packet: Packet) -> None:
+        """Drop the entry of a packet the NIC just rejected.
+
+        The engine appends *before* the NIC classifies (a queue push
+        can process the packet synchronously), so a NIC drop — queue
+        full, FD cap, dead queue — must unwind the append. Rejection
+        happens before any core runs, so the entry is still the
+        unreplayed tail of its flow's log; ``log_appends`` ends up
+        counting only packets the NIC accepted.
+        """
+        pending = self._pending.pop(packet.packet_id, None)
+        if pending is None:
+            return
+        flow, _position = pending
+        self._logs[flow].entries.pop()
+        self.log_appends -= 1
+
+    # -- replay engine -----------------------------------------------------
+
+    def _replay(self, entry: _LogEntry, ctx, nf) -> None:
+        """Apply one logged entry to the calling core's replica."""
+        clone = entry.snapshot.clone()
+        nf.connection_packets([clone], ctx)
+        ctx.consume_cycles(self.costs.scr_replay_per_packet)
+        self.replayed_packets += 1
+        if not entry.replayed:
+            entry.replayed = True
+            entry.dropped = ctx.is_dropped(clone)
+            entry.final_flow = clone.five_tuple
+
+    def sync(self, core_id: int, flow: FiveTuple, ctx, nf) -> None:
+        """Bring the core's replica of ``flow`` up to the log tip."""
+        log = self._logs.get(flow)
+        if log is None:
+            return
+        applied = log.applied
+        position = applied[core_id]
+        tip = log.base + len(log.entries)
+        if position >= tip:
+            return
+        entries = log.entries
+        base = log.base
+        while position < tip:
+            self._replay(entries[position - base], ctx, nf)
+            position += 1
+        applied[core_id] = position
+        self._truncate(log)
+
+    def deliver(self, core_id: int, packet: Packet, ctx, nf) -> None:
+        """Process a real connection packet on its arrival core.
+
+        Replays any earlier unapplied entries first, then runs the NF on
+        the real packet — unless a prior sync already replayed this
+        entry's clone, in which case the recorded verdict is applied to
+        the real packet without running the NF a second time.
+        """
+        flow, position = self._pending.pop(packet.packet_id)
+        log = self._logs[flow]
+        applied = log.applied
+        entries = log.entries
+        base = log.base
+        if position < applied[core_id]:
+            entry = entries[position - base]
+            self.verdicts_applied += 1
+            if entry.dropped:
+                ctx.drop(packet)
+            elif entry.final_flow != packet.five_tuple:
+                packet.five_tuple = entry.final_flow
+        else:
+            cursor = applied[core_id]
+            while cursor < position:
+                self._replay(entries[cursor - base], ctx, nf)
+                cursor += 1
+            entry = entries[position - base]
+            nf.connection_packets([packet], ctx)
+            ctx.consume_cycles(self.costs.scr_log_append)
+            if not entry.replayed:
+                entry.replayed = True
+                entry.dropped = ctx.is_dropped(packet)
+                entry.final_flow = packet.five_tuple
+            applied[core_id] = position + 1
+        entry.consumed = True
+        self._truncate(log)
+
+    # -- truncation --------------------------------------------------------
+
+    def _truncate(self, log: _FlowLog) -> None:
+        """Drop the prefix every live core has applied and consumed."""
+        dead = self._dead
+        if dead:
+            cursors = [
+                cursor
+                for core_id, cursor in enumerate(log.applied)
+                if core_id not in dead
+            ]
+            if not cursors:
+                return
+            floor = min(cursors)
+        else:
+            floor = min(log.applied)
+        entries = log.entries
+        while log.base < floor and entries and entries[0].consumed:
+            entries.pop(0)
+            log.base += 1
+            self.truncated_entries += 1
+
+    def mark_dead(self, core_id: int) -> None:
+        """Exclude a crashed core from truncation quorums."""
+        self._dead.add(core_id)
+        for log in self._logs.values():
+            self._truncate(log)
+
+    # -- control plane -----------------------------------------------------
+
+    def converge(self, engine) -> None:
+        """Replay every live core to every log tip (off the dataplane).
+
+        The sanctioned way for tests and management tools to force full
+        replica convergence before inspecting state — e.g. comparing
+        each replica against single-writer ground truth. Cycle charges
+        are discarded: this models a control-plane sweep, not packets.
+        """
+        for core_id in range(self.num_cores):
+            if core_id in self._dead:
+                continue
+            ctx = engine.contexts[core_id]
+            ctx.begin_batch()
+            for flow in list(self._logs):
+                self.sync(core_id, flow, ctx, engine.nf)
+            ctx.end_batch()
+
+
+class ScrPolicy(SteeringPolicy):
+    """Spray all packets; replicate state by replaying the packet log."""
+
+    name = "scr"
+    #: Connection packets are processed wherever they land; the log
+    #: replay — not a ring transfer — gets their state to other cores.
+    redirect_connection_packets = False
+    replicates_state = True
+
+    def __init__(self, config):
+        super().__init__(config)
+        self.replication = ScrReplication(config.num_cores, config.costs)
+        # Kept for API parity (ctx.designated_core); under SCR no core
+        # is special — any core can process any packet after replay.
+        self.designated_map = DesignatedCoreMap(
+            config.num_cores, symmetric=getattr(config, "symmetric_designation", True)
+        )
+        self._spray_bits: int = 0  # pinned in build_nic
+
+    def build_nic(self) -> MultiQueueNic:
+        self.nic = MultiQueueNic(
+            NicConfig(
+                num_queues=self.config.num_cores,
+                queue_capacity=self.config.queue_capacity,
+                rss_key=SYMMETRIC_RSS_KEY,
+                flow_director_enabled=True,
+                flow_director_pps_cap=self.config.flow_director_pps_cap,
+            )
+        )
+        bits = self.config.spray_bits
+        if bits is None:
+            bits = spray_bits_for(self.config.num_cores)
+        self._spray_bits = bits
+        rules = build_checksum_spray_rules(self.config.num_cores, bits=bits)
+        self.nic.flow_director.add_rules(rules)
+        return self.nic
+
+    def resteer_around(self, engine, degraded: frozenset) -> bool:
+        """Reprogram the spray rules over the surviving queues.
+
+        This is where SCR's resilience story beats Sprayer's: the spray
+        reprogram is the *whole* recovery. No designated flows need
+        re-homing (there are none), no flow state is lost (every
+        surviving core replays the same history), and no connection
+        packets strand in a dead core's ring (there are no rings). The
+        state/compute side of fault handling is a true no-op.
+        """
+        num_cores = self.config.num_cores
+        live = [q for q in range(num_cores) if q not in degraded]
+        if not live:
+            return False
+        table = self.nic.flow_director
+        table.clear()
+        table.add_rules(
+            build_checksum_spray_rules(num_cores, bits=self._spray_bits, queues=live)
+        )
+        return True
+
+    def designated_core(self, flow: FiveTuple) -> int:
+        if flow.is_tcp:
+            return self.designated_map.core_for(flow)
+        return self.nic.rss.queue_for(flow)

@@ -25,7 +25,16 @@ Registry names (documented in README.md § Telemetry):
 ``engine.fault_drops``      packets flushed/lost to core crashes
 ``flow.entries``            current flow-table population (gauge)
 ``core.batch_size``         per-batch packet count (histogram)
+``scr.log.appends``         connection packets appended to the SCR log
+``scr.log.truncated``       SCR log entries dropped by truncation
+``scr.log.depth``           SCR log entries currently retained (gauge)
+``scr.log.flows``           flows with an SCR history log (gauge)
+``scr.replay.packets``      logged packets replayed onto replicas
+``scr.replay.verdicts``     recorded verdicts applied to real packets
 ==========================  ===============================================
+
+The ``scr.*`` family exists only under the ``scr`` steering policy
+(state-compute replication); other policies have no log to measure.
 """
 
 from __future__ import annotations
@@ -73,6 +82,14 @@ class EngineTelemetry:
         registry.bind("ring.drops", lambda: stats.ring_drops)
         registry.bind("engine.fault_drops", lambda: stats.fault_drops)
         registry.bind("flow.entries", engine.flow_state.total_entries)
+        scr = getattr(engine, "_scr", None)
+        if scr is not None:
+            registry.bind("scr.log.appends", lambda: scr.log_appends)
+            registry.bind("scr.log.truncated", lambda: scr.truncated_entries)
+            registry.bind("scr.log.depth", scr.log_depth)
+            registry.bind("scr.log.flows", scr.log_flows)
+            registry.bind("scr.replay.packets", lambda: scr.replayed_packets)
+            registry.bind("scr.replay.verdicts", lambda: scr.verdicts_applied)
 
         batch_hist = registry.histogram("core.batch_size")
         tracer = self.tracer

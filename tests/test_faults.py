@@ -383,6 +383,55 @@ class TestTelemetryAndTimeline:
         assert counters["faults.cleared"] == 1
 
 
+class TestScrUnderFaults:
+    """State-compute replication under the fault plans of figR/figS:
+    recovery is a spray reprogram and nothing else — no state re-homing,
+    no stranded ring descriptors, no resurrection traffic."""
+
+    def test_core_slow_resteers_with_zero_fault_drops(self):
+        plan = FaultPlan.of(core_slow(0, 2 * MS, 5 * MS, factor=10.0))
+        healthy = run_study("scr", plan=None)
+        faulted = run_study("scr", plan=plan)
+        summary = faulted.engine_summary
+        assert summary["fault_drops"] == 0
+        assert summary["rx_dropped_fault"] == 0
+        assert faulted.telemetry["counters"]["faults.resteers"] >= 1
+        # Seven-eighths of capacity absorbs the re-sprayed load: no
+        # RSS-style collapse.
+        assert faulted.rate_mpps > 0.9 * healthy.rate_mpps
+
+    def test_core_crash_loses_no_flow_state(self):
+        plan = FaultPlan.of(core_crash(0, at=2 * MS))
+        healthy = run_study("scr", plan=None)
+        faulted = run_study("scr", plan=plan)
+        summary = faulted.engine_summary
+        # Every flow the healthy run knew survives the crash: the
+        # surviving replicas hold (or replayed) the full history.
+        assert summary["flow_entries"] == healthy.engine_summary["flow_entries"]
+        # After the spray reprogram nothing lands on the dead queue, and
+        # there are no rings for descriptors to strand in.
+        assert summary["rx_dropped_fault"] == 0
+        assert summary["ring_drops"] == 0
+        assert summary["transfers"] == 0
+        assert faulted.telemetry["counters"]["faults.resteers"] >= 1
+        # The only casualties are packets flushed mid-batch at crash
+        # time — bounded by one in-flight batch, never post-crash losses.
+        assert summary["fault_drops"] <= faulted.engine_summary["rx_packets"] * 0.001
+        assert summary["fault_drops"] <= 32
+
+    def test_crash_recovery_beats_sprayer_state_loss(self):
+        """Sprayer re-homes the dead core's designated flows and their
+        state restarts from scratch; SCR's replicas never lose it."""
+        plan = FaultPlan.of(core_crash(0, at=2 * MS))
+        scr = run_study("scr", plan=plan)
+        sprayer = run_study("sprayer", plan=plan)
+        assert scr.rate_mpps >= sprayer.rate_mpps
+        # Sprayer's partitioned table keeps counting the corpse's
+        # unreachable entries; SCR needs no such asterisk — its count
+        # is state any live core can actually serve.
+        assert scr.engine_summary["flow_entries"] > 0
+
+
 class TestFigRAcceptance:
     def test_sprayer_beats_rss_during_core_slowdown(self):
         """The PR's headline: quick-mode figR must show Sprayer strictly
@@ -404,3 +453,30 @@ class TestFigRAcceptance:
             "t_ms", "rss_mpps", "rss_p99_us", "flowlet_mpps",
             "flowlet_p99_us", "sprayer_mpps", "sprayer_p99_us",
         }
+
+
+class TestFigSAcceptance:
+    def test_scr_beats_sprayer_under_flood_and_crash(self):
+        """The tentpole's headline: quick-mode figS must show SCR at or
+        above Sprayer throughput with lower tail latency, both under
+        the targeted SYN flood and with the hotspot core crashed."""
+        from repro.experiments.figs import run_figs
+
+        panels = run_figs(
+            duration=8 * MS, warmup=2 * MS, fault_at=4 * MS
+        )
+        for panel in ("flood", "crash"):
+            by_mode = {row["mode"]: row for row in panels[panel]}
+            scr, sprayer = by_mode["scr"], by_mode["sprayer"]
+            assert scr["fwd_mpps"] >= sprayer["fwd_mpps"], panel
+            assert scr["p99_us"] < sprayer["p99_us"], panel
+            # The flood concentrates on one core under Sprayer (its
+            # designated core) but spreads under SCR: only the former
+            # drops packets.
+            assert sprayer["queue_drops"] + sprayer["ring_drops"] > 0, panel
+            assert scr["queue_drops"] + scr["ring_drops"] == 0, panel
+        # Panel B: SCR loses (at most) only the packets flushed at
+        # crash time, and recovers immediately.
+        crash = {row["mode"]: row for row in panels["crash"]}
+        assert crash["scr"]["fault_drops"] <= 16
+        assert crash["scr"]["recovery_ms"] == 0

@@ -76,6 +76,20 @@ class TestSpr001FlowStateEncapsulation:
         """
         assert lint(good) == []
 
+    def test_fires_on_replica_table_access(self):
+        bad = """
+        def peek(engine, core_id):
+            return engine.flow_state.replicas[core_id]
+        """
+        assert codes(lint(bad)) == ["SPR001"]
+
+    def test_quiet_on_replica_snapshot_accessor(self):
+        good = """
+        def compare(engine, core_id):
+            return engine.flow_state.replica_snapshot(core_id)
+        """
+        assert lint(good) == []
+
 
 class TestSpr002SimulationPurity:
     @pytest.mark.parametrize(
@@ -208,6 +222,29 @@ class TestSpr004SteeringConsultsDesignated:
                 return packet.flags & (SYN | FIN | RST)
         """
         assert lint(good) == []
+
+    def test_quiet_when_replication_log_is_the_route(self):
+        good = """
+        class ReplicatingPolicy(SteeringPolicy):
+            replicates_state = True
+
+            def steer(self, packet):
+                if packet.flags & SYN:
+                    self.replication.observe(packet)
+                return packet.checksum % self.num_cores
+        """
+        assert lint(good) == []
+
+    def test_replication_route_requires_actual_references(self):
+        bad = """
+        class StillBrokenPolicy(SteeringPolicy):
+            def steer(self, packet):
+                # A comment mentioning replication does not count.
+                if packet.flags & SYN:
+                    return 0
+                return packet.checksum % self.num_cores
+        """
+        assert codes(lint(bad)) == ["SPR004"]
 
 
 class TestSpr005SilentExceptionSwallow:

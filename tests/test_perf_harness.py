@@ -152,7 +152,7 @@ class TestRunSuite:
 
     def test_all_workloads_registered(self):
         assert set(WORKLOADS) == {
-            "hash", "steer", "event_loop", "fig6a", "fig7a", "figr",
+            "hash", "steer", "event_loop", "fig6a", "fig7a", "figr", "figs",
         }
 
 

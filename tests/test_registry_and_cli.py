@@ -57,6 +57,7 @@ class TestCli:
     def test_runner_names_cover_all_figures(self):
         assert set(RUNNERS) == {
             "fig1", "fig2", "table1", "fig6", "fig7", "fig8", "fig9", "figR",
+            "figS",
         }
 
     def test_unknown_name_rejected(self):
@@ -71,6 +72,7 @@ class TestCli:
             assert name in out
         assert "resilience" in out
         assert "open_loop" in out
+        assert "scr_head_to_head" in out
 
     def test_list_flag_ignores_names(self, capsys):
         """--list answers immediately, even alongside experiment names."""

@@ -1,0 +1,295 @@
+"""Differential correctness of the SCR (state-compute replication) mode.
+
+The tentpole claim: spraying *all* packets and replaying the per-flow
+packet-history log on every core yields flow state byte-identical to
+Sprayer's single-writer ground truth. Pinned down four ways:
+
+1. A Hypothesis differential oracle drives the same randomized
+   SYN/FIN/data interleaving through an SCR engine and a Sprayer
+   engine; after :meth:`ScrReplication.converge`, *every* live SCR
+   replica must read byte-identical to the single-writer state, and
+   the NF verdicts (forwarded/dropped counts) must agree.
+2. :func:`audit_determinism` digests per-core event streams across
+   same-seed SCR runs — replay is a pure function of its seed.
+3. The log machinery's lifecycle: append on accepted packets only
+   (NIC rejections retract), truncation once every live core has
+   applied+consumed a prefix, and crashed cores excluded from quorums.
+4. The ``scr.*`` telemetry family exists exactly when the policy does.
+"""
+
+import json
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.checks import audit_determinism
+from repro.core import MiddleboxConfig, MiddleboxEngine
+from repro.core.nf import NetworkFunction
+from repro.experiments.harness import run_open_loop
+from repro.net import ACK, FIN, SYN, FiveTuple, make_tcp_packet
+from repro.nfs import SyntheticNf
+from repro.sim import MILLISECOND, Simulator
+
+CONN_FLAGS = (SYN, FIN)
+
+
+def flow(i: int = 1) -> FiveTuple:
+    return FiveTuple(0x0A000000 + i, 0x0A010000 + i, 10000 + i, 80, 6)
+
+
+class CountingNf(NetworkFunction):
+    """A stateful NF whose state is *order-sensitive* and which drops.
+
+    Every connection packet bumps its flow's counter; every third one
+    is dropped. Both the counter value and the drop verdict are pure
+    functions of (state prefix, packet), which is exactly the contract
+    SCR replay relies on — and what makes this NF a sharp oracle: any
+    replay reordering, double-apply, or missed entry shows up as a
+    diverged counter or a diverged verdict.
+    """
+
+    name = "counting"
+
+    def connection_packets(self, packets, ctx):
+        for packet in packets:
+            f = packet.five_tuple
+            entry = ctx.get_local_flow(f)
+            if entry is None:
+                ctx.insert_local_flow(f, {"conn": 1})
+            else:
+                entry["conn"] += 1
+                if entry["conn"] % 3 == 0:
+                    ctx.drop(packet)
+
+    def regular_packets(self, packets, ctx):
+        ctx.get_flows([packet.five_tuple for packet in packets])
+
+
+def build_engine(mode: str, num_cores: int = 4, nf=None, strict: bool = True,
+                 **config_kwargs):
+    sim = Simulator()
+    config = MiddleboxConfig(
+        mode=mode,
+        num_cores=num_cores,
+        flow_director_pps_cap=None,  # the oracle premise is zero NIC drops
+        **config_kwargs,
+    )
+    engine = MiddleboxEngine(
+        sim, nf if nf is not None else CountingNf(), config, strict_checks=strict
+    )
+    engine.set_egress(lambda pkt: None)
+    return sim, engine
+
+
+def make_script(seed: int, n_flows: int, n_events: int):
+    """A reproducible traffic script: (flow index, flags, seq, checksum).
+
+    Starts with one SYN per flow, then a random interleaving of
+    connection (SYN/FIN) and data packets, paced with periodic
+    simulator advances (``("run",)`` markers) so queues drain and the
+    zero-NIC-drop premise of the differential oracle holds.
+    """
+    rng = random.Random(seed)
+    events = [(i, SYN, 0, rng.getrandbits(16)) for i in range(n_flows)]
+    events.append(("run",))
+    for step in range(n_events):
+        i = rng.randrange(n_flows)
+        if rng.random() < 0.4:
+            events.append((i, rng.choice(CONN_FLAGS), 0, rng.getrandbits(16)))
+        else:
+            events.append((i, ACK, step, rng.getrandbits(16)))
+        if rng.random() < 0.25:
+            events.append(("run",))
+    events.append(("run",))
+    return events
+
+
+def drive_script(sim, engine, events) -> None:
+    for event in events:
+        if event[0] == "run":
+            sim.run(until=sim.now + MILLISECOND)
+            continue
+        i, flags, seq, checksum = event
+        packet = make_tcp_packet(
+            flow(i), flags=flags, seq=seq, tcp_checksum=checksum
+        )
+        engine.receive(packet, sim.now)
+    sim.run(until=sim.now + 5 * MILLISECOND)
+
+
+def canonical_state(pairs) -> str:
+    """Sorted, JSON-canonical rendering of (flow_id, entry) pairs."""
+    return json.dumps(sorted((repr(k), v) for k, v in pairs), sort_keys=True)
+
+
+class TestDifferentialOracle:
+    """SCR replicas vs Sprayer single-writer ground truth."""
+
+    @settings(max_examples=12, deadline=None)
+    @given(
+        seed=st.integers(min_value=0, max_value=2**20),
+        num_cores=st.integers(min_value=2, max_value=6),
+        n_flows=st.integers(min_value=1, max_value=5),
+    )
+    def test_replicas_match_single_writer_ground_truth(self, seed, num_cores, n_flows):
+        events = make_script(seed, n_flows, n_events=40)
+
+        truth_sim, truth = build_engine("sprayer", num_cores=num_cores)
+        drive_script(truth_sim, truth, events)
+        assert truth.conservation()["rx_packets"] == truth.conservation()["accounted"]
+        truth_state = canonical_state(truth.flow_state.entries_snapshot())
+
+        scr_sim, scr = build_engine("scr", num_cores=num_cores)
+        drive_script(scr_sim, scr, events)
+        conservation = scr.conservation()
+        assert conservation["rx_packets"] == conservation["accounted"]
+        # Oracle premise: the NIC dropped nothing on either engine.
+        for engine in (truth, scr):
+            summary = engine.summary()
+            assert summary["rx_dropped_queue_full"] == 0
+            assert summary["rx_dropped_fd_cap"] == 0
+
+        scr.policy.replication.converge(scr)
+        for core_id in range(num_cores):
+            replica = canonical_state(scr.flow_state.replica_snapshot(core_id))
+            assert replica == truth_state, f"replica {core_id} diverged"
+
+        # Same verdicts: identical forwarded and NF-dropped totals.
+        assert scr.stats.packets_forwarded == truth.stats.packets_forwarded
+        assert scr.stats.packets_dropped_nf == truth.stats.packets_dropped_nf
+        # Replicated single-writer discipline held throughout.
+        assert scr.checks.ownership.violations == 0
+        # And no ring ever moved a descriptor under SCR.
+        assert scr.stats.transfers == 0
+
+    def test_verdict_cache_applies_recorded_drops(self):
+        """A sync can replay an entry before its real packet surfaces;
+        the recorded verdict must then reach the real packet."""
+        sim, engine = build_engine("scr", num_cores=2)
+        events = [(0, SYN, 0, 7)]
+        # Two more conn packets: the third bumps the counter to 3 -> drop.
+        events += [(0, FIN, 0, 11), (0, FIN, 0, 13), ("run",)]
+        # Data packets on both queues force every core to sync flow 0.
+        events += [(0, ACK, s, s * 37 % 65536) for s in range(16)]
+        events.append(("run",))
+        drive_script(sim, engine, events)
+        assert engine.stats.packets_dropped_nf == 1
+        conservation = engine.conservation()
+        assert conservation["rx_packets"] == conservation["accounted"]
+
+
+class TestScrDeterminism:
+    def test_same_seed_runs_have_identical_stream_digests(self):
+        def run():
+            sim, engine = build_engine("scr", num_cores=4)
+            drive_script(sim, engine, make_script(seed=9, n_flows=3, n_events=48))
+            return engine
+
+        digests = audit_determinism(run, runs=3)
+        assert any(digests), "expected at least one non-zero core digest"
+
+    def test_byte_identical_rerun_via_open_loop(self):
+        kwargs = dict(
+            nf_cycles=800, num_flows=6, offered_pps=2e6,
+            duration=2 * MILLISECOND, warmup=500_000_000, seed=5,
+        )
+        first = run_open_loop("scr", **kwargs)
+        second = run_open_loop("scr", **kwargs)
+        assert json.dumps(first.engine_summary, sort_keys=True, default=repr) == \
+            json.dumps(second.engine_summary, sort_keys=True, default=repr)
+
+
+class TestLogLifecycle:
+    def test_truncation_waits_for_every_live_core(self):
+        sim, engine = build_engine("scr", num_cores=4, nf=SyntheticNf(0))
+        engine.receive(make_tcp_packet(flow(1), flags=SYN, tcp_checksum=3), sim.now)
+        sim.run(until=sim.now + MILLISECOND)
+        replication = engine.policy.replication
+        # The arrival core consumed it, but three replicas lag behind.
+        assert replication.log_appends == 1
+        assert replication.log_depth() == 1
+        assert replication.truncated_entries == 0
+        replication.converge(engine)
+        assert replication.log_depth() == 0
+        assert replication.truncated_entries == 1
+        # Converge replayed the SYN on every non-arrival core.
+        assert replication.replayed_packets == engine.config.num_cores - 1
+
+    def test_crashed_cores_do_not_wedge_truncation(self):
+        sim, engine = build_engine("scr", num_cores=4, nf=SyntheticNf(0))
+        engine.crash_core(2)
+        engine.receive(make_tcp_packet(flow(1), flags=SYN, tcp_checksum=2), sim.now)
+        sim.run(until=sim.now + MILLISECOND)
+        replication = engine.policy.replication
+        replication.converge(engine)
+        # Core 2 never applied anything, yet the prefix truncated.
+        assert replication.log_depth() == 0
+        assert replication.truncated_entries == 1
+
+    def test_nic_rejections_retract_their_log_entries(self):
+        sim, engine = build_engine("scr", num_cores=4, nf=SyntheticNf(0))
+        # Kill a core *without* resteering: its queue keeps its share of
+        # the spray rules and drops every arrival (kind core_dead).
+        engine.crash_core(1, resteer=False)
+        rng = random.Random(17)
+        sent = 64
+        for i in range(sent):
+            packet = make_tcp_packet(
+                flow(i), flags=SYN, tcp_checksum=rng.getrandbits(16)
+            )
+            engine.receive(packet, sim.now)
+            sim.run(until=sim.now + 100_000_000)
+        sim.run(until=sim.now + 5 * MILLISECOND)
+        dropped = engine.nic.stats.rx_dropped_fault
+        assert dropped > 0, "expected some SYNs to hit the dead queue"
+        replication = engine.policy.replication
+        assert replication.log_appends == sent - dropped
+        assert not replication._pending
+        conservation = engine.conservation()
+        assert conservation["rx_packets"] == conservation["accounted"]
+
+    def test_stateless_nf_disables_replication(self):
+        class StatelessNf(NetworkFunction):
+            name = "null"
+            stateless = True
+
+            def regular_packets(self, packets, ctx):
+                pass
+
+        sim, engine = build_engine("scr", nf=StatelessNf(), strict=False)
+        assert engine._scr is None
+        engine.receive(make_tcp_packet(flow(1), flags=SYN, tcp_checksum=1), sim.now)
+        sim.run(until=sim.now + MILLISECOND)
+        assert engine.stats.packets_forwarded == 1
+
+    def test_explicit_foreign_backend_rejected(self):
+        with pytest.raises(ValueError, match="replicates state"):
+            build_engine("scr", state_backend="shared")
+
+
+class TestScrTelemetry:
+    RUN_KWARGS = dict(
+        nf_cycles=500, num_flows=8, offered_pps=2e6,
+        duration=2 * MILLISECOND, warmup=500_000_000, seed=3,
+    )
+
+    def test_scr_counter_family_present_and_consistent(self):
+        result = run_open_loop("scr", **self.RUN_KWARGS)
+        counters = result.telemetry["counters"]
+        assert counters["scr.log.appends"] >= 8  # one SYN per flow
+        assert counters["scr.replay.packets"] > 0
+        assert counters["scr.log.depth"] >= 0
+        assert counters["scr.log.flows"] >= 8
+        # Depth is exactly what was appended and not yet truncated.
+        assert counters["scr.log.depth"] == (
+            counters["scr.log.appends"] - counters["scr.log.truncated"]
+        )
+
+    def test_other_modes_have_no_scr_family(self):
+        for mode in ("rss", "sprayer"):
+            result = run_open_loop(mode, **self.RUN_KWARGS)
+            assert not any(
+                name.startswith("scr.") for name in result.telemetry["counters"]
+            )

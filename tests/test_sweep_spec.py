@@ -194,6 +194,8 @@ class TestRunner:
         quietly measure something else — refuse unless explicit."""
         with pytest.raises(ValueError, match="already registered"):
             register_kind("capacity", lambda sc: ({}, {}))
+        with pytest.raises(ValueError, match="already registered"):
+            register_kind("scr_head_to_head", lambda sc: ({}, {}))
 
         register_kind("dup_probe", lambda sc: ({"v": 1}, {}))
         try:
