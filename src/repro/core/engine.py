@@ -178,6 +178,16 @@ class MiddleboxEngine:
         # instead of walking telemetry.notify_activity per packet.
         sampler = self.telemetry.sampler
         self._notify_activity = sampler.notify_activity if sampler else None
+        #: Batch-spine settlement hook (installed by
+        #: :class:`repro.core.batch_spine.ArrivalStager`): called before
+        #: any externally visible read or mutation of receive-side state
+        #: so staged arrivals land first. None on the scalar spine.
+        self._settle_hook: Optional[Callable[[], None]] = None
+
+    @property
+    def ingress_batchable(self) -> bool:
+        """Whether the policy permits the eager-steer batch spine."""
+        return self.policy.ingress_batchable
 
     # -- dataplane entry/exit ---------------------------------------------
 
@@ -189,6 +199,12 @@ class MiddleboxEngine:
         log in NIC arrival order (packets the NIC dropped never existed
         as far as replication is concerned).
         """
+        settle = self._settle_hook
+        if settle is not None:
+            # Staged batch arrivals that precede this event settle
+            # first, so the NIC (token bucket, queue depths) is in
+            # exactly the state this packet's scalar predecessors left.
+            settle()
         notify = self._notify_activity
         if notify is not None:
             notify()
@@ -265,6 +281,11 @@ class MiddleboxEngine:
             raise ValueError(
                 f"core_id {core_id} out of range [0, {self.config.num_cores})"
             )
+        settle = self._settle_hook
+        if settle is not None:
+            # Arrivals preceding the crash must reach the queues first:
+            # they flush as fault_drops, not as rx_dropped_fault.
+            settle()
         flushed = self.host.cores[core_id].crash()
         self.stats.fault_drops += flushed
         self._dead_cores.add(core_id)
@@ -325,24 +346,37 @@ class MiddleboxEngine:
         stats = self.stats
         redirect = self.policy.redirect_connection_packets and not nf.stateless
         classify_needed = not nf.stateless
+        # Opt-in batch NF API: a batch-capable NF handles the whole
+        # regular batch through process_batch; everything else keeps the
+        # per-batch regular_packets call unchanged. Bound once — no
+        # per-batch dispatch.
+        regular_handler = nf.process_batch if nf.batch_capable else nf.regular_packets
         # The paper's connection-packet predicate (SYN/FIN/RST on TCP),
         # inlined as one protocol compare + one mask test per packet.
         conn_mask = SYN | FIN | RST
         designated_cache = self._designated_cache
         designated_core = self.designated_core
+        # Per-burst cost formulas, unrolled into the closure: the helper
+        # methods are linear in batch size with integer constants, so
+        # the sums below are cycle-for-cycle identical (see CostModel).
+        ring_fixed = costs.ring_dequeue_fixed
+        ring_pp = costs.ring_receive_per_packet
+        rx_fixed = costs.rx_batch_fixed
+        rx_pp = costs.rx_per_packet
+        tx_fixed = costs.tx_batch_fixed
+        tx_pp = costs.tx_per_packet
+        classify_pp = costs.classify_per_packet
 
         def process(core: Core, foreign: List[Packet], local: List[Packet]) -> BatchResult:
             cycles = 0.0
             if foreign:
-                cycles += costs.ring_dequeue_fixed
-                cycles += costs.ring_receive_per_packet * len(foreign)
+                cycles += ring_fixed + ring_pp * len(foreign)
             if local:
-                cycles += costs.rx_batch_fixed
-                cycles += costs.rx_per_packet * len(local)
+                cycles += rx_fixed + rx_pp * len(local)
 
             transfers: List = []
             if classify_needed:
-                cycles += costs.classify_per_packet * len(local)
+                cycles += classify_pp * len(local)
                 # First pass: find the first connection packet, if any.
                 # Batches of pure data packets (the overwhelming common
                 # case at line rate) then reuse ``local`` as the regular
@@ -380,18 +414,21 @@ class MiddleboxEngine:
                                 regular_batch.append(packet)
                         stats.connection_packets += connection_count
                         if transfers:
-                            cycles += costs.ring_enqueue_fixed * len(destinations)
-                            cycles += costs.ring_transfer_per_packet * len(transfers)
+                            cycles += costs.ring_push_cycles(
+                                len(transfers), len(destinations)
+                            )
             else:
                 connection_batch = []
                 regular_batch = local
 
-            ctx.begin_batch()
+            # begin_batch()/end_batch(), inlined (one per batch).
+            ctx._cycles = 0.0
+            ctx._dropped.clear()
             if connection_batch:
                 nf.connection_packets(connection_batch, ctx)
             if regular_batch:
-                nf.regular_packets(regular_batch, ctx)
-            cycles += ctx.end_batch()
+                regular_handler(regular_batch, ctx)
+            cycles += ctx._cycles
 
             if ctx._dropped:
                 outputs: List[Packet] = []
@@ -415,8 +452,7 @@ class MiddleboxEngine:
                 outputs = regular_batch
             stats.packets_forwarded += len(outputs)
             if outputs:
-                cycles += costs.tx_batch_fixed
-                cycles += costs.tx_per_packet * len(outputs)
+                cycles += tx_fixed + tx_pp * len(outputs)
             return BatchResult(cycles, outputs, transfers)
 
         return process
@@ -436,18 +472,17 @@ class MiddleboxEngine:
         stats = self.stats
         scr = self._scr
         conn_mask = SYN | FIN | RST
+        regular_handler = nf.process_batch if nf.batch_capable else nf.regular_packets
 
         def process(core: Core, foreign: List[Packet], local: List[Packet]) -> BatchResult:
             cycles = 0.0
             if foreign:
                 # Nothing transfers under SCR; drained defensively so an
                 # externally pushed descriptor is processed, not lost.
-                cycles += costs.ring_dequeue_fixed
-                cycles += costs.ring_receive_per_packet * len(foreign)
+                cycles += costs.ring_drain_cycles(len(foreign))
                 local = foreign + local
             if local:
-                cycles += costs.rx_batch_fixed
-                cycles += costs.rx_per_packet * len(local)
+                cycles += costs.rx_burst_cycles(len(local))
             cycles += costs.classify_per_packet * len(local)
             connection_batch: List[Packet] = []
             regular_batch: List[Packet] = []
@@ -470,7 +505,7 @@ class MiddleboxEngine:
                     if flow not in synced:
                         synced.add(flow)
                         scr.sync(core_id, flow, ctx, nf)
-                nf.regular_packets(regular_batch, ctx)
+                regular_handler(regular_batch, ctx)
             cycles += ctx.end_batch()
 
             if ctx._dropped:
@@ -495,8 +530,7 @@ class MiddleboxEngine:
                 outputs = regular_batch
             stats.packets_forwarded += len(outputs)
             if outputs:
-                cycles += costs.tx_batch_fixed
-                cycles += costs.tx_per_packet * len(outputs)
+                cycles += costs.tx_burst_cycles(len(outputs))
             return BatchResult(cycles, outputs, [])
 
         return process
@@ -505,6 +539,9 @@ class MiddleboxEngine:
 
     def summary(self) -> Dict[str, float]:
         """A flat dict of the counters experiments print."""
+        settle = self._settle_hook
+        if settle is not None:
+            settle()
         nic = self.nic.stats
         return {
             "policy": self.policy.name,
@@ -531,6 +568,9 @@ class MiddleboxEngine:
         in flight on a busy core are the remainder. Once the simulation
         drains, ``rx_packets`` must equal ``accounted``.
         """
+        settle = self._settle_hook
+        if settle is not None:
+            settle()
         nic = self.nic.stats
         accounted = (
             self.stats.packets_forwarded

@@ -200,6 +200,21 @@ class PartitionedFlowState:
         """
         # Inlined self.get(): the designated lookup would otherwise run
         # twice per flow, and this is the hottest flow-state path.
+        if type(flow_ids) is list and len(flow_ids) == 1:
+            # Single-packet batches dominate when cores outpace arrivals;
+            # skip the batching machinery (result set, bound methods).
+            # Charges are identical: the same-designated-core discount
+            # never applies to a batch's first lookup.
+            flow_id = flow_ids[0]
+            designated = self.designated_fn(flow_id)
+            entry = self.tables[designated].get(flow_id)
+            if designated == core_id:
+                self.local_reads += 1
+                return [entry], self.costs.flow_lookup_local
+            self.remote_reads += 1
+            if entry is not None:
+                return [entry], self.coherence.read(core_id, flow_id)
+            return [entry], self.costs.flow_lookup_remote
         results: List[Optional[Any]] = []
         total = 0
         seen_cores: set = set()

@@ -160,6 +160,14 @@ class NetworkFunction:
     name: str = "nf"
     #: Stateless NFs skip classification, flow tables, and redirection.
     stateless: bool = False
+    #: Opt-in batch API: when True, the engine delivers each regular
+    #: burst through :meth:`process_batch` instead of
+    #: :meth:`regular_packets`. An NF should opt in when its regular
+    #: path is already vectorized over the burst (amortized state
+    #: lookups, one cycle charge); stateful NFs that reason one packet
+    #: at a time should leave this False and keep the automatic
+    #: per-packet fallback.
+    batch_capable: bool = False
 
     def init(self, ctx: NfContext) -> None:
         """Per-core initialization hook (memory allocation, parameters)."""
@@ -175,3 +183,15 @@ class NetworkFunction:
 
     def regular_packets(self, packets: List[Packet], ctx: NfContext) -> None:
         """Handle a batch of regular packets on their arrival core."""
+
+    def process_batch(self, packets: List[Packet], ctx: NfContext) -> None:
+        """Batch entry point (consulted when ``batch_capable`` is True).
+
+        The default is the automatic per-packet fallback: each packet
+        goes through :meth:`regular_packets` alone, preserving strict
+        one-at-a-time semantics for NFs that never opted in but are
+        called through the batch API anyway. Batch-capable NFs override
+        this (or alias it to their vectorized ``regular_packets``).
+        """
+        for packet in packets:
+            self.regular_packets([packet], ctx)

@@ -14,35 +14,46 @@ proportional to batches — the same reason DPDK applications batch.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Callable, List, Optional, Tuple
 
 from repro.cpu.costs import CostModel
 from repro.net.packet import Packet
 from repro.sim.engine import Simulator
+from repro.sim.timeunits import SECOND
 
 
-@dataclass
 class BatchResult:
     """What processing one batch produced.
 
     ``cycles`` is the total cycle charge; ``outputs`` the packets to
     transmit; ``transfers`` the (destination core, packet) pairs to move
     onto foreign rings at completion time.
+
+    A ``__slots__`` class rather than a dataclass: one is allocated per
+    batch, which makes construction cost part of the per-batch budget.
     """
 
-    cycles: float
-    outputs: List[Packet] = field(default_factory=list)
-    transfers: List[Tuple[int, Packet]] = field(default_factory=list)
+    __slots__ = ("cycles", "outputs", "transfers")
+
+    def __init__(
+        self,
+        cycles: float,
+        outputs: Optional[List[Packet]] = None,
+        transfers: Optional[List[Tuple[int, Packet]]] = None,
+    ):
+        self.cycles = cycles
+        self.outputs = [] if outputs is None else outputs
+        self.transfers = [] if transfers is None else transfers
 
 
 #: A processor takes (core, foreign_batch, local_batch) -> BatchResult.
 Processor = Callable[["Core", List[Packet], List[Packet]], BatchResult]
 
 
-@dataclass
+@dataclass(slots=True)
 class CoreStats:
-    """Per-core accounting."""
+    """Per-core accounting (slotted: several fields update per batch)."""
 
     batches: int = 0
     packets_handled: int = 0
@@ -68,13 +79,18 @@ class Core:
         self.sim = sim
         self.core_id = core_id
         self.costs = costs
-        self._cycles_to_ps = costs.cycles_to_ps
+        self._clock_hz = costs.clock_hz
         self.batch_size = batch_size
         self.stats = CoreStats()
         self.rx_queue = None  # set by Host wiring
         self.ring = None  # set by Host wiring
         self.processor: Optional[Processor] = None
         self.on_output: Optional[Callable[[Packet], None]] = None
+        #: Batch egress: when set, a completion's outputs are emitted in
+        #: ONE call (after their done_time/processed_core stamps) instead
+        #: of one ``on_output`` call per packet. Wired by
+        #: :meth:`repro.cpu.host.Host.set_egress_many` on the batch spine.
+        self.on_output_many: Optional[Callable[[List[Packet]], None]] = None
         self.on_transfer: Optional[Callable[[int, Packet], None]] = None
         #: Optional telemetry histogram fed one observation per batch
         #: (packets in the batch). A single None-check per batch.
@@ -83,6 +99,17 @@ class Core:
         #: start_ps, duration_ps, n_foreign, n_local)`` per batch.
         self.trace_batch: Optional[Callable[[int, int, int, int, int], None]] = None
         self._busy = False
+        #: Batch-spine settlement hook (see :mod:`repro.core.batch_spine`):
+        #: called at the top of every batch completion, *before* outputs
+        #: and transfers are emitted, so arrivals the scalar event loop
+        #: would have processed first land in the queues first. Exact
+        #: same-timestamp ordering comes from the simulator's event
+        #: sequence, which the stager reads itself.
+        self.poll_arrivals: Optional[Callable[[], None]] = None
+        #: Batch-spine hook: fired when this core ends up idle (no
+        #: queued work) after a completion or resume, so the stager can
+        #: arm a timer for the next staged arrival that should wake it.
+        self.on_idle: Optional[Callable[[], None]] = None
         #: Fault injection: batch durations are multiplied by this (a
         #: thermally-throttled core takes longer per cycle). 1.0 = healthy.
         self.cycle_factor: float = 1.0
@@ -126,7 +153,15 @@ class Core:
         if self.crashed:
             return
         self._halted = False
+        # A stalled core may have slept through staged arrivals (every
+        # other core busy means no settle timer fired for it): settle
+        # them into the queues before popping.
+        poll = self.poll_arrivals
+        if poll is not None:
+            poll()
         self.wake()
+        if not self._busy and self.on_idle is not None:
+            self.on_idle()
 
     def crash(self) -> int:
         """Kill the core permanently; flush queued work.
@@ -154,15 +189,17 @@ class Core:
         if processor is None:
             raise RuntimeError(f"core {self.core_id} has no processor installed")
         batch_size = self.batch_size
+        # Emptiness probes read the deques directly: the is_empty
+        # property costs a frame per probe, and this runs per wake.
         ring = self.ring
-        if ring is not None and not ring.is_empty:
+        if ring is not None and ring._descriptors:
             foreign = ring.pop_batch(batch_size)
             room = batch_size - len(foreign)
         else:
             foreign = []
             room = batch_size
         rx_queue = self.rx_queue
-        if room > 0 and rx_queue is not None and not rx_queue.is_empty:
+        if room > 0 and rx_queue is not None and rx_queue._packets:
             local = rx_queue.pop_batch(room)
         elif foreign:
             local = []
@@ -171,7 +208,10 @@ class Core:
         self._busy = True
         result = processor(self, foreign, local)
         cycles = result.cycles
-        duration = self._cycles_to_ps(cycles)
+        # costs.cycles_to_ps, inlined (a frame per batch): the operand
+        # order must stay `cycles * SECOND / clock_hz` — the rounding
+        # differs under algebraic rearrangement.
+        duration = round(cycles * SECOND / self._clock_hz)
         factor = self.cycle_factor
         if factor != 1.0:
             # Slowdown fault: same work, slower clock. busy_cycles stays
@@ -194,17 +234,34 @@ class Core:
         self.sim.post_after(duration, self._complete, result)
 
     def _complete(self, result: BatchResult) -> None:
+        poll = self.poll_arrivals
+        if poll is not None:
+            # Settle arrivals that beat this completion in the scalar
+            # event order. The core is still _busy, so a push-driven
+            # wake of *this* core no-ops; other idle cores may start
+            # batches here, exactly as their scalar arrival events
+            # would have run before this one.
+            poll()
         outputs = result.outputs
         if outputs:
             self.stats.packets_forwarded += len(outputs)
-            emit = self.on_output
-            if emit is not None:
+            emit_many = self.on_output_many
+            if emit_many is not None:
                 now = self.sim._now
                 core_id = self.core_id
                 for packet in outputs:
                     packet.done_time = now
                     packet.processed_core = core_id
-                    emit(packet)
+                emit_many(outputs)
+            else:
+                emit = self.on_output
+                if emit is not None:
+                    now = self.sim._now
+                    core_id = self.core_id
+                    for packet in outputs:
+                        packet.done_time = now
+                        packet.processed_core = core_id
+                        emit(packet)
         transfers = result.transfers
         if transfers:
             self.stats.packets_transferred += len(transfers)
@@ -217,7 +274,16 @@ class Core:
                 transfer(dst_core, packet)
         self._busy = False
         if not self._halted:
-            self._start_batch()
+            # Probe for queued work before paying the _start_batch call:
+            # at underload most completions find both deques empty.
+            ring = self.ring
+            rx_queue = self.rx_queue
+            if (ring is not None and ring._descriptors) or (
+                rx_queue is not None and rx_queue._packets
+            ):
+                self._start_batch()
+            if not self._busy and self.on_idle is not None:
+                self.on_idle()
 
     def utilization(self, elapsed_ps: int) -> float:
         """Fraction of ``elapsed_ps`` this core spent processing."""

@@ -87,6 +87,31 @@ class CostModel:
         """Convert cycles at this clock into integer picoseconds."""
         return round(cycles * SECOND / self.clock_hz)
 
+    # --- batch cost accounting (the amortization the paper leans on) ---
+    # All cost constants are integer-valued, so these sums are exact in
+    # float arithmetic at any realistic batch size: the engine's batch
+    # processors can charge one helper call per burst instead of two
+    # running additions without changing a single cycle total.
+
+    def rx_burst_cycles(self, n_packets: int) -> int:
+        """Cost of an rx_burst poll returning ``n_packets``."""
+        return self.rx_batch_fixed + self.rx_per_packet * n_packets
+
+    def tx_burst_cycles(self, n_packets: int) -> int:
+        """Cost of a tx_burst flush of ``n_packets``."""
+        return self.tx_batch_fixed + self.tx_per_packet * n_packets
+
+    def ring_drain_cycles(self, n_packets: int) -> int:
+        """Cost of draining ``n_packets`` descriptors from the local ring."""
+        return self.ring_dequeue_fixed + self.ring_receive_per_packet * n_packets
+
+    def ring_push_cycles(self, n_packets: int, n_destinations: int) -> int:
+        """Cost of pushing ``n_packets`` descriptors to ``n_destinations`` rings."""
+        return (
+            self.ring_enqueue_fixed * n_destinations
+            + self.ring_transfer_per_packet * n_packets
+        )
+
     @property
     def base_packet_cycles(self) -> int:
         """Approximate per-packet path cost with a free NF (diagnostics)."""

@@ -16,6 +16,7 @@ import random
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
+from repro.core.batch_spine import ArrivalStager
 from repro.core.config import MiddleboxConfig
 from repro.core.engine import MiddleboxEngine
 from repro.core.nf import NetworkFunction
@@ -130,10 +131,26 @@ def run_open_loop(
         frame_len=frame_len,
         burst=burst,
     )
+    # The SoA batch spine: columnar bursts, eager steering, lazy
+    # settlement. Byte-identical to the scalar spine (enforced by the
+    # conformance suite); policies that cannot batch keep scalar.
+    if engine.config.spine == "batch" and engine.ingress_batchable:
+        ArrivalStager(engine).attach(ingress)
+        generator.batch_sink = ingress.send_batch
+        # Egress leg of the spine: a completion's outputs are deferred
+        # off the heap entirely (zero delivery events) and drained at
+        # the flush_deferred window seams below; the sampler's extra
+        # liveness probe keeps its quiescence check scalar-exact.
+        engine.host.set_egress_many(egress.send_many)
+        sampler = engine.telemetry.sampler
+        if sampler is not None:
+            sampler.extra_live = egress.has_undelivered
     generator.start(at=0)
     sim.run(until=warmup)
+    egress.flush_deferred(sim.now)
     meter.open_window(sim.now)
     sim.run(until=duration)
+    egress.flush_deferred(sim.now)
     meter.close_window(sim.now)
     generator.stop()
     return OpenLoopResult(

@@ -1,4 +1,4 @@
-"""Sprayer-specific lint rules (SPR001-SPR005).
+"""Sprayer-specific lint rules (SPR001-SPR006).
 
 Each rule statically enforces one piece of the reproduction's
 correctness story. The paper's central argument is the *writing
@@ -14,6 +14,8 @@ SPR003   no unordered-set iteration feeding deterministic outputs
 SPR004   steering policies that see SYN/FIN/RST must consult the
          designated-core hash (or route through a replication log)
 SPR005   no silently swallowed exceptions (sim events vanish)
+SPR006   batch-path modules keep the SoA spine columnar: no
+         per-packet materialize_all() loops off the hot path
 =======  ==========================================================
 
 All rules are AST heuristics: they read attribute chains and names, not
@@ -25,6 +27,7 @@ from __future__ import annotations
 
 import ast
 import re
+from pathlib import PurePath
 from typing import Dict, Iterator, Set, Tuple
 
 from repro.lint.base import FileContext, Rule, Violation, register, unparse
@@ -365,3 +368,71 @@ class SilentExceptionSwallow(Rule):
                 continue  # docstring or bare ... literal
             return False
         return True
+
+
+# -- SPR006 ----------------------------------------------------------------
+
+#: The modules that make up the SoA batch spine (generator burst ->
+#: link -> NIC steering -> lazy settlement). Identified by their
+#: trailing path segments so the rule works from any checkout root.
+_BATCH_PATH_FILES = frozenset(
+    {
+        ("repro", "net", "batch.py"),
+        ("repro", "nic", "link.py"),
+        ("repro", "nic", "nic.py"),
+        ("repro", "core", "batch_spine.py"),
+        ("repro", "trafficgen", "moongen.py"),
+    }
+)
+
+
+@register
+class ColumnarBatchPath(Rule):
+    """Per-packet loops over materialized batch rows on the batch path."""
+
+    code = "SPR006"
+    title = "per-packet materialize_all() loop inside a batch-path module"
+    rationale = (
+        "The batch spine's whole performance argument is that a burst "
+        "stays columnar (struct-of-arrays) from the generator to the "
+        "settlement point: steering, arrival stamping, and drop "
+        "decisions are column operations, and scalar Packet objects "
+        "are materialized lazily, one accepted row at a time. A loop "
+        "over materialize_all() inside one of the spine's own modules "
+        "re-boxes the whole burst into per-packet objects and silently "
+        "reverts that module to scalar cost. Audited scalar fallbacks "
+        "(e.g. a link in a fault-injection window, where Bernoulli "
+        "draws must happen per packet in send order) are sanctioned "
+        "with an inline '# repro-lint: disable=SPR006' so the "
+        "reviewer's eye lands on every one of them."
+    )
+
+    def applies(self, ctx: FileContext) -> bool:
+        return ctx.in_repro and tuple(PurePath(ctx.path).parts[-3:]) in _BATCH_PATH_FILES
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                iters = [node.iter]
+            elif isinstance(
+                node, (ast.ListComp, ast.SetComp, ast.DictComp, ast.GeneratorExp)
+            ):
+                iters = [gen.iter for gen in node.generators]
+            else:
+                continue
+            for expr in iters:
+                if (
+                    isinstance(expr, ast.Call)
+                    and isinstance(expr.func, ast.Attribute)
+                    and expr.func.attr == "materialize_all"
+                ):
+                    yield ctx.violation(
+                        self,
+                        expr,
+                        f"loop over {unparse(expr.func.value)}.materialize_all() "
+                        f"re-boxes the burst into per-packet objects inside a "
+                        f"batch-path module — operate on the batch's columns, "
+                        f"or materialize rows lazily at the settlement point; "
+                        f"an audited scalar fallback must carry an inline "
+                        f"'# repro-lint: disable=SPR006'",
+                    )

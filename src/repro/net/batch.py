@@ -1,0 +1,139 @@
+"""Struct-of-arrays packet batches: the columnar spine record.
+
+A :class:`PacketBatch` carries one NIC burst as parallel columns —
+flow identities (the Toeplitz/spray hash inputs), TCP flags, sequence
+numbers, checksum LSBs, frame lengths, and timestamps — instead of a
+list of :class:`~repro.net.packet.Packet` objects. This is the DPDK
+``rte_mbuf`` vector idiom the paper's whole performance argument rests
+on, applied to the simulator itself: steering decisions (Toeplitz,
+checksum spray, designated-core) are pure functions of these columns,
+so the NIC can classify a whole burst without ever allocating a Python
+object per packet — and packets the NIC drops are *never* materialized
+at all, which is the dominant saving at overload.
+
+Scalar :class:`Packet` views are materialized lazily, one packet at a
+time, exactly when a packet is accepted into an rx queue (see
+:mod:`repro.core.batch_spine`). Materialized packets draw fresh ids
+from the same process-wide counter scalar construction uses, so
+``Packet.clone()`` semantics (fault-injected duplicates get their own
+identity) survive the columnar path unchanged.
+
+Columns use :mod:`array` rather than numpy: bursts are ~32 packets, so
+C-contiguous appends beat ufunc dispatch overhead, and the simulator
+stays importable without optional dependencies.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Iterator, List, Sequence
+
+from repro.net.five_tuple import FiveTuple
+from repro.net.packet import Packet
+
+#: Sentinel arrival for packets the link dropped at the transmit queue
+#: (they were never serialized, so they have no far-end arrival time).
+NO_ARRIVAL = -1
+
+
+class PacketBatch:
+    """A burst of packets as parallel columns (struct-of-arrays).
+
+    Append-only; one row per packet. ``flows`` holds the immutable
+    :class:`FiveTuple` identities (the tuple-hash inputs), the numeric
+    columns are typed arrays. ``arrivals`` is filled in by the link
+    (``NO_ARRIVAL`` marks a transmit-queue drop) and ``created_at`` is
+    the generator timestamp latency is measured from.
+    """
+
+    __slots__ = (
+        "flows",
+        "flags",
+        "seqs",
+        "checksums",
+        "frame_lens",
+        "created_ats",
+        "arrivals",
+    )
+
+    def __init__(self) -> None:
+        self.flows: List[FiveTuple] = []
+        self.flags = array("H")
+        self.seqs = array("q")
+        self.checksums = array("H")
+        self.frame_lens = array("H")
+        self.created_ats = array("q")
+        #: Far-end arrival time per packet, set by ``Link.send_batch``.
+        self.arrivals = array("q")
+
+    def __len__(self) -> int:
+        return len(self.flows)
+
+    def append(
+        self,
+        flow: FiveTuple,
+        flags: int,
+        seq: int,
+        checksum: int,
+        frame_len: int,
+        created_at: int,
+    ) -> None:
+        """Append one packet row (arrival column is left to the link)."""
+        self.flows.append(flow)
+        self.flags.append(flags)
+        self.seqs.append(seq)
+        self.checksums.append(checksum)
+        self.frame_lens.append(frame_len)
+        self.created_ats.append(created_at)
+
+    def materialize(self, i: int) -> Packet:
+        """A scalar :class:`Packet` view of row ``i`` (fresh packet id).
+
+        Field-for-field what the scalar generator would have built:
+        positional construction, ``payload_len=0``/``payload=None``
+        (64 B synthetic frames carry no modelled payload), ``ack=0``.
+        """
+        return Packet(
+            self.flows[i],
+            self.flags[i],
+            self.seqs[i],
+            0,
+            0,
+            None,
+            self.checksums[i],
+            self.frame_lens[i],
+            self.created_ats[i],
+        )
+
+    def materialize_all(self) -> List[Packet]:
+        """Scalar views of every row, in order (per-packet fallback)."""
+        return [self.materialize(i) for i in range(len(self.flows))]
+
+    # -- pack/unpack roundtrip --------------------------------------------
+
+    @classmethod
+    def pack(cls, packets: Sequence[Packet]) -> "PacketBatch":
+        """Columnize scalar packets (the inverse of :meth:`materialize`)."""
+        batch = cls()
+        for packet in packets:
+            batch.append(
+                packet.five_tuple,
+                packet.flags,
+                packet.seq,
+                packet.tcp_checksum,
+                packet.frame_len,
+                packet.created_at,
+            )
+        return batch
+
+    def rows(self) -> Iterator[tuple]:
+        """The packet-defining fields per row, for equality checks."""
+        for i in range(len(self.flows)):
+            yield (
+                self.flows[i],
+                self.flags[i],
+                self.seqs[i],
+                self.checksums[i],
+                self.frame_lens[i],
+                self.created_ats[i],
+            )

@@ -17,7 +17,10 @@ PSH = 0x08
 ACK = 0x10
 URG = 0x20
 
-_CONNECTION_MASK = SYN | FIN | RST
+#: The connection-packet flag mask (SYN|FIN|RST); public so vectorized
+#: classifiers can test a whole flags column without per-packet calls.
+CONNECTION_MASK = SYN | FIN | RST
+_CONNECTION_MASK = CONNECTION_MASK
 
 _FLAG_NAMES = (
     (URG, "U"),

@@ -82,6 +82,15 @@ class FlowDirectorTable:
         #: instead of re-resolving field getters from the group keys.
         self._compiled: List[Tuple[Callable[[Packet], int], int, int, Dict[int, int]]] = []
         self._rule_count = 0
+        #: Steering-mutation hook: called after any rule change
+        #: (install, clear, evict), so the batch spine can reclassify
+        #: packets it steered eagerly against the old table but has not
+        #: yet settled (see :mod:`repro.core.batch_spine`).
+        self.on_change: Optional[Callable[[], None]] = None
+
+    def _changed(self) -> None:
+        if self.on_change is not None:
+            self.on_change()
 
     def __len__(self) -> int:
         return self._rule_count
@@ -111,6 +120,7 @@ class FlowDirectorTable:
                 )
             self._rule_count += 1
         group[rule.value] = rule.queue
+        self._changed()
 
     def add_rules(self, rules: List[FlowDirectorRule]) -> None:
         for rule in rules:
@@ -120,6 +130,7 @@ class FlowDirectorTable:
         self._groups.clear()
         self._compiled.clear()
         self._rule_count = 0
+        self._changed()
 
     def evict(self, fraction: float, rng) -> int:
         """Evict ``fraction`` of installed rules (fault injection).
@@ -145,6 +156,7 @@ class FlowDirectorTable:
             # to the per-packet match immediately.
             del self._groups[group_key][value]
         self._rule_count -= count
+        self._changed()
         return count
 
     def match(self, packet: Packet) -> Optional[int]:
@@ -157,6 +169,35 @@ class FlowDirectorTable:
             if queue is not None:
                 return queue
         return None
+
+    def match_batch(self, batch, out: List[Optional[int]]) -> None:
+        """Vectorized :meth:`match` over a :class:`PacketBatch`.
+
+        Writes the matched queue (or None) into ``out`` for every row
+        whose ``out`` slot is still None — the batch spine pre-fills
+        slots decided by a custom classifier, mirroring the scalar
+        consult order. The common table shape (the checksum spray
+        configuration: one group over ``tcp_checksum``) matches a whole
+        column with one dict probe per packet and no getter dispatch.
+        """
+        compiled = self._compiled
+        if not compiled:
+            return
+        flows = batch.flows
+        if len(compiled) == 1 and compiled[0][0] is _FIELD_GETTERS["tcp_checksum"]:
+            _getter, mask, rule_protocol, group = compiled[0]
+            group_get = group.get
+            checksums = batch.checksums
+            for i, flow in enumerate(flows):
+                if out[i] is None and flow.protocol == rule_protocol:
+                    out[i] = group_get(checksums[i] & mask)
+            return
+        # General shape: consult groups in insertion order per row.
+        # Rare in practice (policies install one spray group), so the
+        # row loop materializes a scalar view only when needed.
+        for i in range(len(flows)):
+            if out[i] is None:
+                out[i] = self.match(batch.materialize(i))
 
 
 def spray_bits_for(num_queues: int, extra_bits: int = 5, max_bits: int = 13) -> int:

@@ -13,8 +13,9 @@ import random
 from collections import deque
 from dataclasses import dataclass
 from heapq import heappush
-from typing import Callable, Deque, Dict, Optional
+from typing import Callable, Deque, Dict, List, Optional, Tuple
 
+from repro.net.batch import NO_ARRIVAL, PacketBatch
 from repro.net.packet import ETHERNET_OVERHEAD, Packet
 from repro.sim.engine import Simulator
 from repro.sim.timeunits import MICROSECOND, SECOND
@@ -84,6 +85,18 @@ class Link:
         #: the same channel the NIC uses, with distinct kinds
         #: ("tx_queue_full", "link_loss").
         self.on_drop: Optional[Callable[[str, Packet, int], None]] = None
+        #: Batch-spine delivery target, called as ``batch_sink(batch,
+        #: now)`` synchronously from :meth:`send_batch` once the arrival
+        #: column is filled — no per-packet heap events. Scalar sends
+        #: keep using ``sink``; both may be wired at once (the fault
+        #: fallback relies on it).
+        self.batch_sink: Optional[Callable[[PacketBatch, int], None]] = None
+        #: Deliveries parked by :meth:`send_many` (batch-spine egress):
+        #: ``(packet, arrival)`` rows in arrival order, drained by one
+        #: heap event per send and by the :meth:`flush_deferred` seams.
+        self._deferred: Deque[Tuple[Packet, int]] = deque()
+        #: (arrival, reserved heap sequence) of the newest deferred row.
+        self._deferred_tail: Tuple[int, int] = (0, 0)
         #: Active fault-injection impairment (None = healthy link; the
         #: hot path then pays one attribute load).
         self._fault: Optional[LinkFault] = None
@@ -176,6 +189,191 @@ class Link:
         sim._live += 1
         heappush(sim._queue, (arrival, sim._sequence, None, sink, (packet, arrival)))
         return arrival
+
+    def send_many(self, packets: List[Packet], now: Optional[int] = None) -> None:
+        """Transmit a completion's outputs with *zero* heap events.
+
+        Per-packet semantics are exactly ``for p in packets: send(p)``
+        on a healthy, unbounded link — same FIFO serialization and
+        arrival times, same counters, and the sink is still invoked
+        once per packet with the same ``(packet, arrival)`` arguments —
+        but deliveries are parked on a deferred queue and drained at
+        the :meth:`flush_deferred` seams instead of costing one heap
+        event each. Deferral is invisible to the simulation: the sink
+        is a pure collector (it reads only its arguments plus window
+        flags that change exactly at the flush seams), and quiescence
+        checks see the scalar picture through :meth:`has_undelivered` —
+        the heap sequences the scalar deliveries would have consumed
+        are still reserved here, so even same-instant ties against the
+        probing event resolve identically.
+
+        A transmit-queue limit or an active impairment needs per-packet
+        drop decisions / Bernoulli draws in send order, so those fall
+        back to the scalar path.
+        """
+        if self.sink is None:
+            raise RuntimeError(f"link {self.name!r} has no sink attached")
+        if self.queue_limit is not None or self._fault is not None:
+            send = self.send
+            for packet in packets:
+                send(packet)
+            return
+        sim = self.sim
+        now = sim._now
+        free_at = self._transmitter_free_at
+        start = free_at if free_at > now else now
+        ser_cache = self._ser_cache
+        rate_bps = self.rate_bps
+        prop = self.propagation_delay
+        deferred = self._deferred
+        sent_bytes = 0
+        for packet in packets:
+            frame_len = packet.frame_len
+            wire_bytes = frame_len + ETHERNET_OVERHEAD
+            ser = ser_cache.get(wire_bytes)
+            if ser is None:
+                ser = round(wire_bytes * 8 * SECOND / rate_bps)
+                ser_cache[wire_bytes] = ser
+            start += ser
+            sent_bytes += frame_len
+            deferred.append((packet, start + prop))
+        self._transmitter_free_at = start
+        self.packets_sent += len(packets)
+        self.bytes_sent += sent_bytes
+        # Reserve the sequences the scalar delivery events would have
+        # consumed: later allocations keep their scalar numbers, and
+        # the tail sequence makes has_undelivered tie-exact.
+        sim._sequence += len(packets)
+        self._deferred_tail = (start + prop, sim._sequence)
+
+    def has_undelivered(self) -> bool:
+        """Whether a deferred delivery is still "live" in scalar terms.
+
+        O(1) and exact: the deferred rows are arrival-ordered, so only
+        the tail matters, and a scalar delivery event at ``(arrival,
+        seq)`` would still be pending iff it sorts after the currently
+        firing event — the same heap-order comparison the batch spine
+        uses for settlement. Self-rescheduling timers (the telemetry
+        sampler) OR this into ``sim.has_live_events()`` so quiescence
+        detection matches the scalar spine tick for tick.
+        """
+        if not self._deferred:
+            return False
+        arrival, seq = self._deferred_tail
+        sim = self.sim
+        now = sim._now
+        return arrival > now or (arrival == now and seq > sim._event_seq)
+
+    def flush_deferred(self, now: Optional[int] = None) -> None:
+        """Deliver every deferred packet due by ``now``.
+
+        The delivery seam: measurement code that flips state the sink
+        reads (e.g. the rate meter's window flag) must flush first, so
+        deliveries the scalar spine would already have made land on the
+        correct side of the flip. ``run(until=t)`` fires events with
+        time <= t, hence the inclusive comparison. No-op when nothing
+        is deferred (scalar spine included).
+        """
+        deferred = self._deferred
+        if not deferred:
+            return
+        if now is None:
+            now = self.sim._now
+        sink = self.sink
+        while deferred and deferred[0][1] <= now:
+            packet, arrival = deferred.popleft()
+            sink(packet, arrival)
+
+    def send_batch(self, batch: PacketBatch, now: Optional[int] = None) -> None:
+        """Transmit a whole batch: fill its arrival column, hand it on.
+
+        Per-packet semantics are identical to calling :meth:`send` once
+        per row at the same instant — same FIFO serialization times,
+        same transmit-queue drop decisions (marked :data:`NO_ARRIVAL`
+        in the arrival column), same counters — but the far end gets
+        the columnar batch synchronously via ``batch_sink`` instead of
+        one heap event per packet. During an impairment window the
+        Bernoulli draws must happen per packet in send order, so the
+        batch is materialized and re-sent scalar (arrival times are
+        unchanged: serialization is FIFO either way).
+        """
+        batch_sink = self.batch_sink
+        if batch_sink is None:
+            raise RuntimeError(f"link {self.name!r} has no batch_sink attached")
+        if self._fault is not None:
+            # Audited scalar fallback: Bernoulli draws must happen per
+            # packet in send order during an impairment window.
+            for packet in batch.materialize_all():  # repro-lint: disable=SPR006
+                self.send(packet)
+            return
+        sim = self.sim
+        now = sim._now
+        queue_limit = self.queue_limit
+        pending = None
+        if queue_limit is not None:
+            pending = self._pending_finish
+            while pending and pending[0] <= now:
+                pending.popleft()
+        free_at = self._transmitter_free_at
+        start = free_at if free_at > now else now
+        ser_cache = self._ser_cache
+        rate_bps = self.rate_bps
+        prop = self.propagation_delay
+        on_drop = self.on_drop
+        arrivals = batch.arrivals
+        frame_lens = batch.frame_lens
+        n = len(frame_lens)
+        room = n if pending is None else queue_limit - len(pending)
+        if room >= n and n and frame_lens.count(frame_lens[0]) == n:
+            # Uniform frame size and no possible tx drop (the CBR
+            # generator's every burst): the arrival column is an
+            # arithmetic series, so extend it with a range instead of
+            # running the per-row loop. Values are identical — the loop
+            # computes start += ser per row with the same integer ser.
+            frame_len = frame_lens[0]
+            wire_bytes = frame_len + ETHERNET_OVERHEAD
+            ser = ser_cache.get(wire_bytes)
+            if ser is None:
+                ser = round(wire_bytes * 8 * SECOND / rate_bps)
+                ser_cache[wire_bytes] = ser
+            if ser > 0:
+                first = start + ser
+                stop = start + ser * n
+                arrivals.extend(range(first + prop, stop + prop + 1, ser))
+                if pending is not None:
+                    pending.extend(range(first, stop + 1, ser))
+                self._transmitter_free_at = stop
+                self.packets_sent += n
+                self.bytes_sent += frame_len * n
+                batch_sink(batch, now)
+                return
+        sent = 0
+        sent_bytes = 0
+        dropped = 0
+        for i in range(n):
+            if pending is not None and len(pending) >= queue_limit:
+                dropped += 1
+                if on_drop is not None:
+                    on_drop("tx_queue_full", batch.materialize(i), now)
+                arrivals.append(NO_ARRIVAL)
+                continue
+            frame_len = frame_lens[i]
+            wire_bytes = frame_len + ETHERNET_OVERHEAD
+            ser = ser_cache.get(wire_bytes)
+            if ser is None:
+                ser = round(wire_bytes * 8 * SECOND / rate_bps)
+                ser_cache[wire_bytes] = ser
+            start += ser
+            if pending is not None:
+                pending.append(start)
+            arrivals.append(start + prop)
+            sent += 1
+            sent_bytes += frame_len
+        self._transmitter_free_at = start
+        self.packets_sent += sent
+        self.bytes_sent += sent_bytes
+        self.packets_dropped += dropped
+        batch_sink(batch, now)
 
     @property
     def backlog(self) -> int:

@@ -23,6 +23,13 @@ from repro.nic.queues import RxQueue
 from repro.nic.rss import SYMMETRIC_RSS_KEY, RssHasher
 from repro.sim.timeunits import SECOND
 
+#: How :meth:`MultiQueueNic.steer_batch` classified each packet — which
+#: counter the settlement loop must bump to match scalar :meth:`classify`
+#: (custom decisions bump neither ``fd_matched`` nor ``rss_fallback``).
+VIA_CUSTOM = 0
+VIA_FD = 1
+VIA_RSS = 2
+
 
 @dataclass
 class NicConfig:
@@ -76,6 +83,12 @@ class MultiQueueNic:
         #: the paper's §7 extensions (programmable NICs, flowlets,
         #: bounded-subset spraying).
         self.custom_classifier: Optional[Callable[[Packet], Optional[int]]] = None
+        #: Vectorized counterpart of ``custom_classifier`` for the batch
+        #: spine: ``batch_classifier(batch, out)`` fills ``out`` (a list
+        #: of Optional[int]) for rows it decides. Installed by the
+        #: steering policy alongside ``custom_classifier``; required by
+        #: :meth:`steer_batch` whenever a custom classifier exists.
+        self.batch_classifier = None
         #: Optional telemetry hook, called as ``on_drop(kind, packet,
         #: now)`` for every rx drop. Every drop path reports a distinct
         #: kind: "fd_cap", "queue_full", or the fault kind a disabled
@@ -85,6 +98,10 @@ class MultiQueueNic:
         #: no arrivals (dead core, paused queue). None = all healthy;
         #: the receive path then pays a single attribute load.
         self._blocked_queues: Optional[dict] = None
+        #: Batch-spine hook, fired *before* a queue block/unblock takes
+        #: effect so staged arrivals that precede the mutation settle
+        #: against the old block set (scalar event order).
+        self.on_block_change: Optional[Callable[[], None]] = None
         self._fd_tokens = float(self.config.flow_director_burst)
         self._fd_last_refill = 0
         # Config is static after construction (see NicConfig docstring);
@@ -110,6 +127,50 @@ class MultiQueueNic:
                 return queue
         self.stats.rss_fallback += 1
         return self.rss.queue_for(packet.five_tuple)
+
+    def steer_batch(self, batch) -> "tuple[List[int], bytes]":
+        """Vectorized :meth:`classify` over a whole :class:`PacketBatch`.
+
+        Returns ``(queues, vias)``: the target rx queue per row plus how
+        it was decided (:data:`VIA_CUSTOM` / :data:`VIA_FD` /
+        :data:`VIA_RSS`). Pure classification — no counters, no
+        timestamps, no queue pushes, no token-bucket consumption; the
+        settlement loop (:mod:`repro.core.batch_spine`) replays those
+        side effects per packet, in arrival order, so accept/drop
+        bookkeeping stays byte-identical to the scalar path.
+        """
+        flows = batch.flows
+        n = len(flows)
+        if (
+            self.batch_classifier is None
+            and self.custom_classifier is None
+            and not self._fd_enabled
+        ):
+            # Pure-RSS NIC (the rss baseline): one memoized probe per row.
+            return self.rss.queue_for_many(flows), bytes((VIA_RSS,)) * n
+        if self.custom_classifier is not None and self.batch_classifier is None:
+            raise RuntimeError(
+                "NIC has a custom_classifier but no batch_classifier; the "
+                "policy must pair them or declare ingress_batchable = False"
+            )
+        queues: List[Optional[int]] = [None] * n
+        custom_decided = None
+        if self.batch_classifier is not None:
+            self.batch_classifier(batch, queues)
+            custom_decided = [q is not None for q in queues]
+        if self._fd_enabled:
+            self.flow_director.match_batch(batch, queues)
+        vias = bytearray(n)
+        queue_for = self.rss.queue_for
+        for i in range(n):
+            if custom_decided is not None and custom_decided[i]:
+                vias[i] = VIA_CUSTOM
+            elif queues[i] is not None:
+                vias[i] = VIA_FD
+            else:
+                vias[i] = VIA_RSS
+                queues[i] = queue_for(flows[i])
+        return queues, bytes(vias)
 
     def receive(self, packet: Packet, now: int) -> bool:
         """Deliver an arriving packet to an rx queue.
@@ -172,12 +233,16 @@ class MultiQueueNic:
             raise ValueError(
                 f"queue_id {queue_id} out of range [0, {self.config.num_queues})"
             )
+        if self.on_block_change is not None:
+            self.on_block_change()
         if self._blocked_queues is None:
             self._blocked_queues = {}
         self._blocked_queues[queue_id] = kind
 
     def enable_queue(self, queue_id: int) -> None:
         """Undo :meth:`disable_queue` (no-op if not disabled)."""
+        if self.on_block_change is not None:
+            self.on_block_change()
         blocked = self._blocked_queues
         if blocked is not None:
             blocked.pop(queue_id, None)

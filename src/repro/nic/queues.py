@@ -66,5 +66,16 @@ class RxQueue:
         popleft = packets.popleft
         return [popleft() for _ in range(max_batch)]
 
-    def clear(self) -> None:
+    def clear(self) -> int:
+        """Discard all buffered packets; returns how many were removed.
+
+        The counters are deliberately NOT reset: ``enqueued``,
+        ``dropped`` and ``peak_depth`` are *cumulative* telemetry — the
+        sampler differentiates ``enqueued`` into an rx rate and the
+        conservation ledger counts flushed packets as ``fault_drops``
+        on the engine side, so zeroing either here would corrupt both.
+        A flush only empties the buffer (the depth term of the ledger).
+        """
+        count = len(self._packets)
         self._packets.clear()
+        return count

@@ -28,7 +28,7 @@ the property tests assert equality on random inputs.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.net.five_tuple import FiveTuple
 
@@ -188,6 +188,11 @@ class RssHasher:
         self._cache_limit = cache_limit
         self._cache: Dict[FiveTuple, int] = {}
         self._queue_cache: Dict[FiveTuple, int] = {}
+        #: Steering-mutation hook: called after :meth:`set_indirection`
+        #: rewrites the flow→queue mapping, so the batch spine can
+        #: reclassify packets it steered eagerly but has not yet
+        #: settled (see :mod:`repro.core.batch_spine`).
+        self.on_change: Optional[Callable[[], None]] = None
 
     def hash(self, flow: FiveTuple) -> int:
         """32-bit Toeplitz hash of the flow's RSS input."""
@@ -212,6 +217,21 @@ class RssHasher:
             cache[flow] = queue
         return queue
 
+    def queue_for_many(self, flows: Sequence[FiveTuple]) -> List[int]:
+        """Vectorized :meth:`queue_for` over a column of flows.
+
+        The memo makes the common case (a burst repeating few flows)
+        one dict probe per packet with no per-call method dispatch; a
+        single-flow burst collapses to one probe plus a list build.
+        """
+        cache = self._queue_cache
+        get = cache.get
+        queue_for = self.queue_for
+        return [
+            queue if (queue := get(flow)) is not None else queue_for(flow)
+            for flow in flows
+        ]
+
     def set_indirection(self, table: Sequence[int]) -> None:
         """Install a custom indirection table (lengths must match)."""
         if len(table) != len(self.indirection_table):
@@ -224,6 +244,8 @@ class RssHasher:
         self.indirection_table = list(table)
         # Flow→queue results derived from the old table are stale.
         self._queue_cache.clear()
+        if self.on_change is not None:
+            self.on_change()
 
     def is_symmetric(self) -> bool:
         """True if the configured key hashes both directions identically."""

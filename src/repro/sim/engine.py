@@ -32,6 +32,12 @@ from typing import Any, Callable, List, Optional, Tuple
 #: amortized against the pops it saves).
 COMPACT_THRESHOLD = 1024
 
+#: Value of ``Simulator._event_seq`` outside any event callback: greater
+#: than every real sequence, so "scheduled before the current event"
+#: comparisons treat code running between ``run()`` calls as running
+#: after everything already scheduled.
+BOUNDARY_EVENT_SEQ = float("inf")
+
 
 class EventHandle:
     """A scheduled event; ``cancel()`` prevents it from firing.
@@ -91,6 +97,12 @@ class Simulator:
         self._live: int = 0
         #: Cancelled entries still occupying heap slots (exact).
         self._cancelled: int = 0
+        #: Heap sequence of the event currently firing (the boundary
+        #: sentinel between ``run()`` calls). The batch spine compares
+        #: staged arrivals' reserved sequences against this to replay
+        #: scalar same-timestamp ordering exactly (see
+        #: :mod:`repro.core.batch_spine`).
+        self._event_seq = BOUNDARY_EVENT_SEQ
 
     @property
     def now(self) -> int:
@@ -211,12 +223,14 @@ class Simulator:
                     handle._in_heap = False
                 self._live -= 1
                 self._now = time
+                self._event_seq = entry[1]
                 entry[3](*entry[4])
                 processed += 1
                 if processed >= budget or not self._running:
                     break
         finally:
             self._running = False
+            self._event_seq = BOUNDARY_EVENT_SEQ
             self._events_processed += processed
         if until is not None and self._now < until:
             has_earlier = bool(queue) and queue[0][0] <= until

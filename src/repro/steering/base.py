@@ -34,6 +34,20 @@ class SteeringPolicy:
     #: runtime must set this False (or call
     #: ``engine.invalidate_steering_cache`` when it changes).
     designated_core_is_stable: bool = True
+    #: If True, the policy's NIC classification is a pure function of
+    #: the packet columns plus the (hook-observed) FD/RSS tables, so the
+    #: batch spine may classify whole :class:`~repro.net.batch.PacketBatch`
+    #: columns eagerly and settle lazily. A policy whose classifier
+    #: reads the clock or mutates per-decision state (flowlet) must set
+    #: this False; the harness then falls back to the scalar spine.
+    ingress_batchable: bool = True
+    #: Vectorized counterpart of ``nic.custom_classifier``: called as
+    #: ``classify_batch(batch, out)`` and fills ``out[i]`` (a list of
+    #: Optional[int], pre-filled None) for rows the custom pipeline
+    #: decides, leaving the rest None for Flow Director/RSS. Policies
+    #: that install a ``custom_classifier`` MUST pair it with this, or
+    #: declare themselves not ``ingress_batchable``.
+    classify_batch = None
 
     def __init__(self, config):
         self.config = config

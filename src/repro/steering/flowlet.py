@@ -29,6 +29,11 @@ class FlowletPolicy(SteeringPolicy):
 
     name = "flowlet"
     redirect_connection_packets = True
+    #: The classifier reads the clock and advances per-flow/round-robin
+    #: state on every decision, so eager batch classification would
+    #: observe wrong times and orders; the harness keeps this policy on
+    #: the scalar spine.
+    ingress_batchable = False
 
     def __init__(self, config):
         super().__init__(config)

@@ -15,6 +15,7 @@ from typing import Optional
 from repro.core.designated import DesignatedCoreMap
 from repro.net.five_tuple import FiveTuple
 from repro.net.packet import Packet
+from repro.net.tcp_flags import CONNECTION_MASK
 from repro.nic.nic import MultiQueueNic, NicConfig
 from repro.nic.rss import SYMMETRIC_RSS_KEY
 from repro.steering.base import SteeringPolicy
@@ -47,6 +48,7 @@ class ProgrammableNicPolicy(SteeringPolicy):
             )
         )
         self.nic.custom_classifier = self._classify
+        self.nic.batch_classifier = self.classify_batch
         return self.nic
 
     def _classify(self, packet: Packet) -> Optional[int]:
@@ -58,6 +60,20 @@ class ProgrammableNicPolicy(SteeringPolicy):
         # uniform source; we keep the checksum LSBs for comparability
         # with Flow Director spraying.
         return packet.tcp_checksum % self.config.num_cores
+
+    def classify_batch(self, batch, out) -> None:
+        """Column form of :meth:`_classify` (same decisions, no Packets)."""
+        num_cores = self.config.num_cores
+        core_for = self.designated_map.core_for
+        flags = batch.flags
+        checksums = batch.checksums
+        for i, flow in enumerate(batch.flows):
+            if not flow.is_tcp:
+                continue  # RSS fallback, like Sprayer
+            if flags[i] & CONNECTION_MASK:
+                out[i] = core_for(flow)
+            else:
+                out[i] = checksums[i] % num_cores
 
     def designated_core(self, flow: FiveTuple) -> int:
         if flow.is_tcp:

@@ -56,6 +56,7 @@ class SprayerPolicy(SteeringPolicy):
             # with the masked checksum; we model that combination with
             # a classifier consulted before the TCP rules.
             self.nic.custom_classifier = self._classify_udp
+            self.nic.batch_classifier = self.classify_batch
         return self.nic
 
     def _sprayed_udp(self, flow: FiveTuple) -> bool:
@@ -71,6 +72,19 @@ class SprayerPolicy(SteeringPolicy):
                 return packet.tcp_checksum % self.config.num_cores
             return live[packet.tcp_checksum % len(live)]
         return None  # TCP falls through to Flow Director; other UDP to RSS
+
+    def classify_batch(self, batch, out) -> None:
+        """Column form of :meth:`_classify_udp` (same decisions)."""
+        sprayed = self._sprayed_udp
+        checksums = batch.checksums
+        num_cores = self.config.num_cores
+        live = self._live_queues
+        for i, flow in enumerate(batch.flows):
+            if sprayed(flow):
+                if live is None:
+                    out[i] = checksums[i] % num_cores
+                else:
+                    out[i] = live[checksums[i] % len(live)]
 
     def resteer_around(self, engine, degraded: frozenset) -> bool:
         """Reprogram the spray rules over the non-degraded queues.

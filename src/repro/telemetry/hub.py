@@ -130,12 +130,21 @@ class EngineTelemetry:
 
     # -- export ------------------------------------------------------------
 
+    def _settle(self) -> None:
+        # On the batch spine, staged arrivals must be applied to the
+        # stat structs before any export reads them.
+        settle = getattr(self.engine, "_settle_hook", None)
+        if settle is not None:
+            settle()
+
     def counters(self) -> Dict[str, Any]:
         """Flat name -> value dict of every registered metric."""
+        self._settle()
         return self.registry.dump()
 
     def dump(self) -> Dict[str, Any]:
         """The plain dict export: counters, time series, and trace events."""
+        self._settle()
         sampler = self.sampler
         tracer = self.tracer
         return {

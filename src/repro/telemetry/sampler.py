@@ -16,7 +16,7 @@ covers exactly the busy periods.
 
 from __future__ import annotations
 
-from typing import Any, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 
 class EngineSampler:
@@ -28,6 +28,15 @@ class EngineSampler:
         self.engine = engine
         self.sim = engine.sim
         self.interval_ps = interval_ps
+        #: Called at tick entry, before the snapshot is taken. The batch
+        #: spine hooks this to settle staged arrivals whose scalar
+        #: events would have fired before the tick.
+        self.pre_sample: Optional[Callable[[], None]] = None
+        #: Extra liveness probe ORed into the quiescence check below:
+        #: the batch spine defers egress deliveries off the heap, so a
+        #: tick must keep re-arming while a deferred delivery's scalar
+        #: event would still have been pending (``Link.has_undelivered``).
+        self.extra_live: Optional[Callable[[], bool]] = None
         #: The recorded time series, one snapshot dict per tick.
         self.series: List[Dict[str, Any]] = []
         self._armed = False
@@ -57,10 +66,14 @@ class EngineSampler:
         if self._stopped:
             self._armed = False
             return
+        pre_sample = self.pre_sample
+        if pre_sample is not None:
+            pre_sample()
         self.sample()
         # Keep ticking only while the rest of the simulation is alive;
         # otherwise disarm so drain-style runs can terminate.
-        if self.sim.has_live_events():
+        extra_live = self.extra_live
+        if self.sim.has_live_events() or (extra_live is not None and extra_live()):
             self.sim.after(self.interval_ps, self._tick)
         else:
             self._armed = False

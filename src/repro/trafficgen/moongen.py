@@ -13,8 +13,10 @@ way a NIC delivers descriptors) to keep event counts tractable at
 from __future__ import annotations
 
 import random
+from array import array
 from typing import Callable, List, Optional
 
+from repro.net.batch import PacketBatch
 from repro.net.five_tuple import FiveTuple
 from repro.net.packet import Packet, make_tcp_packet
 from repro.net.tcp_flags import ACK, SYN
@@ -70,6 +72,17 @@ class OpenLoopGenerator:
         self.frame_len = frame_len
         self.burst = burst
         self.open_connections = open_connections
+        #: Opt-in batch emission (the SoA spine): when set, each CBR
+        #: burst is built as one columnar :class:`PacketBatch` and
+        #: handed here instead of per-packet ``sink`` calls. The RNG
+        #: draw order (one ``getrandbits(16)`` per packet) and the
+        #: flow/seq rotation are identical to the scalar loop, so the
+        #: packet stream is byte-for-byte the same. SYNs and poisson
+        #: arrivals always stay on the scalar ``sink``.
+        self.batch_sink: Optional[Callable[[PacketBatch, int], None]] = None
+        #: Pre-built constant columns for one burst (see _burst).
+        self._flags_col = array("H", (ACK,)) * burst
+        self._frame_len_col = array("H", (frame_len,)) * burst
         self.packets_sent = 0
         self._next_flow = 0
         self._seq = [0] * len(self.flows)
@@ -124,16 +137,53 @@ class OpenLoopGenerator:
         # (CPython keyword calls cost a dict per call).
         make = Packet
         index = self._next_flow
-        for _ in range(self.burst):
-            seq = seqs[index]
-            seqs[index] = seq + 1
-            packet = make(
-                flows[index], ACK, seq, 0, 0, None, getrandbits(16), frame_len, now
-            )
-            sink(packet, now)
-            index += 1
-            if index == n_flows:
-                index = 0
+        batch_sink = self.batch_sink
+        if batch_sink is not None and self.arrival_process == "cbr":
+            batch = PacketBatch()
+            # Column-wise construction: the per-burst-constant columns
+            # (flags, frame length, timestamp) extend in one C call
+            # each, so the per-packet loop touches only the columns
+            # that actually vary. Row values are identical to
+            # batch.append per packet.
+            burst = self.burst
+            b_flows = batch.flows
+            b_seqs = batch.seqs
+            b_checksums = batch.checksums
+            if n_flows == 1:
+                # Single flow (every fig6 point): the flow column is
+                # constant and the seq column consecutive, so both
+                # extend in one C call. The checksum draws keep the
+                # exact per-packet RNG order.
+                seq = seqs[0]
+                b_flows.extend([flows[0]] * burst)
+                b_seqs.extend(range(seq, seq + burst))
+                seqs[0] = seq + burst
+                b_checksums.extend([getrandbits(16) for _ in range(burst)])
+            else:
+                for _ in range(burst):
+                    seq = seqs[index]
+                    seqs[index] = seq + 1
+                    b_flows.append(flows[index])
+                    b_seqs.append(seq)
+                    b_checksums.append(getrandbits(16))
+                    index += 1
+                    if index == n_flows:
+                        index = 0
+            batch.flags.extend(self._flags_col)
+            batch.frame_lens.extend(self._frame_len_col)
+            batch.created_ats.extend(array("q", (now,)) * burst)
+            batch_sink(batch, now)
+        else:
+            for _ in range(self.burst):
+                seq = seqs[index]
+                seqs[index] = seq + 1
+                packet = make(
+                    flows[index], ACK, seq, 0, 0, None, getrandbits(16), frame_len, now
+                )
+                sink(packet, now)
+                index += 1
+                if index == n_flows:
+                    index = 0
         self._next_flow = index
         self.packets_sent += self.burst
         if self.arrival_process == "poisson":

@@ -1,0 +1,217 @@
+"""The SoA batch spine's record and link legs, in isolation.
+
+Three properties the conformance matrix cannot pin on its own:
+
+1. **Pack/materialize roundtrip** (Hypothesis) — columnizing scalar
+   packets and materializing them back preserves every packet-defining
+   field, row for row, while drawing *fresh* packet ids (batch rows are
+   views, not aliases).
+2. **Clone identity under fault duplication** — a duplicating
+   ``LinkFault`` on the batch path falls back to scalar sends and mints
+   duplicates via ``Packet.clone()``: every delivered packet, original
+   or duplicate, carries its own id.
+3. **Deferred egress equivalence** — ``send_many`` parks deliveries off
+   the heap but must reproduce scalar ``send`` byte for byte: same
+   arrival times and order, same counters, and a liveness probe that
+   agrees with the heap about what is still pending.
+"""
+
+import random
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.net import FiveTuple, make_tcp_packet
+from repro.net.batch import PacketBatch
+from repro.net.packet import Packet
+from repro.nic.link import Link, LinkFault
+from repro.sim import MICROSECOND, Simulator
+
+# Column type bounds: flags/checksums/frame_lens are array('H'),
+# seqs/created_ats are array('q').
+u16 = st.integers(min_value=0, max_value=0xFFFF)
+i48 = st.integers(min_value=0, max_value=2**48)
+
+flows = st.builds(
+    FiveTuple,
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    st.integers(min_value=0, max_value=0xFFFFFFFF),
+    u16,
+    u16,
+    st.sampled_from([6, 17]),
+)
+
+rows = st.tuples(flows, u16, i48, u16, u16, i48)
+
+
+def batch_of(row_list) -> PacketBatch:
+    batch = PacketBatch()
+    for flow, flags, seq, checksum, frame_len, created_at in row_list:
+        batch.append(flow, flags, seq, checksum, frame_len, created_at)
+    return batch
+
+
+class TestPackMaterializeRoundtrip:
+    @settings(max_examples=200, deadline=None)
+    @given(st.lists(rows, max_size=64))
+    def test_materialize_then_pack_preserves_every_row(self, row_list):
+        batch = batch_of(row_list)
+        assert list(batch.rows()) == row_list
+        packets = batch.materialize_all()
+        assert len(packets) == len(row_list)
+        for packet, (flow, flags, seq, checksum, frame_len, created_at) in zip(
+            packets, row_list
+        ):
+            assert packet.five_tuple == flow
+            assert packet.flags == flags
+            assert packet.seq == seq
+            assert packet.tcp_checksum == checksum
+            assert packet.frame_len == frame_len
+            assert packet.created_at == created_at
+        # pack() is the inverse: columnizing the scalar views gives the
+        # same batch back, row for row.
+        assert list(PacketBatch.pack(packets).rows()) == row_list
+
+    @settings(max_examples=100, deadline=None)
+    @given(st.lists(rows, min_size=1, max_size=64))
+    def test_materialized_rows_draw_fresh_ids(self, row_list):
+        batch = batch_of(row_list)
+        first = batch.materialize_all()
+        second = batch.materialize_all()
+        ids = [p.packet_id for p in first + second]
+        # Views, not aliases: every materialization is a new packet
+        # from the process-wide id stream, in allocation order.
+        assert len(set(ids)) == len(ids)
+        assert ids == sorted(ids)
+
+    def test_pack_of_generated_packets_roundtrips(self):
+        rng = random.Random(5)
+        packets = [
+            make_tcp_packet(
+                FiveTuple(rng.getrandbits(32), rng.getrandbits(32), 1234, 80, 6),
+                tcp_checksum=rng.getrandbits(16),
+            )
+            for _ in range(16)
+        ]
+        batch = PacketBatch.pack(packets)
+        for original, view in zip(packets, batch.materialize_all()):
+            assert view.five_tuple == original.five_tuple
+            assert view.tcp_checksum == original.tcp_checksum
+            assert view.packet_id != original.packet_id
+
+
+class TestCloneIdentityUnderLinkDup:
+    """``link_dup`` faults on the batch path: every duplicate is a
+    ``clone()`` with its own identity, and the fallback accounts them."""
+
+    def _flow(self, i):
+        return FiveTuple(0x0A000000 + i, 0x0B000000 + i, 40000 + i, 80, 6)
+
+    def test_duplicates_get_fresh_packet_ids(self):
+        sim = Simulator()
+        delivered = []
+        link = Link(sim, 10e9, 1 * MICROSECOND, name="dup-link")
+        link.sink = lambda packet, now: delivered.append(packet)
+        link.batch_sink = lambda batch, now: delivered.extend(
+            batch.materialize_all()
+        )
+        link.set_fault(LinkFault(dup_p=1.0, rng=random.Random(3)))
+        batch = PacketBatch.pack(
+            [make_tcp_packet(self._flow(i), tcp_checksum=i) for i in range(8)]
+        )
+        link.send_batch(batch, sim.now)
+        sim.run()
+        # dup_p=1.0: every row delivered twice, via the scalar fallback.
+        assert link.fault_duplicated == 8
+        assert len(delivered) == 16
+        ids = [p.packet_id for p in delivered]
+        assert len(set(ids)) == len(ids), "a duplicate aliased its original's id"
+        # Each original/duplicate pair carries the same flow identity.
+        by_flow = {}
+        for packet in delivered:
+            by_flow.setdefault(packet.five_tuple, []).append(packet)
+        assert all(len(pair) == 2 for pair in by_flow.values())
+
+    def test_healthy_link_does_not_materialize(self):
+        sim = Simulator()
+        seen = []
+        link = Link(sim, 10e9, 1 * MICROSECOND, name="clean-link")
+        link.sink = lambda packet, now: seen.append(packet)
+        link.batch_sink = lambda batch, now: seen.append(batch)
+        batch = PacketBatch.pack(
+            [make_tcp_packet(self._flow(i), tcp_checksum=i) for i in range(4)]
+        )
+        link.send_batch(batch, sim.now)
+        # No fault: the batch arrives columnar, synchronously, with its
+        # arrival column filled — no scalar deliveries, no heap events.
+        assert seen == [batch]
+        assert len(batch.arrivals) == 4
+        assert not sim.has_live_events()
+
+
+class TestDeferredEgressEquivalence:
+    """``send_many`` == ``for p: send(p)``, minus the heap events."""
+
+    def _packets(self, n, seed=9):
+        rng = random.Random(seed)
+        return [
+            make_tcp_packet(
+                FiveTuple(rng.getrandbits(32), rng.getrandbits(32), 1000 + i, 80, 6),
+                tcp_checksum=rng.getrandbits(16),
+            )
+            for i in range(n)
+        ]
+
+    def test_arrivals_and_counters_match_scalar_send(self):
+        scalar_sim, batch_sim = Simulator(), Simulator()
+        scalar_out, batch_out = [], []
+        scalar = Link(scalar_sim, 10e9, 1 * MICROSECOND, name="scalar")
+        scalar.sink = lambda packet, now: scalar_out.append((packet.five_tuple, now))
+        batched = Link(batch_sim, 10e9, 1 * MICROSECOND, name="batched")
+        batched.sink = lambda packet, now: batch_out.append((packet.five_tuple, now))
+
+        packets = self._packets(12)
+        for packet in packets:
+            scalar.send(packet)
+        scalar_sim.run()
+
+        batched.send_many(self._packets(12))
+        assert batch_out == []  # parked, not delivered
+        assert batched.has_undelivered()
+        batch_sim.run()  # nothing on the heap: deferral posts no events
+        batched.flush_deferred(scalar_sim.now)
+        assert not batched.has_undelivered()
+
+        assert batch_out == scalar_out
+        assert batched.packets_sent == scalar.packets_sent
+        assert batched.bytes_sent == scalar.bytes_sent
+        assert batched._transmitter_free_at == scalar._transmitter_free_at
+
+    def test_flush_is_a_partial_drain_up_to_now(self):
+        sim = Simulator()
+        out = []
+        link = Link(sim, 10e9, 1 * MICROSECOND, name="seam")
+        link.sink = lambda packet, now: out.append(now)
+        link.send_many(self._packets(6))
+        arrivals = [arrival for _, arrival in link._deferred]
+        # Flush at the third arrival: exactly the due prefix delivers
+        # (run(until=t) fires events with time <= t, so the comparison
+        # is inclusive).
+        link.flush_deferred(arrivals[2])
+        assert out == arrivals[:3]
+        assert link.has_undelivered()
+        link.flush_deferred(arrivals[-1])
+        assert out == arrivals
+        assert not link.has_undelivered()
+
+    def test_faulted_or_limited_links_fall_back_to_scalar_sends(self):
+        sim = Simulator()
+        out = []
+        link = Link(sim, 10e9, 1 * MICROSECOND, name="fallback", queue_limit=4)
+        link.sink = lambda packet, now: out.append(packet)
+        link.send_many(self._packets(3))
+        # The scalar path posted real delivery events; nothing deferred.
+        assert not link._deferred
+        assert sim.has_live_events()
+        sim.run()
+        assert len(out) == 3

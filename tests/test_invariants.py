@@ -212,3 +212,43 @@ class TestFaultConservation:
         ledger = assert_conserved(engine)
         assert ledger["fault_drops"] >= flushed
         assert ledger["rx_dropped_fault"] > 0
+
+    def test_queue_flush_keeps_cumulative_counters(self):
+        """``RxQueue.clear()`` semantics, pinned at the ledger level.
+
+        A crash flushes the dead core's queue *buffer* but must leave
+        the cumulative counters (``enqueued``, ``dropped``,
+        ``peak_depth``) untouched: the sampler differentiates
+        ``enqueued`` into an rx rate (a reset would produce a negative
+        delta) and the flushed packets move to the ledger's
+        ``fault_drops`` slot — depth is the only term that changes.
+        """
+        sim, engine = build_engine(
+            "rss", SyntheticNf(busy_cycles=20000), num_cores=4, queue_capacity=64
+        )
+        rng = random.Random(11)
+        inject_workload(sim, engine, 8, 40, rng)
+        target = next(
+            c.core_id for c in engine.host.cores if not c.rx_queue.is_empty
+        )
+        queue = engine.nic.queues[target]
+        depth = len(queue)
+        enqueued, dropped, peak = queue.enqueued, queue.dropped, queue.peak_depth
+        fault_drops_before = engine.stats.fault_drops
+
+        flushed = engine.crash_core(target)
+
+        # The buffer emptied; the flush covers at least the queue depth
+        # (the core's transfer ring may add more).
+        assert len(queue) == 0
+        assert flushed >= depth > 0
+        # Cumulative telemetry survived the flush bit for bit.
+        assert queue.enqueued == enqueued
+        assert queue.dropped == dropped
+        assert queue.peak_depth == peak
+        # Every flushed packet landed in exactly one ledger slot.
+        assert engine.stats.fault_drops == fault_drops_before + flushed
+        sim.run(max_events=2_000_000)
+        assert not sim.has_live_events()
+        ledger = assert_conserved(engine)
+        assert ledger["fault_drops"] >= flushed

@@ -1,6 +1,6 @@
 """Tests for the static lint engine (``repro.lint``).
 
-Every rule SPR001–SPR005 gets a fire-on-bad / quiet-on-good pair, the
+Every rule SPR001–SPR006 gets a fire-on-bad / quiet-on-good pair, the
 suppression comment grammar is exercised at line and file level, the
 CLI contract (exit codes, JSON shape) is pinned, and — the point of the
 whole exercise — the repo's own ``src`` tree must lint clean.
@@ -29,8 +29,10 @@ def codes(violations):
 
 
 class TestRegistry:
-    def test_all_five_rules_registered(self):
-        assert sorted(RULES) == ["SPR001", "SPR002", "SPR003", "SPR004", "SPR005"]
+    def test_all_six_rules_registered(self):
+        assert sorted(RULES) == [
+            "SPR001", "SPR002", "SPR003", "SPR004", "SPR005", "SPR006",
+        ]
 
     def test_rules_carry_title_and_rationale(self):
         for rule in RULES.values():
@@ -298,6 +300,60 @@ class TestSpr005SilentExceptionSwallow:
             pass
         """
         assert codes(lint(bad, path=OUTSIDE)) == ["SPR005"]
+
+
+IN_BATCH_PATH = "src/repro/nic/link.py"  # a module of the SoA batch spine
+
+
+class TestSpr006ColumnarBatchPath:
+    def test_fires_on_materialize_all_for_loop(self):
+        bad = """
+        def deliver(batch, sink):
+            for packet in batch.materialize_all():
+                sink(packet)
+        """
+        assert codes(lint(bad, path=IN_BATCH_PATH)) == ["SPR006"]
+
+    def test_fires_on_materialize_all_comprehension(self):
+        bad = """
+        def frame_bytes(batch):
+            return [p.frame_len for p in batch.materialize_all()]
+        """
+        assert codes(lint(bad, path=IN_BATCH_PATH)) == ["SPR006"]
+
+    def test_quiet_on_columnar_loop(self):
+        good = """
+        def frame_bytes(batch):
+            return sum(batch.frame_lens)
+        """
+        assert lint(good, path=IN_BATCH_PATH) == []
+
+    def test_quiet_on_lazy_per_row_materialize(self):
+        # The sanctioned settlement idiom: one accepted row at a time.
+        good = """
+        def settle(batch, accept):
+            for i in range(len(batch.flows)):
+                accept(batch.materialize(i))
+        """
+        assert lint(good, path=IN_BATCH_PATH) == []
+
+    def test_quiet_outside_the_batch_path(self):
+        # Per-packet fallbacks are the *norm* everywhere else.
+        good = """
+        def deliver(batch, sink):
+            for packet in batch.materialize_all():
+                sink(packet)
+        """
+        assert lint(good, path=IN_REPRO) == []
+        assert lint(good, path=OUTSIDE) == []
+
+    def test_suppression_marks_audited_fallback(self):
+        source = """
+        def deliver(batch, sink):
+            for packet in batch.materialize_all():  # repro-lint: disable=SPR006
+                sink(packet)
+        """
+        assert lint(source, path=IN_BATCH_PATH) == []
 
 
 class TestSuppressions:

@@ -130,6 +130,26 @@ class TestConformanceMatrix:
         assert counters["checks.ownership.violations"] == 0
 
 
+@pytest.mark.parametrize("mode", ALL_MODES)
+class TestSpineConformance:
+    """The batch data path's acceptance bar: for every policy, the SoA
+    spine (columnar bursts, eager steering, lazy settlement, deferred
+    egress) must be byte-identical to the scalar spine — rates, engine
+    summary, full telemetry (counters, time series, trace), and every
+    latency sample. Policies that cannot batch (flowlet's gap detector
+    is arrival-order-stateful) exercise the fallback: config accepts
+    ``spine="batch"`` and the engine silently keeps scalar ingress."""
+
+    def test_scalar_and_batch_rows_are_byte_identical(self, mode):
+        scalar = run_open_loop(mode, spine="scalar", **RUN_KWARGS)
+        batch = run_open_loop(mode, spine="batch", **RUN_KWARGS)
+        assert scalar.rate_mpps == batch.rate_mpps
+        assert scalar.rate_gbps == batch.rate_gbps
+        assert canonical(scalar.engine_summary) == canonical(batch.engine_summary)
+        assert canonical(scalar.telemetry) == canonical(batch.telemetry)
+        assert scalar.latency.samples == batch.latency.samples
+
+
 class TestJobsInvariance:
     """One sweep over all seven modes: serial == process pool."""
 
