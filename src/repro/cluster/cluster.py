@@ -36,6 +36,9 @@ class ClusterStats:
     per_host_dispatched: Dict[str, int] = field(default_factory=dict)
     migrations: int = 0
     migrated_entries: int = 0
+    #: Distinct canonical flows whose state moved hosts (a flow with
+    #: entries for both directions counts once per migration).
+    flows_moved: int = 0
     host_failures: int = 0
     #: Flow-table entries lost to host failures (unlike scale_in, a
     #: crash migrates nothing).
@@ -63,6 +66,9 @@ class ClusterMiddlebox:
         self.engines: Dict[str, MiddleboxEngine] = {}
         self._failed: set = set()
         self.stats = ClusterStats()
+        #: Optional :class:`repro.cluster.telemetry.ClusterTelemetry`;
+        #: when attached, scaling and failure events land in its trace.
+        self.telemetry = None
         self._egress: Optional[Callable[[Packet], None]] = None
         host_names = [self._next_host_name() for _ in range(num_hosts)]
         self.dispatcher = FlowDispatcher(host_names, virtual_nodes, sticky=sticky_flows)
@@ -126,6 +132,7 @@ class ClusterMiddlebox:
         self._build_engine(host)
         self.dispatcher.add_host(host)
         self._migrate(old_assignment)
+        self._trace("cluster_scale_out", host=host)
         return host
 
     def scale_in(self, host: str) -> None:
@@ -137,6 +144,57 @@ class ClusterMiddlebox:
         old_assignment = self._current_assignment()
         self.dispatcher.remove_host(host)
         self._migrate(old_assignment, removing=host)
+        self._forget_engine(host)
+        self._trace("cluster_scale_in", host=host)
+
+    # -- deferred-migration primitives (used by repro.cluster.serving) -------
+
+    def admit_host(self) -> str:
+        """Add a host to engines and ring WITHOUT migrating state.
+
+        The live-migration protocol (``repro.cluster.serving``) owns
+        the state movement: it diffs assignments itself, buffers
+        in-flight packets, and commits after a modelled handoff delay.
+        This primitive only grows the topology.
+        """
+        host = self._next_host_name()
+        self._build_engine(host)
+        self.dispatcher.add_host(host)
+        self._trace("cluster_scale_out", host=host)
+        return host
+
+    def detach_host(self, host: str) -> None:
+        """Remove a host from the ring but keep its engine draining.
+
+        New flows stop landing on ``host``; its existing state stays in
+        place until the caller migrates it and calls :meth:`drop_host`.
+        """
+        if host not in self.engines:
+            raise ValueError(f"unknown host {host!r}")
+        if len(self.live_hosts) == 1:
+            raise ValueError("cannot detach the last live host")
+        self.dispatcher.remove_host(host)
+        self._trace("cluster_scale_in", host=host)
+
+    def drop_host(self, host: str) -> None:
+        """Forget a drained engine (state already migrated away)."""
+        if host not in self.engines:
+            raise ValueError(f"unknown host {host!r}")
+        self._forget_engine(host)
+        self._failed.discard(host)
+
+    def _forget_engine(self, host: str) -> None:
+        """Remove an engine from the cluster, silencing its sampler.
+
+        Once the engine leaves ``self.engines`` nobody can reach its
+        telemetry sampler again, and a still-armed sampler re-schedules
+        itself for as long as *any* event is pending — with two or more
+        orphans they keep each other (and the simulation) alive
+        forever.
+        """
+        sampler = self.engines[host].telemetry.sampler
+        if sampler is not None:
+            sampler.stop()
         del self.engines[host]
 
     # -- fault injection ---------------------------------------------------------
@@ -166,6 +224,7 @@ class ClusterMiddlebox:
         self.dispatcher.remove_host(host)
         self.stats.host_failures += 1
         self.stats.lost_entries += lost
+        self._trace("cluster_host_down", host=host, lost_entries=lost, flushed=flushed)
         return flushed
 
     def _current_assignment(self) -> Dict[FiveTuple, str]:
@@ -205,6 +264,11 @@ class ClusterMiddlebox:
                 moved_flows.add(flow.canonical())
         if moved_flows:
             self.stats.migrations += 1
+            self.stats.flows_moved += len(moved_flows)
+
+    def _trace(self, name: str, **args) -> None:
+        if self.telemetry is not None:
+            self.telemetry.instant(name, self.sim.now, **args)
 
     # -- reporting -----------------------------------------------------------
 
@@ -216,6 +280,7 @@ class ClusterMiddlebox:
             "dispatched": self.stats.dispatched,
             "per_host_dispatched": dict(self.stats.per_host_dispatched),
             "migrated_entries": self.stats.migrated_entries,
+            "flows_moved": self.stats.flows_moved,
             "host_failures": self.stats.host_failures,
             "lost_entries": self.stats.lost_entries,
             "total_forwarded": sum(s["forwarded"] for s in per_host.values()),

@@ -23,8 +23,20 @@ def _hash_point(data: str) -> int:
     return int.from_bytes(hashlib.blake2b(data.encode(), digest_size=8).digest(), "big")
 
 
+#: Bound on the per-ring lookup memo. At O(10^5) concurrent flows the
+#: cache must hold the working set; clearing on overflow (rather than
+#: evicting) keeps the fast path to a single dict probe.
+RING_CACHE_LIMIT = 1 << 20
+
+
 class ConsistentHashRing:
-    """Classic consistent hashing with virtual nodes."""
+    """Classic consistent hashing with virtual nodes.
+
+    ``lookup`` memoizes key -> owner: blake2b per dispatch would
+    dominate at backbone flow counts, and between topology changes the
+    mapping is pure. Any ``add_node``/``remove_node`` invalidates the
+    memo wholesale — correctness never depends on the cache.
+    """
 
     def __init__(self, virtual_nodes: int = 64):
         if virtual_nodes < 1:
@@ -32,6 +44,7 @@ class ConsistentHashRing:
         self.virtual_nodes = virtual_nodes
         self._points: List[int] = []
         self._owners: Dict[int, str] = {}
+        self._lookup_cache: Dict[str, str] = {}
 
     def add_node(self, node: str) -> None:
         if any(owner == node for owner in self._owners.values()):
@@ -42,6 +55,7 @@ class ConsistentHashRing:
                 continue  # vanishingly rare 64-bit collision
             bisect.insort(self._points, point)
             self._owners[point] = node
+        self._lookup_cache.clear()
 
     def remove_node(self, node: str) -> None:
         points = [p for p, owner in self._owners.items() if owner == node]
@@ -51,18 +65,26 @@ class ConsistentHashRing:
             del self._owners[point]
             index = bisect.bisect_left(self._points, point)
             del self._points[index]
+        self._lookup_cache.clear()
 
     def nodes(self) -> List[str]:
         return sorted(set(self._owners.values()))
 
     def lookup(self, key: str) -> str:
+        cached = self._lookup_cache.get(key)
+        if cached is not None:
+            return cached
         if not self._points:
             raise RuntimeError("ring is empty")
         point = _hash_point(key)
         index = bisect.bisect_right(self._points, point)
         if index == len(self._points):
             index = 0
-        return self._owners[self._points[index]]
+        owner = self._owners[self._points[index]]
+        if len(self._lookup_cache) >= RING_CACHE_LIMIT:
+            self._lookup_cache.clear()
+        self._lookup_cache[key] = owner
+        return owner
 
 
 class FlowDispatcher:

@@ -1,0 +1,43 @@
+"""Cluster serving: load, autoscaling, live migration, SLO reporting.
+
+The subsystem that turns :class:`~repro.cluster.cluster.ClusterMiddlebox`
+into a measurable serving system:
+
+- :class:`~repro.cluster.serving.cluster.ServingCluster` — the facade:
+  dispatch with in-handoff packet buffering, elastic scaling through
+  the live-migration protocol, per-host latency windows, an aggregate
+  packet-conservation ledger.
+- :class:`~repro.cluster.serving.migration.LiveMigrator` — evict/hold/
+  adopt with a modelled handoff delay on the sanctioned
+  ``entries_snapshot()/evict()/adopt()`` control-plane API.
+- :class:`~repro.cluster.serving.autoscaler.Autoscaler` — epoch-driven
+  scale decisions from sampler signals, pluggable policy, hysteresis.
+- :class:`~repro.cluster.serving.loadgen.ClusterLoadDriver` — a
+  deterministic trace-driven packet source built from
+  :class:`~repro.trafficgen.trace.SyntheticBackboneTrace`.
+- :class:`~repro.cluster.serving.slo.SloRecorder` — bucketed
+  throughput/latency timeline plus phase-segmented SLO accounting.
+"""
+
+from repro.cluster.serving.autoscaler import (
+    Autoscaler,
+    AutoscalePolicy,
+    HostSignals,
+    ThresholdHysteresisPolicy,
+)
+from repro.cluster.serving.cluster import ServingCluster
+from repro.cluster.serving.loadgen import ClusterLoadDriver
+from repro.cluster.serving.migration import LiveMigrator, MigrationStats
+from repro.cluster.serving.slo import SloRecorder
+
+__all__ = [
+    "Autoscaler",
+    "AutoscalePolicy",
+    "ClusterLoadDriver",
+    "HostSignals",
+    "LiveMigrator",
+    "MigrationStats",
+    "ServingCluster",
+    "SloRecorder",
+    "ThresholdHysteresisPolicy",
+]

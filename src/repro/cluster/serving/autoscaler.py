@@ -1,0 +1,221 @@
+"""Telemetry-driven elastic scaling at sim-time epoch boundaries.
+
+The :class:`Autoscaler` ticks on the simulator clock. Each epoch it
+samples every on-ring host *through the existing per-engine sampler*
+(:meth:`~repro.telemetry.sampler.EngineSampler.sample` — the snapshot
+also lands in the engine's own time series), folds the snapshot plus
+the serving layer's per-host latency window into a
+:class:`HostSignals` row, and asks the policy what to do. Policies are
+pluggable; the shipped :class:`ThresholdHysteresisPolicy` requires a
+signal to persist for several consecutive epochs before acting and
+enforces a cooldown between actions — the standard guard against
+flapping on a bursty backbone workload.
+
+Determinism: ticks are ordinary simulator events at fixed epochs; all
+signals derive from engine counters; host selection for scale-in is a
+deterministic argmin (fewest flow entries, name as tie-break). A
+serving run with an autoscaler is exactly as replayable as one
+without.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional
+
+from repro.sim.timeunits import MILLISECOND
+
+
+@dataclass(frozen=True)
+class HostSignals:
+    """One host's per-epoch health signals."""
+
+    host: str
+    #: Packets waiting in the host's rx queues right now.
+    rx_depth: int
+    #: Tail drops this epoch (delta of the cumulative counter).
+    rx_dropped_delta: int
+    flow_entries: int
+    #: p99 forward latency over the epoch's window (0 when idle).
+    p99_latency_us: float
+
+
+class AutoscalePolicy:
+    """Decide ``"scale_out"``/``"scale_in"``/``"hold"`` from signals."""
+
+    def decide(self, signals: List[HostSignals], num_hosts: int) -> str:
+        raise NotImplementedError
+
+
+class ThresholdHysteresisPolicy(AutoscalePolicy):
+    """Thresholds + consecutive-epoch hysteresis + host-count clamps.
+
+    Scale out when any host is *hot* (p99 above target, rx backlog
+    above ``max_rx_depth``, or any tail drop) for ``hot_epochs``
+    consecutive epochs; scale in when every host is *cold* (p99 under
+    ``cold_fraction`` of target and backlog under ``low_rx_depth``) for
+    ``cold_epochs`` consecutive epochs. Mixed epochs reset both runs.
+
+    A cluster that has not yet seen traffic (zero flow entries
+    everywhere) is never "cold": the quiet epochs before the load ramp
+    would otherwise count toward scale-in and the cluster would shed
+    hosts just as the ramp arrives.
+    """
+
+    def __init__(
+        self,
+        target_p99_us: float = 100.0,
+        max_rx_depth: int = 256,
+        low_rx_depth: int = 16,
+        cold_fraction: float = 0.3,
+        hot_epochs: int = 2,
+        cold_epochs: int = 4,
+        min_hosts: int = 1,
+        max_hosts: int = 64,
+    ):
+        if not 1 <= min_hosts <= max_hosts:
+            raise ValueError(f"need 1 <= min_hosts <= max_hosts, got {min_hosts}, {max_hosts}")
+        self.target_p99_us = target_p99_us
+        self.max_rx_depth = max_rx_depth
+        self.low_rx_depth = low_rx_depth
+        self.cold_fraction = cold_fraction
+        self.hot_epochs = hot_epochs
+        self.cold_epochs = cold_epochs
+        self.min_hosts = min_hosts
+        self.max_hosts = max_hosts
+        self._hot_run = 0
+        self._cold_run = 0
+
+    def decide(self, signals: List[HostSignals], num_hosts: int) -> str:
+        hot = any(
+            s.p99_latency_us > self.target_p99_us
+            or s.rx_depth > self.max_rx_depth
+            or s.rx_dropped_delta > 0
+            for s in signals
+        )
+        cold = (
+            bool(signals)
+            and sum(s.flow_entries for s in signals) > 0
+            and all(
+                s.p99_latency_us < self.cold_fraction * self.target_p99_us
+                and s.rx_depth < self.low_rx_depth
+                for s in signals
+            )
+        )
+        if hot:
+            self._hot_run += 1
+            self._cold_run = 0
+        elif cold:
+            self._cold_run += 1
+            self._hot_run = 0
+        else:
+            self._hot_run = 0
+            self._cold_run = 0
+        if self._hot_run >= self.hot_epochs and num_hosts < self.max_hosts:
+            self._hot_run = 0
+            return "scale_out"
+        if self._cold_run >= self.cold_epochs and num_hosts > self.min_hosts:
+            self._cold_run = 0
+            return "scale_in"
+        return "hold"
+
+
+class Autoscaler:
+    """Epoch ticker binding a policy to a ServingCluster."""
+
+    def __init__(
+        self,
+        serving: Any,
+        policy: Optional[AutoscalePolicy] = None,
+        epoch: int = MILLISECOND,
+        cooldown_epochs: int = 2,
+    ):
+        if epoch < 1:
+            raise ValueError(f"epoch must be >= 1 ps, got {epoch}")
+        self.serving = serving
+        self.policy = policy or ThresholdHysteresisPolicy()
+        self.epoch = epoch
+        self.cooldown_epochs = cooldown_epochs
+        #: Applied decisions: {"t_ms", "action", "host", "hosts_after"}.
+        self.decisions: List[Dict[str, Any]] = []
+        self._until = 0
+        self._prev_drops: Dict[str, int] = {}
+        self._epochs_since_action = cooldown_epochs
+
+    def start(self, until: int) -> None:
+        """Tick every epoch until sim time ``until`` (exclusive)."""
+        self._until = until
+        self.serving.sim.after(self.epoch, self._tick)
+
+    # -- signal collection ---------------------------------------------------
+
+    def signals(self) -> List[HostSignals]:
+        serving = self.serving
+        rows: List[HostSignals] = []
+        for host in serving.ring_hosts:
+            engine = serving.cluster.engines[host]
+            sampler = engine.telemetry.sampler
+            if sampler is not None:
+                snapshot = sampler.sample()
+            else:  # sampling disabled: take an equivalent ad-hoc snapshot
+                snapshot = {
+                    "flow_entries": engine.flow_state.total_entries(),
+                    "cores": [
+                        {"rx_depth": len(q), "rx_dropped": q.dropped}
+                        for q in engine.nic.queues
+                    ],
+                }
+            rx_depth = sum(core.get("rx_depth", 0) for core in snapshot["cores"])
+            rx_dropped = sum(core.get("rx_dropped", 0) for core in snapshot["cores"])
+            delta = rx_dropped - self._prev_drops.get(host, 0)
+            self._prev_drops[host] = rx_dropped
+            rows.append(
+                HostSignals(
+                    host=host,
+                    rx_depth=rx_depth,
+                    rx_dropped_delta=delta,
+                    flow_entries=snapshot["flow_entries"],
+                    p99_latency_us=serving.take_latency_p99_us(host),
+                )
+            )
+        return rows
+
+    # -- the epoch tick ------------------------------------------------------
+
+    def _tick(self) -> None:
+        serving = self.serving
+        sim = serving.sim
+        if sim.now >= self._until:
+            return
+        signals = self.signals()
+        action = self.policy.decide(signals, len(serving.ring_hosts))
+        self._epochs_since_action += 1
+        if action != "hold" and self._epochs_since_action >= self.cooldown_epochs:
+            host = self._apply(action, signals)
+            if host is not None:
+                self._epochs_since_action = 0
+                self.decisions.append(
+                    {
+                        "t_ms": sim.now / MILLISECOND,
+                        "action": action,
+                        "host": host,
+                        "hosts_after": len(serving.ring_hosts),
+                    }
+                )
+                serving.telemetry.instant(
+                    f"autoscale_{action}", sim.now, host=host
+                )
+        sim.after(self.epoch, self._tick)
+
+    def _apply(self, action: str, signals: List[HostSignals]) -> Optional[str]:
+        serving = self.serving
+        if action == "scale_out":
+            return serving.scale_out()
+        # Scale in the emptiest host: least state to migrate. Signals
+        # are already in sorted-host order, so the argmin tie-break on
+        # the name is deterministic.
+        if len(serving.ring_hosts) <= 1 or not signals:
+            return None
+        victim = min(signals, key=lambda s: (s.flow_entries, s.host)).host
+        serving.scale_in(victim)
+        return victim

@@ -1,0 +1,285 @@
+"""The serving facade over :class:`ClusterMiddlebox`.
+
+:class:`ServingCluster` is what a deployment actually runs: the
+dispatcher front end with in-handoff packet buffering, elastic scaling
+through the :class:`~repro.cluster.serving.migration.LiveMigrator`
+protocol (scale-in keeps the detached engine draining until its state
+and queues are empty, so voluntary rescaling never drops a packet),
+per-host latency windows for the autoscaler, cluster telemetry, and an
+aggregate packet-conservation ledger.
+
+It duck-types the surface :class:`~repro.faults.injector.ClusterFaultInjector`
+needs (``sim``, ``live_hosts``, ``fail_host``), so existing
+``host_down`` fault plans drive a serving cluster unchanged — with the
+addition that a failure mid-handoff routes through
+:meth:`LiveMigrator.on_host_failed` for bounded, accounted state loss.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, List, Optional
+
+from repro.cluster.cluster import ClusterMiddlebox
+from repro.cluster.serving.migration import (
+    DEFAULT_BASE_DELAY,
+    DEFAULT_PER_ENTRY_DELAY,
+    DEFAULT_RELEASE_BURST,
+    DEFAULT_RELEASE_INTERVAL,
+    LiveMigrator,
+)
+from repro.cluster.telemetry import ClusterTelemetry
+from repro.core.config import MiddleboxConfig
+from repro.core.nf import NetworkFunction
+from repro.net.packet import Packet
+from repro.sim.engine import Simulator
+from repro.sim.timeunits import MICROSECOND
+
+
+class ServingCluster:
+    """N engines, one ring, live migration, and the serving ledger."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        nf_factory: Callable[[str], NetworkFunction],
+        num_hosts: int = 2,
+        config_factory: Optional[Callable[[str], MiddleboxConfig]] = None,
+        virtual_nodes: int = 64,
+        telemetry_trace: bool = True,
+        migration_base_delay: int = DEFAULT_BASE_DELAY,
+        migration_per_entry_delay: int = DEFAULT_PER_ENTRY_DELAY,
+        migration_release_burst: int = DEFAULT_RELEASE_BURST,
+        migration_release_interval: int = DEFAULT_RELEASE_INTERVAL,
+    ):
+        self.sim = sim
+        self.cluster = ClusterMiddlebox(
+            sim,
+            nf_factory,
+            num_hosts=num_hosts,
+            config_factory=config_factory,
+            virtual_nodes=virtual_nodes,
+        )
+        self.telemetry = ClusterTelemetry(self.cluster, trace=telemetry_trace)
+        self.migrator = LiveMigrator(
+            self,
+            base_delay=migration_base_delay,
+            per_entry_delay=migration_per_entry_delay,
+            release_burst=migration_release_burst,
+            release_interval=migration_release_interval,
+        )
+        #: Packets offered to the front end (the ledger's top line).
+        self.offered = 0
+        #: Hosts detached from the ring, engine kept until drained.
+        self._draining: List[str] = []
+        #: Conservation counters of engines already dropped.
+        self._dropped_ledger: Dict[str, int] = {}
+        self._egress: Optional[Callable[[Packet], None]] = None
+        #: Per-host forward latencies (ps) since the last epoch drain.
+        self._latency: Dict[str, List[int]] = {}
+        registry = self.telemetry.registry
+        stats = self.migrator.stats
+        registry.bind("cluster.offered", lambda: self.offered)
+        registry.bind("cluster.buffered.packets", lambda: stats.packets_buffered)
+        registry.bind("cluster.buffered.bytes", lambda: stats.bytes_buffered)
+        registry.bind("cluster.buffered.released", lambda: stats.packets_released)
+        registry.bind("cluster.buffered.now", self.migrator.buffered_now)
+        registry.bind(
+            "cluster.migrations.inflight", lambda: self.migrator.inflight_ops
+        )
+        registry.bind("cluster.migrations.redirects", lambda: stats.redirects)
+        registry.bind("cluster.state_lost.inflight", lambda: stats.state_lost)
+        registry.bind("cluster.hosts.draining", lambda: len(self._draining))
+
+    # -- topology ------------------------------------------------------------
+
+    @property
+    def ring_hosts(self) -> List[str]:
+        """Hosts currently receiving new flows (on the ring)."""
+        return self.cluster.dispatcher.ring.nodes()
+
+    @property
+    def live_hosts(self) -> List[str]:
+        """Fault-injector surface: hosts a ``host_down`` may target."""
+        return self.ring_hosts
+
+    @property
+    def hosts(self) -> List[str]:
+        return self.cluster.hosts
+
+    @property
+    def engines(self):
+        return self.cluster.engines
+
+    # -- dataplane -----------------------------------------------------------
+
+    def set_egress(self, egress: Callable[[Packet], None]) -> None:
+        self._egress = egress
+        for host in sorted(self.cluster.engines):
+            self._install_egress(host)
+
+    def _install_egress(self, host: str) -> None:
+        self._latency.setdefault(host, [])
+        self.cluster.engines[host].set_egress(
+            lambda packet, _host=host: self._on_forwarded(_host, packet)
+        )
+
+    def _on_forwarded(self, host: str, packet: Packet) -> None:
+        self._latency[host].append(self.sim.now - packet.created_at)
+        if self._egress is not None:
+            self._egress(packet)
+
+    def receive(self, packet: Packet, now: int) -> bool:
+        self.offered += 1
+        return self.dispatch(packet, now)
+
+    def dispatch(self, packet: Packet, now: int) -> bool:
+        """Route one packet: buffer if its flow is frozen, else engine.
+
+        Also the re-entry point for released/re-dispatched buffers (not
+        counted as fresh offered load).
+        """
+        migrator = self.migrator
+        if migrator.freezing:
+            handoff = migrator.handoff_for(packet.five_tuple)
+            if handoff is not None:
+                migrator.buffer_packet(handoff, packet)
+                return True
+        return self.cluster.receive(packet, now)
+
+    # -- per-host latency windows (autoscaler signal) ------------------------
+
+    def take_latency_p99_us(self, host: str) -> float:
+        """p99 of the host's forward latencies since last call; drains."""
+        window = self._latency.get(host)
+        if not window:
+            return 0.0
+        ordered = sorted(window)
+        self._latency[host] = []
+        return ordered[min(len(ordered) - 1, int(0.99 * len(ordered)))] / MICROSECOND
+
+    # -- elastic scaling -----------------------------------------------------
+
+    def scale_out(self) -> str:
+        """Add a host and live-migrate the flows that re-map onto it."""
+        host = self.cluster.admit_host()
+        if self._egress is not None:
+            self._install_egress(host)
+        else:
+            self._latency.setdefault(host, [])
+        self.migrator.rebalance()
+        return host
+
+    def scale_in(self, host: str) -> None:
+        """Detach a host; its flows live-migrate, its engine drains.
+
+        The engine keeps running until its flow state has moved and its
+        queues are empty (checked at each migration commit), then it is
+        dropped — so a voluntary scale-in never loses a packet.
+        """
+        if host not in self.cluster.engines:
+            raise ValueError(f"unknown host {host!r}")
+        if host in self._draining:
+            raise ValueError(f"host {host!r} is already draining")
+        self.cluster.detach_host(host)
+        self._draining.append(host)
+        self.migrator.rebalance()
+        self.on_migration_commit()
+
+    def on_migration_commit(self) -> None:
+        """Drop draining hosts that are fully drained."""
+        still: List[str] = []
+        for host in self._draining:
+            engine = self.cluster.engines.get(host)
+            if engine is None:
+                continue
+            ledger = engine.conservation()
+            drained = (
+                engine.flow_state.total_entries() == 0
+                and ledger["in_queues"] == 0
+                and ledger["in_rings"] == 0
+                and ledger["rx_packets"] == ledger["accounted"]
+            )
+            if drained:
+                self._absorb_ledger(ledger)
+                self.cluster.drop_host(host)
+                self._trace("host_drained", host=host)
+            else:
+                still.append(host)
+        self._draining = still
+
+    # -- fault surface -------------------------------------------------------
+
+    def fail_host(self, host: str) -> int:
+        """``host_down``: crash the engine, then settle in-flight moves."""
+        flushed = self.cluster.fail_host(host)
+        self.migrator.on_host_failed(host)
+        if host in self._draining:
+            # A draining host that dies can never finish draining; its
+            # ledger is frozen where the crash left it.
+            self._absorb_ledger(self.cluster.engines[host].conservation())
+            self.cluster.drop_host(host)
+            self._draining = [h for h in self._draining if h != host]
+        return flushed
+
+    # -- ledger --------------------------------------------------------------
+
+    def _absorb_ledger(self, ledger: Dict[str, int]) -> None:
+        for key, value in sorted(ledger.items()):
+            self._dropped_ledger[key] = self._dropped_ledger.get(key, 0) + value
+
+    def _trace(self, name: str, **args) -> None:
+        self.telemetry.instant(name, self.sim.now, **args)
+
+    def conservation(self) -> Dict[str, int]:
+        """The cluster-wide packet-conservation ledger.
+
+        Invariants (once the simulation drains):
+
+        - ``offered == dispatched + buffered_now`` — every offered
+          packet either reached an engine or is held in a handoff
+          buffer;
+        - ``rx_packets == accounted`` — every packet an engine ingested
+          is forwarded, dropped for a counted reason, or still queued.
+
+        Dropped engines' counters are absorbed into the totals, so the
+        ledger survives scale-in.
+        """
+        totals = dict(self._dropped_ledger)
+        for host in sorted(self.cluster.engines):
+            for key, value in sorted(self.cluster.engines[host].conservation().items()):
+                totals[key] = totals.get(key, 0) + value
+        totals["offered"] = self.offered
+        totals["dispatched"] = self.cluster.stats.dispatched
+        totals["buffered_now"] = self.migrator.buffered_now()
+        totals["state_lost_inflight"] = self.migrator.stats.state_lost
+        totals["entries_lost"] = self.cluster.stats.lost_entries
+        return totals
+
+    def conservation_ok(self) -> bool:
+        ledger = self.conservation()
+        return (
+            ledger["offered"] == ledger["dispatched"] + ledger["buffered_now"]
+            and ledger["rx_packets"]
+            == ledger["accounted"] + ledger["in_queues"] + ledger["in_rings"]
+        )
+
+    def drops_total(self) -> int:
+        """Every counted packet drop across the cluster's lifetime."""
+        ledger = self.conservation()
+        return (
+            ledger["nf_drops"]
+            + ledger["rx_dropped_queue_full"]
+            + ledger["rx_dropped_fd_cap"]
+            + ledger["rx_dropped_fault"]
+            + ledger["ring_drops"]
+            + ledger["fault_drops"]
+        )
+
+    # -- reporting -----------------------------------------------------------
+
+    def summary(self) -> Dict[str, Any]:
+        base = self.cluster.summary()
+        base["draining_hosts"] = list(self._draining)
+        base["offered"] = self.offered
+        base["migration"] = dict(vars(self.migrator.stats))
+        return base

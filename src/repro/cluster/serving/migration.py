@@ -1,0 +1,314 @@
+"""Live flow-state migration with in-flight packet buffering.
+
+:class:`ClusterMiddlebox.scale_out`/``scale_in`` migrate instantly — a
+modelling shortcut that hides exactly what a serving system must pay:
+while an entry is on the wire between hosts, packets for its flow have
+no valid home. :class:`LiveMigrator` models the handoff:
+
+1. **Start** (topology just changed): diff current entry placement
+   against the updated ring. Entries whose owner changed are *evicted
+   immediately* and held by the migrator — the flow is frozen. The
+   front end (:class:`~repro.cluster.serving.cluster.ServingCluster`)
+   buffers every packet arriving for a frozen flow.
+2. **Commit** (``base_delay + per_entry_delay x entries`` later): held
+   entries are adopted at the flow's *current* ring owner — if the
+   topology changed again mid-handoff the entry follows the ring
+   (counted as a redirect), never a stale plan. Buffered packets are
+   then *paced* out through the dispatcher — ``release_burst`` packets
+   every ``release_interval``, below a host's line rate — because
+   dumping the whole buffer in one sim instant would overflow the
+   destination's rx queues and turn a lossless protocol into a lossy
+   one. A flow stays frozen (new arrivals keep appending to its
+   buffer) until its buffer slice drains, so voluntary rescaling loses
+   nothing and reorders nothing; the buffering delay is real and shows
+   up in the released packets' latency.
+3. **Failure** (``host_down`` mid-handoff): a dead *destination* loses
+   the held entries — counted in ``stats.state_lost``, mirrored into
+   the cluster ledger — and its buffered packets re-dispatch
+   immediately to the ring's surviving owner. A dead *source* loses
+   nothing: its moving entries were already evicted and held.
+
+Everything rides the sanctioned ``entries_snapshot()/evict()/adopt()``
+control-plane API, so ``strict_checks`` ownership auditing stays green
+across a migration.
+
+Known modelling edge: a SYN that is already inside the old owner's NIC
+queues when its flow freezes creates a fresh entry there; the next
+rebalance sweeps it to the ring owner. Data packets are unaffected
+(no entry is created for them) and nothing is dropped either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Tuple
+
+from repro.net.five_tuple import FiveTuple
+from repro.sim.timeunits import MICROSECOND, NANOSECOND
+
+#: Control-plane round trip to initiate a handoff (ps).
+DEFAULT_BASE_DELAY = 200 * MICROSECOND
+#: Serialization/installation cost per migrated entry (ps).
+DEFAULT_PER_ENTRY_DELAY = 500 * NANOSECOND
+#: Buffer-release pacing: at most this many packets per interval. The
+#: defaults drain at 2.56 Mpps — below one host's typical line rate, so
+#: a release can never overflow the destination's 512-deep rx queues.
+DEFAULT_RELEASE_BURST = 64
+DEFAULT_RELEASE_INTERVAL = 25 * MICROSECOND
+
+
+@dataclass
+class MigrationStats:
+    """Cumulative live-migration accounting."""
+
+    #: Committed rebalance operations that moved at least one flow.
+    migrations: int = 0
+    flows_moved: int = 0
+    entries_moved: int = 0
+    #: Entries adopted at a different host than planned because the
+    #: ring changed again mid-handoff.
+    redirects: int = 0
+    packets_buffered: int = 0
+    bytes_buffered: int = 0
+    #: Buffered packets released at commit, in arrival order.
+    packets_released: int = 0
+    #: Buffered packets re-dispatched early because their planned
+    #: destination died mid-handoff.
+    packets_redispatched: int = 0
+    #: Held entries lost to a destination that died mid-handoff — the
+    #: *bounded* state-loss budget of ``host_down``.
+    state_lost: int = 0
+
+
+class FlowHandoff:
+    """One flow frozen mid-migration: held entries plus its buffer."""
+
+    __slots__ = ("flow", "dest", "entries", "buffer", "cancelled", "committed")
+
+    def __init__(self, flow: FiveTuple, dest: str):
+        self.flow = flow
+        self.dest = dest
+        self.entries: List[Tuple[Any, Any]] = []
+        self.buffer: List[Any] = []
+        self.cancelled = False
+        #: Entries adopted; the flow stays frozen only until its buffer
+        #: finishes its paced drain.
+        self.committed = False
+
+
+class LiveMigrator:
+    """The migration control plane of one serving cluster."""
+
+    def __init__(
+        self,
+        serving: Any,
+        base_delay: int = DEFAULT_BASE_DELAY,
+        per_entry_delay: int = DEFAULT_PER_ENTRY_DELAY,
+        release_burst: int = DEFAULT_RELEASE_BURST,
+        release_interval: int = DEFAULT_RELEASE_INTERVAL,
+    ):
+        if base_delay < 0 or per_entry_delay < 0:
+            raise ValueError("migration delays must be non-negative")
+        if release_burst < 1 or release_interval < 0:
+            raise ValueError("release pacing must be positive")
+        self.serving = serving
+        self.base_delay = base_delay
+        self.per_entry_delay = per_entry_delay
+        self.release_burst = release_burst
+        self.release_interval = release_interval
+        self.stats = MigrationStats()
+        #: canonical flow -> its in-flight handoff. Insertion order is
+        #: deterministic (hosts visited sorted, snapshots ordered).
+        self._in_handoff: Dict[FiveTuple, FlowHandoff] = {}
+        #: Rebalance operations started but not yet committed.
+        self.inflight_ops = 0
+
+    # -- dataplane probe -----------------------------------------------------
+
+    @property
+    def freezing(self) -> bool:
+        """Fast-path guard: any flow currently frozen?"""
+        return bool(self._in_handoff)
+
+    def handoff_for(self, flow: FiveTuple) -> FlowHandoff | None:
+        return self._in_handoff.get(flow.canonical())
+
+    def buffer_packet(self, handoff: FlowHandoff, packet: Any) -> None:
+        handoff.buffer.append(packet)
+        self.stats.packets_buffered += 1
+        self.stats.bytes_buffered += packet.frame_len
+
+    def buffered_now(self) -> int:
+        """Packets currently held in handoff buffers (ledger term)."""
+        return sum(len(h.buffer) for h in self._in_handoff.values())
+
+    # -- control plane -------------------------------------------------------
+
+    def rebalance(self) -> int:
+        """Diff entry placement against the ring; start the handoffs.
+
+        Call immediately after a topology change. Returns the number of
+        entries scheduled to move (0 = nothing changed hands and no
+        commit was scheduled).
+        """
+        cluster = self.serving.cluster
+        dispatcher = cluster.dispatcher
+        group: List[FlowHandoff] = []
+        moves: Dict[FiveTuple, FlowHandoff] = {}
+        scheduled = 0
+        for host in sorted(cluster.engines):
+            if host in cluster._failed:
+                continue
+            engine = cluster.engines[host]
+            for key, entry in engine.flow_state.entries_snapshot():
+                flow = cluster._tuple_of(key)
+                new_host = dispatcher.host_for(flow)
+                if new_host == host:
+                    continue
+                canonical = flow.canonical()
+                if canonical in self._in_handoff:
+                    # Still draining a previous handoff's buffer (the
+                    # entries are adopted but the flow is frozen until
+                    # its paced release finishes). Leave it; the next
+                    # topology change sweeps it to the ring owner.
+                    continue
+                handoff = moves.get(canonical)
+                if handoff is None:
+                    handoff = FlowHandoff(canonical, new_host)
+                    moves[canonical] = handoff
+                    group.append(handoff)
+                engine.flow_state.evict(key)
+                handoff.entries.append((key, entry))
+                scheduled += 1
+        if not group:
+            return 0
+        self._in_handoff.update(moves)
+        self.inflight_ops += 1
+        delay = self.base_delay + self.per_entry_delay * scheduled
+        sim = cluster.sim
+        if cluster.telemetry is not None:
+            cluster.telemetry.instant(
+                "migration_start", sim.now, flows=len(group), entries=scheduled
+            )
+        sim.after(delay, self._commit, group)
+        return scheduled
+
+    def _commit(self, group: List[FlowHandoff]) -> None:
+        cluster = self.serving.cluster
+        sim = cluster.sim
+        now = sim.now
+        flows_moved = 0
+        entries_moved = 0
+        buffered = 0
+        for handoff in group:
+            if handoff.cancelled:
+                continue
+            dest = cluster.dispatcher.host_for(handoff.flow)
+            if dest != handoff.dest:
+                self.stats.redirects += 1
+            engine = cluster.engines[dest]
+            for key, entry in handoff.entries:
+                engine.flow_state.adopt(key, entry)
+                entries_moved += 1
+            handoff.entries = []
+            handoff.committed = True
+            flows_moved += 1
+            buffered += len(handoff.buffer)
+        self.inflight_ops -= 1
+        if flows_moved:
+            self.stats.migrations += 1
+            self.stats.flows_moved += flows_moved
+            self.stats.entries_moved += entries_moved
+            # Mirror into the cluster ledger so the cluster.* telemetry
+            # family counts live migrations exactly like instant ones.
+            cluster.stats.migrations += 1
+            cluster.stats.flows_moved += flows_moved
+            cluster.stats.migrated_entries += entries_moved
+        if cluster.telemetry is not None:
+            cluster.telemetry.instant(
+                "migration_commit",
+                now,
+                flows=flows_moved,
+                entries=entries_moved,
+                buffered=buffered,
+            )
+        # Buffers drain *after* all adopts (a buffered packet must
+        # never race its own flow's entry), paced so the release can
+        # never overflow the destination's rx queues.
+        self._release(group)
+        self.serving.on_migration_commit()
+
+    def _release(self, group: List[FlowHandoff]) -> None:
+        """Paced buffer drain: one burst now, re-arm until empty.
+
+        Handoffs drain in group order, each buffer in arrival order; a
+        flow unfreezes the moment its slice empties, so packets that
+        arrive after that dispatch directly — behind everything that
+        was buffered, never ahead of it.
+        """
+        sim = self.serving.cluster.sim
+        now = sim.now
+        budget = self.release_burst
+        pending = False
+        for handoff in group:
+            if handoff.cancelled:
+                continue
+            taken = handoff.buffer[:budget]
+            handoff.buffer = handoff.buffer[len(taken):]
+            budget -= len(taken)
+            if handoff.buffer:
+                pending = True
+            elif self._in_handoff.get(handoff.flow) is handoff:
+                del self._in_handoff[handoff.flow]
+            for packet in taken:
+                self.stats.packets_released += 1
+                self.serving.dispatch(packet, now)
+            if budget == 0 and pending:
+                break
+        if pending:
+            sim.after(self.release_interval, self._release, group)
+        else:
+            self.serving.on_migration_commit()
+
+    def on_host_failed(self, host: str) -> None:
+        """Account for ``host_down`` hitting in-flight handoffs.
+
+        Destinations that died lose their incoming held entries
+        (bounded, counted in ``state_lost`` and the cluster's
+        ``lost_entries``); their buffered packets re-dispatch to the
+        ring's surviving owner right away. Handoffs whose *source* died
+        are unaffected — the entries are already held here. Committed
+        handoffs still draining their buffer are also unaffected: their
+        entries were adopted (the engine's crash flush accounts them)
+        and the paced release keeps dispatching through the ring, which
+        now routes around the dead host.
+        """
+        cluster = self.serving.cluster
+        now = cluster.sim.now
+        doomed = [
+            handoff
+            for handoff in self._in_handoff.values()
+            if not handoff.cancelled
+            and not handoff.committed
+            and handoff.dest == host
+        ]
+        for handoff in doomed:
+            lost = len(handoff.entries)
+            self.stats.state_lost += lost
+            cluster.stats.lost_entries += lost
+            handoff.cancelled = True
+            handoff.entries = []
+            del self._in_handoff[handoff.flow]
+            buffered = handoff.buffer
+            handoff.buffer = []
+            if cluster.telemetry is not None:
+                cluster.telemetry.instant(
+                    "migration_dest_lost",
+                    now,
+                    host=host,
+                    entries_lost=lost,
+                    redispatched=len(buffered),
+                )
+            for packet in buffered:
+                self.stats.packets_redispatched += 1
+                self.serving.dispatch(packet, now)

@@ -1,0 +1,117 @@
+"""SLO accounting: bucketed curves plus phase-segmented budgets.
+
+Per "Benchmarking NFV Software Dataplanes" (PAPERS.md), a serving
+study reports *curves with explicit SLO accounting*, not single
+points. :class:`SloRecorder` produces both halves:
+
+- a bucketed **timeline** (forwarded rate, p50, p99 per bucket) that
+  makes the scale-out ramp, the crash dip, and the scale-in visible
+  instead of averaged away;
+- **phase rows**: the experiment marks named boundaries (``ramp``,
+  ``steady``, ``host_down``, ``scale_in`` ...) with a counter
+  snapshot; consecutive marks delimit a phase, and the row diffs the
+  snapshots — forwarded packets, drops, state lost — and aggregates
+  the latency samples that fell inside it. The drop/state-loss budget
+  of each phase is then a first-class, asserted number ("zero on
+  voluntary rescaling, bounded on ``host_down``"), not a remainder.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from repro.net.packet import Packet
+from repro.sim.timeunits import MICROSECOND, MILLISECOND
+
+
+def _percentile_us(ordered: List[int], q: float) -> float:
+    """q-quantile (ps -> us) of an already-sorted sample list."""
+    if not ordered:
+        return 0.0
+    return ordered[min(len(ordered) - 1, int(q * len(ordered)))] / MICROSECOND
+
+
+class SloRecorder:
+    """Egress consumer: buckets, percentiles, and phase marks."""
+
+    def __init__(self, duration: int, bucket: int = MILLISECOND):
+        if bucket < 1:
+            raise ValueError(f"bucket must be >= 1 ps, got {bucket}")
+        if duration < 1:
+            raise ValueError(f"duration must be >= 1 ps, got {duration}")
+        self.bucket = bucket
+        self.n_buckets = (duration + bucket - 1) // bucket
+        self._counts = [0] * self.n_buckets
+        self._samples: List[List[int]] = [[] for _ in range(self.n_buckets)]
+        self.forwarded = 0
+        #: Phase marks: {"name", "t_ps", "counters"} in mark order.
+        self.marks: List[Dict[str, Any]] = []
+
+    # -- recording -----------------------------------------------------------
+
+    def on_forwarded(self, packet: Packet, now: int) -> None:
+        bucket = min(self.n_buckets - 1, now // self.bucket)
+        self._counts[bucket] += 1
+        self._samples[bucket].append(now - packet.created_at)
+        self.forwarded += 1
+
+    def mark(self, name: str, now: int, counters: Dict[str, int]) -> None:
+        """A phase boundary: everything before ``now`` since the last
+        mark belongs to the previous phase. ``counters`` should carry
+        the cumulative budget counters to diff (drops, state lost...)."""
+        self.marks.append({"name": name, "t_ps": now, "counters": dict(counters)})
+
+    # -- reporting -----------------------------------------------------------
+
+    def timeline(self) -> List[Dict[str, float]]:
+        rows = []
+        for i in range(self.n_buckets):
+            ordered = sorted(self._samples[i])
+            rows.append(
+                {
+                    "t_ms": i * self.bucket / MILLISECOND,
+                    "fwd_mpps": self._counts[i] / (self.bucket / 1e12) / 1e6,
+                    "p50_us": _percentile_us(ordered, 0.50),
+                    "p99_us": _percentile_us(ordered, 0.99),
+                }
+            )
+        return rows
+
+    def percentiles(self) -> Dict[str, float]:
+        """Whole-run p50/p99 over every recorded sample."""
+        merged: List[int] = []
+        for samples in self._samples:
+            merged.extend(samples)
+        merged.sort()
+        return {
+            "p50_us": _percentile_us(merged, 0.50),
+            "p99_us": _percentile_us(merged, 0.99),
+        }
+
+    def phase_rows(self) -> List[Dict[str, Any]]:
+        """One row per phase (between consecutive marks)."""
+        rows: List[Dict[str, Any]] = []
+        for prev, cur in zip(self.marks, self.marks[1:]):
+            start, end = prev["t_ps"], cur["t_ps"]
+            samples: List[int] = []
+            forwarded = 0
+            first = min(self.n_buckets - 1, start // self.bucket)
+            last = min(self.n_buckets - 1, max(start, end - 1) // self.bucket)
+            for i in range(first, last + 1):
+                samples.extend(self._samples[i])
+                forwarded += self._counts[i]
+            samples.sort()
+            row: Dict[str, Any] = {
+                "phase": prev["name"],
+                "t_ms": start / MILLISECOND,
+                "dur_ms": (end - start) / MILLISECOND,
+                "forwarded": forwarded,
+                "p50_us": _percentile_us(samples, 0.50),
+                "p99_us": _percentile_us(samples, 0.99),
+            }
+            before, after = prev["counters"], cur["counters"]
+            for key in sorted(after):
+                if key in before:
+                    row[key] = after[key] - before[key]
+            rows.append(row)
+        return rows

@@ -1,0 +1,115 @@
+"""Cluster-level telemetry facade.
+
+:class:`ClusterTelemetry` is the cluster analogue of
+:class:`~repro.telemetry.hub.EngineTelemetry`: a pull-mode
+:class:`~repro.telemetry.registry.Registry` bound over
+:class:`~repro.cluster.cluster.ClusterStats` (zero hot-path cost), an
+optional :class:`~repro.telemetry.trace.EventTracer` that records
+scaling/failure/migration instants, and a :meth:`sample` hook for a
+cluster-wide time series. The per-engine samplers and tracers keep
+working untouched; this layer adds the events that happen *between*
+engines — host lifecycle and state movement — which no single engine
+can see.
+
+Registry names (documented in README.md § Telemetry):
+
+=============================  ==========================================
+``cluster.hosts.live``         dispatchable hosts (gauge)
+``cluster.hosts.total``        hosts with an engine, incl. draining (gauge)
+``cluster.dispatched``         packets dispatched by the front end
+``cluster.migrations``         rebalance operations that moved state
+``cluster.flows.moved``        distinct canonical flows whose state moved
+``cluster.entries.migrated``   flow-table entries moved between hosts
+``cluster.host_failures``      ``host_down`` events
+``cluster.entries.lost``       entries lost to host failures
+``cluster.flow_entries``       live flow-table population, all hosts (gauge)
+=============================  ==========================================
+
+The serving layer (``repro.cluster.serving``) binds its own additions
+— ``cluster.buffered.packets``, ``cluster.buffered.bytes``,
+``cluster.migrations.inflight``, ``cluster.state_lost.inflight`` —
+into the same registry, so one dump carries the whole story.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, Optional
+
+from repro.telemetry.registry import Registry
+from repro.telemetry.trace import EventTracer
+
+#: Trace "thread" id for cluster-scope instants (engine tracers use
+#: core ids; the cluster control plane gets its own lane).
+CONTROL_PLANE_TID = 0
+
+
+class ClusterTelemetry:
+    """Counters, trace, and sampling for one cluster."""
+
+    def __init__(self, cluster: Any, trace: bool = True, max_events: int = 100_000):
+        self.cluster = cluster
+        self.registry = Registry()
+        self.tracer: Optional[EventTracer] = (
+            EventTracer(max_events=max_events) if trace else None
+        )
+        if self.tracer is not None:
+            self.tracer.thread_name(CONTROL_PLANE_TID, "cluster control plane")
+        #: (t_ps, {name: value}) snapshots taken by :meth:`sample`.
+        self.series: list = []
+        self._bind(cluster)
+        cluster.telemetry = self
+
+    def _bind(self, cluster: Any) -> None:
+        registry = self.registry
+        stats = cluster.stats
+        registry.bind("cluster.hosts.live", lambda: len(cluster.live_hosts))
+        registry.bind("cluster.hosts.total", lambda: len(cluster.engines))
+        registry.bind("cluster.dispatched", lambda: stats.dispatched)
+        registry.bind("cluster.migrations", lambda: stats.migrations)
+        registry.bind("cluster.flows.moved", lambda: stats.flows_moved)
+        registry.bind("cluster.entries.migrated", lambda: stats.migrated_entries)
+        registry.bind("cluster.host_failures", lambda: stats.host_failures)
+        registry.bind("cluster.entries.lost", lambda: stats.lost_entries)
+        registry.bind("cluster.flow_entries", self._live_flow_entries)
+
+    def _live_flow_entries(self) -> int:
+        cluster = self.cluster
+        total = 0
+        for host in cluster.live_hosts:
+            total += cluster.engines[host].flow_state.total_entries()
+        return total
+
+    # -- event + series hooks ----------------------------------------------
+
+    def instant(self, name: str, ts_ps: int, **args) -> None:
+        """Record a cluster-scope instant (no-op when tracing is off)."""
+        if self.tracer is not None:
+            self.tracer.instant(name, CONTROL_PLANE_TID, ts_ps, **args)
+
+    def sample(self, ts_ps: int) -> Dict[str, Any]:
+        """Snapshot every counter into the cluster series."""
+        snapshot = self.registry.dump()
+        self.series.append((ts_ps, snapshot))
+        return snapshot
+
+    # -- export ------------------------------------------------------------
+
+    def counters(self) -> Dict[str, Any]:
+        """Flat name -> value dict of every registered metric."""
+        return self.registry.dump()
+
+    def dump(self) -> Dict[str, Any]:
+        """Plain dict export mirroring ``EngineTelemetry.dump()``."""
+        tracer = self.tracer
+        return {
+            "counters": self.registry.dump(),
+            "series": list(self.series),
+            "trace": tracer.to_dicts() if tracer else [],
+            "trace_dropped_events": tracer.dropped_events if tracer else 0,
+        }
+
+    def chrome_trace(self) -> Dict[str, Any]:
+        """A Chrome ``trace_event`` JSON object (empty if tracing is off)."""
+        if self.tracer is None:
+            return {"traceEvents": [], "displayTimeUnit": "ms"}
+        return self.tracer.to_chrome_trace()

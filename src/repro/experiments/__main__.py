@@ -35,7 +35,7 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
-from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, figr, figs, table1
+from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, figc, figr, figs, table1
 from repro.experiments.runner import SweepRunner
 
 RUNNERS = {
@@ -48,6 +48,7 @@ RUNNERS = {
     "fig9": fig9.main,
     "figR": figr.main,
     "figS": figs.main,
+    "figC": figc.main,
 }
 
 

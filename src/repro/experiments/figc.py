@@ -1,0 +1,393 @@
+"""Figure C (extension): the cluster serving study.
+
+Not a figure from the paper — the ROADMAP's "millions of users"
+cluster study. A calibrated MAWI-backbone-style workload (heavy-tailed
+flow sizes, O(10^5) concurrent flows at full scale) is replayed
+deterministically against a :class:`ServingCluster` of Sprayer hosts
+behind the consistent-hash front end, once per per-host steering
+policy (``rss`` vs ``sprayer``). A telemetry-driven autoscaler grows
+the cluster through the load ramp and shrinks it in the decay tail;
+mid-steady-state one host crashes (``host_down`` through the standard
+fault plan). The SLO report segments the timeline into phases::
+
+    ramp -> steady -> host_down -> drain/scale-in
+
+and prices each phase's drop and state-loss budget explicitly: zero
+loss and zero drops attributable to voluntary rescaling (live
+migration buffers in-flight packets and paces their release), bounded
+ledger-accounted state loss on the crash. Overload drops a steering
+policy sheds under the heavy tail (rss hot cores) are *not* charged to
+the rescaling budget — they are the study's subject, reported in the
+drops column and the per-phase table.
+
+Methodology per "Benchmarking NFV Software Dataplanes" (PAPERS.md):
+per-policy throughput/latency *curves* (p50/p99 per time bucket), not
+single points; per "Automatic Parallelization of Software Network
+Functions", results are reported per steering policy so cluster-level
+choices compose with per-host ones.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.cpu.costs import CostModel
+from repro.experiments.format import format_table
+from repro.experiments.runner import SweepRunner, default_runner
+from repro.experiments.spec import Scenario
+from repro.faults.plan import FaultPlan, host_down
+from repro.sim.timeunits import MICROSECOND, MILLISECOND, NANOSECOND, SECOND
+
+MODES = ("rss", "sprayer")
+NUM_HOSTS = 8
+NUM_CORES = 8
+NF_CYCLES = 5500
+#: Poisson flow-arrival rate (flows/s) and trace length: at full scale
+#: ~1.2e5 flows start inside the window, all still live at its end
+#: (the synthetic NF never expires entries), clearing the 1e5
+#: concurrent-flows bar across >= 8 hosts.
+ARRIVAL_RATE = 2.4e6
+TRACE_MS = 50
+DURATION_MS = 70
+CRASH_MS = 30
+STEADY_MS = 15
+DRAIN_MS = 52
+#: Per-flow packet cap for mice: bounds the run by packets. Elephants
+#: are bounded by the trace horizon instead — capping them too would
+#: flatten the heavy tail whose hot cores the steering policies differ
+#: on.
+MAX_PACKETS_PER_FLOW = 3
+ELEPHANT_PACKET_CAP = 100_000
+#: Crash target: index into the sorted live host list at apply time.
+CRASH_TARGET = 1
+
+QUICK = dict(
+    num_hosts=3,
+    num_cores=4,
+    nf_cycles=3000,
+    arrival_rate=2.5e5,
+    trace_ms=8,
+    duration_ms=12,
+    crash_ms=5,
+    steady_ms=3,
+    drain_ms=9,
+    max_packets_per_flow=4,
+    elephant_packet_cap=300,
+    epoch_ms=0.5,
+    min_hosts=2,
+    max_hosts=6,
+    migration_base_us=50.0,
+)
+
+
+def run_figc_scenario(scenario) -> tuple:
+    """The ``"cluster_serving"`` kind runner: Scenario -> (values, dump)."""
+    from repro.cluster.serving import (
+        Autoscaler,
+        ClusterLoadDriver,
+        ServingCluster,
+        SloRecorder,
+        ThresholdHysteresisPolicy,
+    )
+    from repro.core.config import MiddleboxConfig
+    from repro.faults.injector import ClusterFaultInjector
+    from repro.nfs.synthetic import SyntheticNf
+    from repro.sim.engine import Simulator
+    from repro.trafficgen.trace import SyntheticBackboneTrace
+
+    extras = dict(scenario.extras)
+    num_hosts = extras["num_hosts"]
+    arrival_rate = extras["arrival_rate"]
+    trace_ms = extras["trace_ms"]
+    duration = scenario.duration
+    bucket = extras.get("bucket_ps", MILLISECOND)
+    epoch = extras.get("epoch_ps", MILLISECOND)
+    cap = extras.get("max_packets_per_flow")
+    plan: Optional[FaultPlan] = extras.get("fault_plan")
+    steady_at = extras["steady_at"]
+    drain_at = extras["drain_at"]
+    mode = scenario.mode
+
+    sim = Simulator()
+    migration_kwargs = {
+        key: extras[key]
+        for key in ("migration_base_delay", "migration_per_entry_delay")
+        if key in extras
+    }
+    serving = ServingCluster(
+        sim,
+        nf_factory=lambda host: SyntheticNf(busy_cycles=scenario.nf_cycles),
+        num_hosts=num_hosts,
+        config_factory=lambda host: MiddleboxConfig(
+            mode=mode, num_cores=scenario.num_cores
+        ),
+        **migration_kwargs,
+    )
+    slo = SloRecorder(duration=duration, bucket=bucket)
+    serving.set_egress(lambda packet: slo.on_forwarded(packet, sim.now))
+
+    trace = SyntheticBackboneTrace(
+        random.Random(scenario.seed),
+        duration_s=trace_ms * MILLISECOND / SECOND,
+        flow_arrival_rate=arrival_rate,
+    )
+    driver = ClusterLoadDriver(
+        sim,
+        serving.receive,
+        trace,
+        seed=scenario.seed + 7919,
+        max_packets_per_flow=cap,
+        elephant_packet_cap=extras.get("elephant_packet_cap"),
+    )
+    policy = ThresholdHysteresisPolicy(
+        target_p99_us=extras.get("target_p99_us", 60.0),
+        max_rx_depth=extras.get("max_rx_depth", 192),
+        min_hosts=extras.get("min_hosts", 4),
+        max_hosts=extras.get("max_hosts", 12),
+    )
+    autoscaler = Autoscaler(serving, policy, epoch=epoch)
+
+    def budget_counters() -> Dict[str, int]:
+        return {
+            "drops": serving.drops_total(),
+            "state_lost": serving.migrator.stats.state_lost
+            + serving.cluster.stats.lost_entries,
+            "migrations": serving.cluster.stats.migrations,
+            "flows_moved": serving.cluster.stats.flows_moved,
+        }
+
+    def snap(name: str) -> None:
+        slo.mark(name, sim.now, budget_counters())
+
+    peaks = {"hosts": len(serving.ring_hosts), "flows": 0}
+
+    def sample_cluster() -> None:
+        snapshot = serving.telemetry.sample(sim.now)
+        peaks["hosts"] = max(peaks["hosts"], len(serving.ring_hosts))
+        peaks["flows"] = max(peaks["flows"], snapshot["cluster.flow_entries"] // 2)
+
+    snap("ramp")
+    crash_at = plan.events[0].at if plan is not None and plan.events else None
+    boundaries = [(steady_at, "steady")]
+    if crash_at is not None:
+        boundaries.append((crash_at, "host_down"))
+    boundaries.append((drain_at, "drain"))
+    for at, name in boundaries:
+        sim.post(at, snap, name)
+    for i in range(1, duration // bucket + 1):
+        sim.post(i * bucket, sample_cluster)
+    # Built after the marks are posted: same-time events fire in
+    # scheduling order, so at crash time the "host_down" mark lands
+    # first and the crash's losses are priced into the host_down
+    # phase rather than the one before it.
+    injector = ClusterFaultInjector(serving, plan) if plan is not None else None
+
+    driver.start()
+    autoscaler.start(until=duration)
+    sim.run(until=duration)
+    # Stop every engine's sampler before the final drain: with several
+    # engines each sampler's quiescence check sees the others' pending
+    # ticks as live events, so they would keep each other armed forever.
+    for host in sorted(serving.cluster.engines):
+        sampler = serving.cluster.engines[host].telemetry.sampler
+        if sampler is not None:
+            sampler.stop()
+    sim.run()  # drain: pending commits, queued packets, buffered flows
+    snap("end")
+    sample_cluster()
+
+    ledger = serving.conservation()
+    phases = slo.phase_rows()
+    # The voluntary-rescaling budget charges only what the migration
+    # protocol itself could lose: drops in the drain phase (offered
+    # load has decayed to zero there, so any drop is the protocol's —
+    # all scale-ins land in drain) plus any packet still stuck in a
+    # handoff buffer after the full drain. Overload drops a steering
+    # policy sheds under load stay in drops_total and the phase table.
+    voluntary_state_lost = sum(
+        row.get("state_lost", 0) for row in phases if row["phase"] != "host_down"
+    )
+    voluntary_drops = (
+        sum(row.get("drops", 0) for row in phases if row["phase"] == "drain")
+        + ledger["buffered_now"]
+        + voluntary_state_lost
+    )
+    percentiles = slo.percentiles()
+    actions = [d["action"] for d in autoscaler.decisions]
+    values = {
+        "rate_mpps": slo.forwarded / (duration / 1e12) / 1e6,
+        "p50_us": percentiles["p50_us"],
+        "p99_us": percentiles["p99_us"],
+        "offered": serving.offered,
+        "forwarded": slo.forwarded,
+        "drops_total": serving.drops_total(),
+        "voluntary_drops": voluntary_drops,
+        "voluntary_state_lost": voluntary_state_lost,
+        "state_lost": ledger["state_lost_inflight"] + ledger["entries_lost"],
+        "hosts_peak": peaks["hosts"],
+        "hosts_final": len(serving.ring_hosts),
+        "concurrent_flows_peak": peaks["flows"],
+        "flows_started": driver.stats.flows_started,
+        "migrations": serving.cluster.stats.migrations,
+        "flows_moved": serving.cluster.stats.flows_moved,
+        "packets_buffered": serving.migrator.stats.packets_buffered,
+        "scale_outs": sum(1 for a in actions if a == "scale_out"),
+        "scale_ins": sum(1 for a in actions if a == "scale_in"),
+        "fault_records": [
+            record.to_dict() for record in (injector.records if injector else [])
+        ],
+        "conservation_ok": serving.conservation_ok(),
+        "timeline": slo.timeline(),
+        "phases": phases,
+        "decisions": autoscaler.decisions,
+    }
+    return values, serving.telemetry.dump()
+
+
+def run_figc(
+    num_hosts: int = NUM_HOSTS,
+    num_cores: int = NUM_CORES,
+    nf_cycles: int = NF_CYCLES,
+    arrival_rate: float = ARRIVAL_RATE,
+    trace_ms: int = TRACE_MS,
+    duration_ms: int = DURATION_MS,
+    crash_ms: Optional[float] = CRASH_MS,
+    steady_ms: float = STEADY_MS,
+    drain_ms: float = DRAIN_MS,
+    max_packets_per_flow: int = MAX_PACKETS_PER_FLOW,
+    elephant_packet_cap: int = ELEPHANT_PACKET_CAP,
+    epoch_ms: float = 1.0,
+    bucket: int = MILLISECOND,
+    min_hosts: int = 4,
+    max_hosts: int = 12,
+    migration_base_us: float = 200.0,
+    migration_per_entry_ns: float = 20.0,
+    seed: int = 1,
+    runner: Optional[SweepRunner] = None,
+) -> Tuple[List[Dict[str, object]], List[Dict[str, float]], List[Dict[str, object]]]:
+    """(summary rows, merged timeline, phase rows) per policy."""
+    runner = default_runner(runner)
+    plan = (
+        FaultPlan.of(host_down(CRASH_TARGET, round(crash_ms * MILLISECOND)), seed=seed)
+        if crash_ms is not None
+        else None
+    )
+    points = [
+        Scenario.make(
+            "cluster_serving",
+            label="figC",
+            mode=mode,
+            nf_cycles=nf_cycles,
+            num_cores=num_cores,
+            duration=duration_ms * MILLISECOND,
+            seed=seed,
+            num_hosts=num_hosts,
+            arrival_rate=arrival_rate,
+            trace_ms=trace_ms,
+            steady_at=round(steady_ms * MILLISECOND),
+            drain_at=round(drain_ms * MILLISECOND),
+            max_packets_per_flow=max_packets_per_flow,
+            elephant_packet_cap=elephant_packet_cap,
+            epoch_ps=round(epoch_ms * MILLISECOND),
+            bucket_ps=bucket,
+            fault_plan=plan,
+            min_hosts=min_hosts,
+            max_hosts=max_hosts,
+            migration_base_delay=round(migration_base_us * MICROSECOND),
+            migration_per_entry_delay=round(migration_per_entry_ns * NANOSECOND),
+        )
+        for mode in MODES
+    ]
+    by_mode = {r.scenario.mode: r.values for r in runner.run(points)}
+
+    rows = []
+    for mode in MODES:
+        values = by_mode[mode]
+        rows.append(
+            {
+                "mode": mode,
+                "hosts_peak": values["hosts_peak"],
+                "flows_peak": values["concurrent_flows_peak"],
+                "fwd_mpps": values["rate_mpps"],
+                "p50_us": values["p50_us"],
+                "p99_us": values["p99_us"],
+                "drops": values["drops_total"],
+                "vol_drops": values["voluntary_drops"],
+                "state_lost": values["state_lost"],
+                "outs": values["scale_outs"],
+                "ins": values["scale_ins"],
+                "migrations": values["migrations"],
+                "flows_moved": values["flows_moved"],
+            }
+        )
+
+    timeline: List[Dict[str, float]] = []
+    n_buckets = len(by_mode[MODES[0]]["timeline"])
+    for i in range(n_buckets):
+        row: Dict[str, float] = {"t_ms": by_mode[MODES[0]]["timeline"][i]["t_ms"]}
+        for mode in MODES:
+            entry = by_mode[mode]["timeline"][i]
+            row[f"{mode}_mpps"] = entry["fwd_mpps"]
+            row[f"{mode}_p99_us"] = entry["p99_us"]
+        timeline.append(row)
+
+    phases: List[Dict[str, object]] = []
+    for mode in MODES:
+        for entry in by_mode[mode]["phases"]:
+            phases.append({"mode": mode, **entry})
+    return rows, timeline, phases
+
+
+def main(
+    runner: Optional[SweepRunner] = None,
+    seeds: Optional[Sequence[int]] = None,
+    quick: bool = False,
+) -> None:
+    runner = default_runner(runner)
+    kwargs: Dict[str, object] = dict(QUICK) if quick else {}
+    if seeds:
+        kwargs["seed"] = seeds[0]
+    rows, timeline, phases = run_figc(runner=runner, **kwargs)
+    capacity_note = (
+        f"per-core {CostModel().single_core_rate_pps(NF_CYCLES) / 1e3:.0f} kpps"
+        if not quick
+        else "quick sizes"
+    )
+    print(format_table(
+        rows,
+        title=f"Figure C: cluster serving under autoscale + host crash "
+              f"({capacity_note})",
+    ))
+    print()
+    print(format_table(
+        phases,
+        title="Figure C phases: per-phase drop/state-loss budgets",
+    ))
+    print()
+    print(format_table(
+        timeline,
+        title="Figure C timeline: per-ms forwarded rate and p99 latency",
+    ))
+    by_mode = {row["mode"]: row for row in rows}
+    for mode in MODES:
+        row = by_mode[mode]
+        verdict = "PASS" if row["vol_drops"] == 0 else "FAIL"
+        print(
+            f"{mode}: voluntary rescaling loss budget {row['vol_drops']} "
+            f"[{verdict}], host_down state loss {row['state_lost']} "
+            f"(ledger-accounted), peak {row['hosts_peak']} hosts / "
+            f"{row['flows_peak']} concurrent flows"
+        )
+    sprayer, rss = by_mode["sprayer"], by_mode["rss"]
+    if rss["p99_us"] > 0 and sprayer["p99_us"] > 0:
+        print(
+            f"\nsprayer vs rss while serving the same trace: "
+            f"{sprayer['fwd_mpps'] / max(rss['fwd_mpps'], 1e-9):.2f}x throughput, "
+            f"{rss['p99_us'] / sprayer['p99_us']:.1f}x lower p99, "
+            f"{rss['hosts_peak'] - sprayer['hosts_peak']:+d} hosts saved at peak"
+        )
+
+
+if __name__ == "__main__":
+    main()

@@ -207,6 +207,12 @@ def _run_scr_head_to_head(scenario: Scenario):
     return figs.run_figs_scenario(scenario)
 
 
+def _run_cluster_serving(scenario: Scenario):
+    from repro.experiments import figc
+
+    return figc.run_figc_scenario(scenario)
+
+
 KIND_RUNNERS: Dict[str, Callable[[Scenario], Tuple[Dict[str, Any], Dict[str, Any]]]] = {
     "open_loop": _run_open_loop,
     "capacity": _run_capacity,
@@ -216,6 +222,7 @@ KIND_RUNNERS: Dict[str, Callable[[Scenario], Tuple[Dict[str, Any], Dict[str, Any
     "concurrency": _run_concurrency,
     "resilience": _run_resilience,
     "scr_head_to_head": _run_scr_head_to_head,
+    "cluster_serving": _run_cluster_serving,
 }
 
 

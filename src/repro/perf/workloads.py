@@ -208,6 +208,53 @@ def macro_figs(quick: bool, jobs: int = 1) -> Tuple[int, str]:
     return len(rows), _fingerprint(panels)
 
 
+def macro_figc(quick: bool, jobs: int = 1) -> Tuple[int, str]:
+    """The Figure C cluster serving study (autoscale + crash), pinned.
+
+    Both sizes are reduced against the reporting run: the bench tracks
+    the serving stack's wall-time cost (dispatch, live migration,
+    autoscaler ticks, SLO bucketing), which does not need the full
+    O(10^5)-flow trace to regress visibly.
+    """
+    from repro.experiments.figc import run_figc
+    from repro.experiments.runner import SweepRunner
+
+    runner = SweepRunner(jobs=jobs)
+    shared = dict(
+        num_cores=2,
+        nf_cycles=2000,
+        crash_ms=2,
+        steady_ms=1,
+        epoch_ms=0.5,
+        min_hosts=1,
+        max_hosts=4,
+        migration_base_us=50.0,
+        seed=1,
+        runner=runner,
+    )
+    if quick:
+        rows, timeline, phases = run_figc(
+            num_hosts=2,
+            arrival_rate=1e5,
+            trace_ms=3,
+            duration_ms=5,
+            drain_ms=4,
+            max_packets_per_flow=3,
+            **shared,
+        )
+    else:
+        rows, timeline, phases = run_figc(
+            num_hosts=3,
+            arrival_rate=4e5,
+            trace_ms=6,
+            duration_ms=9,
+            drain_ms=7,
+            max_packets_per_flow=4,
+            **shared,
+        )
+    return len(rows) + len(timeline), _fingerprint([rows, timeline, phases])
+
+
 #: Registration order is execution order: micro first (fast feedback),
 #: then the macro sweeps.
 WORKLOADS: Dict[str, Workload] = {
@@ -219,4 +266,5 @@ WORKLOADS: Dict[str, Workload] = {
     "fig7a": macro_fig7a,
     "figr": macro_figr,
     "figs": macro_figs,
+    "figc": macro_figc,
 }

@@ -49,6 +49,50 @@ class TestConsistentHashRing:
         ring.remove_node("d")
         assert all(ring.lookup(key) == before[key] for key in keys)
 
+    def test_cached_lookup_consistent_with_fresh_ring(self):
+        # Warm the memo, then change topology twice; every answer must
+        # match a ring built cold with the final membership.
+        ring = ConsistentHashRing()
+        for node in ("a", "b", "c"):
+            ring.add_node(node)
+        keys = [f"key{i}" for i in range(500)]
+        for key in keys:
+            ring.lookup(key)
+        ring.add_node("d")
+        ring.remove_node("b")
+        fresh = ConsistentHashRing()
+        for node in ("a", "c", "d"):
+            fresh.add_node(node)
+        assert {k: ring.lookup(k) for k in keys} == {k: fresh.lookup(k) for k in keys}
+
+    def test_repeat_lookup_served_from_cache(self):
+        ring = ConsistentHashRing()
+        ring.add_node("a")
+        ring.add_node("b")
+        owner = ring.lookup("k")
+        ring._points = []  # a cache miss would now raise "ring is empty"
+        assert ring.lookup("k") == owner
+
+    def test_cache_cleared_on_topology_change(self):
+        ring = ConsistentHashRing()
+        ring.add_node("a")
+        ring.lookup("k")
+        ring.add_node("b")
+        assert not ring._lookup_cache
+        ring.lookup("k")
+        ring.remove_node("b")
+        assert not ring._lookup_cache
+
+    def test_cache_size_bounded(self, monkeypatch):
+        import repro.cluster.dispatcher as dispatcher_module
+
+        monkeypatch.setattr(dispatcher_module, "RING_CACHE_LIMIT", 8)
+        ring = ConsistentHashRing()
+        ring.add_node("a")
+        for i in range(50):
+            ring.lookup(f"key{i}")
+        assert len(ring._lookup_cache) <= 8
+
     def test_duplicate_and_missing_nodes(self):
         ring = ConsistentHashRing()
         ring.add_node("a")

@@ -1,0 +1,564 @@
+"""Tests for the cluster serving subsystem: live migration with
+in-flight buffering, the telemetry-driven autoscaler, cluster
+telemetry, the trace-driven load driver, and the figC study."""
+
+import random
+
+import pytest
+
+from repro.cluster.serving import (
+    Autoscaler,
+    ClusterLoadDriver,
+    HostSignals,
+    ServingCluster,
+    SloRecorder,
+    ThresholdHysteresisPolicy,
+)
+from repro.core.config import MiddleboxConfig
+from repro.net import ACK, SYN, make_tcp_packet
+from repro.nfs import SyntheticNf
+from repro.sim import MILLISECOND, Simulator
+from repro.sim.timeunits import MICROSECOND
+from repro.trafficgen.flows import random_tcp_flows
+from repro.trafficgen.trace import SyntheticBackboneTrace
+
+
+def make_serving(
+    num_hosts=2,
+    mode="rss",
+    num_cores=4,
+    nf_cycles=800,
+    strict=False,
+    base_delay=50 * MICROSECOND,
+):
+    sim = Simulator()
+    serving = ServingCluster(
+        sim,
+        nf_factory=lambda host: SyntheticNf(busy_cycles=nf_cycles),
+        num_hosts=num_hosts,
+        config_factory=lambda host: MiddleboxConfig(
+            mode=mode, num_cores=num_cores, strict_checks=strict
+        ),
+        migration_base_delay=base_delay,
+    )
+    out = []
+    serving.set_egress(out.append)
+    return sim, serving, out
+
+
+def drain(sim, serving):
+    """Run the sim dry. Engine samplers must stop first: each pending
+    sampler tick counts as a live event for the *other* engines'
+    quiescence checks, so with >= 2 engines they keep each other armed
+    forever."""
+    for host in sorted(serving.engines):
+        sampler = serving.engines[host].telemetry.sampler
+        if sampler is not None:
+            sampler.stop()
+    sim.run()
+
+
+def open_flows(sim, serving, flows, rng):
+    for flow in flows:
+        serving.receive(
+            make_tcp_packet(flow, flags=SYN, tcp_checksum=rng.getrandbits(16)),
+            sim.now,
+        )
+    sim.run(until=sim.now + MILLISECOND)
+
+
+def send_data(sim, serving, flows, rng, seqs):
+    for seq in seqs:
+        for flow in flows:
+            serving.receive(
+                make_tcp_packet(
+                    flow, flags=ACK, seq=seq, tcp_checksum=rng.getrandbits(16)
+                ),
+                sim.now,
+            )
+
+
+class TestLiveMigrationScaleOut:
+    def test_zero_loss_zero_drops_and_buffering(self):
+        sim, serving, out = make_serving(num_hosts=2)
+        rng = random.Random(21)
+        flows = random_tcp_flows(40, rng)
+        open_flows(sim, serving, flows, rng)
+        serving.scale_out()
+        assert serving.migrator.freezing
+        # Traffic keeps arriving while the handoff is in flight: frozen
+        # flows' packets must be buffered, not dropped or misdelivered.
+        send_data(sim, serving, flows, rng, seqs=range(3))
+        assert serving.migrator.buffered_now() > 0
+        drain(sim, serving)
+        assert not serving.migrator.freezing
+        stats = serving.migrator.stats
+        assert stats.packets_buffered > 0
+        assert stats.packets_released == stats.packets_buffered
+        assert stats.state_lost == 0
+        assert serving.drops_total() == 0
+        assert len(out) == serving.offered == 40 * 4
+        assert serving.conservation_ok()
+
+    def test_no_reorder_within_a_flow(self):
+        # rss pins each flow to one core (FIFO), so any reordering at
+        # egress could only come from the migration buffering path.
+        sim, serving, out = make_serving(num_hosts=2, mode="rss")
+        rng = random.Random(23)
+        flows = random_tcp_flows(30, rng)
+        open_flows(sim, serving, flows, rng)
+        serving.scale_out()
+        send_data(sim, serving, flows, rng, seqs=range(5))
+        drain(sim, serving)
+        assert len(out) == 30 * 6
+        seqs = {}
+        for packet in out:
+            if packet.flags & ACK:
+                seqs.setdefault(packet.five_tuple.canonical(), []).append(packet.seq)
+        for flow, seen in seqs.items():
+            assert seen == sorted(seen), f"reordered {flow}"
+
+    def test_conservation_holds_mid_handoff(self):
+        sim, serving, out = make_serving(num_hosts=2)
+        rng = random.Random(25)
+        flows = random_tcp_flows(40, rng)
+        open_flows(sim, serving, flows, rng)
+        serving.scale_out()
+        send_data(sim, serving, flows, rng, seqs=range(2))
+        # Mid-handoff: some packets are neither dispatched nor lost —
+        # they are in handoff buffers, and the ledger must say so.
+        ledger = serving.conservation()
+        assert ledger["buffered_now"] > 0
+        assert ledger["offered"] == ledger["dispatched"] + ledger["buffered_now"]
+        assert serving.conservation_ok()
+        drain(sim, serving)
+        assert serving.conservation()["buffered_now"] == 0
+        assert serving.conservation_ok()
+
+    def test_entries_conserved_across_migration(self):
+        sim, serving, out = make_serving(num_hosts=2)
+        rng = random.Random(27)
+        flows = random_tcp_flows(40, rng)
+        open_flows(sim, serving, flows, rng)
+        before = sum(
+            e.flow_state.total_entries() for e in serving.engines.values()
+        )
+        serving.scale_out()
+        drain(sim, serving)
+        after = sum(e.flow_state.total_entries() for e in serving.engines.values())
+        assert after == before
+        assert serving.migrator.stats.entries_moved > 0
+
+
+class TestLiveMigrationScaleIn:
+    def test_voluntary_scale_in_loses_nothing(self):
+        sim, serving, out = make_serving(num_hosts=3)
+        rng = random.Random(31)
+        flows = random_tcp_flows(45, rng)
+        open_flows(sim, serving, flows, rng)
+        victim = serving.ring_hosts[0]
+        entries_before = sum(
+            e.flow_state.total_entries() for e in serving.engines.values()
+        )
+        serving.scale_in(victim)
+        assert victim not in serving.ring_hosts
+        send_data(sim, serving, flows, rng, seqs=range(3))
+        drain(sim, serving)
+        # The detached engine drains, then is dropped entirely.
+        assert victim not in serving.engines
+        assert serving.summary()["draining_hosts"] == []
+        assert serving.migrator.stats.state_lost == 0
+        assert serving.drops_total() == 0
+        assert len(out) == serving.offered == 45 * 4
+        after = sum(e.flow_state.total_entries() for e in serving.engines.values())
+        assert after == entries_before
+        assert serving.conservation_ok()
+
+    def test_scale_in_guards(self):
+        sim, serving, out = make_serving(num_hosts=2)
+        with pytest.raises(ValueError):
+            serving.scale_in("nope")
+        victim = serving.ring_hosts[0]
+        serving.scale_in(victim)
+        if victim in serving.engines:  # still draining
+            with pytest.raises(ValueError):
+                serving.scale_in(victim)
+
+
+class TestHostDownMidMigration:
+    def _run_crash_mid_handoff(self):
+        sim, serving, out = make_serving(num_hosts=2, strict=True)
+        rng = random.Random(41)
+        flows = random_tcp_flows(60, rng)
+        open_flows(sim, serving, flows, rng)
+        newcomer = serving.scale_out()
+        assert serving.migrator.freezing
+        send_data(sim, serving, flows, rng, seqs=range(2))
+        buffered = serving.migrator.buffered_now()
+        assert buffered > 0
+        held = sum(
+            len(h.entries) for h in serving.migrator._in_handoff.values()
+        )
+        # The migration destination dies while entries are on the wire.
+        serving.fail_host(newcomer)
+        return sim, serving, out, held, buffered
+
+    def test_ledger_balances_and_loss_is_bounded(self):
+        sim, serving, out, held, buffered = self._run_crash_mid_handoff()
+        stats = serving.migrator.stats
+        assert 0 < stats.state_lost <= held
+        # Mirrored into the cluster ledger the host_down budget reads.
+        assert serving.cluster.stats.lost_entries >= stats.state_lost
+        # Buffered packets for doomed handoffs re-dispatched, not lost.
+        assert stats.packets_redispatched > 0
+        drain(sim, serving)
+        assert serving.migrator.buffered_now() == 0
+        ledger = serving.conservation()
+        assert ledger["offered"] == ledger["dispatched"] + ledger["buffered_now"]
+        # strict_checks armed throughout: reaching here without an
+        # OwnershipViolation means the handoff stayed on the sanctioned
+        # evict/adopt surface even across the crash.
+        assert serving.conservation_ok()
+
+    def test_no_packet_vanishes(self):
+        sim, serving, out, held, buffered = self._run_crash_mid_handoff()
+        drain(sim, serving)
+        ledger = serving.conservation()
+        assert ledger["rx_packets"] == ledger["accounted"]
+        assert len(out) + serving.drops_total() == serving.offered
+
+    def test_source_failure_does_not_lose_held_entries(self):
+        sim, serving, out = make_serving(num_hosts=2, strict=True)
+        rng = random.Random(43)
+        flows = random_tcp_flows(60, rng)
+        open_flows(sim, serving, flows, rng)
+        serving.scale_out()
+        assert serving.migrator.freezing
+        # Fail a *source* host: every in-handoff entry was already
+        # evicted and is held by the migrator, so nothing is lost from
+        # the handoffs themselves (only that host's unmoved entries).
+        dests = {h.dest for h in serving.migrator._in_handoff.values()}
+        sources = [h for h in serving.ring_hosts if h not in dests]
+        if not sources:
+            pytest.skip("every live host is also a migration destination")
+        serving.fail_host(sources[0])
+        drain(sim, serving)
+        assert serving.migrator.stats.state_lost == 0
+        assert serving.conservation_ok()
+
+
+class TestAutoscalerPolicy:
+    @staticmethod
+    def row(host="host0", depth=0, dropped=0, entries=100, p99=1.0):
+        return HostSignals(
+            host=host,
+            rx_depth=depth,
+            rx_dropped_delta=dropped,
+            flow_entries=entries,
+            p99_latency_us=p99,
+        )
+
+    def test_hot_needs_consecutive_epochs(self):
+        policy = ThresholdHysteresisPolicy(
+            target_p99_us=10.0, hot_epochs=2, min_hosts=1, max_hosts=8
+        )
+        hot = [self.row(p99=50.0)]
+        assert policy.decide(hot, 2) == "hold"
+        assert policy.decide(hot, 2) == "scale_out"
+
+    def test_mixed_epochs_reset_runs(self):
+        policy = ThresholdHysteresisPolicy(
+            target_p99_us=10.0, hot_epochs=2, min_hosts=1, max_hosts=8
+        )
+        assert policy.decide([self.row(p99=50.0)], 2) == "hold"
+        # Neither hot nor cold: rx fine, p99 in the middle band.
+        assert policy.decide([self.row(p99=5.0)], 2) == "hold"
+        assert policy.decide([self.row(p99=50.0)], 2) == "hold"
+
+    def test_drops_count_as_hot(self):
+        policy = ThresholdHysteresisPolicy(hot_epochs=1, min_hosts=1, max_hosts=8)
+        assert policy.decide([self.row(dropped=3)], 2) == "scale_out"
+
+    def test_cold_guard_empty_cluster_never_scales_in(self):
+        policy = ThresholdHysteresisPolicy(
+            target_p99_us=10.0, cold_epochs=1, min_hosts=1, max_hosts=8
+        )
+        idle = [self.row(entries=0, p99=0.0)]
+        for _ in range(10):
+            assert policy.decide(idle, 3) == "hold"
+
+    def test_cold_with_state_scales_in(self):
+        policy = ThresholdHysteresisPolicy(
+            target_p99_us=10.0, cold_epochs=2, min_hosts=1, max_hosts=8
+        )
+        cold = [self.row(entries=50, p99=0.5)]
+        assert policy.decide(cold, 3) == "hold"
+        assert policy.decide(cold, 3) == "scale_in"
+
+    def test_host_count_clamps(self):
+        policy = ThresholdHysteresisPolicy(
+            target_p99_us=10.0, hot_epochs=1, cold_epochs=1, min_hosts=2, max_hosts=3
+        )
+        assert policy.decide([self.row(p99=50.0)], 3) == "hold"  # at max
+        assert policy.decide([self.row(entries=5, p99=0.5)], 2) == "hold"  # at min
+
+    def test_rejects_bad_host_bounds(self):
+        with pytest.raises(ValueError):
+            ThresholdHysteresisPolicy(min_hosts=5, max_hosts=2)
+
+
+class TestAutoscalerIntegration:
+    def test_scales_out_under_overload_and_in_after(self):
+        sim, serving, out = make_serving(
+            num_hosts=1, num_cores=2, nf_cycles=20_000
+        )
+        rng = random.Random(51)
+        trace = SyntheticBackboneTrace(
+            rng, duration_s=0.002, flow_arrival_rate=6e4
+        )
+        driver = ClusterLoadDriver(
+            sim, serving.receive, trace, seed=52, max_packets_per_flow=12
+        )
+        policy = ThresholdHysteresisPolicy(
+            target_p99_us=5.0,
+            max_rx_depth=8,
+            low_rx_depth=64,
+            hot_epochs=1,
+            cold_epochs=2,
+            min_hosts=1,
+            max_hosts=4,
+        )
+        autoscaler = Autoscaler(serving, policy, epoch=200 * MICROSECOND)
+        driver.start()
+        autoscaler.start(until=8 * MILLISECOND)
+        sim.run(until=8 * MILLISECOND)
+        drain(sim, serving)
+        actions = [d["action"] for d in autoscaler.decisions]
+        assert "scale_out" in actions, autoscaler.decisions
+        # Once the 2 ms trace ends the cluster cools down and shrinks.
+        assert "scale_in" in actions, autoscaler.decisions
+        for decision in autoscaler.decisions:
+            assert decision["hosts_after"] == len(
+                serving.ring_hosts
+            ) or decision is not autoscaler.decisions[-1]
+        assert serving.conservation_ok()
+
+    def test_decisions_are_deterministic(self):
+        def run():
+            sim, serving, out = make_serving(
+                num_hosts=1, num_cores=2, nf_cycles=20_000
+            )
+            trace = SyntheticBackboneTrace(
+                random.Random(51), duration_s=0.002, flow_arrival_rate=6e4
+            )
+            driver = ClusterLoadDriver(
+                sim, serving.receive, trace, seed=52, max_packets_per_flow=12
+            )
+            autoscaler = Autoscaler(
+                serving,
+                ThresholdHysteresisPolicy(
+                    target_p99_us=5.0,
+                    max_rx_depth=8,
+                    hot_epochs=1,
+                    cold_epochs=2,
+                    min_hosts=1,
+                    max_hosts=4,
+                ),
+                epoch=200 * MICROSECOND,
+            )
+            driver.start()
+            autoscaler.start(until=8 * MILLISECOND)
+            sim.run(until=8 * MILLISECOND)
+            drain(sim, serving)
+            return autoscaler.decisions, len(out), serving.summary()
+
+        first = run()
+        second = run()
+        assert first == second
+
+
+class TestClusterTelemetry:
+    def test_counters_track_the_cluster(self):
+        sim, serving, out = make_serving(num_hosts=2)
+        rng = random.Random(61)
+        flows = random_tcp_flows(20, rng)
+        open_flows(sim, serving, flows, rng)
+        serving.scale_out()
+        drain(sim, serving)
+        counters = serving.telemetry.counters()
+        assert counters["cluster.hosts.live"] == len(serving.ring_hosts) == 3
+        assert counters["cluster.hosts.total"] == 3
+        assert counters["cluster.migrations"] == serving.cluster.stats.migrations >= 1
+        assert counters["cluster.flows.moved"] == serving.cluster.stats.flows_moved > 0
+        assert counters["cluster.offered"] == serving.offered == 20
+        assert counters["cluster.flow_entries"] == 40  # fwd + reverse
+        assert counters["cluster.state_lost.inflight"] == 0
+
+    def test_migration_instants_in_trace(self):
+        sim, serving, out = make_serving(num_hosts=2)
+        rng = random.Random(63)
+        open_flows(sim, serving, random_tcp_flows(20, rng), rng)
+        serving.scale_out()
+        drain(sim, serving)
+        names = [event["name"] for event in serving.telemetry.dump()["trace"]]
+        assert "cluster_scale_out" in names
+        assert "migration_start" in names
+        assert "migration_commit" in names
+
+    def test_host_down_instants_in_trace(self):
+        sim, serving, out = make_serving(num_hosts=3)
+        rng = random.Random(65)
+        open_flows(sim, serving, random_tcp_flows(20, rng), rng)
+        serving.fail_host(serving.ring_hosts[1])
+        drain(sim, serving)
+        dump = serving.telemetry.dump()
+        names = [event["name"] for event in dump["trace"]]
+        assert "cluster_host_down" in names
+        assert dump["counters"]["cluster.host_failures"] == 1
+
+    def test_sample_builds_series(self):
+        sim, serving, out = make_serving(num_hosts=2)
+        serving.telemetry.sample(0)
+        serving.telemetry.sample(MILLISECOND)
+        dump = serving.telemetry.dump()
+        assert len(dump["series"]) == 2
+        ts, snapshot = dump["series"][1]
+        assert ts == MILLISECOND
+        assert snapshot["cluster.hosts.live"] == 2
+
+
+class TestClusterLoadDriver:
+    def _drive(self, sink, seed=71):
+        sim = Simulator()
+        trace = SyntheticBackboneTrace(
+            random.Random(7), duration_s=0.002, flow_arrival_rate=5e4
+        )
+        driver = ClusterLoadDriver(
+            sim, sink, trace, seed=seed, max_packets_per_flow=6
+        )
+        driver.start()
+        sim.run()
+        return driver
+
+    def test_replay_is_deterministic(self):
+        first: list = []
+        second: list = []
+        self._drive(lambda p, now: first.append((now, str(p.five_tuple), p.seq)))
+        self._drive(lambda p, now: second.append((now, str(p.five_tuple), p.seq)))
+        assert first == second
+        assert len(first) > 0
+
+    def test_emission_matches_schedule(self):
+        seen: list = []
+        driver = self._drive(lambda p, now: seen.append(p))
+        assert len(seen) == len(driver) == driver.stats.packets_emitted
+        syns = [p for p in seen if p.flags & SYN]
+        assert len(syns) == driver.stats.flows_started
+        assert len({p.five_tuple.canonical() for p in syns}) == len(syns)
+
+    def test_arrival_times_monotonic_and_capped(self):
+        stamped: list = []
+        self._drive(lambda p, now: stamped.append((now, p.five_tuple.canonical())))
+        times = [t for t, _ in stamped]
+        assert times == sorted(times)
+        per_flow: dict = {}
+        for _, flow in stamped:
+            per_flow[flow] = per_flow.get(flow, 0) + 1
+        assert max(per_flow.values()) <= 6
+
+
+class TestSloRecorder:
+    def test_phase_rows_diff_counters(self):
+        slo = SloRecorder(duration=4 * MILLISECOND, bucket=MILLISECOND)
+        packet = make_tcp_packet(random_tcp_flows(1, random.Random(1))[0])
+        slo.mark("ramp", 0, {"drops": 0})
+        for i in range(10):
+            slo.on_forwarded(packet, i * MILLISECOND // 4)
+        slo.mark("steady", 2 * MILLISECOND, {"drops": 3})
+        slo.mark("end", 4 * MILLISECOND, {"drops": 3})
+        rows = slo.phase_rows()
+        assert [row["phase"] for row in rows] == ["ramp", "steady"]
+        assert rows[0]["drops"] == 3
+        assert rows[1]["drops"] == 0
+        assert sum(row["forwarded"] for row in rows) == 10
+
+    def test_rejects_degenerate_sizes(self):
+        with pytest.raises(ValueError):
+            SloRecorder(duration=0)
+        with pytest.raises(ValueError):
+            SloRecorder(duration=MILLISECOND, bucket=0)
+
+
+class TestFigCQuick:
+    FAST = dict(
+        num_hosts=2,
+        num_cores=2,
+        nf_cycles=2000,
+        arrival_rate=1e5,
+        trace_ms=3,
+        duration_ms=5,
+        crash_ms=2,
+        steady_ms=1,
+        drain_ms=4,
+        max_packets_per_flow=3,
+        epoch_ms=0.5,
+        min_hosts=1,
+        max_hosts=4,
+        migration_base_us=50.0,
+    )
+
+    def test_budgets_and_conservation(self):
+        from repro.experiments.figc import run_figc
+
+        rows, timeline, phases = run_figc(**self.FAST)
+        by_mode = {row["mode"]: row for row in rows}
+        assert set(by_mode) == {"rss", "sprayer"}
+        for mode, row in sorted(by_mode.items()):
+            assert row["vol_drops"] == 0, (mode, row)
+        # The host_down crash loses only ledger-accounted state.
+        assert all(row["state_lost"] >= 0 for row in rows)
+        assert len(timeline) == 5
+        assert {row["phase"] for row in phases} == {
+            "ramp", "steady", "host_down", "drain"
+        }
+
+    def test_scenario_values_conserve(self):
+        from repro.experiments.figc import run_figc_scenario
+        from repro.experiments.spec import Scenario
+        from repro.faults.plan import FaultPlan, host_down
+
+        scenario = Scenario.make(
+            "cluster_serving",
+            label="figC-test",
+            mode="sprayer",
+            nf_cycles=2000,
+            num_cores=2,
+            duration=5 * MILLISECOND,
+            seed=3,
+            num_hosts=2,
+            arrival_rate=1e5,
+            trace_ms=3,
+            steady_at=MILLISECOND,
+            drain_at=4 * MILLISECOND,
+            max_packets_per_flow=3,
+            epoch_ps=MILLISECOND // 2,
+            fault_plan=FaultPlan.of(host_down(0, 2 * MILLISECOND), seed=3),
+            min_hosts=1,
+            max_hosts=4,
+            migration_base_delay=50 * MICROSECOND,
+        )
+        values, dump = run_figc_scenario(scenario)
+        assert values["conservation_ok"] is True
+        assert values["offered"] == values["forwarded"] + values["drops_total"]
+        assert values["voluntary_drops"] == 0
+        assert values["hosts_final"] >= 1
+        assert len(values["fault_records"]) == 1
+        assert "cluster.hosts.live" in dump["counters"]
+
+    def test_rows_identical_across_job_counts(self):
+        from repro.experiments.figc import run_figc
+        from repro.experiments.runner import SweepRunner
+
+        serial = run_figc(runner=SweepRunner(jobs=1), **self.FAST)
+        pooled = run_figc(runner=SweepRunner(jobs=2), **self.FAST)
+        assert serial == pooled

@@ -110,3 +110,47 @@ class TestConsistentHashProperties:
         ring.remove_node("b")
         ring.add_node("b")
         assert ring.lookup(str(key)) == before
+
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=0, max_value=2**32))
+    @settings(max_examples=40, deadline=None)
+    def test_add_node_minimal_disruption(self, num_hosts, salt):
+        """Adding one of N hosts remaps ~1/(N+1) of keys, and every
+        remapped key lands on the newcomer — never between survivors."""
+        ring = ConsistentHashRing()
+        for i in range(num_hosts):
+            ring.add_node(f"host{i}")
+        keys = [f"{salt}:{i}" for i in range(400)]
+        before = {key: ring.lookup(key) for key in keys}
+        ring.add_node("newcomer")
+        moved = 0
+        for key in keys:
+            after = ring.lookup(key)
+            if after != before[key]:
+                assert after == "newcomer"
+                moved += 1
+        # Expected fraction is 1/(N+1); with 64 virtual nodes the arc
+        # share concentrates tightly, so 2.5x is a vast safety margin.
+        assert moved <= 2.5 * len(keys) / (num_hosts + 1)
+
+    @given(st.integers(min_value=2, max_value=12),
+           st.integers(min_value=0, max_value=2**32),
+           st.integers(min_value=0, max_value=11))
+    @settings(max_examples=40, deadline=None)
+    def test_remove_node_minimal_disruption(self, num_hosts, salt, victim_index):
+        """Removing one host remaps exactly that host's keys; keys on
+        survivors never move between survivors."""
+        ring = ConsistentHashRing()
+        hosts = [f"host{i}" for i in range(num_hosts)]
+        for host in hosts:
+            ring.add_node(host)
+        victim = hosts[victim_index % num_hosts]
+        keys = [f"{salt}:{i}" for i in range(400)]
+        before = {key: ring.lookup(key) for key in keys}
+        ring.remove_node(victim)
+        for key in keys:
+            after = ring.lookup(key)
+            if before[key] == victim:
+                assert after != victim
+            else:
+                assert after == before[key]

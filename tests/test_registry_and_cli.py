@@ -57,7 +57,7 @@ class TestCli:
     def test_runner_names_cover_all_figures(self):
         assert set(RUNNERS) == {
             "fig1", "fig2", "table1", "fig6", "fig7", "fig8", "fig9", "figR",
-            "figS",
+            "figS", "figC",
         }
 
     def test_unknown_name_rejected(self):
