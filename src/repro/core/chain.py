@@ -87,6 +87,19 @@ class ScopedContext:
 
     # -- everything else delegates -------------------------------------------
 
+    @property
+    def _cycles(self) -> float:
+        return self._ctx._cycles
+
+    @_cycles.setter
+    def _cycles(self, value: float) -> None:
+        # Without this setter, an NF's direct ``ctx._cycles += n`` (the
+        # unrolled fast path some NFs use instead of consume_cycles)
+        # would read through __getattr__ but *write* a shadow attribute
+        # on the scoped view — silently uncharging every chained
+        # stage's compute.
+        self._ctx._cycles = value
+
     def __getattr__(self, name: str):
         return getattr(self._ctx, name)
 

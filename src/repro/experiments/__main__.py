@@ -35,7 +35,9 @@ import sys
 import time
 from typing import List, Optional, Sequence
 
-from repro.experiments import fig1, fig2, fig6, fig7, fig8, fig9, figc, figr, figs, table1
+from repro.experiments import (
+    fig1, fig2, fig6, fig7, fig8, fig9, figc, figp, figr, figs, table1,
+)
 from repro.experiments.runner import SweepRunner
 
 RUNNERS = {
@@ -49,6 +51,7 @@ RUNNERS = {
     "figR": figr.main,
     "figS": figs.main,
     "figC": figc.main,
+    "figP": figp.main,
 }
 
 

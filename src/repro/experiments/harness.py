@@ -88,6 +88,8 @@ def run_open_loop(
     frame_len: int = 64,
     nf: Optional[NetworkFunction] = None,
     burst: Optional[int] = None,
+    payload_len: int = 0,
+    flows: Optional[List] = None,
     **config_kwargs,
 ) -> OpenLoopResult:
     """One MoonGen-style measurement point.
@@ -96,6 +98,12 @@ def run_open_loop(
     experiments care: packet generators emit micro-bursts, and a burst
     landing on one RSS core queues behind itself while Sprayer fans it
     out across cores.
+
+    ``payload_len`` puts real payload bytes on every data packet so
+    payload-priced NFs (DPI scanning, RE fingerprinting) do real work;
+    the stream then stays on the scalar spine (batches carry headers
+    only). ``flows`` overrides the generated flow set (e.g. VIP-targeted
+    flows for a load-balancer chain); ``num_flows`` is ignored then.
     """
     if not 0 <= warmup < duration:
         raise ValueError(f"need 0 <= warmup < duration, got {warmup}, {duration}")
@@ -121,7 +129,11 @@ def run_open_loop(
     # MoonGen cannot exceed line rate for the frame size.
     line_rate = 10e9 / ((frame_len + 20) * 8)
     offered = min(offered_pps, line_rate)
-    flows = random_tcp_flows(num_flows, rng)
+    if flows is None:
+        flows = random_tcp_flows(num_flows, rng)
+    else:
+        flows = list(flows)
+        num_flows = len(flows)
     generator = OpenLoopGenerator(
         sim,
         ingress.send,
@@ -130,11 +142,14 @@ def run_open_loop(
         rng,
         frame_len=frame_len,
         burst=burst,
+        payload_len=payload_len,
     )
     # The SoA batch spine: columnar bursts, eager steering, lazy
     # settlement. Byte-identical to the scalar spine (enforced by the
     # conformance suite); policies that cannot batch keep scalar.
-    if engine.config.spine == "batch" and engine.ingress_batchable:
+    # Payload-carrying streams stay scalar end to end (batches are a
+    # headers-only hot path), so the stager is never attached for them.
+    if engine.config.spine == "batch" and engine.ingress_batchable and not payload_len:
         ArrivalStager(engine).attach(ingress)
         generator.batch_sink = ingress.send_batch
         # Egress leg of the spine: a completion's outputs are deferred

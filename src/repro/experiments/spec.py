@@ -213,6 +213,12 @@ def _run_cluster_serving(scenario: Scenario):
     return figc.run_figc_scenario(scenario)
 
 
+def _run_chain_planner(scenario: Scenario):
+    from repro.experiments import figp
+
+    return figp.run_figp_scenario(scenario)
+
+
 KIND_RUNNERS: Dict[str, Callable[[Scenario], Tuple[Dict[str, Any], Dict[str, Any]]]] = {
     "open_loop": _run_open_loop,
     "capacity": _run_capacity,
@@ -223,6 +229,7 @@ KIND_RUNNERS: Dict[str, Callable[[Scenario], Tuple[Dict[str, Any], Dict[str, Any
     "resilience": _run_resilience,
     "scr_head_to_head": _run_scr_head_to_head,
     "cluster_serving": _run_cluster_serving,
+    "chain_planner": _run_chain_planner,
 }
 
 

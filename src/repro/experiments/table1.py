@@ -20,39 +20,13 @@ from repro.experiments.format import format_table
 from repro.net.five_tuple import FiveTuple
 from repro.net.packet import make_tcp_packet
 from repro.net.tcp_flags import ACK, FIN, SYN
-from repro.nfs import (
-    DpiNf,
-    FirewallNf,
-    LoadBalancerNf,
-    NatNf,
-    RedundancyEliminationNf,
-    TrafficMonitorNf,
-)
-from repro.nfs.firewall import AclRule
+from repro.nfs import LoadBalancerNf
+from repro.nfs.factory import VIP as _VIP
+from repro.nfs.factory import make_nf as _make_nf
 from repro.nfs.registry import NF_PROFILES, table1_rows
 from repro.sim.engine import Simulator
 from repro.sim.timeunits import MILLISECOND
-from repro.trafficgen.flows import SERVER_NET, random_tcp_flows
-
-_VIP = SERVER_NET | 0x0101
-_EXTERNAL_IP = 0x0B000001
-
-
-def _make_nf(key: str):
-    """Instantiate the implementation behind a Table 1 row."""
-    if key == "nat":
-        return NatNf(external_ip=_EXTERNAL_IP)
-    if key == "firewall":
-        return FirewallNf(acl=[AclRule(action="permit")])
-    if key == "load_balancer":
-        return LoadBalancerNf(vip=_VIP, backends=[SERVER_NET | 0x10, SERVER_NET | 0x11])
-    if key == "traffic_monitor":
-        return TrafficMonitorNf()
-    if key == "redundancy_elimination":
-        return RedundancyEliminationNf()
-    if key == "dpi":
-        return DpiNf(patterns=[b"attack", b"malware"])
-    raise ValueError(f"no implementation for {key!r}")
+from repro.trafficgen.flows import random_tcp_flows
 
 
 def _drive(nf, mode: str, num_flows: int = 16, packets_per_flow: int = 20) -> Dict[str, object]:
@@ -133,7 +107,7 @@ def run_table1(verify: bool = True, runner=None) -> List[Dict[str, str]]:
     if not verify:
         return rows
     keys = [key for key, profile in NF_PROFILES.items()
-            if profile.implementation is not None]
+            if profile.implementation is not None and profile.in_table1]
     scenarios = [
         Scenario.make("nf_verify", label="table1", mode="sprayer", nf_key=key)
         for key in keys

@@ -8,8 +8,13 @@ Usage::
     python -m repro.lint --list-rules    # rule codes, titles, rationale
     python -m repro.lint src --select SPR002,SPR005
     python -m repro.lint src --ignore SPR003
+    python -m repro.lint --profiles src/repro/nfs   # inferred access table
+    python -m repro.lint --profiles --json src/repro/nfs
 
-Exit status: 0 clean, 1 violations found, 2 usage error.
+Exit status: 0 clean, 1 violations found, 2 usage error. ``--profiles``
+prints the dataflow pass's inferred access-pattern table instead of
+linting; it exits 0 whenever the sources parse (inference output is a
+report, not a verdict — the verdict is rule SPR007).
 """
 
 from __future__ import annotations
@@ -51,7 +56,46 @@ def build_parser() -> argparse.ArgumentParser:
         "--ignore", metavar="CODES",
         help="comma-separated rule codes to skip",
     )
+    parser.add_argument(
+        "--profiles", action="store_true",
+        help="print the inferred access-pattern table for every NF class "
+             "under PATH (text, or JSON with --json), then exit",
+    )
     return parser
+
+
+def _profiles_report(paths: List[str], as_json: bool) -> str:
+    import json
+
+    from repro.lint.dataflow import infer_paths_with_errors
+
+    profiles, errors = infer_paths_with_errors(paths)
+    if as_json:
+        return json.dumps(
+            {"profiles": [p.to_dict() for p in profiles], "errors": errors},
+            indent=2,
+        )
+    if not profiles:
+        skipped = [f"skipped (unparsable): {error}" for error in errors]
+        return "\n".join(["(no NF classes found)"] + skipped)
+    header = (
+        f"{'class':<26} {'pf/pkt':>6} {'pf/ev':>6} {'gl/pkt':>6} {'gl/ev':>6} "
+        f"{'relaxed':>7} {'desig':>5}  location"
+    )
+    lines = [header, "-" * len(header)]
+    for p in profiles:
+        s = p.summary
+        lines.append(
+            f"{p.nf_class:<26} {s.per_flow_packet:>6} {s.per_flow_event:>6} "
+            f"{s.global_packet:>6} {s.global_event:>6} "
+            f"{str(s.relaxed_only):>7} {str(s.designated_only):>5}  "
+            f"{p.path}:{p.line}"
+        )
+        for hint in p.hints:
+            lines.append(f"    note: {hint}")
+    for error in errors:
+        lines.append(f"skipped (unparsable): {error}")
+    return "\n".join(lines)
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -66,6 +110,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(f"    {rule.rationale}")
         return 0
     paths = args.paths or [p for p in ("src", "tests") if Path(p).is_dir()] or ["."]
+    if args.profiles:
+        print(_profiles_report(paths, args.json))
+        return 0
     try:
         engine = LintEngine(select=_codes(args.select), ignore=_codes(args.ignore))
     except ValueError as error:

@@ -1,0 +1,579 @@
+"""Static state-access inference for NF classes (the dataflow pass).
+
+The paper's Table 1 classifies every NF by *how it touches its state*:
+per state item, a scope (per-flow vs global) and an access pattern per
+packet and per flow event (R / RW / -). The registry
+(:mod:`repro.nfs.registry`) declares those patterns by hand; this
+module *infers* them from the NF's source, so the declaration can be
+cross-checked (lint rule SPR007) and so the chain planner
+(:mod:`repro.plan`) can synthesize a steering policy from what the code
+actually does rather than from what a comment claims.
+
+The inference walks each ``NetworkFunction`` subclass and classifies
+every state access reachable from its hooks:
+
+- **per-flow accesses** are calls on the sanctioned Table 2 surface:
+  ``ctx.insert_local_flow`` / ``ctx.remove_local_flow`` /
+  ``ctx.get_local_flow`` are *writes* (``get_local_flow`` returns a
+  modifiable entry, which is a write under the paper's semantics — the
+  same convention the runtime :class:`~repro.checks.OwnershipAuditor`
+  applies), ``ctx.get_flow`` / ``ctx.get_flows`` are reads. The
+  unrolled forms (``*.flow_state.insert_local`` etc., as used by the
+  hot-path synthetic NF) are recognized too.
+- **global accesses** are ``ctx.read_global`` / ``ctx.write_global``
+  calls — the API through which shared-structure costs are charged.
+  The ``relaxed=True`` flag (per-core shards, commuting writes) is
+  extracted per call, as is whether the *key* of a global write embeds
+  a per-packet variable (a "flow-keyed" global: per-flow state in
+  global clothing, which steering affinity can make core-local).
+- accesses are attributed to the **packet path** (``regular_packets``
+  and an overridden ``process_batch``) or the **event path**
+  (``connection_packets``; when not overridden, the base-class
+  fall-through routes events into ``regular_packets``), with self-call
+  chains resolved transitively.
+- a write guarded by ``if ctx.designated_core(flow) == ctx.core_id:``
+  is *designated-only*: it happens per packet but never off the flow's
+  designated core, so the writing partition still holds (the
+  out-of-order DPI's drain pattern).
+
+Everything is an AST heuristic over names, like the other lint rules:
+``ctx``-conventioned parameters, attribute chains, no type inference.
+Bare instance-attribute mutation (``self.hits += 1``) is deliberately
+*not* an access — counters and caches off the ctx API carry no modelled
+cost — but it is surfaced as a hint so ``--profiles`` readers can see
+unpriced state.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from pathlib import PurePath
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+# -- access lattice ---------------------------------------------------------
+
+READ = "R"
+READ_WRITE = "RW"
+NONE = "-"
+
+_RANK = {NONE: 0, READ: 1, READ_WRITE: 2}
+
+
+def max_access(a: str, b: str) -> str:
+    """Join on the - < R < RW lattice."""
+    return a if _RANK[a] >= _RANK[b] else b
+
+
+#: Table 2 calls that are flow-state *writes* (modifiable access = write,
+#: mirroring the runtime ownership auditor).
+_FLOW_WRITE_CALLS = frozenset({"insert_local_flow", "remove_local_flow", "get_local_flow"})
+#: Table 2 calls that are flow-state *reads*.
+_FLOW_READ_CALLS = frozenset({"get_flow", "get_flows"})
+#: The unrolled flow-state manager surface (``*.flow_state.<op>``).
+_RAW_WRITE_CALLS = frozenset({"insert_local", "remove_local", "get_local"})
+_RAW_READ_CALLS = frozenset({"get", "get_many"})
+
+#: The NF hook names, and how they map onto Table 1 columns.
+_PACKET_HOOKS = ("regular_packets", "process_batch")
+_EVENT_HOOK = "connection_packets"
+
+
+def _is_ctx_name(expr: ast.AST) -> bool:
+    """Does ``expr`` look like the NF context parameter (by convention)?"""
+    if isinstance(expr, ast.Name):
+        return expr.id in ("ctx", "context", "scoped") or expr.id.endswith("_ctx")
+    return False
+
+
+@dataclass(frozen=True)
+class StateAccess:
+    """One inferred state access: where, what, and under which guard."""
+
+    scope: str  # "flow" | "global"
+    op: str  # R | RW
+    #: True when the access sits under a designated-core guard.
+    guarded: bool = False
+    #: Global accesses only: the relaxed (sharded/commuting) flag.
+    relaxed: bool = False
+    #: Global accesses only: the key embeds a per-packet variable.
+    flow_keyed: bool = False
+    #: Source form, for hints/debugging ("ctx.get_flows", ...).
+    via: str = ""
+
+
+@dataclass(frozen=True)
+class AccessSummary:
+    """Table 1 columns, folded: what one NF does to its state.
+
+    The two event columns are *folded*: a per-packet access also happens
+    while a flow event is being handled (connection packets are packets
+    too — the paper's NAT forwards the SYN-ACK through its regular
+    path), so the event column records the join of both. The same fold
+    is applied to declared profiles by :func:`declared_summary`, which
+    makes the comparison convention symmetric.
+    """
+
+    per_flow_packet: str = NONE
+    per_flow_event: str = NONE
+    global_packet: str = NONE
+    global_event: str = NONE
+    #: Every per-packet global *write* is relaxed (commutes via shards).
+    relaxed_only: bool = True
+    #: Per-packet flow writes exist and all sit under a designated-core
+    #: guard (the out-of-order DPI drain pattern).
+    designated_only: bool = False
+    #: Some per-packet non-relaxed global write keys on a per-packet
+    #: variable (per-flow state stored globally — dpi's shared
+    #: automata). Not part of the declared/inferred comparison; the
+    #: planner uses it to prefer flow affinity.
+    flow_keyed_global_writes: bool = False
+
+    @property
+    def updates_flow_state_per_packet(self) -> bool:
+        return self.per_flow_packet == READ_WRITE
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "per_flow_packet": self.per_flow_packet,
+            "per_flow_event": self.per_flow_event,
+            "global_packet": self.global_packet,
+            "global_event": self.global_event,
+            "relaxed_only": self.relaxed_only,
+            "designated_only": self.designated_only,
+            "flow_keyed_global_writes": self.flow_keyed_global_writes,
+        }
+
+
+#: The summary fields SPR007 compares (flow_keyed is planner metadata).
+COMPARED_FIELDS = (
+    "per_flow_packet",
+    "per_flow_event",
+    "global_packet",
+    "global_event",
+    "relaxed_only",
+    "designated_only",
+)
+
+
+@dataclass(frozen=True)
+class InferredProfile:
+    """The inference result for one NF class."""
+
+    nf_class: str
+    path: str
+    line: int
+    #: Dotted module ("repro.nfs.nat") when derivable from the path.
+    module: Optional[str]
+    stateless: bool
+    summary: AccessSummary
+    #: Sorted, human-readable observations (unpriced instance state,
+    #: writes through read-only handles, ...).
+    hints: Tuple[str, ...] = ()
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "nf_class": self.nf_class,
+            "path": self.path,
+            "line": self.line,
+            "module": self.module,
+            "stateless": self.stateless,
+            "summary": self.summary.to_dict(),
+            "hints": list(self.hints),
+        }
+
+
+# -- per-class analysis -----------------------------------------------------
+
+
+class _ClassAnalysis:
+    """Walks one NF class and accumulates accesses per hook."""
+
+    def __init__(self, node: ast.ClassDef):
+        self.node = node
+        self.methods: Dict[str, ast.FunctionDef] = {
+            item.name: item
+            for item in node.body
+            if isinstance(item, (ast.FunctionDef, ast.AsyncFunctionDef))
+        }
+        self.hints: Set[str] = set()
+        self._instance_mutations: Set[str] = set()
+        #: Names bound to read-only entries (``x = ctx.get_flow(...)``),
+        #: per analyzed method — writing through them is a hint.
+        self._readonly_written: Set[str] = set()
+
+    # -- public ------------------------------------------------------------
+
+    def accesses(self, method_name: str) -> List[StateAccess]:
+        """All state accesses reachable from ``method_name``."""
+        out: List[StateAccess] = []
+        self._collect(method_name, guard=False, stack=(), out=out)
+        return out
+
+    def class_attr_true(self, attr: str) -> bool:
+        for item in self.node.body:
+            if isinstance(item, ast.Assign):
+                targets = [t.id for t in item.targets if isinstance(t, ast.Name)]
+                if attr in targets and isinstance(item.value, ast.Constant):
+                    return bool(item.value.value)
+        return False
+
+    def finish_hints(self) -> Tuple[str, ...]:
+        if self._instance_mutations:
+            names = ", ".join(sorted(self._instance_mutations))
+            self.hints.add(
+                f"instance state mutated off the ctx API (unpriced): {names}"
+            )
+        for name in sorted(self._readonly_written):
+            self.hints.add(
+                f"entry {name!r} from read-only get_flow/get_flows is written "
+                f"— undefined behaviour off the designated core"
+            )
+        return tuple(sorted(self.hints))
+
+    # -- walking -----------------------------------------------------------
+
+    def _collect(
+        self,
+        method_name: str,
+        guard: bool,
+        stack: Tuple[str, ...],
+        out: List[StateAccess],
+    ) -> None:
+        method = self.methods.get(method_name)
+        if method is None or method_name in stack:
+            return
+        stack = stack + (method_name,)
+        readonly_vars: Set[str] = set()
+        for stmt in method.body:
+            self._visit(stmt, guard, stack, out, readonly_vars)
+
+    def _visit(
+        self,
+        node: ast.AST,
+        guard: bool,
+        stack: Tuple[str, ...],
+        out: List[StateAccess],
+        readonly_vars: Set[str],
+    ) -> None:
+        if isinstance(node, ast.If) and self._is_designated_guard(node.test):
+            for child in node.body:
+                self._visit(child, True, stack, out, readonly_vars)
+            for child in node.orelse:
+                self._visit(child, guard, stack, out, readonly_vars)
+            return
+        if isinstance(node, ast.Call):
+            self._visit_call(node, guard, stack, out)
+        elif isinstance(node, ast.Assign):
+            self._note_assign(node, readonly_vars)
+        elif isinstance(node, ast.AugAssign):
+            self._note_mutation(node.target, readonly_vars)
+        for child in ast.iter_child_nodes(node):
+            self._visit(child, guard, stack, out, readonly_vars)
+
+    def _visit_call(
+        self,
+        node: ast.Call,
+        guard: bool,
+        stack: Tuple[str, ...],
+        out: List[StateAccess],
+    ) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        attr = func.attr
+        base = func.value
+        base_text = _unparse(base)
+        # Self-call: resolve transitively, propagating the guard.
+        if isinstance(base, ast.Name) and base.id == "self" and attr in self.methods:
+            self._collect(attr, guard, stack, out)
+            return
+        if _is_ctx_name(base):
+            if attr in _FLOW_WRITE_CALLS:
+                out.append(StateAccess("flow", READ_WRITE, guarded=guard, via=f"ctx.{attr}"))
+            elif attr in _FLOW_READ_CALLS:
+                out.append(StateAccess("flow", READ, guarded=guard, via=f"ctx.{attr}"))
+            elif attr in ("read_global", "write_global"):
+                op = READ if attr == "read_global" else READ_WRITE
+                out.append(
+                    StateAccess(
+                        "global",
+                        op,
+                        guarded=guard,
+                        relaxed=_relaxed_arg(node),
+                        flow_keyed=_flow_keyed_arg(node),
+                        via=f"ctx.{attr}",
+                    )
+                )
+            return
+        # The unrolled flow-state surface: ``engine.flow_state.<op>``.
+        if base_text.endswith("flow_state"):
+            if attr in _RAW_WRITE_CALLS:
+                out.append(
+                    StateAccess("flow", READ_WRITE, guarded=guard, via=f"flow_state.{attr}")
+                )
+            elif attr in _RAW_READ_CALLS:
+                out.append(
+                    StateAccess("flow", READ, guarded=guard, via=f"flow_state.{attr}")
+                )
+
+    # -- hints -------------------------------------------------------------
+
+    def _note_assign(self, node: ast.Assign, readonly_vars: Set[str]) -> None:
+        value = node.value
+        if (
+            isinstance(value, ast.Call)
+            and isinstance(value.func, ast.Attribute)
+            and value.func.attr in _FLOW_READ_CALLS
+            and _is_ctx_name(value.func.value)
+        ):
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    readonly_vars.add(target.id)
+        for target in node.targets:
+            self._note_mutation(target, readonly_vars)
+
+    def _note_mutation(self, target: ast.AST, readonly_vars: Set[str]) -> None:
+        if not isinstance(target, ast.Attribute):
+            return
+        base = target.value
+        if isinstance(base, ast.Name):
+            if base.id == "self":
+                self._instance_mutations.add(target.attr)
+            elif base.id in readonly_vars:
+                self._readonly_written.add(base.id)
+
+    @staticmethod
+    def _is_designated_guard(test: ast.AST) -> bool:
+        """``ctx.designated_core(flow) == ctx.core_id`` (either order)."""
+        if not (
+            isinstance(test, ast.Compare)
+            and len(test.ops) == 1
+            and isinstance(test.ops[0], ast.Eq)
+        ):
+            return False
+        sides = [_unparse(test.left), _unparse(test.comparators[0])]
+        has_designated = any("designated_core(" in side for side in sides)
+        has_core_id = any(side.endswith("core_id") for side in sides)
+        return has_designated and has_core_id
+
+
+def _unparse(node: ast.AST) -> str:
+    try:
+        return ast.unparse(node)
+    except Exception:  # pragma: no cover - unparse failures are exotic
+        return ""
+
+
+def _relaxed_arg(call: ast.Call) -> bool:
+    for kw in call.keywords:
+        if kw.arg == "relaxed" and isinstance(kw.value, ast.Constant):
+            return bool(kw.value.value)
+    if len(call.args) >= 2 and isinstance(call.args[1], ast.Constant):
+        return bool(call.args[1].value)
+    return False
+
+
+def _flow_keyed_arg(call: ast.Call) -> bool:
+    """Does the global key expression embed a per-packet variable?"""
+    if not call.args:
+        return False
+    key = call.args[0]
+    if isinstance(key, ast.Constant):
+        return False
+    return any(isinstance(sub, ast.Name) for sub in ast.walk(key))
+
+
+# -- folding accesses into a summary ----------------------------------------
+
+
+def _fold(accesses: Sequence[StateAccess], scope: str) -> str:
+    result = NONE
+    for access in accesses:
+        if access.scope == scope:
+            result = max_access(result, access.op)
+    return result
+
+
+def summarize(
+    packet_accesses: Sequence[StateAccess],
+    event_accesses: Sequence[StateAccess],
+) -> AccessSummary:
+    """Fold per-path access lists into Table 1 columns."""
+    pf_packet = _fold(packet_accesses, "flow")
+    gl_packet = _fold(packet_accesses, "global")
+    pf_event = max_access(_fold(event_accesses, "flow"), pf_packet)
+    gl_event = max_access(_fold(event_accesses, "global"), gl_packet)
+    packet_global_writes = [
+        a for a in packet_accesses if a.scope == "global" and a.op == READ_WRITE
+    ]
+    packet_flow_writes = [
+        a for a in packet_accesses if a.scope == "flow" and a.op == READ_WRITE
+    ]
+    return AccessSummary(
+        per_flow_packet=pf_packet,
+        per_flow_event=pf_event,
+        global_packet=gl_packet,
+        global_event=gl_event,
+        relaxed_only=all(a.relaxed for a in packet_global_writes),
+        designated_only=bool(packet_flow_writes)
+        and all(a.guarded for a in packet_flow_writes),
+        flow_keyed_global_writes=any(
+            a.flow_keyed and not a.relaxed for a in packet_global_writes
+        ),
+    )
+
+
+# -- source-level entry points ----------------------------------------------
+
+
+def _nf_classes(tree: ast.Module) -> List[ast.ClassDef]:
+    """Classes subclassing NetworkFunction (directly or via a local NF)."""
+    found: List[ast.ClassDef] = []
+    local_nf_names: Set[str] = set()
+    for node in tree.body:
+        if not isinstance(node, ast.ClassDef):
+            continue
+        bases = [_unparse(base) for base in node.bases]
+        is_nf = any(
+            "NetworkFunction" in base or base in local_nf_names for base in bases
+        )
+        if is_nf:
+            found.append(node)
+            local_nf_names.add(node.name)
+    return found
+
+
+def module_name_for(path: str) -> Optional[str]:
+    """Dotted module of a source path, rooted at the ``repro`` package."""
+    parts = PurePath(path).parts
+    try:
+        start = len(parts) - 1 - parts[::-1].index("repro")
+    except ValueError:
+        return None
+    tail = list(parts[start:])
+    if not tail or not tail[-1].endswith(".py"):
+        return None
+    tail[-1] = tail[-1][: -len(".py")]
+    if tail[-1] == "__init__":
+        tail = tail[:-1]
+    return ".".join(tail)
+
+
+def infer_class(node: ast.ClassDef, path: str, module: Optional[str]) -> InferredProfile:
+    """Infer one NF class's access summary from its AST."""
+    analysis = _ClassAnalysis(node)
+    has_connection = _EVENT_HOOK in analysis.methods
+    packet: List[StateAccess] = []
+    for hook in _PACKET_HOOKS:
+        if hook in analysis.methods:
+            packet.extend(analysis.accesses(hook))
+    # Base-class fall-through: events route into regular_packets when
+    # connection_packets is not overridden.
+    event = (
+        analysis.accesses(_EVENT_HOOK)
+        if has_connection
+        else analysis.accesses("regular_packets")
+    )
+    return InferredProfile(
+        nf_class=node.name,
+        path=path,
+        line=node.lineno,
+        module=module,
+        stateless=analysis.class_attr_true("stateless"),
+        summary=summarize(packet, event),
+        hints=analysis.finish_hints(),
+    )
+
+
+def infer_source(
+    source: str, path: str, module: Optional[str] = None
+) -> List[InferredProfile]:
+    """Inferred profiles of every NF class in one source file."""
+    tree = ast.parse(source, filename=path)
+    if module is None:
+        module = module_name_for(path)
+    return [infer_class(node, path, module) for node in _nf_classes(tree)]
+
+
+def infer_paths_with_errors(
+    paths: Iterable[str],
+) -> Tuple[List[InferredProfile], List[str]]:
+    """Inferred profiles of every NF class under ``paths``, plus a list
+    of files that could not be read/parsed (the linter reports those as
+    SPR000; inference just names them)."""
+    from repro.lint.engine import iter_python_files
+
+    profiles: List[InferredProfile] = []
+    errors: List[str] = []
+    for file_path in iter_python_files(list(paths)):
+        try:
+            source = file_path.read_text(encoding="utf-8")
+            profiles.extend(infer_source(source, str(file_path)))
+        except (OSError, SyntaxError) as error:
+            errors.append(f"{file_path}: {error}")
+    return profiles, errors
+
+
+def infer_paths(paths: Iterable[str]) -> List[InferredProfile]:
+    """Inferred profiles of every NF class under ``paths``."""
+    return infer_paths_with_errors(paths)[0]
+
+
+def infer_module(module: str) -> List[InferredProfile]:
+    """Inferred profiles of an importable module (used by the planner)."""
+    import importlib
+
+    mod = importlib.import_module(module)
+    path = getattr(mod, "__file__", None)
+    if path is None:
+        raise ValueError(f"module {module!r} has no source file")
+    with open(path, "r", encoding="utf-8") as handle:
+        source = handle.read()
+    return infer_source(source, path, module=module)
+
+
+# -- declared-side folding and comparison -----------------------------------
+
+
+def declared_summary(profile) -> AccessSummary:
+    """Fold a registry :class:`~repro.nfs.registry.NfProfile` into the
+    same shape the inference produces (same event-column fold)."""
+    pf_packet = NONE
+    pf_event = NONE
+    gl_packet = NONE
+    gl_event = NONE
+    relaxed_only = True
+    for decl in profile.states:
+        if decl.scope == "Per-flow":
+            pf_packet = max_access(pf_packet, decl.per_packet)
+            pf_event = max_access(pf_event, decl.per_flow_event)
+        else:
+            gl_packet = max_access(gl_packet, decl.per_packet)
+            gl_event = max_access(gl_event, decl.per_flow_event)
+            if decl.per_packet == READ_WRITE and not getattr(decl, "relaxed", False):
+                relaxed_only = False
+    return AccessSummary(
+        per_flow_packet=pf_packet,
+        per_flow_event=max_access(pf_event, pf_packet),
+        global_packet=gl_packet,
+        global_event=max_access(gl_event, gl_packet),
+        relaxed_only=relaxed_only,
+        designated_only=getattr(profile, "per_packet_writes_designated_only", False),
+    )
+
+
+def compare_summaries(declared: AccessSummary, inferred: AccessSummary) -> List[str]:
+    """Human-readable mismatch descriptions (empty = profiles agree)."""
+    mismatches: List[str] = []
+    for name in COMPARED_FIELDS:
+        have, want = getattr(declared, name), getattr(inferred, name)
+        if have != want:
+            mismatches.append(f"{name}: declared {have!r}, inferred {want!r}")
+    if declared.updates_flow_state_per_packet != inferred.updates_flow_state_per_packet:
+        mismatches.append(
+            f"updates_flow_state_per_packet: declared "
+            f"{declared.updates_flow_state_per_packet}, inferred "
+            f"{inferred.updates_flow_state_per_packet}"
+        )
+    return mismatches

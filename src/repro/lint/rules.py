@@ -1,4 +1,4 @@
-"""Sprayer-specific lint rules (SPR001-SPR006).
+"""Sprayer-specific lint rules (SPR001-SPR007).
 
 Each rule statically enforces one piece of the reproduction's
 correctness story. The paper's central argument is the *writing
@@ -16,6 +16,8 @@ SPR004   steering policies that see SYN/FIN/RST must consult the
 SPR005   no silently swallowed exceptions (sim events vanish)
 SPR006   batch-path modules keep the SoA spine columnar: no
          per-packet materialize_all() loops off the hot path
+SPR007   registry declarations (Table 1 profiles) agree with the
+         statically inferred access patterns of the NF source
 =======  ==========================================================
 
 All rules are AST heuristics: they read attribute chains and names, not
@@ -436,3 +438,75 @@ class ColumnarBatchPath(Rule):
                         f"an audited scalar fallback must carry an inline "
                         f"'# repro-lint: disable=SPR006'",
                     )
+
+
+# -- SPR007 ----------------------------------------------------------------
+
+
+@register
+class DeclaredProfileMatchesInferred(Rule):
+    """Registry NfProfile declarations drift from the NF's actual code."""
+
+    code = "SPR007"
+    title = "declared Table 1 profile disagrees with the inferred access pattern"
+    rationale = (
+        "The registry's NfProfile rows feed the Table 1 bench, the "
+        "sprayer-compatibility verdict, and the chain planner's policy "
+        "choice. A declaration that drifts from the code makes the "
+        "planner synthesize a steering policy for an NF that no longer "
+        "exists — e.g. spraying an NF that grew per-packet flow writes. "
+        "The dataflow pass infers scope and per-packet/per-event access "
+        "from the source (folded symmetrically: connection packets are "
+        "packets too); this rule fires on any compared field that "
+        "disagrees. A deliberate divergence — dpi declares the paper's "
+        "logical per-flow automaton, which the implementation "
+        "materializes as shared global state under spraying, the "
+        "paper's very point — is suppressed in place with "
+        "'# repro-lint: disable=SPR007' and a reason."
+    )
+
+    def _registered_modules(self):
+        """implementation module -> (registry key, declared profile)."""
+        from repro.nfs.registry import NF_PROFILES
+
+        return {
+            profile.implementation: (key, profile)
+            for key, profile in NF_PROFILES.items()
+            if profile.implementation is not None
+        }
+
+    def applies(self, ctx: FileContext) -> bool:
+        if not ctx.in_repro:
+            return False
+        from repro.lint.dataflow import module_name_for
+
+        return module_name_for(ctx.path) in self._registered_modules()
+
+    def check(self, ctx: FileContext) -> Iterator[Violation]:
+        from repro.lint.dataflow import (
+            compare_summaries,
+            declared_summary,
+            infer_class,
+            module_name_for,
+        )
+
+        module = module_name_for(ctx.path)
+        key, profile = self._registered_modules()[module]
+        declared = declared_summary(profile)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ClassDef):
+                continue
+            bases = [unparse(base) for base in node.bases]
+            if not any("NetworkFunction" in base for base in bases):
+                continue
+            inferred = infer_class(node, ctx.path, module)
+            mismatches = compare_summaries(declared, inferred.summary)
+            if mismatches:
+                yield ctx.violation(
+                    self,
+                    node,
+                    f"declared profile {key!r} disagrees with what "
+                    f"{node.name} actually does: {'; '.join(mismatches)} — "
+                    f"fix the registry row (or suppress with a reason if "
+                    f"the divergence is the point)",
+                )

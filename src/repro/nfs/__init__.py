@@ -19,6 +19,7 @@ synthetic NF used in its evaluation (§5):
 
 from repro.nfs.dpi import AhoCorasick, DpiNf
 from repro.nfs.dpi_ooo import OooDpiNf
+from repro.nfs.factory import EXTERNAL_IP, VIP, make_nf
 from repro.nfs.firewall import AclRule, FirewallNf
 from repro.nfs.load_balancer import LoadBalancerNf
 from repro.nfs.nat import NatNf, PortPool
@@ -28,6 +29,9 @@ from repro.nfs.synthetic import SyntheticNf
 from repro.nfs.traffic_monitor import TrafficMonitorNf
 
 __all__ = [
+    "make_nf",
+    "VIP",
+    "EXTERNAL_IP",
     "SyntheticNf",
     "NatNf",
     "PortPool",

@@ -108,7 +108,11 @@ class AhoCorasick:
         return state, matches
 
 
-class DpiNf(NetworkFunction):
+# The declaration keeps the paper's logical row (automaton: per-flow,
+# RW per packet); the implementation *materializes* that state as
+# shared global structures under spraying — which is exactly the
+# incompatibility §7 describes, so the divergence is the point.
+class DpiNf(NetworkFunction):  # repro-lint: disable=SPR007
     """Signature-matching DPI over TCP payload streams."""
 
     name = "dpi"

@@ -1,0 +1,62 @@
+"""One place that knows how to instantiate every registered NF.
+
+The Table 1 bench, the chain planner's runtime audit, and the figP
+experiment all need "an instance of the NF behind registry key X" with
+sensible defaults; before this module each grew its own copy.
+
+Load-balanced traffic must target :data:`VIP` (anything else is dropped
+as not-VIP), and NAT rewrites toward :data:`EXTERNAL_IP` — both exported
+so traffic builders can construct matching flows.
+"""
+
+from __future__ import annotations
+
+from repro.nfs.dpi import DpiNf
+from repro.nfs.dpi_ooo import OooDpiNf
+from repro.nfs.firewall import AclRule, FirewallNf
+from repro.nfs.load_balancer import LoadBalancerNf
+from repro.nfs.nat import NatNf
+from repro.nfs.redundancy import RedundancyEliminationNf
+from repro.nfs.synthetic import SyntheticNf
+from repro.nfs.traffic_monitor import TrafficMonitorNf
+from repro.trafficgen.flows import SERVER_NET
+
+#: The load balancer's virtual IP (inside the server net, so generated
+#: server-bound flows can be retargeted onto it).
+VIP = SERVER_NET | 0x0101
+#: The NAT's external address.
+EXTERNAL_IP = 0x0B000001
+
+#: Default signature set for the DPI variants.
+DPI_PATTERNS = (b"attack", b"malware")
+
+
+def make_nf(key: str, **overrides):
+    """Instantiate the implementation behind a registry key.
+
+    ``overrides`` are forwarded to the NF constructor (e.g.
+    ``make_nf("synthetic", busy_cycles=500)``).
+    """
+    if key == "nat":
+        overrides.setdefault("external_ip", EXTERNAL_IP)
+        return NatNf(**overrides)
+    if key == "firewall":
+        overrides.setdefault("acl", [AclRule(action="permit")])
+        return FirewallNf(**overrides)
+    if key == "load_balancer":
+        overrides.setdefault("vip", VIP)
+        overrides.setdefault("backends", [SERVER_NET | 0x10, SERVER_NET | 0x11])
+        return LoadBalancerNf(**overrides)
+    if key == "traffic_monitor":
+        return TrafficMonitorNf(**overrides)
+    if key == "redundancy_elimination":
+        return RedundancyEliminationNf(**overrides)
+    if key == "dpi":
+        overrides.setdefault("patterns", DPI_PATTERNS)
+        return DpiNf(**overrides)
+    if key == "dpi_ooo":
+        overrides.setdefault("patterns", DPI_PATTERNS)
+        return OooDpiNf(**overrides)
+    if key == "synthetic":
+        return SyntheticNf(**overrides)
+    raise ValueError(f"no implementation for {key!r}")

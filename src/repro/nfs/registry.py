@@ -1,10 +1,18 @@
 """Table 1: state scope and access pattern of popular stateful NFs.
 
 The registry encodes the paper's taxonomy and doubles as ground truth
-for a runtime check: the Table 1 bench runs each implemented NF through
-the engine and verifies, from the flow-state manager's counters, that
-its *observed* access pattern matches the declared one (e.g. that a NAT
-really only writes flow state at flow events).
+for two checks: the Table 1 bench runs each implemented NF through the
+engine and verifies, from the flow-state manager's counters, that its
+*observed* access pattern matches the declared one (e.g. that a NAT
+really only writes flow state at flow events); and lint rule SPR007
+cross-checks every declaration against the *statically inferred*
+profile from :mod:`repro.lint.dataflow` — a declaration that drifts
+from the code fails the lint run.
+
+Declarations here were audited against the inference pass; the folding
+convention for comparisons is symmetric (connection packets are packets
+too, so a per-packet access is also a flow-event access — see
+``declared_summary`` in the dataflow module).
 """
 
 from __future__ import annotations
@@ -26,6 +34,9 @@ class StateDecl:
     scope: str  # "Per-flow" | "Global"
     per_packet: str  # R / RW / -
     per_flow_event: str  # R / RW / -
+    #: Global items only: per-packet writes commute (per-core shards
+    #: merged out of band), so they carry no coherence penalty.
+    relaxed: bool = False
 
     def __post_init__(self) -> None:
         if self.scope not in ("Per-flow", "Global"):
@@ -33,6 +44,8 @@ class StateDecl:
         for access in (self.per_packet, self.per_flow_event):
             if access not in (READ, READ_WRITE, NONE):
                 raise ValueError(f"access must be R/RW/-, got {access!r}")
+        if self.relaxed and self.scope != "Global":
+            raise ValueError("relaxed only applies to Global state")
 
 
 @dataclass(frozen=True)
@@ -43,11 +56,19 @@ class NfProfile:
     states: Tuple[StateDecl, ...]
     #: Does the NF modify per-flow state outside connection events?
     updates_flow_state_per_packet: bool = False
+    #: Per-packet flow writes exist but all run under a designated-core
+    #: guard (the out-of-order DPI drain pattern), so the writing
+    #: partition still holds under spraying.
+    per_packet_writes_designated_only: bool = False
     #: Module implementing it in this package (None = taxonomy-only).
     implementation: Optional[str] = None
+    #: Paper NFs appear in the printed Table 1; repo-grown NFs
+    #: (out-of-order DPI, the synthetic NF) are registered for the
+    #: planner and the SPR007 cross-check but not in the table.
+    in_table1: bool = True
 
 
-#: The rows of Table 1, in the paper's order.
+#: The rows of Table 1, in the paper's order, plus the repo-grown NFs.
 NF_PROFILES: Dict[str, NfProfile] = {
     "nat": NfProfile(
         nf="NAT, IPv4 to IPv6",
@@ -67,15 +88,21 @@ NF_PROFILES: Dict[str, NfProfile] = {
         states=(
             StateDecl("Flow-server map", "Per-flow", READ, READ_WRITE),
             StateDecl("Pool of servers", "Global", NONE, READ_WRITE),
-            StateDecl("Statistics", "Global", READ_WRITE, NONE),
+            # Audited against the code: the per-backend counters are
+            # touched at connection setup/teardown only, never on the
+            # regular path (the paper's row groups them with the pool).
+            StateDecl("Statistics", "Global", NONE, READ_WRITE),
         ),
         implementation="repro.nfs.load_balancer",
     ),
     "traffic_monitor": NfProfile(
         nf="Traffic Monitor",
         states=(
-            StateDecl("Connection context", "Per-flow", NONE, READ_WRITE),
-            StateDecl("Statistics", "Global", READ_WRITE, NONE),
+            # Audited: the regular path *reads* flow state ("is this a
+            # tracked connection?") even though it only writes at events.
+            StateDecl("Connection context", "Per-flow", READ, READ_WRITE),
+            # Statistics shards are core-local (§3.4 relaxed pattern).
+            StateDecl("Statistics", "Global", READ_WRITE, NONE, relaxed=True),
         ),
         implementation="repro.nfs.traffic_monitor",
     ),
@@ -90,6 +117,24 @@ NF_PROFILES: Dict[str, NfProfile] = {
         updates_flow_state_per_packet=True,
         implementation="repro.nfs.dpi",
     ),
+    # -- repo-grown NFs (not part of the paper's printed table) ------------
+    "dpi_ooo": NfProfile(
+        nf="DPI, out-of-order tolerant",
+        states=(
+            StateDecl("Automaton + reorder cursor", "Per-flow", READ_WRITE, READ_WRITE),
+            StateDecl("Staging shards", "Global", READ_WRITE, NONE, relaxed=True),
+        ),
+        updates_flow_state_per_packet=True,
+        per_packet_writes_designated_only=True,
+        implementation="repro.nfs.dpi_ooo",
+        in_table1=False,
+    ),
+    "synthetic": NfProfile(
+        nf="Synthetic NF (§5)",
+        states=(StateDecl("Flow table entry", "Per-flow", READ, READ_WRITE),),
+        implementation="repro.nfs.synthetic",
+        in_table1=False,
+    ),
 }
 
 
@@ -97,6 +142,8 @@ def table1_rows() -> List[Dict[str, str]]:
     """The rows of Table 1 as flat dicts (one per state item)."""
     rows: List[Dict[str, str]] = []
     for profile in NF_PROFILES.values():
+        if not profile.in_table1:
+            continue
         for decl in profile.states:
             rows.append(
                 {
@@ -111,5 +158,10 @@ def table1_rows() -> List[Dict[str, str]]:
 
 
 def sprayer_compatible(key: str) -> bool:
-    """True if the NF fits Sprayer's model (no per-packet flow writes)."""
-    return not NF_PROFILES[key].updates_flow_state_per_packet
+    """True if the NF fits Sprayer's model: no per-packet flow writes,
+    or only designated-core-guarded ones (the writing partition holds)."""
+    profile = NF_PROFILES[key]
+    return (
+        not profile.updates_flow_state_per_packet
+        or profile.per_packet_writes_designated_only
+    )

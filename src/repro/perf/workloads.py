@@ -255,6 +255,31 @@ def macro_figc(quick: bool, jobs: int = 1) -> Tuple[int, str]:
     return len(rows) + len(timeline), _fingerprint([rows, timeline, phases])
 
 
+def macro_figp(quick: bool, jobs: int = 1) -> Tuple[int, str]:
+    """The Figure P planner race (seven policies x the chain mix).
+
+    Covers the planner end to end: source inference over every chain
+    stage, plan synthesis, chain construction, and the payload-carrying
+    scalar open-loop path the race runs on.
+    """
+    from repro.experiments.figp import run_figp
+    from repro.experiments.runner import SweepRunner
+    from repro.sim.timeunits import MILLISECOND
+
+    runner = SweepRunner(jobs=jobs)
+    if quick:
+        panels = run_figp(
+            duration=2 * MILLISECOND,
+            warmup=1 * MILLISECOND,
+            seed=1,
+            runner=runner,
+        )
+    else:
+        panels = run_figp(seed=1, runner=runner)
+    rows = panels["throughput"] + panels["p99"]
+    return len(rows), _fingerprint(panels)
+
+
 #: Registration order is execution order: micro first (fast feedback),
 #: then the macro sweeps.
 WORKLOADS: Dict[str, Workload] = {
@@ -267,4 +292,5 @@ WORKLOADS: Dict[str, Workload] = {
     "figr": macro_figr,
     "figs": macro_figs,
     "figc": macro_figc,
+    "figp": macro_figp,
 }

@@ -1,0 +1,35 @@
+"""Auto-parallelization planner for NF chains.
+
+The paper's argument is a taxonomy: the right steering policy is a
+function of *how each NF touches its state* (Table 1). This package
+closes the loop — :mod:`repro.lint.dataflow` infers the access pattern
+from the NF source, :mod:`repro.plan.planner` folds the inferred
+profiles of a chain into a :class:`ChainPlan` (steering mode,
+designated-core policy, ring placement), and :mod:`repro.plan.verify`
+arms the runtime ownership auditor to prove the plan sound (or, for a
+deliberately corrupted plan, to watch it trip).
+"""
+
+from repro.plan.planner import (
+    ChainPlan,
+    Objective,
+    StagePlan,
+    build_chain,
+    classify,
+    plan_chain,
+    plan_chains,
+)
+from repro.plan.verify import PlanAudit, audit_chain, verify_plan
+
+__all__ = [
+    "ChainPlan",
+    "StagePlan",
+    "Objective",
+    "classify",
+    "plan_chain",
+    "plan_chains",
+    "build_chain",
+    "PlanAudit",
+    "audit_chain",
+    "verify_plan",
+]

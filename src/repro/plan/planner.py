@@ -1,0 +1,311 @@
+"""Plan synthesis: inferred access patterns -> steering policy.
+
+The synthesis rules are the paper's taxonomy turned into code:
+
+- **stateless / read-mostly / relaxed-writer** stages tolerate any
+  placement: spraying maximizes load balance (§3, Figures 6-8), so a
+  chain made only of these gets the ``sprayer`` policy.
+- a **designated drainer** (per-packet flow writes, all guarded by the
+  designated-core check — the out-of-order DPI) is spray-compatible by
+  construction: the writing partition holds because the writes
+  self-restrict to the owner core.
+- a **per-packet flow writer** without that guard (classic DPI row)
+  requires flow affinity — every packet of a flow on one core — which
+  is RSS's contract (§7: spraying would make cores share state
+  machines).
+- a **write-hot global** stage (non-relaxed global writes per packet)
+  splits on *what the key is*. Flow-keyed writes are per-flow state in
+  global clothing: flow affinity makes them core-local, so the planner
+  picks ``rss``. Anonymous write-hot globals (the RE packet cache) are
+  contended under any placement; in a chain that also contains
+  affinity-tolerant stages the planner picks ``flowlet`` — bursts stay
+  on one core (coherence bounces amortize over a flowlet, §2's locality
+  middle ground) while idle cores still get new flowlets.
+- with ``Objective(expect_faults=True)`` a chain whose statefulness is
+  all at flow events upgrades ``sprayer`` to ``scr`` — state-compute
+  replication keeps every flow's state recoverable when a core dies,
+  at replication cost the fault-free objective refuses to pay.
+
+The planner never emits ``naive`` (shared table, no redirection): it is
+unsound by construction — the negative control in the verify module,
+not a plan.
+
+Planning is deterministic and order-independent: the chain mode is a
+function of the *set* of stage classifications, never of stage order
+or dict iteration order (a Hypothesis property pins this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.lint.dataflow import AccessSummary, InferredProfile, infer_module
+from repro.nfs.registry import NF_PROFILES, READ_WRITE
+
+# -- stage classification ---------------------------------------------------
+
+#: Placement requirements, from weakest to strongest.
+ANY = "any"  # correct under every steering policy
+SPRAY_OK = "spray_ok"  # correct under spraying (writing partition holds)
+AFFINITY = "affinity"  # needs every packet of a flow on one core
+
+#: classification -> placement requirement.
+_REQUIREMENTS = {
+    "stateless": ANY,
+    "read_mostly": SPRAY_OK,
+    "relaxed_writer": SPRAY_OK,
+    "designated_drainer": SPRAY_OK,
+    "per_packet_flow_writer": AFFINITY,
+    "write_hot_global": SPRAY_OK,  # sound anywhere; *costly* anywhere
+}
+
+
+def classify(summary: AccessSummary, stateless: bool = False) -> str:
+    """Name the access-pattern class of one stage."""
+    if summary.per_flow_packet == READ_WRITE:
+        if summary.designated_only:
+            return "designated_drainer"
+        return "per_packet_flow_writer"
+    if summary.global_packet == READ_WRITE and not summary.relaxed_only:
+        return "write_hot_global"
+    if stateless or (
+        summary.per_flow_event != READ_WRITE
+        and summary.global_event != READ_WRITE
+        and summary.per_flow_packet == "-"
+        and summary.global_packet == "-"
+    ):
+        return "stateless"
+    if summary.global_packet == READ_WRITE:
+        return "relaxed_writer"
+    return "read_mostly"
+
+
+@dataclass(frozen=True)
+class Objective:
+    """What the operator optimizes for, beyond raw throughput."""
+
+    #: Plan for core failures: prefer a policy that keeps per-flow
+    #: state recoverable (state-compute replication).
+    expect_faults: bool = False
+
+
+@dataclass(frozen=True)
+class StagePlan:
+    """One stage's inferred class and what it demands of steering."""
+
+    key: str
+    nf_class: str
+    classification: str
+    requirement: str
+    summary: AccessSummary
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "key": self.key,
+            "nf_class": self.nf_class,
+            "classification": self.classification,
+            "requirement": self.requirement,
+            "summary": self.summary.to_dict(),
+        }
+
+
+@dataclass(frozen=True)
+class ChainPlan:
+    """The synthesized parallel configuration for one chain."""
+
+    chain: Tuple[str, ...]
+    mode: str
+    stages: Tuple[StagePlan, ...]
+    #: How connection packets find their writer core.
+    designated_policy: str  # "symmetric_hash" | "replicated_map"
+    #: NIC ring placement: which rings a flow's packets may land in.
+    ring_policy: str  # "any_ring" | "flow_hash_ring" | "flowlet_ring"
+    #: Why this mode, one clause per deciding rule (sorted, so plans
+    #: compare equal regardless of stage order).
+    rationale: Tuple[str, ...]
+
+    def config_kwargs(self) -> Dict[str, object]:
+        """Engine config kwargs realizing the plan."""
+        return {"mode": self.mode}
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "chain": list(self.chain),
+            "mode": self.mode,
+            "designated_policy": self.designated_policy,
+            "ring_policy": self.ring_policy,
+            "rationale": list(self.rationale),
+            "stages": [stage.to_dict() for stage in self.stages],
+        }
+
+
+# -- inferred profiles per registry key -------------------------------------
+
+
+def _join_summaries(profiles: Sequence[InferredProfile]) -> AccessSummary:
+    """Fold several NF classes of one module into one summary (the
+    common case is exactly one class per module)."""
+    if len(profiles) == 1:
+        return profiles[0].summary
+    from repro.lint.dataflow import max_access
+
+    joined = AccessSummary()
+    for profile in profiles:
+        s = profile.summary
+        joined = AccessSummary(
+            per_flow_packet=max_access(joined.per_flow_packet, s.per_flow_packet),
+            per_flow_event=max_access(joined.per_flow_event, s.per_flow_event),
+            global_packet=max_access(joined.global_packet, s.global_packet),
+            global_event=max_access(joined.global_event, s.global_event),
+            relaxed_only=joined.relaxed_only and s.relaxed_only,
+            designated_only=joined.designated_only and s.designated_only,
+            flow_keyed_global_writes=joined.flow_keyed_global_writes
+            or s.flow_keyed_global_writes,
+        )
+    return joined
+
+
+def inferred_stage(key: str) -> StagePlan:
+    """Infer one registry key's stage plan from its implementation."""
+    try:
+        profile = NF_PROFILES[key]
+    except KeyError:
+        raise ValueError(f"unknown NF key {key!r}; have {sorted(NF_PROFILES)}") from None
+    if profile.implementation is None:
+        raise ValueError(f"NF {key!r} is taxonomy-only (no implementation to infer)")
+    inferred = infer_module(profile.implementation)
+    if not inferred:
+        raise ValueError(f"no NF classes found in {profile.implementation!r}")
+    summary = _join_summaries(inferred)
+    stateless = all(p.stateless for p in inferred)
+    classification = classify(summary, stateless)
+    return StagePlan(
+        key=key,
+        nf_class="+".join(sorted(p.nf_class for p in inferred)),
+        classification=classification,
+        requirement=_REQUIREMENTS[classification],
+        summary=summary,
+    )
+
+
+# -- chain synthesis --------------------------------------------------------
+
+
+def plan_chain(
+    keys: Sequence[str], objective: Objective = Objective()
+) -> ChainPlan:
+    """Synthesize the steering configuration for one chain."""
+    if not keys:
+        raise ValueError("a chain needs at least one NF key")
+    stages = tuple(inferred_stage(key) for key in keys)
+    classes = {stage.classification for stage in stages}
+    rationale: List[str] = []
+
+    affinity_stages = sorted(
+        stage.key for stage in stages if stage.requirement == AFFINITY
+    )
+    flow_keyed = sorted(
+        stage.key
+        for stage in stages
+        if stage.classification == "write_hot_global"
+        and stage.summary.flow_keyed_global_writes
+    )
+    anonymous_hot = sorted(
+        stage.key
+        for stage in stages
+        if stage.classification == "write_hot_global"
+        and not stage.summary.flow_keyed_global_writes
+    )
+    spray_tolerant = classes - {"write_hot_global", "per_packet_flow_writer"}
+
+    if affinity_stages:
+        mode = "rss"
+        rationale.append(
+            f"stage(s) {', '.join(affinity_stages)} write per-flow state on "
+            f"every packet without a designated-core guard: flow affinity "
+            f"(RSS) is the only placement that keeps one writer per flow"
+        )
+    elif flow_keyed:
+        mode = "rss"
+        rationale.append(
+            f"stage(s) {', '.join(flow_keyed)} issue per-packet global "
+            f"writes keyed by the flow: per-flow state in global clothing — "
+            f"flow affinity makes those writes core-local"
+        )
+    elif anonymous_hot and spray_tolerant:
+        mode = "flowlet"
+        rationale.append(
+            f"stage(s) {', '.join(anonymous_hot)} hammer an anonymous "
+            f"global structure per packet while the rest of the chain "
+            f"tolerates spraying: flowlet switching amortizes ownership "
+            f"bounces over bursts without pinning whole flows"
+        )
+    elif anonymous_hot:
+        mode = "rss"
+        rationale.append(
+            f"every stage ({', '.join(anonymous_hot)}) is write-hot on an "
+            f"anonymous global: no placement removes the contention, so "
+            f"keep flow affinity and its cache locality"
+        )
+    elif objective.expect_faults and classes & {
+        "read_mostly",
+        "relaxed_writer",
+        "designated_drainer",
+    }:
+        mode = "scr"
+        rationale.append(
+            "fault tolerance requested and the chain keeps per-flow state: "
+            "state-compute replication keeps every flow recoverable when a "
+            "core dies, at replication cost"
+        )
+    else:
+        mode = "sprayer"
+        rationale.append(
+            "every stage is stateless, read-mostly, relaxed-writing, or a "
+            "designated drainer: the writing partition holds under "
+            "spraying, so take its load balance"
+        )
+
+    designated_policy = "replicated_map" if mode == "scr" else "symmetric_hash"
+    ring_policy = {
+        "sprayer": "any_ring",
+        "scr": "any_ring",
+        "flowlet": "flowlet_ring",
+        "rss": "flow_hash_ring",
+    }[mode]
+    return ChainPlan(
+        chain=tuple(keys),
+        mode=mode,
+        stages=stages,
+        designated_policy=designated_policy,
+        ring_policy=ring_policy,
+        rationale=tuple(sorted(rationale)),
+    )
+
+
+def plan_chains(
+    chains: Sequence[Sequence[str]], objective: Objective = Objective()
+) -> List[ChainPlan]:
+    """Plan every chain of a mix."""
+    return [plan_chain(keys, objective) for keys in chains]
+
+
+# -- realization ------------------------------------------------------------
+
+
+def build_chain(keys: Sequence[str], **overrides_by_key):
+    """Instantiate the chain behind a key sequence.
+
+    A single-NF "chain" returns the bare NF (no scoping overhead);
+    longer chains wrap stages in :class:`repro.core.chain.NfChain`.
+    ``overrides_by_key`` forwards constructor kwargs per key, e.g.
+    ``build_chain(["synthetic"], synthetic={"busy_cycles": 500})``.
+    """
+    from repro.core.chain import NfChain
+    from repro.nfs.factory import make_nf
+
+    nfs = [make_nf(key, **overrides_by_key.get(key, {})) for key in keys]
+    if len(nfs) == 1:
+        return nfs[0]
+    return NfChain(nfs)

@@ -1,0 +1,131 @@
+"""Runtime verification of chain plans (the dynamic half of the planner).
+
+A plan is a *claim*: "this steering mode keeps the writing partition
+intact for this chain". The auditor from :mod:`repro.checks` can test
+the claim directly — drive real connections through the planned engine
+with the ownership checker in counting mode and read the violation
+counter. A sound plan must count zero; the ``naive`` configuration
+(shared table, no connection redirection — the mode the planner never
+emits) is the negative control that must trip.
+
+Counting mode (``strict=False``) rather than raising keeps both
+directions of the check on one code path: soundness is "violations ==
+0 after the whole drive", not "no exception before the first one".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, Optional, Sequence, Tuple
+
+from repro.plan.planner import ChainPlan, build_chain
+
+#: Traffic shape of one audit drive (mirrors the Table 1 bench).
+DEFAULT_FLOWS = 16
+DEFAULT_PACKETS_PER_FLOW = 20
+
+
+@dataclass(frozen=True)
+class PlanAudit:
+    """What one audited drive observed."""
+
+    chain: Tuple[str, ...]
+    mode: str
+    violations: int
+    reads: int
+    writes: int
+    forwarded: int
+    flow_entries: int
+
+    @property
+    def sound(self) -> bool:
+        return self.violations == 0
+
+
+def _audit_flows(keys: Sequence[str], num_flows: int, rng: random.Random):
+    from repro.net.five_tuple import FiveTuple
+    from repro.nfs.factory import VIP
+    from repro.trafficgen.flows import random_tcp_flows
+
+    if "load_balancer" in keys:
+        # Load-balanced traffic must target the VIP or it is dropped.
+        return [
+            FiveTuple(0x0A000000 | (i + 1), VIP, 20000 + i, 80, 6)
+            for i in range(num_flows)
+        ]
+    return random_tcp_flows(num_flows, rng)
+
+
+def audit_chain(
+    keys: Sequence[str],
+    mode: str,
+    num_flows: int = DEFAULT_FLOWS,
+    packets_per_flow: int = DEFAULT_PACKETS_PER_FLOW,
+    seed: int = 99,
+    num_cores: int = 8,
+) -> PlanAudit:
+    """Drive real connections through ``keys`` under ``mode`` with the
+    ownership auditor counting, and report what it saw."""
+    from repro.core.config import MiddleboxConfig
+    from repro.core.engine import MiddleboxEngine
+    from repro.net.packet import make_tcp_packet
+    from repro.net.tcp_flags import ACK, FIN, SYN
+    from repro.sim.engine import Simulator
+    from repro.sim.timeunits import MILLISECOND
+
+    sim = Simulator()
+    nf = build_chain(keys)
+    engine = MiddleboxEngine(
+        sim, nf, MiddleboxConfig(mode=mode, num_cores=num_cores, strict_checks=True)
+    )
+    auditor = engine.checks.ownership
+    if auditor is None:
+        raise RuntimeError("strict_checks did not arm the ownership auditor")
+    # Counting mode: soundness is judged on the final counter, and the
+    # negative control (naive) must survive to the end of the drive.
+    auditor.strict = False
+    forwarded = []
+    engine.set_egress(forwarded.append)
+    rng = random.Random(seed)
+    flows = _audit_flows(keys, num_flows, rng)
+    for flow in flows:
+        syn = make_tcp_packet(flow, flags=SYN, tcp_checksum=rng.getrandbits(16))
+        engine.receive(syn, sim.now)
+        sim.run(until=sim.now + MILLISECOND)
+        for seq in range(packets_per_flow):
+            data = make_tcp_packet(
+                flow,
+                flags=ACK,
+                seq=seq,
+                payload_len=200,
+                tcp_checksum=rng.getrandbits(16),
+            )
+            # Real payload bytes so the DPI variants scan something.
+            data.payload = bytes(rng.randrange(256) for _ in range(32))
+            engine.receive(data, sim.now)
+        sim.run(until=sim.now + MILLISECOND)
+        fin = make_tcp_packet(flow, flags=FIN | ACK, tcp_checksum=rng.getrandbits(16))
+        engine.receive(fin, sim.now)
+    sim.run(until=sim.now + 10 * MILLISECOND)
+    return PlanAudit(
+        chain=tuple(keys),
+        mode=mode,
+        violations=auditor.violations,
+        reads=auditor.reads,
+        writes=auditor.writes,
+        forwarded=len(forwarded),
+        flow_entries=engine.flow_state.total_entries(),
+    )
+
+
+def verify_plan(plan: ChainPlan, **drive_kwargs) -> PlanAudit:
+    """Audit a plan's chain under its chosen mode; raise if unsound."""
+    audit = audit_chain(plan.chain, plan.mode, **drive_kwargs)
+    if not audit.sound:
+        raise AssertionError(
+            f"plan for {plan.chain} under {plan.mode!r} tripped the "
+            f"ownership auditor {audit.violations} time(s) — the planner "
+            f"emitted an unsound configuration"
+        )
+    return audit

@@ -41,7 +41,10 @@ class OpenLoopGenerator:
         burst: Optional[int] = None,
         open_connections: bool = True,
         arrival_process: str = "cbr",
+        payload_len: int = 0,
     ):
+        if payload_len < 0:
+            raise ValueError(f"payload_len must be non-negative, got {payload_len}")
         if rate_pps <= 0:
             raise ValueError(f"rate_pps must be positive, got {rate_pps}")
         if not flows:
@@ -72,6 +75,13 @@ class OpenLoopGenerator:
         self.frame_len = frame_len
         self.burst = burst
         self.open_connections = open_connections
+        #: Opt-in payload bytes per data packet (zero keeps the classic
+        #: 64 B synthetic stream). One shared immutable buffer: payload
+        #: *content* is constant, per-packet variability stays in the
+        #: checksum draw, and payload-priced NFs (DPI scan cost, RE
+        #: fingerprinting) see real bytes to work on.
+        self.payload_len = payload_len
+        self._payload: Optional[bytes] = bytes(payload_len) if payload_len else None
         #: Opt-in batch emission (the SoA spine): when set, each CBR
         #: burst is built as one columnar :class:`PacketBatch` and
         #: handed here instead of per-packet ``sink`` calls. The RNG
@@ -138,7 +148,9 @@ class OpenLoopGenerator:
         make = Packet
         index = self._next_flow
         batch_sink = self.batch_sink
-        if batch_sink is not None and self.arrival_process == "cbr":
+        # Payload-carrying streams stay scalar: PacketBatch has no
+        # payload column (the SoA spine is a headers-only hot path).
+        if batch_sink is not None and self.arrival_process == "cbr" and not self.payload_len:
             batch = PacketBatch()
             # Column-wise construction: the per-burst-constant columns
             # (flags, frame length, timestamp) extend in one C call
@@ -174,11 +186,14 @@ class OpenLoopGenerator:
             batch.created_ats.extend(array("q", (now,)) * burst)
             batch_sink(batch, now)
         else:
+            payload_len = self.payload_len
+            payload = self._payload
             for _ in range(self.burst):
                 seq = seqs[index]
                 seqs[index] = seq + 1
                 packet = make(
-                    flows[index], ACK, seq, 0, 0, None, getrandbits(16), frame_len, now
+                    flows[index], ACK, seq, 0, payload_len, payload,
+                    getrandbits(16), frame_len, now
                 )
                 sink(packet, now)
                 index += 1

@@ -29,9 +29,10 @@ def codes(violations):
 
 
 class TestRegistry:
-    def test_all_six_rules_registered(self):
+    def test_all_seven_rules_registered(self):
         assert sorted(RULES) == [
             "SPR001", "SPR002", "SPR003", "SPR004", "SPR005", "SPR006",
+            "SPR007",
         ]
 
     def test_rules_carry_title_and_rationale(self):
@@ -512,3 +513,94 @@ class TestRepoIsClean:
         violations = engine.lint_paths(["src"])
         assert violations == [], "\n" + engine.report_text(violations)
         assert engine.files_checked > 100
+
+
+NFS_PATH = "src/repro/nfs/firewall.py"  # SPR007 keys on registered NF modules
+
+#: A firewall matching its declared profile: per-flow read per packet,
+#: per-flow read-write at connection events, no global state.
+CONFORMING_FIREWALL = """
+from repro.core.nf import NetworkFunction
+
+
+class FirewallNf(NetworkFunction):
+    name = "firewall"
+
+    def connection_packets(self, packets, ctx):
+        for packet in packets:
+            ctx.insert_local_flow(packet.five_tuple, {"verdict": "permit"})
+
+    def regular_packets(self, packets, ctx):
+        for packet in packets:
+            ctx.get_flow(packet.five_tuple)
+"""
+
+#: Same class, but with an undeclared per-packet global write.
+DIVERGENT_FIREWALL = """
+from repro.core.nf import NetworkFunction
+
+
+class FirewallNf(NetworkFunction):
+    name = "firewall"
+
+    def connection_packets(self, packets, ctx):
+        for packet in packets:
+            ctx.insert_local_flow(packet.five_tuple, {"verdict": "permit"})
+
+    def regular_packets(self, packets, ctx):
+        for packet in packets:
+            ctx.get_flow(packet.five_tuple)
+            ctx.write_global("hits", packet.five_tuple, 1)
+"""
+
+
+class TestSpr007DeclaredProfileMatchesInferred:
+    def test_fires_on_undeclared_global_write(self):
+        violations = lint(DIVERGENT_FIREWALL, path=NFS_PATH)
+        assert codes(violations) == ["SPR007"]
+        (violation,) = violations
+        assert "global_packet" in violation.message
+        assert "firewall" in violation.message
+
+    def test_quiet_when_inferred_matches_declared(self):
+        assert lint(CONFORMING_FIREWALL, path=NFS_PATH) == []
+
+    def test_suppressible_at_class_line(self):
+        suppressed = DIVERGENT_FIREWALL.replace(
+            "class FirewallNf(NetworkFunction):",
+            "class FirewallNf(NetworkFunction):  # repro-lint: disable=SPR007",
+        )
+        assert lint(suppressed, path=NFS_PATH) == []
+
+    def test_does_not_apply_to_unregistered_modules(self):
+        # A module no NfProfile points at has nothing to diverge from.
+        assert lint(DIVERGENT_FIREWALL, path="src/repro/nfs/scratch.py") == []
+
+    def test_repo_nf_sources_carry_no_unsuppressed_mismatch(self):
+        engine = LintEngine(select={"SPR007"})
+        violations = engine.lint_paths(["src/repro/nfs"])
+        assert violations == [], "\n" + engine.report_text(violations)
+
+
+class TestProfilesCli:
+    def test_profiles_text_table(self, capsys):
+        assert main(["--profiles", "src/repro/nfs"]) == 0
+        out = capsys.readouterr().out
+        for name in ("FirewallNf", "NatNf", "DpiNf", "SyntheticNf"):
+            assert name in out
+
+    def test_profiles_json_shape(self, capsys):
+        assert main(["--profiles", "--json", "src/repro/nfs"]) == 0
+        document = json.loads(capsys.readouterr().out)
+        assert document["errors"] == []
+        by_class = {p["nf_class"]: p for p in document["profiles"]}
+        assert by_class["FirewallNf"]["summary"]["per_flow_event"] == "RW"
+        assert by_class["DpiNf"]["summary"]["global_packet"] == "RW"
+        assert by_class["OooDpiNf"]["summary"]["designated_only"] is True
+
+    def test_profiles_reports_unparsable_files(self, tmp_path, capsys):
+        target = tmp_path / "src" / "repro" / "nfs"
+        target.mkdir(parents=True)
+        (target / "broken.py").write_text("def broken(:\n")
+        assert main(["--profiles", str(target)]) == 0
+        assert "skipped (unparsable)" in capsys.readouterr().out

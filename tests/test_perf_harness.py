@@ -153,7 +153,7 @@ class TestRunSuite:
     def test_all_workloads_registered(self):
         assert set(WORKLOADS) == {
             "hash", "steer", "event_loop",
-            "fig6a", "fig6a_scalar", "fig7a", "figr", "figs", "figc",
+            "fig6a", "fig6a_scalar", "fig7a", "figr", "figs", "figc", "figp",
         }
 
     def test_spine_workloads_fingerprint_identically(self):

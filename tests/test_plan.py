@@ -1,0 +1,182 @@
+"""Tests for the auto-parallelization planner (``repro.plan``).
+
+The planner's contract, in order of importance: it is a *pure function
+of the inferred access patterns* (deterministic, order-independent), it
+never emits an unsound configuration (every plan survives an audited
+drive with zero ownership violations), and the audit machinery itself
+is live (a deliberately corrupted plan trips the auditor).
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.chain import NfChain, ScopedContext
+from repro.lint.dataflow import AccessSummary
+from repro.nfs.registry import NF_PROFILES
+from repro.plan import (
+    ChainPlan,
+    Objective,
+    audit_chain,
+    build_chain,
+    classify,
+    plan_chain,
+    plan_chains,
+    verify_plan,
+)
+
+#: Every registry key with an implementation to infer from.
+IMPLEMENTED = sorted(
+    key for key, p in NF_PROFILES.items() if p.implementation is not None
+)
+#: The Figure P chain mix (without the synthetic compute stage).
+FIGP_CHAINS = (
+    ("firewall", "nat", "traffic_monitor"),
+    ("firewall", "load_balancer"),
+    ("traffic_monitor", "redundancy_elimination"),
+    ("dpi",),
+    ("dpi_ooo", "traffic_monitor"),
+)
+
+chains = st.lists(st.sampled_from(IMPLEMENTED), min_size=1, max_size=4)
+unique_chains = st.lists(
+    st.sampled_from(IMPLEMENTED), min_size=1, max_size=3, unique=True
+)
+
+
+class TestClassify:
+    def cases(self):
+        return [
+            (AccessSummary(), True, "stateless"),
+            (AccessSummary(per_flow_packet="R", per_flow_event="RW"), False,
+             "read_mostly"),
+            (AccessSummary(per_flow_packet="RW", per_flow_event="RW"), False,
+             "per_packet_flow_writer"),
+            (AccessSummary(per_flow_packet="RW", per_flow_event="RW",
+                           designated_only=True), False, "designated_drainer"),
+            (AccessSummary(global_packet="RW", global_event="RW",
+                           relaxed_only=False), False, "write_hot_global"),
+            (AccessSummary(global_packet="RW", global_event="RW",
+                           relaxed_only=True), False, "relaxed_writer"),
+        ]
+
+    def test_each_branch(self):
+        for summary, stateless, expected in self.cases():
+            assert classify(summary, stateless) == expected
+
+    def test_unguarded_flow_writes_trump_global_pattern(self):
+        summary = AccessSummary(
+            per_flow_packet="RW", per_flow_event="RW",
+            global_packet="RW", global_event="RW", relaxed_only=False,
+        )
+        assert classify(summary, False) == "per_packet_flow_writer"
+
+
+class TestPlannerIsAFunctionOfTheChain:
+    @settings(max_examples=30, deadline=None)
+    @given(chains)
+    def test_deterministic(self, keys):
+        assert plan_chain(keys) == plan_chain(keys)
+
+    @settings(max_examples=30, deadline=None)
+    @given(chains)
+    def test_order_independent(self, keys):
+        forward = plan_chain(keys)
+        backward = plan_chain(list(reversed(keys)))
+        assert forward.mode == backward.mode
+        assert forward.designated_policy == backward.designated_policy
+        assert forward.ring_policy == backward.ring_policy
+        assert forward.rationale == backward.rationale
+
+    @settings(max_examples=30, deadline=None)
+    @given(chains)
+    def test_never_emits_naive(self, keys):
+        assert plan_chain(keys).mode != "naive"
+
+    def test_plan_chains_maps_plan_chain(self):
+        plans = plan_chains(FIGP_CHAINS)
+        assert [p.chain for p in plans] == [tuple(c) for c in FIGP_CHAINS]
+        for plan, keys in zip(plans, FIGP_CHAINS):
+            assert plan == plan_chain(keys)
+
+    def test_expect_faults_upgrades_stateful_spray_chain_to_scr(self):
+        relaxed = plan_chain(("firewall", "nat"))
+        faulted = plan_chain(("firewall", "nat"), Objective(expect_faults=True))
+        assert relaxed.mode == "sprayer"
+        assert faulted.mode == "scr"
+        assert faulted.designated_policy == "replicated_map"
+
+    def test_unknown_and_taxonomy_only_keys_are_rejected(self):
+        with pytest.raises(ValueError, match="unknown NF key"):
+            plan_chain(("no_such_nf",))
+        taxonomy_only = sorted(
+            key for key, p in NF_PROFILES.items() if p.implementation is None
+        )
+        if taxonomy_only:
+            with pytest.raises(ValueError, match="taxonomy-only"):
+                plan_chain((taxonomy_only[0],))
+        with pytest.raises(ValueError, match="at least one"):
+            plan_chain(())
+
+    def test_to_dict_is_json_plain(self):
+        plan = plan_chain(("dpi_ooo", "traffic_monitor"))
+        d = plan.to_dict()
+        assert d["mode"] == plan.mode
+        assert [s["key"] for s in d["stages"]] == ["dpi_ooo", "traffic_monitor"]
+        assert all(isinstance(r, str) for r in d["rationale"])
+
+
+class TestPlansAreSound:
+    @settings(max_examples=8, deadline=None)
+    @given(unique_chains)
+    def test_every_emitted_plan_audits_clean(self, keys):
+        plan = plan_chain(keys)
+        audit = verify_plan(plan, num_flows=6, packets_per_flow=6)
+        assert audit.sound and audit.violations == 0
+        assert audit.forwarded > 0
+
+    @pytest.mark.parametrize("keys", FIGP_CHAINS, ids="+".join)
+    def test_figp_chain_plans_audit_clean(self, keys):
+        plan = plan_chain(keys)
+        audit = verify_plan(plan, num_flows=8, packets_per_flow=8)
+        assert audit.violations == 0
+
+    def test_corrupted_plan_trips_the_auditor(self):
+        plan = plan_chain(("firewall", "nat"))
+        corrupted = dataclasses.replace(plan, mode="naive")
+        with pytest.raises(AssertionError, match="unsound"):
+            verify_plan(corrupted, num_flows=8, packets_per_flow=8)
+        audit = audit_chain(corrupted.chain, corrupted.mode,
+                            num_flows=8, packets_per_flow=8)
+        assert audit.violations > 0 and not audit.sound
+
+
+class TestBuildChain:
+    def test_single_key_returns_bare_nf(self):
+        nf = build_chain(("synthetic",), synthetic={"busy_cycles": 123})
+        assert not isinstance(nf, NfChain)
+        assert nf.busy_cycles == 123
+
+    def test_multi_key_returns_chain_in_order(self):
+        chain = build_chain(("firewall", "nat"))
+        assert isinstance(chain, NfChain)
+        assert [stage.name for stage in chain.stages] == ["firewall", "nat"]
+
+
+class TestScopedContextCycleAccounting:
+    def test_direct_cycle_writes_reach_the_real_context(self):
+        # Regression: an NF's unrolled ``ctx._cycles += n`` fast path
+        # must charge the per-core context through the scoped view, not
+        # a shadow attribute on the wrapper (which silently uncharged
+        # every chained stage's compute).
+        class Ctx:
+            _cycles = 0.0
+            local = {}
+
+        ctx = Ctx()
+        scoped = ScopedContext(ctx, "stage")
+        scoped._cycles += 1234.0
+        assert ctx._cycles == 1234.0
+        assert scoped._cycles == 1234.0

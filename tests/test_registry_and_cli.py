@@ -24,6 +24,8 @@ class TestRegistry:
             "Traffic Monitor",
             "Redundancy Elimination",
             "DPI",
+            "DPI, out-of-order tolerant",
+            "Synthetic NF (§5)",
         }
 
     def test_row_count_matches_table1(self):
@@ -57,7 +59,7 @@ class TestCli:
     def test_runner_names_cover_all_figures(self):
         assert set(RUNNERS) == {
             "fig1", "fig2", "table1", "fig6", "fig7", "fig8", "fig9", "figR",
-            "figS", "figC",
+            "figS", "figC", "figP",
         }
 
     def test_unknown_name_rejected(self):
@@ -73,6 +75,7 @@ class TestCli:
         assert "resilience" in out
         assert "open_loop" in out
         assert "scr_head_to_head" in out
+        assert "chain_planner" in out
 
     def test_list_flag_ignores_names(self, capsys):
         """--list answers immediately, even alongside experiment names."""
@@ -104,3 +107,39 @@ class TestCli:
         assert document["experiments"] == ["fig2", "fig1"]
         assert len(document["runs"]) == 3  # two fig2 populations + fig1
         assert "telemetry written" in capsys.readouterr().out
+
+
+class TestFigPAcceptance:
+    """Figure P's acceptance bar: on every chain in the mix, the
+    planner-chosen configuration lands within 5% of (or beats) the best
+    sound fixed policy."""
+
+    @pytest.fixture(scope="class")
+    def panels(self):
+        from repro.experiments.figp import run_figp
+        from repro.sim.timeunits import MILLISECOND
+
+        return run_figp(duration=3 * MILLISECOND, warmup=1 * MILLISECOND)
+
+    def test_planner_within_five_percent_of_best_on_every_chain(self, panels):
+        assert len(panels["throughput"]) == 5
+        for row in panels["throughput"]:
+            assert row["gap_pct"] <= 5.0, (
+                f"{row['chain']}: planner ({row['planned']}) is "
+                f"{row['gap_pct']:.2f}% behind the best fixed policy"
+            )
+
+    def test_planner_never_chooses_the_unsound_mode(self, panels):
+        for row in panels["throughput"]:
+            assert row["planned"] != "naive"
+
+    def test_planner_dodges_the_rss_collapse_on_the_lb_chain(self, panels):
+        # The VIP-targeted flow set hashes badly: under rss two cores
+        # carry half the load and drop. The planner's choice must not
+        # inherit that cliff.
+        (row,) = [
+            r for r in panels["throughput"]
+            if r["chain"] == "firewall > load_balancer"
+        ]
+        assert row["planned"] != "rss"
+        assert row[f"{row['planned']}_mpps"] > 1.1 * row["rss_mpps"]
